@@ -1,0 +1,54 @@
+//! Micro-benchmark: interpreter throughput — visible events per second of
+//! a single deterministic run, and the cost of executor snapshots (the
+//! per-node price of the snapshot-based explorers).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lazylocks_model::{Program, ProgramBuilder, Reg};
+use lazylocks_runtime::{run_schedule, Executor};
+
+fn long_program(rounds: usize) -> Program {
+    let mut b = ProgramBuilder::new("long");
+    let m = b.mutex("m");
+    let xs = b.var_array("x", 4, 0);
+    for i in 0..2 {
+        let xs = xs.clone();
+        b.thread(format!("T{i}"), move |t| {
+            t.repeat(rounds, |t, k| {
+                let x = xs[(i + k) % 4];
+                t.with_lock(m, |t| {
+                    t.load(Reg(0), x);
+                    t.add(Reg(0), Reg(0), 1);
+                    t.store(x, Reg(0));
+                });
+            });
+        });
+    }
+    b.build()
+}
+
+fn executor_throughput(c: &mut Criterion) {
+    let program = long_program(200);
+    let events = run_schedule(&program, &[]).unwrap().trace.len() as u64;
+
+    let mut group = c.benchmark_group("executor");
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("run_schedule_events", |b| {
+        b.iter(|| run_schedule(&program, &[]).unwrap().trace.len())
+    });
+    group.finish();
+
+    let mut exec = Executor::new(&program);
+    for _ in 0..50 {
+        let t = exec.enabled_threads()[0];
+        exec.step(t);
+    }
+    let mut group = c.benchmark_group("snapshots");
+    group.bench_function("executor_clone", |b| b.iter(|| exec.clone()));
+    group.bench_function("state_snapshot_fingerprint", |b| {
+        b.iter(|| exec.snapshot().fingerprint())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, executor_throughput);
+criterion_main!(benches);

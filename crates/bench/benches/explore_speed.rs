@@ -1,0 +1,39 @@
+//! Macro-benchmark: wall-clock cost of exploring representative corpus
+//! programs under each strategy with a fixed schedule budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lazylocks::{DfsEnumeration, Dpor, ExploreConfig, Explorer, HbrCaching, LazyDpor};
+
+fn explore_speed(c: &mut Criterion) {
+    let subjects = [
+        "paper-figure1",
+        "coarse-disjoint-t3-r1",
+        "coarse-shared-t3-r1",
+        "philosophers-ordered-3",
+        "indexer-t2-s4",
+    ];
+    let mut group = c.benchmark_group("explore_speed");
+    for name in subjects {
+        let bench = lazylocks_suite::by_name(name).expect("corpus benchmark");
+        let config = ExploreConfig::with_limit(500);
+        group.bench_with_input(BenchmarkId::new("dfs", name), &bench, |b, bench| {
+            b.iter(|| DfsEnumeration.explore(&bench.program, &config))
+        });
+        group.bench_with_input(BenchmarkId::new("dpor", name), &bench, |b, bench| {
+            b.iter(|| Dpor::default().explore(&bench.program, &config))
+        });
+        group.bench_with_input(BenchmarkId::new("caching", name), &bench, |b, bench| {
+            b.iter(|| HbrCaching::regular().explore(&bench.program, &config))
+        });
+        group.bench_with_input(BenchmarkId::new("lazy-caching", name), &bench, |b, bench| {
+            b.iter(|| HbrCaching::lazy().explore(&bench.program, &config))
+        });
+        group.bench_with_input(BenchmarkId::new("lazy-dpor", name), &bench, |b, bench| {
+            b.iter(|| LazyDpor::default().explore(&bench.program, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, explore_speed);
+criterion_main!(benches);

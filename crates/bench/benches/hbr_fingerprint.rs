@@ -1,0 +1,72 @@
+//! Micro-benchmark: happens-before construction and fingerprinting
+//! throughput — the per-event cost every explorer pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lazylocks_hbr::{event_record_hash, ClockEngine, HbBuilder, HbMode, PrefixAccumulator};
+use lazylocks_model::{ProgramBuilder, Reg, ThreadId};
+use lazylocks_runtime::{run_schedule, Event};
+
+/// A trace with a healthy mix of variable and mutex events.
+fn sample_trace(threads: usize, rounds: usize) -> (lazylocks_model::Program, Vec<Event>) {
+    let mut b = ProgramBuilder::new("bench");
+    let m = b.mutex("m");
+    let shared = b.var("shared", 0);
+    let slots = b.var_array("slot", threads, 0);
+    #[allow(clippy::needless_range_loop)] // i is the thread id
+    for i in 0..threads {
+        let slot = slots[i];
+        b.thread(format!("T{i}"), move |t| {
+            t.repeat(rounds, |t, _| {
+                t.with_lock(m, |t| {
+                    t.load(Reg(0), slot);
+                    t.add(Reg(0), Reg(0), 1);
+                    t.store(slot, Reg(0));
+                });
+                t.load(Reg(1), shared);
+                t.store(shared, Reg(1));
+            });
+        });
+    }
+    let p = b.build();
+    let trace = run_schedule(&p, &[]).map(|r| r.trace).unwrap_or_default();
+    // Round-robin-ish completion via thread order: build a longer trace by
+    // running threads in id order (the default completion).
+    let schedule: Vec<ThreadId> = Vec::new();
+    let run = run_schedule(&p, &schedule).unwrap();
+    let _ = trace;
+    (p, run.trace)
+}
+
+fn hbr_throughput(c: &mut Criterion) {
+    let (program, trace) = sample_trace(4, 8);
+    let mut group = c.benchmark_group("hbr_fingerprint");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for mode in [HbMode::Regular, HbMode::Lazy, HbMode::SyncOnly] {
+        group.bench_with_input(
+            BenchmarkId::new("from_trace", format!("{mode}")),
+            &trace,
+            |b, trace| {
+                b.iter(|| HbBuilder::from_trace(mode, &program, trace).fingerprint())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("clock_engine", format!("{mode}")),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut engine = ClockEngine::for_program(mode, &program);
+                    let mut acc = PrefixAccumulator::new();
+                    for e in trace {
+                        let clock = engine.apply(e);
+                        acc.absorb(event_record_hash(e, &clock));
+                    }
+                    acc.fingerprint()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, hbr_throughput);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! **E3** — the paper's §3 counting chain, tabulated for every benchmark:
+//!
+//! ```text
+//! #states ≤ #lazy HBRs ≤ #HBRs ≤ #schedules ≤ limit
+//! ```
+//!
+//! ```text
+//! cargo run --release -p lazylocks-bench --bin inequality [-- --limit 100000]
+//! ```
+
+use lazylocks::{Dpor, ExploreConfig, Explorer};
+use lazylocks_bench::limit_from_args;
+
+fn main() {
+    let limit = limit_from_args(10_000);
+    println!("#states ≤ #lazy HBRs ≤ #HBRs ≤ #schedules ≤ {limit} (DPOR)\n");
+    println!(
+        "{:>3}  {:<28} {:>8} {:>10} {:>8} {:>10}  limit",
+        "id", "name", "#states", "#lazyHBRs", "#HBRs", "#scheds"
+    );
+    let mut violations = 0;
+    for bench in lazylocks_suite::all() {
+        let stats = Dpor::default().explore(&bench.program, &ExploreConfig::with_limit(limit));
+        let ok = stats.check_inequality();
+        if ok.is_err() {
+            violations += 1;
+        }
+        println!(
+            "{:>3}  {:<28} {:>8} {:>10} {:>8} {:>10}  {}{}",
+            bench.id,
+            bench.name,
+            stats.unique_states,
+            stats.unique_lazy_hbrs,
+            stats.unique_hbrs,
+            stats.schedules,
+            if stats.limit_hit { "*" } else { "" },
+            match ok {
+                Ok(()) => String::new(),
+                Err(e) => format!("  VIOLATION: {e}"),
+            }
+        );
+    }
+    println!("\nviolations: {violations} (the paper's inequality demands 0)");
+    assert_eq!(violations, 0);
+}

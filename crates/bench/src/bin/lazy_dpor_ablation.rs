@@ -1,0 +1,86 @@
+//! **E5** — ablation of the lazy-DPOR prototype (the paper's §4 future
+//! work) against classic DPOR and the two caching modes: schedules needed
+//! per benchmark under the same budget, plus a coverage check against the
+//! lazy-DPOR states.
+//!
+//! ```text
+//! cargo run --release -p lazylocks-bench --bin lazy_dpor_ablation [-- --limit 100000]
+//! ```
+
+use lazylocks::{Dpor, ExploreConfig, Explorer, HbrCaching, LazyDpor, LazyDporStyle};
+use lazylocks_bench::limit_from_args;
+
+fn main() {
+    let limit = limit_from_args(5_000);
+    println!("schedules explored per strategy (limit {limit}; * = limit hit)\n");
+    println!(
+        "{:>3}  {:<28} {:>9} {:>9} {:>9} {:>9} {:>9}  states d/l",
+        "id", "name", "dpor", "lazydpor", "vars", "caching", "lazycache"
+    );
+    let mut totals = [0usize; 5];
+    let mut lazy_wins = 0usize;
+    let mut state_mismatches = 0usize;
+    for bench in lazylocks_suite::all() {
+        let config = ExploreConfig::with_limit(limit);
+        let dpor = Dpor::default().explore(&bench.program, &config);
+        let lazy = LazyDpor::default().explore(&bench.program, &config);
+        let vars = LazyDpor {
+            style: LazyDporStyle::VarsOnly,
+        }
+        .explore(&bench.program, &config);
+        let caching = HbrCaching::regular().explore(&bench.program, &config);
+        let lazy_caching = HbrCaching::lazy().explore(&bench.program, &config);
+        for (t, s) in totals.iter_mut().zip([
+            dpor.schedules,
+            lazy.schedules,
+            vars.schedules,
+            caching.schedules,
+            lazy_caching.schedules,
+        ]) {
+            *t += s;
+        }
+        if lazy.schedules < dpor.schedules && !dpor.limit_hit {
+            lazy_wins += 1;
+        }
+        let coverage = if dpor.limit_hit || lazy.limit_hit {
+            "?".to_string()
+        } else if dpor.unique_states == lazy.unique_states {
+            "=".to_string()
+        } else {
+            state_mismatches += 1;
+            format!("{}≠{}", dpor.unique_states, lazy.unique_states)
+        };
+        println!(
+            "{:>3}  {:<28} {:>8}{} {:>8}{} {:>8}{} {:>8}{} {:>8}{}  {}",
+            bench.id,
+            bench.name,
+            dpor.schedules,
+            mark(dpor.limit_hit),
+            lazy.schedules,
+            mark(lazy.limit_hit),
+            vars.schedules,
+            mark(vars.limit_hit),
+            caching.schedules,
+            mark(caching.limit_hit),
+            lazy_caching.schedules,
+            mark(lazy_caching.limit_hit),
+            coverage
+        );
+    }
+    println!(
+        "\ntotals: dpor={} lazy-dpor={} vars-only={} caching={} lazy-caching={}",
+        totals[0], totals[1], totals[2], totals[3], totals[4]
+    );
+    println!("benchmarks where lazy DPOR strictly beats DPOR (both exhaustive): {lazy_wins}");
+    println!(
+        "state-coverage mismatches of lazy DPOR vs DPOR on exhaustive benchmarks: {state_mismatches}"
+    );
+}
+
+fn mark(hit: bool) -> char {
+    if hit {
+        '*'
+    } else {
+        ' '
+    }
+}

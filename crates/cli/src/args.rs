@@ -1,0 +1,332 @@
+//! Hand-rolled argument parsing (no external dependency needed for a
+//! handful of flags).
+
+use lazylocks::Strategy;
+
+/// Usage text shown on parse errors and `help`.
+pub const USAGE: &str = "\
+lazylocks — systematic concurrency testing with the lazy happens-before relation
+
+USAGE:
+  lazylocks list [--family NAME]
+  lazylocks show  --bench NAME | --id N | --file PATH
+  lazylocks run   (--bench NAME | --id N | --file PATH)
+                  [--strategy S] [--limit N] [--preemptions K]
+                  [--stop-on-bug] [--seed X]
+  lazylocks compare (--bench NAME | --id N | --file PATH) [--limit N]
+  lazylocks races (--bench NAME | --id N | --file PATH) [--walks N] [--seed X]
+  lazylocks help
+
+STRATEGIES:
+  dfs | dpor | dpor-sleep | caching | lazy-caching | lazy-dpor | random | parallel
+";
+
+/// Which program to operate on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Target {
+    /// A corpus benchmark by name.
+    Bench(String),
+    /// A corpus benchmark by 1-based id.
+    Id(usize),
+    /// A `.llk` text-format program on disk.
+    File(String),
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    List {
+        family: Option<String>,
+    },
+    Show {
+        target: Target,
+    },
+    Run {
+        target: Target,
+        strategy: Strategy,
+        limit: usize,
+        preemptions: Option<u32>,
+        stop_on_bug: bool,
+        seed: u64,
+    },
+    Compare {
+        target: Target,
+        limit: usize,
+    },
+    Races {
+        target: Target,
+        walks: usize,
+        seed: u64,
+    },
+    Help,
+}
+
+/// Parses `argv` (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter().map(String::as_str);
+    let sub = it.next().ok_or("missing subcommand")?;
+    let rest: Vec<&str> = it.collect();
+
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list" => {
+            let mut family = None;
+            parse_flags(&rest, |flag, value| match flag {
+                "--family" => {
+                    family = Some(value.ok_or("--family needs a value")?.to_string());
+                    Ok(())
+                }
+                _ => Err(format!("unknown flag {flag} for list")),
+            })?;
+            Ok(Command::List { family })
+        }
+        "show" => {
+            let mut target = None;
+            parse_flags(&rest, |flag, value| {
+                parse_target_flag(flag, value, &mut target)
+                    .ok_or(())
+                    .or(Err(format!("unknown flag {flag} for show")))
+            })?;
+            Ok(Command::Show {
+                target: target.ok_or("show needs --bench, --id or --file")?,
+            })
+        }
+        "run" => {
+            let mut target = None;
+            let mut strategy = Strategy::Dpor { sleep_sets: true };
+            let mut limit = 100_000usize;
+            let mut preemptions = None;
+            let mut stop_on_bug = false;
+            let mut seed = 0x1a2b_3c4du64;
+            parse_flags(&rest, |flag, value| {
+                if parse_target_flag(flag, value, &mut target).is_some() {
+                    return Ok(());
+                }
+                match flag {
+                    "--strategy" => {
+                        let name = value.ok_or("--strategy needs a value")?;
+                        strategy = Strategy::parse(name)
+                            .ok_or_else(|| format!("unknown strategy {name:?}"))?;
+                        Ok(())
+                    }
+                    "--limit" => {
+                        limit = parse_num(value, "--limit")?;
+                        Ok(())
+                    }
+                    "--preemptions" => {
+                        preemptions = Some(parse_num(value, "--preemptions")? as u32);
+                        Ok(())
+                    }
+                    "--stop-on-bug" => {
+                        stop_on_bug = true;
+                        Ok(())
+                    }
+                    "--seed" => {
+                        seed = parse_num(value, "--seed")? as u64;
+                        Ok(())
+                    }
+                    _ => Err(format!("unknown flag {flag} for run")),
+                }
+            })?;
+            Ok(Command::Run {
+                target: target.ok_or("run needs --bench, --id or --file")?,
+                strategy,
+                limit,
+                preemptions,
+                stop_on_bug,
+                seed,
+            })
+        }
+        "compare" => {
+            let mut target = None;
+            let mut limit = 10_000usize;
+            parse_flags(&rest, |flag, value| {
+                if parse_target_flag(flag, value, &mut target).is_some() {
+                    return Ok(());
+                }
+                match flag {
+                    "--limit" => {
+                        limit = parse_num(value, "--limit")?;
+                        Ok(())
+                    }
+                    _ => Err(format!("unknown flag {flag} for compare")),
+                }
+            })?;
+            Ok(Command::Compare {
+                target: target.ok_or("compare needs --bench, --id or --file")?,
+                limit,
+            })
+        }
+        "races" => {
+            let mut target = None;
+            let mut walks = 100usize;
+            let mut seed = 7u64;
+            parse_flags(&rest, |flag, value| {
+                if parse_target_flag(flag, value, &mut target).is_some() {
+                    return Ok(());
+                }
+                match flag {
+                    "--walks" => {
+                        walks = parse_num(value, "--walks")?;
+                        Ok(())
+                    }
+                    "--seed" => {
+                        seed = parse_num(value, "--seed")? as u64;
+                        Ok(())
+                    }
+                    _ => Err(format!("unknown flag {flag} for races")),
+                }
+            })?;
+            Ok(Command::Races {
+                target: target.ok_or("races needs --bench, --id or --file")?,
+                walks,
+                seed,
+            })
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+/// Handles the shared target flags; returns `Some(())` if `flag` was one of
+/// them.
+fn parse_target_flag(
+    flag: &str,
+    value: Option<&str>,
+    target: &mut Option<Target>,
+) -> Option<()> {
+    match flag {
+        "--bench" => {
+            *target = Some(Target::Bench(value?.to_string()));
+            Some(())
+        }
+        "--id" => {
+            let id: usize = value?.parse().ok()?;
+            *target = Some(Target::Id(id));
+            Some(())
+        }
+        "--file" => {
+            *target = Some(Target::File(value?.to_string()));
+            Some(())
+        }
+        _ => None,
+    }
+}
+
+fn parse_num(value: Option<&str>, flag: &str) -> Result<usize, String> {
+    value
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|_| format!("{flag} needs an integer"))
+}
+
+/// Walks `--flag [value]` pairs. Flags that take values consume the next
+/// token; boolean flags receive `None`... the callback decides by asking
+/// for the value lazily via the passed `Option`.
+fn parse_flags(
+    rest: &[&str],
+    mut on_flag: impl FnMut(&str, Option<&str>) -> Result<(), String>,
+) -> Result<(), String> {
+    let mut i = 0;
+    while i < rest.len() {
+        let flag = rest[i];
+        if !flag.starts_with("--") {
+            return Err(format!("unexpected argument {flag:?}"));
+        }
+        // Boolean flags take no value; everything else consumes one.
+        let boolean = matches!(flag, "--stop-on-bug");
+        let value = if boolean {
+            None
+        } else {
+            let v = rest.get(i + 1).copied();
+            if v.is_some() {
+                i += 1;
+            }
+            v
+        };
+        on_flag(flag, value)?;
+        i += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_list() {
+        assert_eq!(
+            parse(&argv("list")).unwrap(),
+            Command::List { family: None }
+        );
+        assert_eq!(
+            parse(&argv("list --family coarse")).unwrap(),
+            Command::List {
+                family: Some("coarse".to_string())
+            }
+        );
+    }
+
+    #[test]
+    fn parses_run_with_all_flags() {
+        let cmd = parse(&argv(
+            "run --bench peterson --strategy lazy-caching --limit 500 \
+             --preemptions 2 --stop-on-bug --seed 9",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run {
+                target,
+                strategy,
+                limit,
+                preemptions,
+                stop_on_bug,
+                seed,
+            } => {
+                assert_eq!(target, Target::Bench("peterson".to_string()));
+                assert_eq!(strategy, Strategy::LazyHbrCaching);
+                assert_eq!(limit, 500);
+                assert_eq!(preemptions, Some(2));
+                assert!(stop_on_bug);
+                assert_eq!(seed, 9);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_targets() {
+        assert!(matches!(
+            parse(&argv("show --id 5")).unwrap(),
+            Command::Show {
+                target: Target::Id(5)
+            }
+        ));
+        assert!(matches!(
+            parse(&argv("show --file prog.llk")).unwrap(),
+            Command::Show {
+                target: Target::File(_)
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&argv("")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("run")).is_err());
+        assert!(parse(&argv("run --bench x --strategy nope")).is_err());
+        assert!(parse(&argv("run --bench x --limit abc")).is_err());
+        assert!(parse(&argv("list --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn help_parses() {
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+}

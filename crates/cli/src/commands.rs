@@ -1,0 +1,292 @@
+//! Command implementations.
+
+use crate::args::{Command, Target, USAGE};
+use lazylocks::{detect_races, ExploreConfig, ExploreStats, Strategy};
+use lazylocks_model::Program;
+use lazylocks_runtime::run_with_scheduler;
+use std::collections::HashMap;
+
+/// Executes a parsed command.
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::List { family } => list(family.as_deref()),
+        Command::Show { target } => {
+            let program = resolve(&target)?;
+            print!("{}", program.to_source());
+            Ok(())
+        }
+        Command::Run {
+            target,
+            strategy,
+            limit,
+            preemptions,
+            stop_on_bug,
+            seed,
+        } => {
+            let program = resolve(&target)?;
+            let mut config = ExploreConfig::with_limit(limit).seeded(seed);
+            config.preemption_bound = preemptions;
+            config.stop_on_bug = stop_on_bug;
+            let stats = strategy.run(&program, &config);
+            print_stats(program.name(), &strategy_name(&strategy), &stats);
+            Ok(())
+        }
+        Command::Compare { target, limit } => compare(&resolve(&target)?, limit),
+        Command::Races {
+            target,
+            walks,
+            seed,
+        } => races(&resolve(&target)?, walks, seed),
+    }
+}
+
+fn strategy_name(s: &Strategy) -> String {
+    match s {
+        Strategy::Dfs => "dfs".into(),
+        Strategy::Dpor { sleep_sets: false } => "dpor".into(),
+        Strategy::Dpor { sleep_sets: true } => "dpor-sleep".into(),
+        Strategy::HbrCaching => "caching".into(),
+        Strategy::LazyHbrCaching => "lazy-caching".into(),
+        Strategy::LazyDpor => "lazy-dpor".into(),
+        Strategy::Random => "random".into(),
+        Strategy::ParallelDfs { .. } => "parallel".into(),
+    }
+}
+
+fn resolve(target: &Target) -> Result<Program, String> {
+    match target {
+        Target::Bench(name) => lazylocks_suite::by_name(name)
+            .map(|b| b.program)
+            .ok_or_else(|| format!("no benchmark named {name:?}; try `lazylocks list`")),
+        Target::Id(id) => lazylocks_suite::by_id(*id)
+            .map(|b| b.program)
+            .ok_or_else(|| format!("no benchmark with id {id}; the corpus has 1..=79")),
+        Target::File(path) => {
+            let source = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            Program::parse(&source).map_err(|e| format!("cannot parse {path}: {e}"))
+        }
+    }
+}
+
+fn list(family: Option<&str>) -> Result<(), String> {
+    let suite = lazylocks_suite::all();
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    println!("{:>3}  {:<28} {:<13} description", "id", "name", "family");
+    for b in &suite {
+        *counts.entry(b.family).or_default() += 1;
+        if let Some(f) = family {
+            if b.family != f {
+                continue;
+            }
+        }
+        let mut marks = String::new();
+        if b.expect.may_deadlock {
+            marks.push_str(" [deadlocks]");
+        }
+        if b.expect.may_fail_assert {
+            marks.push_str(" [asserts]");
+        }
+        println!(
+            "{:>3}  {:<28} {:<13} {}{}",
+            b.id, b.name, b.family, b.description, marks
+        );
+    }
+    if family.is_none() {
+        let mut fams: Vec<_> = counts.into_iter().collect();
+        fams.sort();
+        let summary: Vec<String> = fams.iter().map(|(f, n)| format!("{f} ({n})")).collect();
+        println!("\n{} benchmarks: {}", suite.len(), summary.join(", "));
+    }
+    Ok(())
+}
+
+fn print_stats(program: &str, strategy: &str, stats: &ExploreStats) {
+    println!("program     : {program}");
+    println!("strategy    : {strategy}");
+    println!("schedules   : {}{}", stats.schedules, if stats.limit_hit { "  (limit hit)" } else { "" });
+    println!("events      : {}", stats.events);
+    println!("max depth   : {}", stats.max_depth);
+    println!("#states     : {}", stats.unique_states);
+    println!("#lazy HBRs  : {}", stats.unique_lazy_hbrs);
+    println!("#HBRs       : {}", stats.unique_hbrs);
+    println!("deadlocks   : {}", stats.deadlocks);
+    println!("faulty runs : {}", stats.faulted_schedules);
+    if stats.cache_prunes > 0 {
+        println!("cache prunes: {}", stats.cache_prunes);
+    }
+    if stats.sleep_prunes > 0 {
+        println!("sleep prunes: {}", stats.sleep_prunes);
+    }
+    if stats.bound_prunes > 0 {
+        println!("bound prunes: {}", stats.bound_prunes);
+    }
+    if stats.truncated_runs > 0 {
+        println!("truncated   : {}", stats.truncated_runs);
+    }
+    println!("wall time   : {:?}", stats.wall_time);
+    if let Err(violation) = stats.check_inequality() {
+        println!("WARNING     : counting inequality violated: {violation}");
+    }
+    if let Some(bug) = &stats.first_bug {
+        println!("first bug   : {bug}");
+        let schedule: Vec<String> = bug.schedule.iter().map(|t| t.to_string()).collect();
+        println!("replay with : {}", schedule.join(","));
+    }
+}
+
+fn compare(program: &Program, limit: usize) -> Result<(), String> {
+    let strategies = [
+        Strategy::Dfs,
+        Strategy::Dpor { sleep_sets: false },
+        Strategy::Dpor { sleep_sets: true },
+        Strategy::HbrCaching,
+        Strategy::LazyHbrCaching,
+        Strategy::LazyDpor,
+        Strategy::Random,
+    ];
+    println!("program: {} (limit {limit})", program.name());
+    println!(
+        "{:<14} {:>10} {:>8} {:>10} {:>10} {:>8} {:>6}",
+        "strategy", "schedules", "#states", "#lazyHBRs", "#HBRs", "bugs", "limit"
+    );
+    for s in strategies {
+        let config = ExploreConfig::with_limit(limit);
+        let stats = s.run(program, &config);
+        println!(
+            "{:<14} {:>10} {:>8} {:>10} {:>10} {:>8} {:>6}",
+            strategy_name(&s),
+            stats.schedules,
+            stats.unique_states,
+            stats.unique_lazy_hbrs,
+            stats.unique_hbrs,
+            stats.deadlocks + stats.faulted_schedules,
+            if stats.limit_hit { "*" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn races(program: &Program, walks: usize, seed: u64) -> Result<(), String> {
+    use rand_like::Lcg;
+    let mut rng = Lcg::new(seed);
+    let mut all_races = std::collections::BTreeMap::new();
+    for _ in 0..walks {
+        let result = run_with_scheduler(program, |exec| {
+            let enabled = exec.enabled_threads();
+            if enabled.is_empty() {
+                None
+            } else {
+                Some(enabled[rng.next_below(enabled.len())])
+            }
+        })
+        .map_err(|pos| format!("internal scheduling error at step {pos}"))?;
+        for race in detect_races(program, &result.trace) {
+            let key = format!("{race}");
+            all_races.entry(key).or_insert(race);
+        }
+    }
+    if all_races.is_empty() {
+        println!(
+            "no data races observed across {walks} random walks of {}",
+            program.name()
+        );
+    } else {
+        println!(
+            "{} distinct data race(s) in {} across {walks} random walks:",
+            all_races.len(),
+            program.name()
+        );
+        for race in all_races.values() {
+            println!("  {race}");
+        }
+    }
+    Ok(())
+}
+
+/// A tiny deterministic generator so the CLI does not need the full `rand`
+/// dependency tree (the core crate uses `rand` where quality matters; here
+/// we only shuffle schedule choices).
+mod rand_like {
+    pub struct Lcg(u64);
+
+    impl Lcg {
+        pub fn new(seed: u64) -> Self {
+            Lcg(seed.wrapping_mul(6364136223846793005).wrapping_add(1))
+        }
+
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 17
+        }
+
+        pub fn next_below(&mut self, n: usize) -> usize {
+            (self.next() % n as u64) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_by_name_id_and_missing() {
+        assert!(resolve(&Target::Bench("peterson".into())).is_ok());
+        assert!(resolve(&Target::Id(1)).is_ok());
+        assert!(resolve(&Target::Bench("ghost".into())).is_err());
+        assert!(resolve(&Target::Id(0)).is_err());
+        assert!(resolve(&Target::File("/no/such/file.llk".into())).is_err());
+    }
+
+    #[test]
+    fn resolve_parses_llk_files() {
+        let dir = std::env::temp_dir().join("lazylocks-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.llk");
+        std::fs::write(&path, "program tiny\nvar x = 0\nthread T {\n store x = 1\n}\n").unwrap();
+        let p = resolve(&Target::File(path.to_string_lossy().into_owned())).unwrap();
+        assert_eq!(p.name(), "tiny");
+        assert_eq!(p.thread_count(), 1);
+    }
+
+    #[test]
+    fn commands_execute_end_to_end() {
+        run(Command::List {
+            family: Some("paper".into()),
+        })
+        .unwrap();
+        run(Command::Show {
+            target: Target::Id(1),
+        })
+        .unwrap();
+        run(Command::Run {
+            target: Target::Bench("paper-figure1".into()),
+            strategy: Strategy::Dpor { sleep_sets: true },
+            limit: 1000,
+            preemptions: None,
+            stop_on_bug: false,
+            seed: 1,
+        })
+        .unwrap();
+        run(Command::Races {
+            target: Target::Bench("store-buffer".into()),
+            walks: 20,
+            seed: 3,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn compare_runs_all_strategies() {
+        let p = lazylocks_suite::by_name("paper-figure1").unwrap().program;
+        compare(&p, 200).unwrap();
+    }
+}

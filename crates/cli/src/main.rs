@@ -1,0 +1,35 @@
+//! `lazylocks` — command-line driver for the systematic concurrency tester.
+//!
+//! ```text
+//! lazylocks list [--family NAME]              list the benchmark corpus
+//! lazylocks show --bench NAME                 print a benchmark's source
+//! lazylocks run (--bench NAME | --file PATH) [--strategy S] [--limit N]
+//!               [--preemptions K] [--stop-on-bug] [--seed X]
+//! lazylocks compare (--bench NAME | --file PATH) [--limit N]
+//! lazylocks races (--bench NAME | --file PATH) [--walks N] [--seed X]
+//! lazylocks help
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

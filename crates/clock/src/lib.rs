@@ -1,0 +1,25 @@
+//! Vector clocks for happens-before computation.
+//!
+//! A [`VectorClock`] summarises a set of events in a concurrent execution:
+//! component `t` records how many events of thread `t` are in the set. When
+//! every component of clock `a` is less than or equal to the corresponding
+//! component of clock `b`, every event summarised by `a` is also summarised
+//! by `b` — the events of `a` *happen before* (or equal) those of `b`.
+//!
+//! The systematic-concurrency-testing engines in this workspace use vector
+//! clocks in two roles:
+//!
+//! * the happens-before engine (`lazylocks-hbr`) attaches to each event a
+//!   clock describing its causal past, which doubles as a canonical
+//!   representation of the partial order;
+//! * dynamic partial-order reduction (the `lazylocks` core crate) uses clocks
+//!   to decide whether two dependent events are already ordered and therefore
+//!   do not warrant a backtracking point.
+//!
+//! Clocks here are *bounded*: the thread count of a guest program is fixed at
+//! construction, so a clock is a plain `Vec<u32>` indexed by thread id. All
+//! lattice operations are O(#threads).
+
+mod vector_clock;
+
+pub use vector_clock::{CausalOrd, VectorClock};

@@ -1,0 +1,337 @@
+//! The [`VectorClock`] type and its lattice operations.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Result of comparing two vector clocks under the causal (component-wise)
+/// partial order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CausalOrd {
+    /// Every component is equal.
+    Equal,
+    /// Strictly less than in at least one component, never greater.
+    Before,
+    /// Strictly greater in at least one component, never less.
+    After,
+    /// Incomparable: greater in some component and less in another.
+    Concurrent,
+}
+
+impl CausalOrd {
+    /// `true` for [`CausalOrd::Before`] and [`CausalOrd::Equal`].
+    #[inline]
+    pub fn is_before_or_equal(self) -> bool {
+        matches!(self, CausalOrd::Before | CausalOrd::Equal)
+    }
+
+    /// `true` for [`CausalOrd::Concurrent`].
+    #[inline]
+    pub fn is_concurrent(self) -> bool {
+        matches!(self, CausalOrd::Concurrent)
+    }
+}
+
+/// A fixed-width vector clock: one `u32` counter per thread of the guest
+/// program.
+///
+/// The component for thread `t` counts how many of `t`'s events are in the
+/// causal past described by this clock. The zero clock describes the empty
+/// past.
+///
+/// ```
+/// use lazylocks_clock::{CausalOrd, VectorClock};
+///
+/// let mut a = VectorClock::new(3);
+/// let mut b = VectorClock::new(3);
+/// a.tick(0);             // a = [1, 0, 0]
+/// b.tick(1);             // b = [0, 1, 0]
+/// assert_eq!(a.causal_cmp(&b), CausalOrd::Concurrent);
+///
+/// b.join(&a);            // b = [1, 1, 0]
+/// assert_eq!(a.causal_cmp(&b), CausalOrd::Before);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct VectorClock {
+    counts: Vec<u32>,
+}
+
+impl VectorClock {
+    /// The zero clock over `width` threads.
+    pub fn new(width: usize) -> Self {
+        VectorClock {
+            counts: vec![0; width],
+        }
+    }
+
+    /// Builds a clock directly from per-thread counters.
+    pub fn from_counts(counts: Vec<u32>) -> Self {
+        VectorClock { counts }
+    }
+
+    /// Number of threads this clock covers.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `true` if every component is zero.
+    pub fn is_zero(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// The component for `thread`.
+    ///
+    /// # Panics
+    /// Panics if `thread >= self.width()`.
+    #[inline]
+    pub fn get(&self, thread: usize) -> u32 {
+        self.counts[thread]
+    }
+
+    /// Sets the component for `thread`.
+    #[inline]
+    pub fn set(&mut self, thread: usize, value: u32) {
+        self.counts[thread] = value;
+    }
+
+    /// Increments the component for `thread` and returns the new value.
+    #[inline]
+    pub fn tick(&mut self, thread: usize) -> u32 {
+        self.counts[thread] += 1;
+        self.counts[thread]
+    }
+
+    /// Component-wise maximum: after the call, `self` describes the union of
+    /// both causal pasts.
+    #[inline]
+    pub fn join(&mut self, other: &VectorClock) {
+        debug_assert_eq!(self.width(), other.width(), "clock width mismatch");
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            if *b > *a {
+                *a = *b;
+            }
+        }
+    }
+
+    /// Returns the component-wise maximum without mutating either operand.
+    pub fn joined(&self, other: &VectorClock) -> VectorClock {
+        let mut out = self.clone();
+        out.join(other);
+        out
+    }
+
+    /// Component-wise minimum (meet of the lattice).
+    pub fn meet(&mut self, other: &VectorClock) {
+        debug_assert_eq!(self.width(), other.width(), "clock width mismatch");
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            if *b < *a {
+                *a = *b;
+            }
+        }
+    }
+
+    /// `true` iff `self[t] <= other[t]` for every thread `t` — i.e. the
+    /// events summarised by `self` are a subset of those summarised by
+    /// `other`.
+    #[inline]
+    pub fn le(&self, other: &VectorClock) -> bool {
+        debug_assert_eq!(self.width(), other.width(), "clock width mismatch");
+        self.counts
+            .iter()
+            .zip(other.counts.iter())
+            .all(|(a, b)| a <= b)
+    }
+
+    /// `true` iff `self.le(other)` and the clocks differ.
+    pub fn lt(&self, other: &VectorClock) -> bool {
+        self.le(other) && self.counts != other.counts
+    }
+
+    /// `true` iff the clocks are incomparable.
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+
+    /// Full comparison under the causal partial order.
+    pub fn causal_cmp(&self, other: &VectorClock) -> CausalOrd {
+        let le = self.le(other);
+        let ge = other.le(self);
+        match (le, ge) {
+            (true, true) => CausalOrd::Equal,
+            (true, false) => CausalOrd::Before,
+            (false, true) => CausalOrd::After,
+            (false, false) => CausalOrd::Concurrent,
+        }
+    }
+
+    /// Iterator over `(thread, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
+        self.counts.iter().copied().enumerate()
+    }
+
+    /// The raw per-thread counters.
+    #[inline]
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Sum of all components: the number of events in the causal past
+    /// (counted with multiplicity per thread).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Resets every component to zero, keeping the width.
+    pub fn clear(&mut self) {
+        for c in &mut self.counts {
+            *c = 0;
+        }
+    }
+
+    /// Feeds the clock into a caller-supplied byte sink; used by the
+    /// fingerprinting code in `lazylocks-hbr` to serialise clocks
+    /// canonically (little-endian components in thread order).
+    pub fn write_bytes(&self, out: &mut impl FnMut(&[u8])) {
+        for c in &self.counts {
+            out(&c.to_le_bytes());
+        }
+    }
+}
+
+impl PartialOrd for VectorClock {
+    /// The causal partial order. `None` means the clocks are concurrent.
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match self.causal_cmp(other) {
+            CausalOrd::Equal => Some(Ordering::Equal),
+            CausalOrd::Before => Some(Ordering::Less),
+            CausalOrd::After => Some(Ordering::Greater),
+            CausalOrd::Concurrent => None,
+        }
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VC{:?}", self.counts)
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(counts: &[u32]) -> VectorClock {
+        VectorClock::from_counts(counts.to_vec())
+    }
+
+    #[test]
+    fn zero_clock_is_zero() {
+        let c = VectorClock::new(4);
+        assert!(c.is_zero());
+        assert_eq!(c.width(), 4);
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn tick_increments_only_own_component() {
+        let mut c = VectorClock::new(3);
+        assert_eq!(c.tick(1), 1);
+        assert_eq!(c.tick(1), 2);
+        assert_eq!(c.get(0), 0);
+        assert_eq!(c.get(1), 2);
+        assert_eq!(c.get(2), 0);
+    }
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = vc(&[3, 0, 5]);
+        let b = vc(&[1, 4, 5]);
+        a.join(&b);
+        assert_eq!(a, vc(&[3, 4, 5]));
+    }
+
+    #[test]
+    fn meet_is_componentwise_min() {
+        let mut a = vc(&[3, 0, 5]);
+        let b = vc(&[1, 4, 5]);
+        a.meet(&b);
+        assert_eq!(a, vc(&[1, 0, 5]));
+    }
+
+    #[test]
+    fn causal_cmp_all_cases() {
+        let a = vc(&[1, 2]);
+        assert_eq!(a.causal_cmp(&vc(&[1, 2])), CausalOrd::Equal);
+        assert_eq!(a.causal_cmp(&vc(&[2, 2])), CausalOrd::Before);
+        assert_eq!(a.causal_cmp(&vc(&[0, 2])), CausalOrd::After);
+        assert_eq!(a.causal_cmp(&vc(&[2, 1])), CausalOrd::Concurrent);
+    }
+
+    #[test]
+    fn le_lt_concurrent_agree_with_causal_cmp() {
+        let a = vc(&[1, 2]);
+        let b = vc(&[2, 2]);
+        assert!(a.le(&b));
+        assert!(a.lt(&b));
+        assert!(!b.le(&a));
+        assert!(!a.concurrent(&b));
+        let c = vc(&[0, 3]);
+        assert!(a.concurrent(&c));
+    }
+
+    #[test]
+    fn partial_ord_matches_causal_order() {
+        assert!(vc(&[1, 0]) < vc(&[1, 1]));
+        assert!(vc(&[1, 1]) > vc(&[1, 0]));
+        assert_eq!(vc(&[1, 0]).partial_cmp(&vc(&[0, 1])), None);
+        assert_eq!(
+            vc(&[2, 2]).partial_cmp(&vc(&[2, 2])),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn joined_does_not_mutate() {
+        let a = vc(&[1, 0]);
+        let b = vc(&[0, 1]);
+        let j = a.joined(&b);
+        assert_eq!(a, vc(&[1, 0]));
+        assert_eq!(j, vc(&[1, 1]));
+    }
+
+    #[test]
+    fn display_and_debug_render() {
+        let a = vc(&[1, 0, 7]);
+        assert_eq!(format!("{a}"), "⟨1,0,7⟩");
+        assert_eq!(format!("{a:?}"), "VC[1, 0, 7]");
+    }
+
+    #[test]
+    fn clear_resets_components() {
+        let mut a = vc(&[4, 5]);
+        a.clear();
+        assert!(a.is_zero());
+        assert_eq!(a.width(), 2);
+    }
+
+    #[test]
+    fn write_bytes_is_little_endian_in_thread_order() {
+        let a = vc(&[1, 258]);
+        let mut bytes = Vec::new();
+        a.write_bytes(&mut |chunk| bytes.extend_from_slice(chunk));
+        assert_eq!(bytes, vec![1, 0, 0, 0, 2, 1, 0, 0]);
+    }
+}

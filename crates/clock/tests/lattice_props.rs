@@ -1,0 +1,104 @@
+//! Property-based tests: `VectorClock` under `join`/`meet` forms a lattice
+//! and `causal_cmp` is a genuine partial order.
+
+use lazylocks_clock::{CausalOrd, VectorClock};
+use proptest::prelude::*;
+
+const WIDTH: usize = 5;
+
+fn clock_strategy() -> impl Strategy<Value = VectorClock> {
+    prop::collection::vec(0u32..64, WIDTH).prop_map(VectorClock::from_counts)
+}
+
+proptest! {
+    #[test]
+    fn join_commutes(a in clock_strategy(), b in clock_strategy()) {
+        prop_assert_eq!(a.joined(&b), b.joined(&a));
+    }
+
+    #[test]
+    fn join_is_associative(a in clock_strategy(), b in clock_strategy(), c in clock_strategy()) {
+        prop_assert_eq!(a.joined(&b).joined(&c), a.joined(&b.joined(&c)));
+    }
+
+    #[test]
+    fn join_is_idempotent(a in clock_strategy()) {
+        prop_assert_eq!(a.joined(&a), a);
+    }
+
+    #[test]
+    fn join_is_least_upper_bound(a in clock_strategy(), b in clock_strategy()) {
+        let j = a.joined(&b);
+        prop_assert!(a.le(&j));
+        prop_assert!(b.le(&j));
+        // Least: any other upper bound dominates the join.
+        let mut ub = a.clone();
+        ub.join(&b);
+        ub.tick(0);
+        prop_assert!(j.le(&ub));
+    }
+
+    #[test]
+    fn meet_is_greatest_lower_bound(a in clock_strategy(), b in clock_strategy()) {
+        let mut m = a.clone();
+        m.meet(&b);
+        prop_assert!(m.le(&a));
+        prop_assert!(m.le(&b));
+    }
+
+    #[test]
+    fn absorption_laws(a in clock_strategy(), b in clock_strategy()) {
+        // a ∨ (a ∧ b) = a
+        let mut m = a.clone();
+        m.meet(&b);
+        prop_assert_eq!(a.joined(&m), a.clone());
+        // a ∧ (a ∨ b) = a
+        let mut n = a.clone();
+        n.meet(&a.joined(&b));
+        prop_assert_eq!(n, a);
+    }
+
+    #[test]
+    fn le_is_reflexive_and_antisymmetric(a in clock_strategy(), b in clock_strategy()) {
+        prop_assert!(a.le(&a));
+        if a.le(&b) && b.le(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    #[test]
+    fn le_is_transitive(a in clock_strategy(), b in clock_strategy(), c in clock_strategy()) {
+        let j1 = a.joined(&b);
+        let j2 = j1.joined(&c);
+        // a ≤ a∨b ≤ (a∨b)∨c by construction; check the chain composes.
+        prop_assert!(a.le(&j1));
+        prop_assert!(j1.le(&j2));
+        prop_assert!(a.le(&j2));
+    }
+
+    #[test]
+    fn causal_cmp_is_consistent_with_le(a in clock_strategy(), b in clock_strategy()) {
+        match a.causal_cmp(&b) {
+            CausalOrd::Equal => prop_assert!(a.le(&b) && b.le(&a)),
+            CausalOrd::Before => prop_assert!(a.le(&b) && !b.le(&a)),
+            CausalOrd::After => prop_assert!(b.le(&a) && !a.le(&b)),
+            CausalOrd::Concurrent => prop_assert!(!a.le(&b) && !b.le(&a)),
+        }
+    }
+
+    #[test]
+    fn tick_strictly_increases(a in clock_strategy(), t in 0usize..WIDTH) {
+        let mut ticked = a.clone();
+        ticked.tick(t);
+        prop_assert!(a.lt(&ticked));
+        prop_assert_eq!(a.causal_cmp(&ticked), CausalOrd::Before);
+    }
+
+    #[test]
+    fn total_is_monotone_under_join(a in clock_strategy(), b in clock_strategy()) {
+        let j = a.joined(&b);
+        prop_assert!(j.total() >= a.total());
+        prop_assert!(j.total() >= b.total());
+        prop_assert!(j.total() <= a.total() + b.total());
+    }
+}

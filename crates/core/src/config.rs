@@ -1,0 +1,99 @@
+//! Exploration configuration.
+
+/// Budget and feature knobs shared by every exploration strategy.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Stop after this many *complete* schedules (terminal executions).
+    /// The paper's evaluation uses 100,000.
+    pub schedule_limit: usize,
+    /// Abandon any single run longer than this many events. Guards against
+    /// unbounded spin loops in guest programs.
+    pub max_run_length: usize,
+    /// CHESS-style preemption bound: maximum number of *preemptive* context
+    /// switches per schedule (switching away from a thread that is still
+    /// enabled). `None` means unbounded. Honoured by the DFS, caching and
+    /// random strategies; ignored by DPOR (the classic algorithm's
+    /// correctness argument assumes an unrestricted successor relation).
+    pub preemption_bound: Option<u32>,
+    /// Stop the whole exploration at the first bug (deadlock or fault).
+    pub stop_on_bug: bool,
+    /// Seed for randomized strategies.
+    pub seed: u64,
+    /// Record distinct terminal states (needed for the `#states` column).
+    pub collect_states: bool,
+    /// Record distinct terminal regular HBRs.
+    pub collect_hbrs: bool,
+    /// Record distinct terminal lazy HBRs.
+    pub collect_lazy_hbrs: bool,
+    /// Also record one witness schedule per distinct terminal state in
+    /// [`ExploreStats::state_witnesses`](crate::ExploreStats) — handy for
+    /// debugging missed interleavings, off by default (it allocates).
+    pub collect_state_witnesses: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            schedule_limit: 100_000,
+            max_run_length: 10_000,
+            preemption_bound: None,
+            stop_on_bug: false,
+            seed: 0x1a2b_3c4d,
+            collect_states: true,
+            collect_hbrs: true,
+            collect_lazy_hbrs: true,
+            collect_state_witnesses: false,
+        }
+    }
+}
+
+impl ExploreConfig {
+    /// Convenience: default configuration with a schedule limit.
+    pub fn with_limit(schedule_limit: usize) -> Self {
+        ExploreConfig {
+            schedule_limit,
+            ..ExploreConfig::default()
+        }
+    }
+
+    /// Sets the preemption bound, returning `self` for chaining.
+    pub fn preemptions(mut self, bound: u32) -> Self {
+        self.preemption_bound = Some(bound);
+        self
+    }
+
+    /// Sets stop-on-bug, returning `self` for chaining.
+    pub fn stopping_on_bug(mut self) -> Self {
+        self.stop_on_bug = true;
+        self
+    }
+
+    /// Sets the random seed, returning `self` for chaining.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_budget() {
+        let c = ExploreConfig::default();
+        assert_eq!(c.schedule_limit, 100_000);
+        assert!(c.preemption_bound.is_none());
+        assert!(!c.stop_on_bug);
+        assert!(c.collect_states && c.collect_hbrs && c.collect_lazy_hbrs);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = ExploreConfig::with_limit(500).preemptions(2).stopping_on_bug().seeded(42);
+        assert_eq!(c.schedule_limit, 500);
+        assert_eq!(c.preemption_bound, Some(2));
+        assert!(c.stop_on_bug);
+        assert_eq!(c.seed, 42);
+    }
+}

@@ -1,0 +1,132 @@
+//! Exploration strategies for systematic concurrency testing.
+//!
+//! Every strategy explores the schedule tree of a program under a common
+//! budget ([`ExploreConfig`]) and reports the same counters
+//! ([`ExploreStats`]):
+//!
+//! | Strategy | Module | Reduction idea |
+//! |----------|--------|----------------|
+//! | [`DfsEnumeration`] | [`dfs`] | none (every schedule), optional preemption bound |
+//! | [`Dpor`] | [`dpor`] | Flanagan–Godefroid dynamic partial-order reduction with clock vectors, optional sleep sets |
+//! | [`HbrCaching`] | [`caching`] | Musuvathi–Qadeer prefix caching on the regular **or lazy** HBR fingerprint |
+//! | [`LazyDpor`] | [`lazy_dpor`] | prototype of the paper's §4 future work: DPOR driven by lazy dependence |
+//! | [`RandomWalk`] | [`random`] | uniform random schedules (no reduction; baseline) |
+//! | [`ParallelDfs`] | [`parallel`] | DFS fanned out across OS threads |
+//! | [`IterativeBounding`] | [`bounded`] | CHESS-style waves of increasing preemption budget over the caching explorer |
+
+pub mod bounded;
+pub mod caching;
+pub mod dfs;
+pub mod dpor;
+pub mod lazy_dpor;
+pub mod parallel;
+pub mod random;
+
+pub use bounded::{BoundedRun, IterativeBounding};
+pub use caching::HbrCaching;
+pub use dfs::DfsEnumeration;
+pub use dpor::{DependenceMode, Dpor};
+pub use lazy_dpor::{LazyDpor, LazyDporStyle};
+pub use parallel::ParallelDfs;
+pub use random::RandomWalk;
+
+use crate::config::ExploreConfig;
+use crate::stats::ExploreStats;
+use lazylocks_model::Program;
+
+/// A schedule-space exploration strategy.
+pub trait Explorer {
+    /// Short stable name for reports.
+    fn name(&self) -> String;
+
+    /// Explores `program` under `config`.
+    fn explore(&self, program: &Program, config: &ExploreConfig) -> ExploreStats;
+}
+
+/// Dynamic strategy selection, mostly for the CLI and benches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Strategy {
+    /// Naive depth-first enumeration of every schedule.
+    Dfs,
+    /// Dynamic partial-order reduction (optionally with sleep sets).
+    Dpor {
+        /// Enable the sleep-set refinement.
+        sleep_sets: bool,
+    },
+    /// HBR caching with the regular happens-before relation.
+    HbrCaching,
+    /// HBR caching with the lazy happens-before relation (the paper's
+    /// contribution).
+    LazyHbrCaching,
+    /// Prototype lazy DPOR (paper §4).
+    LazyDpor,
+    /// Uniform random walks.
+    Random,
+    /// Parallel DFS across `workers` OS threads.
+    ParallelDfs {
+        /// Number of worker threads (0 = available parallelism).
+        workers: usize,
+    },
+}
+
+impl Strategy {
+    /// Parses a CLI name: `dfs`, `dpor`, `dpor-nosleep`, `caching`,
+    /// `lazy-caching`, `lazy-dpor`, `random`, `parallel`.
+    pub fn parse(name: &str) -> Option<Strategy> {
+        Some(match name {
+            "dfs" => Strategy::Dfs,
+            "dpor" => Strategy::Dpor { sleep_sets: false },
+            "dpor-sleep" => Strategy::Dpor { sleep_sets: true },
+            "caching" => Strategy::HbrCaching,
+            "lazy-caching" => Strategy::LazyHbrCaching,
+            "lazy-dpor" => Strategy::LazyDpor,
+            "random" => Strategy::Random,
+            "parallel" => Strategy::ParallelDfs { workers: 0 },
+            _ => return None,
+        })
+    }
+
+    /// All strategy names accepted by [`Strategy::parse`].
+    pub const NAMES: [&'static str; 8] = [
+        "dfs",
+        "dpor",
+        "dpor-sleep",
+        "caching",
+        "lazy-caching",
+        "lazy-dpor",
+        "random",
+        "parallel",
+    ];
+
+    /// Runs the strategy.
+    pub fn run(&self, program: &Program, config: &ExploreConfig) -> ExploreStats {
+        match self {
+            Strategy::Dfs => DfsEnumeration.explore(program, config),
+            Strategy::Dpor { sleep_sets } => Dpor {
+                sleep_sets: *sleep_sets,
+                ..Dpor::default()
+            }
+            .explore(program, config),
+            Strategy::HbrCaching => HbrCaching::regular().explore(program, config),
+            Strategy::LazyHbrCaching => HbrCaching::lazy().explore(program, config),
+            Strategy::LazyDpor => LazyDpor::default().explore(program, config),
+            Strategy::Random => RandomWalk.explore(program, config),
+            Strategy::ParallelDfs { workers } => ParallelDfs { workers: *workers }
+                .explore(program, config),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_names_parse_round_trip() {
+        for name in Strategy::NAMES {
+            assert!(Strategy::parse(name).is_some(), "{name} should parse");
+        }
+        assert_eq!(Strategy::parse("nope"), None);
+        assert_eq!(Strategy::parse("dpor"), Some(Strategy::Dpor { sleep_sets: false }));
+    }
+}

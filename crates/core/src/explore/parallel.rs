@@ -1,0 +1,328 @@
+//! Parallel depth-first enumeration across OS threads.
+//!
+//! The schedule tree is split near the root: a breadth-first expansion
+//! produces a frontier of independent subtree roots (executor snapshots
+//! plus their trace prefixes), which a crossbeam channel feeds to worker
+//! threads. Each worker explores its subtrees depth-first with a local
+//! collector; a shared atomic counter enforces the global schedule
+//! budget; per-worker results are merged exactly (set unions) at the end.
+//!
+//! Parallel enumeration has no reduction — it is the scale-out version of
+//! [`DfsEnumeration`](crate::explore::DfsEnumeration) for hunting bugs in
+//! larger schedule spaces, and demonstrates that the substrate (executor
+//! snapshots, clock engines, collectors) is `Send`-clean.
+
+use crate::config::ExploreConfig;
+use crate::explore::Explorer;
+use crate::stats::{Collector, Continue, ExploreStats};
+use lazylocks_model::{Program, ThreadId};
+use lazylocks_runtime::{Event, ExecPhase, Executor};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// The parallel DFS explorer.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct ParallelDfs {
+    /// Worker threads; `0` uses the machine's available parallelism.
+    pub workers: usize,
+}
+
+
+/// A subtree root handed to a worker.
+struct WorkItem<'p> {
+    exec: Executor<'p>,
+    trace: Vec<Event>,
+    schedule: Vec<ThreadId>,
+    last: Option<ThreadId>,
+    preemptions: u32,
+}
+
+impl Explorer for ParallelDfs {
+    fn name(&self) -> String {
+        "parallel-dfs".to_string()
+    }
+
+    fn explore(&self, program: &Program, config: &ExploreConfig) -> ExploreStats {
+        let start = Instant::now();
+        let workers = if self.workers == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            self.workers
+        };
+
+        let mut root_collector = Collector::new(config);
+        let budget = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+
+        // --- frontier expansion (sequential BFS near the root) ---
+        let mut frontier: VecDeque<WorkItem> = VecDeque::new();
+        frontier.push_back(WorkItem {
+            exec: Executor::new(program),
+            trace: Vec::new(),
+            schedule: Vec::new(),
+            last: None,
+            preemptions: 0,
+        });
+        let target = workers * 4;
+        while frontier.len() < target {
+            let Some(item) = frontier.pop_front() else {
+                break;
+            };
+            if !matches!(item.exec.phase(), ExecPhase::Running) {
+                // Terminal during expansion: record directly.
+                if record_with_budget(
+                    &mut root_collector,
+                    program,
+                    &item.exec,
+                    &item.trace,
+                    &item.schedule,
+                    &budget,
+                    config,
+                ) == Continue::Stop
+                {
+                    stop.store(true, Ordering::Relaxed);
+                }
+                continue;
+            }
+            if item.trace.len() >= config.max_run_length {
+                root_collector.record_truncated();
+                continue;
+            }
+            let mut expanded = false;
+            for t in item.exec.enabled_threads() {
+                let preempt = item.last.is_some_and(|l| l != t && item.exec.is_enabled(l));
+                let p = item.preemptions + u32::from(preempt);
+                if let Some(bound) = config.preemption_bound {
+                    if p > bound {
+                        root_collector.stats.bound_prunes += 1;
+                        continue;
+                    }
+                }
+                let mut child = item.exec.clone();
+                let out = child.step(t);
+                let mut trace = item.trace.clone();
+                let mut schedule = item.schedule.clone();
+                schedule.push(t);
+                if let Some(e) = out.event {
+                    trace.push(e);
+                }
+                frontier.push_back(WorkItem {
+                    exec: child,
+                    trace,
+                    schedule,
+                    last: Some(t),
+                    preemptions: p,
+                });
+                expanded = true;
+            }
+            if !expanded {
+                // Every choice was pruned by the bound; nothing to explore.
+                continue;
+            }
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+        }
+
+        // --- parallel phase ---
+        let (tx, rx) = crossbeam::channel::unbounded::<WorkItem>();
+        for item in frontier {
+            tx.send(item).expect("queue open");
+        }
+        drop(tx);
+
+        let worker_results: Vec<Collector> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let rx = rx.clone();
+                    let budget = &budget;
+                    let stop = &stop;
+                    scope.spawn(move || {
+                        let mut collector = Collector::new(config);
+                        while let Ok(item) = rx.recv() {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let mut ctx = WorkerCtx {
+                                program,
+                                collector: &mut collector,
+                                trace: item.trace,
+                                schedule: item.schedule,
+                                budget,
+                                stop,
+                                config,
+                            };
+                            ctx.visit(&item.exec, item.last, item.preemptions);
+                        }
+                        collector
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+        for w in worker_results {
+            root_collector.merge(w);
+        }
+        let mut stats = root_collector.into_stats();
+        if budget.load(Ordering::Relaxed) >= config.schedule_limit {
+            stats.limit_hit = true;
+        }
+        stats.wall_time = start.elapsed();
+        stats
+    }
+}
+
+/// Claims one unit of the global schedule budget, then records the
+/// terminal locally. Returns `Stop` when the budget is exhausted or the
+/// collector says so (stop-on-bug).
+fn record_with_budget(
+    collector: &mut Collector,
+    program: &Program,
+    exec: &Executor,
+    trace: &[Event],
+    schedule: &[ThreadId],
+    budget: &AtomicUsize,
+    config: &ExploreConfig,
+) -> Continue {
+    let claimed = budget.fetch_add(1, Ordering::Relaxed);
+    if claimed >= config.schedule_limit {
+        return Continue::Stop;
+    }
+    collector.record_terminal(program, exec, trace, schedule)
+}
+
+struct WorkerCtx<'a, 'p> {
+    program: &'p Program,
+    collector: &'a mut Collector,
+    trace: Vec<Event>,
+    schedule: Vec<ThreadId>,
+    budget: &'a AtomicUsize,
+    stop: &'a AtomicBool,
+    config: &'a ExploreConfig,
+}
+
+impl<'p> WorkerCtx<'_, 'p> {
+    fn visit(&mut self, exec: &Executor<'p>, last: Option<ThreadId>, preemptions: u32) -> Continue {
+        if self.stop.load(Ordering::Relaxed) {
+            return Continue::Stop;
+        }
+        if !matches!(exec.phase(), ExecPhase::Running) {
+            let cont = record_with_budget(
+                self.collector,
+                self.program,
+                exec,
+                &self.trace,
+                &self.schedule,
+                self.budget,
+                self.config,
+            );
+            if cont == Continue::Stop {
+                self.stop.store(true, Ordering::Relaxed);
+            }
+            return cont;
+        }
+        if self.trace.len() >= self.config.max_run_length {
+            self.collector.record_truncated();
+            return Continue::Yes;
+        }
+        for t in exec.enabled_threads() {
+            let preempt = last.is_some_and(|l| l != t && exec.is_enabled(l));
+            let p = preemptions + u32::from(preempt);
+            if let Some(bound) = self.config.preemption_bound {
+                if p > bound {
+                    self.collector.stats.bound_prunes += 1;
+                    continue;
+                }
+            }
+            let mut child = exec.clone();
+            let out = child.step(t);
+            self.schedule.push(t);
+            let pushed = out.event.is_some();
+            if let Some(e) = out.event {
+                self.trace.push(e);
+            }
+            let cont = self.visit(&child, Some(t), p);
+            if pushed {
+                self.trace.pop();
+            }
+            self.schedule.pop();
+            if cont == Continue::Stop {
+                return Continue::Stop;
+            }
+        }
+        Continue::Yes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::dfs::DfsEnumeration;
+    use lazylocks_model::{ProgramBuilder, Reg};
+
+    fn counter_program(threads: usize) -> Program {
+        let mut b = ProgramBuilder::new("counters");
+        let x = b.var("x", 0);
+        for i in 0..threads {
+            b.thread(format!("T{i}"), |t| {
+                t.load(Reg(0), x);
+                t.add(Reg(0), Reg(0), 1);
+                t.store(x, Reg(0));
+                t.set(Reg(0), 0); // normalise registers out of the state
+            });
+        }
+        b.build()
+    }
+
+    #[test]
+    fn matches_sequential_dfs_exactly_when_exhaustive() {
+        let p = counter_program(3);
+        let cfg = ExploreConfig::with_limit(1_000_000);
+        let seq = DfsEnumeration.explore(&p, &cfg);
+        assert!(!seq.limit_hit);
+        for workers in [1, 2, 4] {
+            let par = ParallelDfs { workers }.explore(&p, &cfg);
+            assert_eq!(par.schedules, seq.schedules, "workers={workers}");
+            assert_eq!(par.unique_states, seq.unique_states);
+            assert_eq!(par.unique_hbrs, seq.unique_hbrs);
+            assert_eq!(par.unique_lazy_hbrs, seq.unique_lazy_hbrs);
+            assert_eq!(par.events, seq.events);
+        }
+    }
+
+    #[test]
+    fn budget_is_respected_globally() {
+        let p = counter_program(4);
+        let par = ParallelDfs { workers: 4 }.explore(&p, &ExploreConfig::with_limit(100));
+        assert!(par.schedules <= 100);
+        assert!(par.limit_hit);
+    }
+
+    #[test]
+    fn finds_bugs_in_parallel() {
+        let mut b = ProgramBuilder::new("buggy");
+        let x = b.var("x", 0);
+        b.thread("T1", |t| t.store(x, 1));
+        b.thread("T2", |t| {
+            t.load(Reg(0), x);
+            t.assert_true(Reg(0), "must see the write");
+        });
+        let p = b.build();
+        let stats = ParallelDfs { workers: 2 }.explore(&p, &ExploreConfig::with_limit(10_000));
+        assert!(stats.found_bug());
+        assert!(stats.faulted_schedules > 0);
+    }
+
+    #[test]
+    fn tiny_programs_terminate_during_expansion() {
+        let mut b = ProgramBuilder::new("tiny");
+        b.thread("T", |_| {});
+        let p = b.build();
+        let stats = ParallelDfs { workers: 8 }.explore(&p, &ExploreConfig::with_limit(10));
+        assert_eq!(stats.schedules, 1);
+        assert_eq!(stats.unique_states, 1);
+    }
+}

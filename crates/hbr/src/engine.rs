@@ -1,0 +1,268 @@
+//! The lean clock engine: happens-before vector-clock state without record
+//! storage.
+//!
+//! Exploration engines snapshot the happens-before state at every scheduling
+//! point (once per DFS node). Snapshotting a full [`HbBuilder`] would clone
+//! the accumulated event records — O(depth) per node. [`ClockEngine`] holds
+//! only the *live* clock state (one clock per thread, per variable
+//! read/write site, per mutex), making snapshots O(program size) regardless
+//! of depth. [`HbBuilder`](crate::HbBuilder) itself is a thin wrapper over
+//! this engine that additionally retains records.
+
+use crate::mode::HbMode;
+use lazylocks_clock::VectorClock;
+use lazylocks_model::VisibleKind;
+use lazylocks_runtime::{Event, Fnv128};
+
+/// Mode-aware happens-before clock state, updated event by event.
+#[derive(Debug, Clone)]
+pub struct ClockEngine {
+    mode: HbMode,
+    n_threads: usize,
+    thread_clock: Vec<VectorClock>,
+    var_write: Vec<VectorClock>,
+    var_reads: Vec<VectorClock>,
+    mutex_clock: Vec<VectorClock>,
+}
+
+impl ClockEngine {
+    /// Creates an engine for a program shape.
+    pub fn new(mode: HbMode, n_threads: usize, n_vars: usize, n_mutexes: usize) -> Self {
+        ClockEngine {
+            mode,
+            n_threads,
+            thread_clock: vec![VectorClock::new(n_threads); n_threads],
+            var_write: vec![VectorClock::new(n_threads); n_vars],
+            var_reads: vec![VectorClock::new(n_threads); n_vars],
+            mutex_clock: vec![VectorClock::new(n_threads); n_mutexes],
+        }
+    }
+
+    /// Creates an engine sized for `program`.
+    pub fn for_program(mode: HbMode, program: &lazylocks_model::Program) -> Self {
+        ClockEngine::new(
+            mode,
+            program.thread_count(),
+            program.vars().len(),
+            program.mutexes().len(),
+        )
+    }
+
+    /// The happens-before mode.
+    pub fn mode(&self) -> HbMode {
+        self.mode
+    }
+
+    /// Number of threads the clocks range over.
+    pub fn thread_width(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Applies the next event of the schedule and returns its clock (the
+    /// event's causal past, inclusive).
+    pub fn apply(&mut self, event: &Event) -> VectorClock {
+        let t = event.thread().index();
+        debug_assert!(t < self.n_threads, "event from undeclared thread");
+        debug_assert_eq!(
+            event.id.ordinal as usize,
+            self.thread_clock[t].get(t) as usize,
+            "events of a thread must be applied in ordinal order"
+        );
+
+        let mut clock = self.thread_clock[t].clone();
+        clock.tick(t);
+        match event.kind {
+            VisibleKind::Read(x) => {
+                if self.mode != HbMode::SyncOnly {
+                    clock.join(&self.var_write[x.index()]);
+                }
+            }
+            VisibleKind::Write(x) => {
+                if self.mode != HbMode::SyncOnly {
+                    clock.join(&self.var_write[x.index()]);
+                    clock.join(&self.var_reads[x.index()]);
+                }
+            }
+            VisibleKind::Lock(m) | VisibleKind::Unlock(m) => {
+                if self.mode != HbMode::Lazy {
+                    clock.join(&self.mutex_clock[m.index()]);
+                }
+            }
+        }
+
+        self.thread_clock[t] = clock.clone();
+        match event.kind {
+            VisibleKind::Read(x) => {
+                if self.mode != HbMode::SyncOnly {
+                    self.var_reads[x.index()].join(&clock);
+                }
+            }
+            VisibleKind::Write(x) => {
+                if self.mode != HbMode::SyncOnly {
+                    self.var_write[x.index()] = clock.clone();
+                    self.var_reads[x.index()].clear();
+                }
+            }
+            VisibleKind::Lock(m) | VisibleKind::Unlock(m) => {
+                if self.mode != HbMode::Lazy {
+                    self.mutex_clock[m.index()] = clock.clone();
+                }
+            }
+        }
+        clock
+    }
+
+    /// Clock of `thread`'s latest event (zero clock if none) — the causal
+    /// past of whatever `thread` does next, as used by DPOR's
+    /// "already-ordered" check.
+    pub fn thread_clock(&self, thread: lazylocks_model::ThreadId) -> &VectorClock {
+        &self.thread_clock[thread.index()]
+    }
+}
+
+/// Digest of one event record `(thread, ordinal, pc, kind, clock)` — the
+/// per-event ingredient of all trace fingerprints. Deterministic across
+/// runs and platforms.
+pub fn event_record_hash(event: &Event, clock: &VectorClock) -> u128 {
+    let mut h = Fnv128::new();
+    h.write(&event.id.thread.0.to_le_bytes());
+    h.write_u32(event.id.ordinal);
+    h.write_u32(event.pc);
+    let (tag, target): (u8, u16) = match event.kind {
+        VisibleKind::Read(v) => (0, v.0),
+        VisibleKind::Write(v) => (1, v.0),
+        VisibleKind::Lock(m) => (2, m.0),
+        VisibleKind::Unlock(m) => (3, m.0),
+    };
+    h.write(&[tag]);
+    h.write(&target.to_le_bytes());
+    clock.write_bytes(&mut |bytes| h.write(bytes));
+    h.finish()
+}
+
+/// Order-insensitive accumulator over event record hashes: the running
+/// prefix fingerprint used by HBR caching. Two schedule prefixes that are
+/// linearizations of the same partial order produce identical digests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrefixAccumulator {
+    xor_acc: u128,
+    sum_acc: u128,
+    len: u64,
+}
+
+impl PrefixAccumulator {
+    /// Empty accumulator (zero events).
+    pub fn new() -> Self {
+        PrefixAccumulator::default()
+    }
+
+    /// Absorbs one event record hash.
+    #[inline]
+    pub fn absorb(&mut self, record_hash: u128) {
+        self.xor_acc ^= record_hash;
+        self.sum_acc = self.sum_acc.wrapping_add(record_hash);
+        self.len += 1;
+    }
+
+    /// Number of events absorbed.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` if nothing was absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The current digest.
+    pub fn fingerprint(&self) -> u128 {
+        let mut h = Fnv128::new();
+        h.write(&self.xor_acc.to_le_bytes());
+        h.write(&self.sum_acc.to_le_bytes());
+        h.write_u64(self.len);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazylocks_model::{ThreadId, VarId};
+    use lazylocks_runtime::EventId;
+
+    fn ev(thread: u16, ordinal: u32, kind: VisibleKind) -> Event {
+        Event {
+            id: EventId {
+                thread: ThreadId(thread),
+                ordinal,
+            },
+            kind,
+            pc: ordinal,
+        }
+    }
+
+    #[test]
+    fn engine_matches_builder_clocks() {
+        use crate::builder::HbBuilder;
+        let trace = vec![
+            ev(0, 0, VisibleKind::Write(VarId(0))),
+            ev(1, 0, VisibleKind::Read(VarId(0))),
+            ev(1, 1, VisibleKind::Write(VarId(1))),
+            ev(0, 1, VisibleKind::Read(VarId(1))),
+        ];
+        for mode in HbMode::ALL {
+            let mut engine = ClockEngine::new(mode, 2, 2, 0);
+            let mut builder = HbBuilder::new(mode, 2, 2, 0);
+            for &e in &trace {
+                let clock = engine.apply(&e);
+                let record = builder.push(e).clone();
+                assert_eq!(clock, record.clock, "{mode:?}");
+                assert_eq!(event_record_hash(&e, &clock), record.hash, "{mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_accumulator_matches_builder_fingerprint() {
+        use crate::builder::HbBuilder;
+        let trace = vec![
+            ev(0, 0, VisibleKind::Write(VarId(0))),
+            ev(1, 0, VisibleKind::Read(VarId(0))),
+        ];
+        let mut engine = ClockEngine::new(HbMode::Regular, 2, 2, 0);
+        let mut acc = PrefixAccumulator::new();
+        let mut builder = HbBuilder::new(HbMode::Regular, 2, 2, 0);
+        assert_eq!(acc.fingerprint(), builder.prefix_fingerprint());
+        for &e in &trace {
+            let clock = engine.apply(&e);
+            acc.absorb(event_record_hash(&e, &clock));
+            builder.push(e);
+            assert_eq!(acc.fingerprint(), builder.prefix_fingerprint());
+        }
+        assert_eq!(acc.len(), 2);
+    }
+
+    #[test]
+    fn accumulator_is_order_insensitive() {
+        let h1 = 0xdead_beef_u128;
+        let h2 = 0x1234_5678_u128;
+        let mut a = PrefixAccumulator::new();
+        a.absorb(h1);
+        a.absorb(h2);
+        let mut b = PrefixAccumulator::new();
+        b.absorb(h2);
+        b.absorb(h1);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), PrefixAccumulator::new().fingerprint());
+    }
+
+    #[test]
+    fn engine_clone_is_independent_snapshot() {
+        let mut e1 = ClockEngine::new(HbMode::Regular, 2, 1, 0);
+        e1.apply(&ev(0, 0, VisibleKind::Write(VarId(0))));
+        let snapshot = e1.clone();
+        e1.apply(&ev(1, 0, VisibleKind::Read(VarId(0))));
+        assert_eq!(snapshot.thread_clock(ThreadId(1)).total(), 0);
+        assert_eq!(e1.thread_clock(ThreadId(1)).total(), 2);
+    }
+}

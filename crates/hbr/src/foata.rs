@@ -1,0 +1,159 @@
+//! Foata normal form of a happens-before relation.
+//!
+//! The Foata normal form decomposes a partial order into a canonical
+//! sequence of *layers*: layer 0 holds the minimal events, layer `k+1` the
+//! events that become minimal once layers `0..=k` are removed. Equivalently,
+//! an event's layer is the length of the longest happens-before chain ending
+//! at it. Events within a layer are pairwise independent and are listed in
+//! event-id order, making the form a canonical representative of the
+//! Mazurkiewicz trace — two schedules have the same relation iff their
+//! Foata forms coincide. The test suite uses this as an independent check
+//! of the clock-based canonical form.
+
+use crate::relation::HbRelation;
+use lazylocks_runtime::Event;
+
+/// Computes the Foata layers of `relation`. Layer `k` is sorted by
+/// `(thread, ordinal)`.
+pub fn foata_layers(relation: &HbRelation) -> Vec<Vec<Event>> {
+    let n = relation.len();
+    // depth[i] = longest predecessor chain length = layer index.
+    let mut depth = vec![0usize; n];
+    // Events are given in schedule order, so every predecessor of an event
+    // appears earlier in the records; one forward pass suffices.
+    for j in 0..n {
+        let mut d = 0;
+        for (i, &di) in depth.iter().enumerate().take(j) {
+            if relation.happens_before(i, j) {
+                d = d.max(di + 1);
+            }
+        }
+        depth[j] = d;
+    }
+    let layer_count = depth.iter().copied().max().map_or(0, |m| m + 1);
+    let mut layers: Vec<Vec<Event>> = vec![Vec::new(); layer_count];
+    for (i, &d) in depth.iter().enumerate() {
+        layers[d].push(relation.records()[i].event);
+    }
+    for layer in &mut layers {
+        layer.sort_by_key(|e| e.id);
+    }
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::HbBuilder;
+    use crate::mode::HbMode;
+    use lazylocks_model::{MutexId, ThreadId, VarId, VisibleKind};
+    use lazylocks_runtime::{Event, EventId};
+
+    fn ev(thread: u16, ordinal: u32, kind: VisibleKind) -> Event {
+        Event {
+            id: EventId {
+                thread: ThreadId(thread),
+                ordinal,
+            },
+            kind,
+            pc: ordinal,
+        }
+    }
+
+    fn layers(mode: HbMode, trace: &[Event]) -> Vec<Vec<Event>> {
+        let mut b = HbBuilder::new(mode, 3, 3, 2);
+        for &e in trace {
+            b.push(e);
+        }
+        b.finish().foata_normal_form()
+    }
+
+    #[test]
+    fn independent_events_share_the_first_layer() {
+        let trace = vec![
+            ev(0, 0, VisibleKind::Write(VarId(0))),
+            ev(1, 0, VisibleKind::Write(VarId(1))),
+            ev(2, 0, VisibleKind::Write(VarId(2))),
+        ];
+        let ls = layers(HbMode::Regular, &trace);
+        assert_eq!(ls.len(), 1);
+        assert_eq!(ls[0].len(), 3);
+        // Canonical order within the layer: by thread id.
+        assert_eq!(ls[0][0].thread(), ThreadId(0));
+        assert_eq!(ls[0][2].thread(), ThreadId(2));
+    }
+
+    #[test]
+    fn chains_produce_one_layer_per_link() {
+        let x = VarId(0);
+        let trace = vec![
+            ev(0, 0, VisibleKind::Write(x)),
+            ev(1, 0, VisibleKind::Write(x)),
+            ev(2, 0, VisibleKind::Write(x)),
+        ];
+        let ls = layers(HbMode::Regular, &trace);
+        assert_eq!(ls.len(), 3);
+        for (k, layer) in ls.iter().enumerate() {
+            assert_eq!(layer.len(), 1);
+            assert_eq!(layer[0].thread(), ThreadId(k as u16));
+        }
+    }
+
+    #[test]
+    fn foata_form_is_interleaving_invariant() {
+        let x = VarId(0);
+        let z = VarId(2);
+        let a = vec![
+            ev(0, 0, VisibleKind::Write(x)),
+            ev(1, 0, VisibleKind::Write(z)),
+            ev(1, 1, VisibleKind::Read(x)),
+        ];
+        // Swap the two independent first events.
+        let b = vec![a[1], a[0], a[2]];
+        assert_eq!(layers(HbMode::Regular, &a), layers(HbMode::Regular, &b));
+    }
+
+    #[test]
+    fn foata_form_differs_when_relation_differs() {
+        let m = MutexId(0);
+        let t1 = [
+            ev(0, 0, VisibleKind::Lock(m)),
+            ev(0, 1, VisibleKind::Unlock(m)),
+        ];
+        let t2 = [
+            ev(1, 0, VisibleKind::Lock(m)),
+            ev(1, 1, VisibleKind::Unlock(m)),
+        ];
+        let first_t1 = layers(HbMode::Regular, &[t1[0], t1[1], t2[0], t2[1]]);
+        let first_t2 = layers(HbMode::Regular, &[t2[0], t2[1], t1[0], t1[1]]);
+        assert_ne!(first_t1, first_t2);
+        // Lazily, both orders give the same (fully parallel) form.
+        let lazy_a = layers(HbMode::Lazy, &[t1[0], t1[1], t2[0], t2[1]]);
+        let lazy_b = layers(HbMode::Lazy, &[t2[0], t2[1], t1[0], t1[1]]);
+        assert_eq!(lazy_a, lazy_b);
+        assert_eq!(lazy_a.len(), 2, "program order still layers each thread");
+    }
+
+    #[test]
+    fn layer_members_are_pairwise_independent() {
+        let x = VarId(0);
+        let trace = vec![
+            ev(0, 0, VisibleKind::Write(x)),
+            ev(1, 0, VisibleKind::Read(x)),
+            ev(2, 0, VisibleKind::Read(x)),
+        ];
+        let mut b = HbBuilder::new(HbMode::Regular, 3, 3, 2);
+        for &e in &trace {
+            b.push(e);
+        }
+        let rel = b.finish();
+        let ls = rel.foata_normal_form();
+        // Layer 1 holds the two reads, which are mutually concurrent.
+        assert_eq!(ls[1].len(), 2);
+        assert!(rel.concurrent(1, 2));
+    }
+
+    #[test]
+    fn empty_trace_has_no_layers() {
+        assert!(layers(HbMode::Regular, &[]).is_empty());
+    }
+}

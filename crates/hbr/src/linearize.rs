@@ -1,0 +1,347 @@
+//! Linearization enumeration and replay-based feasibility checks.
+//!
+//! These utilities power the machine-checked versions of the paper's
+//! theorems:
+//!
+//! * **Theorem 2.1** — every linearization of a (regular) HBR is a feasible
+//!   schedule and reaches the same state: enumerate with
+//!   [`HbRelation::linearizations`], replay each with [`replay_events`],
+//!   compare traces and final states.
+//! * **Theorem 2.2** — not every linearization of a *lazy* HBR is feasible
+//!   (a lock-holding interleaving may block), but all *feasible* ones reach
+//!   the same state: the same enumeration, tolerating infeasible
+//!   linearizations.
+//!
+//! [`HbRelation::linearizations`]: crate::HbRelation::linearizations
+
+use crate::relation::HbRelation;
+use lazylocks_model::{Program, ThreadId};
+use lazylocks_runtime::{run_schedule, Event, InfeasibleSchedule, RunResult};
+
+/// Eagerly enumerated linearizations of a happens-before relation.
+///
+/// Enumeration is exponential in general; `limit` caps the number of
+/// linearizations produced, and [`complete`](Linearizations::complete)
+/// reports whether the cap was reached.
+#[derive(Debug, Clone)]
+pub struct Linearizations {
+    orders: Vec<Vec<Event>>,
+    complete: bool,
+}
+
+/// Alias kept for discoverability: the result of
+/// [`HbRelation::linearizations`].
+///
+/// [`HbRelation::linearizations`]: crate::HbRelation::linearizations
+pub type LinearizationEnumeration = Linearizations;
+
+impl Linearizations {
+    pub(crate) fn new(relation: &HbRelation, limit: usize) -> Self {
+        let n_threads = relation.thread_width();
+        // Per-thread record indices in ordinal order; events arrive in
+        // schedule order, so per-thread subsequences are already sorted.
+        let mut per_thread: Vec<Vec<usize>> = vec![Vec::new(); n_threads];
+        for (i, r) in relation.records().iter().enumerate() {
+            per_thread[r.event.thread().index()].push(i);
+        }
+
+        let mut enumerator = Enumerator {
+            relation,
+            per_thread,
+            frontier: vec![0; n_threads],
+            emitted: vec![0u32; n_threads],
+            current: Vec::with_capacity(relation.len()),
+            orders: Vec::new(),
+            limit,
+            complete: true,
+        };
+        enumerator.run();
+        Linearizations {
+            orders: enumerator.orders,
+            complete: enumerator.complete,
+        }
+    }
+
+    /// The enumerated linearizations, each a total order of the relation's
+    /// events.
+    pub fn orders(&self) -> &[Vec<Event>] {
+        &self.orders
+    }
+
+    /// `true` if every linearization was produced (the limit was not hit).
+    pub fn complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Number of linearizations produced.
+    pub fn len(&self) -> usize {
+        self.orders.len()
+    }
+
+    /// `true` if no linearizations were produced (only for the empty
+    /// relation with limit 0).
+    pub fn is_empty(&self) -> bool {
+        self.orders.is_empty()
+    }
+}
+
+struct Enumerator<'r> {
+    relation: &'r HbRelation,
+    per_thread: Vec<Vec<usize>>,
+    /// Next unemitted position in each thread's sequence.
+    frontier: Vec<usize>,
+    /// Events emitted per thread so far.
+    emitted: Vec<u32>,
+    current: Vec<Event>,
+    orders: Vec<Vec<Event>>,
+    limit: usize,
+    complete: bool,
+}
+
+impl Enumerator<'_> {
+    fn run(&mut self) {
+        if self.relation.is_empty() {
+            if self.limit > 0 {
+                self.orders.push(Vec::new());
+            } else {
+                self.complete = false;
+            }
+            return;
+        }
+        self.dfs();
+    }
+
+    /// `true` if thread `t`'s frontier event has all predecessors emitted.
+    fn ready(&self, t: usize) -> Option<usize> {
+        let pos = self.frontier[t];
+        let &rec_ix = self.per_thread[t].get(pos)?;
+        let clock = &self.relation.records()[rec_ix].clock;
+        for q in 0..self.emitted.len() {
+            let need = if q == t {
+                clock.get(q).saturating_sub(1)
+            } else {
+                clock.get(q)
+            };
+            if self.emitted[q] < need {
+                return None;
+            }
+        }
+        Some(rec_ix)
+    }
+
+    fn dfs(&mut self) {
+        if self.orders.len() >= self.limit {
+            self.complete = false;
+            return;
+        }
+        if self.current.len() == self.relation.len() {
+            self.orders.push(self.current.clone());
+            return;
+        }
+        for t in 0..self.per_thread.len() {
+            if let Some(rec_ix) = self.ready(t) {
+                let event = self.relation.records()[rec_ix].event;
+                self.frontier[t] += 1;
+                self.emitted[t] += 1;
+                self.current.push(event);
+                self.dfs();
+                self.current.pop();
+                self.emitted[t] -= 1;
+                self.frontier[t] -= 1;
+                if self.orders.len() >= self.limit {
+                    self.complete = false;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Projects an event order to the thread-choice schedule that would produce
+/// it.
+pub fn linearization_schedule(events: &[Event]) -> Vec<ThreadId> {
+    events.iter().map(|e| e.thread()).collect()
+}
+
+/// Replays the schedule induced by `events` on `program`.
+///
+/// Returns the run result if every step was enabled — the linearization is
+/// *feasible* in the paper's sense — or the position at which it blocked.
+/// Callers checking Theorem 2.1 should additionally compare
+/// [`RunResult::trace`] against `events`: feasibility plus trace equality
+/// means the linearization really re-executed the same events.
+pub fn replay_events(program: &Program, events: &[Event]) -> Result<RunResult, InfeasibleSchedule> {
+    run_schedule(program, &linearization_schedule(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HbBuilder;
+    use crate::mode::HbMode;
+    use lazylocks_model::{ProgramBuilder, VisibleKind};
+    use lazylocks_runtime::RunStatus;
+
+    /// Two threads, each: lock m; write own var; unlock m.
+    fn locked_writers() -> Program {
+        let mut b = ProgramBuilder::new("locked-writers");
+        let x = b.var("x", 0);
+        let y = b.var("y", 0);
+        let m = b.mutex("m");
+        b.thread("T1", |t| t.with_lock(m, |t| t.store(x, 1)));
+        b.thread("T2", |t| t.with_lock(m, |t| t.store(y, 1)));
+        b.build()
+    }
+
+    fn trace_of(program: &Program, schedule: &[u16]) -> Vec<Event> {
+        let schedule: Vec<ThreadId> = schedule.iter().map(|&i| ThreadId(i)).collect();
+        run_schedule(program, &schedule).unwrap().trace
+    }
+
+    #[test]
+    fn enumerates_all_topological_orders_of_independent_writes() {
+        let mut b = ProgramBuilder::new("p");
+        let x = b.var("x", 0);
+        let y = b.var("y", 0);
+        b.thread("T1", |t| t.store(x, 1));
+        b.thread("T2", |t| t.store(y, 1));
+        let p = b.build();
+        let trace = trace_of(&p, &[0, 1]);
+        let rel = HbBuilder::from_trace(HbMode::Regular, &p, &trace);
+        let lins = rel.linearizations(100);
+        assert!(lins.complete());
+        assert_eq!(lins.len(), 2, "two independent events → two orders");
+    }
+
+    #[test]
+    fn dependent_events_admit_single_order() {
+        let mut b = ProgramBuilder::new("p");
+        let x = b.var("x", 0);
+        b.thread("T1", |t| t.store(x, 1));
+        b.thread("T2", |t| t.store(x, 2));
+        let p = b.build();
+        let trace = trace_of(&p, &[0, 1]);
+        let rel = HbBuilder::from_trace(HbMode::Regular, &p, &trace);
+        let lins = rel.linearizations(100);
+        assert_eq!(lins.len(), 1, "write-write conflict pins the order");
+        assert_eq!(lins.orders()[0], trace);
+    }
+
+    #[test]
+    fn limit_caps_enumeration() {
+        let mut b = ProgramBuilder::new("p");
+        let vars: Vec<_> = (0..4).map(|i| b.var(format!("v{i}"), 0)).collect();
+        for (i, &v) in vars.iter().enumerate() {
+            b.thread(format!("T{i}"), move |t| t.store(v, 1));
+        }
+        let p = b.build();
+        let trace = trace_of(&p, &[0, 1, 2, 3]);
+        let rel = HbBuilder::from_trace(HbMode::Regular, &p, &trace);
+        // 4 independent events → 4! = 24 linearizations.
+        let all = rel.linearizations(100);
+        assert!(all.complete());
+        assert_eq!(all.len(), 24);
+        let capped = rel.linearizations(10);
+        assert!(!capped.complete());
+        assert_eq!(capped.len(), 10);
+    }
+
+    #[test]
+    fn theorem_2_1_on_locked_writers() {
+        // All linearizations of the regular HBR are feasible and reach the
+        // same state.
+        let p = locked_writers();
+        let trace = trace_of(&p, &[0, 0, 0, 1, 1, 1]);
+        let rel = HbBuilder::from_trace(HbMode::Regular, &p, &trace);
+        let lins = rel.linearizations(10_000);
+        assert!(lins.complete());
+        assert!(!lins.is_empty());
+        let reference = replay_events(&p, &trace).unwrap();
+        for order in lins.orders() {
+            let run = replay_events(&p, order).expect("Theorem 2.1: linearization feasible");
+            assert_eq!(run.status, RunStatus::Completed);
+            assert_eq!(run.trace, *order, "linearization re-executes its events");
+            assert_eq!(
+                run.state, reference.state,
+                "Theorem 2.1: same state for every linearization"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_relation_admits_infeasible_linearizations() {
+        // Figure 1 phenomenon: the lazy HBR of a lock-protected trace has
+        // linearizations that interleave the critical sections, which
+        // cannot be executed.
+        let p = locked_writers();
+        let trace = trace_of(&p, &[0, 0, 0, 1, 1, 1]);
+        let rel = HbBuilder::from_trace(HbMode::Lazy, &p, &trace);
+        let lins = rel.linearizations(10_000);
+        assert!(lins.complete());
+        let mut feasible = 0usize;
+        let mut infeasible = 0usize;
+        let mut states = std::collections::HashSet::new();
+        for order in lins.orders() {
+            match replay_events(&p, order) {
+                Ok(run) if run.trace == *order => {
+                    feasible += 1;
+                    states.insert(run.state);
+                }
+                _ => infeasible += 1,
+            }
+        }
+        assert!(infeasible > 0, "lazy HBR must admit blocked linearizations");
+        assert!(feasible >= 2, "both lock orders are feasible");
+        assert_eq!(
+            states.len(),
+            1,
+            "Theorem 2.2: all feasible linearizations reach the same state"
+        );
+    }
+
+    #[test]
+    fn schedule_projection_is_thread_sequence() {
+        let p = locked_writers();
+        let trace = trace_of(&p, &[0, 0, 0, 1, 1, 1]);
+        let schedule = linearization_schedule(&trace);
+        assert_eq!(schedule.len(), 6);
+        assert!(schedule[..3].iter().all(|&t| t == ThreadId(0)));
+        assert!(schedule[3..].iter().all(|&t| t == ThreadId(1)));
+    }
+
+    #[test]
+    fn empty_relation_has_one_empty_linearization() {
+        let mut b = ProgramBuilder::new("p");
+        b.thread("T", |_| {});
+        let p = b.build();
+        let rel = HbBuilder::from_trace(HbMode::Regular, &p, &[]);
+        let lins = rel.linearizations(10);
+        assert_eq!(lins.len(), 1);
+        assert!(lins.orders()[0].is_empty());
+        assert!(lins.complete());
+    }
+
+    #[test]
+    fn lock_chain_orders_are_preserved() {
+        // T1 lock/unlock then T2 lock/unlock under the regular HBR: the
+        // only linearizations keep T1's unlock before T2's lock.
+        let p = locked_writers();
+        let trace = trace_of(&p, &[0, 0, 0, 1, 1, 1]);
+        let rel = HbBuilder::from_trace(HbMode::Regular, &p, &trace);
+        for order in rel.linearizations(10_000).orders() {
+            let unlock_t1 = order
+                .iter()
+                .position(|e| {
+                    e.thread() == ThreadId(0) && matches!(e.kind, VisibleKind::Unlock(_))
+                })
+                .unwrap();
+            let lock_t2 = order
+                .iter()
+                .position(|e| {
+                    e.thread() == ThreadId(1) && matches!(e.kind, VisibleKind::Lock(_))
+                })
+                .unwrap();
+            assert!(unlock_t1 < lock_t2);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! The three happens-before variants.
+
+use lazylocks_model::VisibleKind;
+use std::fmt;
+
+/// Which inter-thread edges the happens-before construction admits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HbMode {
+    /// Paper §2, clause (b): same variable or mutex, at least one
+    /// modification. The relation used by classic DPOR and HBR caching.
+    Regular,
+    /// Paper §2, modified clause (b): same *non-mutex* variable, at least
+    /// one modification. The paper's contribution — mutex operations
+    /// induce no inter-thread edges.
+    Lazy,
+    /// Program order plus mutex edges only. Not part of the paper's
+    /// equivalence story; this is the relation under which two conflicting
+    /// variable accesses that are unordered constitute a *data race*.
+    SyncOnly,
+}
+
+impl HbMode {
+    /// Whether two visible operations are *dependent* under this mode —
+    /// i.e. whether their relative order is (assumed) observable.
+    pub fn dependent(self, a: VisibleKind, b: VisibleKind) -> bool {
+        match self {
+            HbMode::Regular => a.dependent_regular(b),
+            HbMode::Lazy => a.dependent_lazy(b),
+            HbMode::SyncOnly => match (a.mutex(), b.mutex()) {
+                (Some(ma), Some(mb)) => ma == mb,
+                _ => false,
+            },
+        }
+    }
+
+    /// All modes, for exhaustive testing.
+    pub const ALL: [HbMode; 3] = [HbMode::Regular, HbMode::Lazy, HbMode::SyncOnly];
+}
+
+impl fmt::Display for HbMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HbMode::Regular => write!(f, "regular"),
+            HbMode::Lazy => write!(f, "lazy"),
+            HbMode::SyncOnly => write!(f, "sync-only"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazylocks_model::{MutexId, VarId};
+
+    #[test]
+    fn mode_dependence_dispatch() {
+        let wx = VisibleKind::Write(VarId(0));
+        let rx = VisibleKind::Read(VarId(0));
+        let lm = VisibleKind::Lock(MutexId(0));
+        let um = VisibleKind::Unlock(MutexId(0));
+
+        assert!(HbMode::Regular.dependent(wx, rx));
+        assert!(HbMode::Regular.dependent(lm, um));
+        assert!(HbMode::Lazy.dependent(wx, rx));
+        assert!(!HbMode::Lazy.dependent(lm, um));
+        assert!(!HbMode::SyncOnly.dependent(wx, rx));
+        assert!(HbMode::SyncOnly.dependent(lm, um));
+    }
+
+    #[test]
+    fn lazy_dependence_never_exceeds_regular() {
+        let kinds = [
+            VisibleKind::Read(VarId(0)),
+            VisibleKind::Write(VarId(0)),
+            VisibleKind::Lock(MutexId(0)),
+            VisibleKind::Unlock(MutexId(0)),
+        ];
+        for &a in &kinds {
+            for &b in &kinds {
+                if HbMode::Lazy.dependent(a, b) {
+                    assert!(HbMode::Regular.dependent(a, b));
+                }
+                if HbMode::SyncOnly.dependent(a, b) {
+                    assert!(HbMode::Regular.dependent(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(HbMode::Regular.to_string(), "regular");
+        assert_eq!(HbMode::Lazy.to_string(), "lazy");
+        assert_eq!(HbMode::SyncOnly.to_string(), "sync-only");
+    }
+}

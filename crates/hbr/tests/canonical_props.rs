@@ -1,0 +1,282 @@
+//! Property tests over exhaustively enumerated schedules of small programs:
+//!
+//! * the three identity representations agree (128-bit fingerprint,
+//!   clock-based canonical form, Foata normal form);
+//! * equal regular HBR implies equal lazy HBR (class refinement — the
+//!   paper's `#lazy HBRs ≤ #HBRs`);
+//! * Theorem 2.1: schedules with equal regular HBR reach equal states;
+//! * Theorem 2.2: schedules with equal *lazy* HBR reach equal states.
+
+use lazylocks_hbr::{HbBuilder, HbMode};
+use lazylocks_model::{Program, ProgramBuilder, Reg, Value};
+use lazylocks_runtime::{Event, ExecPhase, Executor, StateSnapshot};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// All complete runs of `program` (every schedule, depth-first), capped.
+fn all_runs(program: &Program, cap: usize) -> Vec<(Vec<Event>, StateSnapshot)> {
+    let mut out = Vec::new();
+    let mut trace = Vec::new();
+    dfs(&Executor::new(program), &mut trace, &mut out, cap);
+    out
+}
+
+fn dfs(
+    exec: &Executor,
+    trace: &mut Vec<Event>,
+    out: &mut Vec<(Vec<Event>, StateSnapshot)>,
+    cap: usize,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    match exec.phase() {
+        ExecPhase::Running => {}
+        _ => {
+            out.push((trace.clone(), exec.snapshot()));
+            return;
+        }
+    }
+    for t in exec.enabled_threads() {
+        let mut child = exec.clone();
+        let step = child.step(t);
+        if let Some(e) = step.event {
+            trace.push(e);
+            dfs(&child, trace, out, cap);
+            trace.pop();
+        } else {
+            // Faulted visible op: the run continues with the thread failed.
+            dfs(&child, trace, out, cap);
+        }
+    }
+}
+
+/// A small family of programs with interestingly different HBR structure,
+/// parameterised so proptest explores the space.
+fn make_program(shape: u8, n_threads: u8, use_lock: bool, same_var: bool) -> Program {
+    let n_threads = (n_threads % 3) + 2; // 2..=4
+    let mut b = ProgramBuilder::new("prop");
+    let m = b.mutex("m");
+    match shape % 4 {
+        0 => {
+            // Each thread increments a variable (shared or private) under
+            // an optional global lock.
+            let shared = b.var("shared", 0);
+            let privates = b.var_array("p", n_threads as usize, 0);
+            for i in 0..n_threads {
+                let var = if same_var { shared } else { privates[i as usize] };
+                b.thread(format!("T{i}"), |t| {
+                    if use_lock {
+                        t.lock(m);
+                    }
+                    t.load(Reg(0), var);
+                    t.add(Reg(0), Reg(0), 1);
+                    t.store(var, Reg(0));
+                    if use_lock {
+                        t.unlock(m);
+                    }
+                });
+            }
+        }
+        1 => {
+            // Writer/readers with a post-protocol write.
+            let x = b.var("x", 0);
+            let y = b.var("y", 0);
+            b.thread("W", |t| {
+                if use_lock {
+                    t.lock(m);
+                }
+                t.store(x, 7);
+                if use_lock {
+                    t.unlock(m);
+                }
+            });
+            for i in 1..n_threads {
+                b.thread(format!("R{i}"), |t| {
+                    if use_lock {
+                        t.lock(m);
+                    }
+                    t.load(Reg(0), x);
+                    if use_lock {
+                        t.unlock(m);
+                    }
+                    if same_var {
+                        t.store(y, Reg(0));
+                    }
+                });
+            }
+        }
+        2 => {
+            // Value-dependent branching: readers write different vars
+            // depending on what they saw.
+            let flag = b.var("flag", 0);
+            let a = b.var("a", 0);
+            let c = b.var("c", 0);
+            b.thread("setter", |t| t.store(flag, 1));
+            for i in 1..n_threads {
+                b.thread(format!("B{i}"), |t| {
+                    t.load(Reg(0), flag);
+                    let other = t.label();
+                    t.branch_if_zero(Reg(0), other);
+                    t.store(a, i as Value);
+                    let done = t.label();
+                    t.jump(done);
+                    t.bind(other);
+                    t.store(c, i as Value);
+                    t.bind(done);
+                });
+            }
+        }
+        _ => {
+            // Two locks, threads alternate ownership patterns.
+            let m2 = b.mutex("m2");
+            let x = b.var("x", 0);
+            for i in 0..n_threads {
+                b.thread(format!("T{i}"), |t| {
+                    let (first, second) = if i % 2 == 0 { (m, m2) } else { (m2, m) };
+                    t.lock(first);
+                    if use_lock {
+                        // Nested section touching the shared variable.
+                        t.load(Reg(0), x);
+                        t.add(Reg(0), Reg(0), 1);
+                        t.store(x, Reg(0));
+                    }
+                    t.unlock(first);
+                    t.lock(second);
+                    t.unlock(second);
+                });
+            }
+        }
+    }
+    b.build()
+}
+
+const RUN_CAP: usize = 4_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn identity_representations_agree(
+        shape in 0u8..4,
+        n_threads in 0u8..3,
+        use_lock in any::<bool>(),
+        same_var in any::<bool>(),
+    ) {
+        let p = make_program(shape, n_threads, use_lock, same_var);
+        let runs = all_runs(&p, RUN_CAP);
+        prop_assume!(!runs.is_empty());
+        for mode in HbMode::ALL {
+            // Equality of any two representations is checked in linear time
+            // by demanding a bijection between their equivalence classes:
+            // "fp equal ⇒ canonical equal" via fp → canonical, and the
+            // converse via canonical → fp; likewise canonical ↔ Foata.
+            let mut canon_of_fp: HashMap<u128, lazylocks_hbr::CanonicalHb> = HashMap::new();
+            let mut fp_of_canon: HashMap<lazylocks_hbr::CanonicalHb, u128> = HashMap::new();
+            let mut foata_of_canon: HashMap<lazylocks_hbr::CanonicalHb, Vec<Vec<Event>>> =
+                HashMap::new();
+            let mut canon_of_foata: HashMap<Vec<Vec<Event>>, lazylocks_hbr::CanonicalHb> =
+                HashMap::new();
+            for (trace, _) in &runs {
+                let rel = HbBuilder::from_trace(mode, &p, trace);
+                let fp = rel.fingerprint();
+                let canon = rel.canonical();
+                let foata = rel.foata_normal_form();
+                if let Some(prev) = canon_of_fp.insert(fp, canon.clone()) {
+                    prop_assert_eq!(&prev, &canon_of_fp[&fp],
+                        "{} mode: same fingerprint, different canonical forms", mode);
+                    let _ = prev;
+                }
+                if let Some(prev) = fp_of_canon.insert(canon.clone(), fp) {
+                    prop_assert_eq!(prev, fp,
+                        "{} mode: same canonical form, different fingerprints", mode);
+                }
+                if let Some(prev) = foata_of_canon.insert(canon.clone(), foata.clone()) {
+                    prop_assert_eq!(&prev, &foata_of_canon[&canon],
+                        "{} mode: same canonical form, different Foata forms", mode);
+                    let _ = prev;
+                }
+                if let Some(prev) = canon_of_foata.insert(foata, canon.clone()) {
+                    prop_assert_eq!(&prev, &canon,
+                        "{} mode: same Foata form, different canonical forms", mode);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn regular_classes_refine_lazy_classes(
+        shape in 0u8..4,
+        n_threads in 0u8..3,
+        use_lock in any::<bool>(),
+        same_var in any::<bool>(),
+    ) {
+        let p = make_program(shape, n_threads, use_lock, same_var);
+        let runs = all_runs(&p, RUN_CAP);
+        prop_assume!(!runs.is_empty());
+        let mut lazy_of_regular: HashMap<u128, u128> = HashMap::new();
+        let mut regular_fps = std::collections::HashSet::new();
+        let mut lazy_fps = std::collections::HashSet::new();
+        for (trace, _) in &runs {
+            let reg = HbBuilder::from_trace(HbMode::Regular, &p, trace).fingerprint();
+            let lazy = HbBuilder::from_trace(HbMode::Lazy, &p, trace).fingerprint();
+            regular_fps.insert(reg);
+            lazy_fps.insert(lazy);
+            if let Some(prev) = lazy_of_regular.insert(reg, lazy) {
+                prop_assert_eq!(prev, lazy,
+                    "equal regular HBR must imply equal lazy HBR");
+            }
+        }
+        prop_assert!(lazy_fps.len() <= regular_fps.len(),
+            "#lazy HBRs ({}) must be ≤ #HBRs ({})", lazy_fps.len(), regular_fps.len());
+    }
+
+    #[test]
+    fn theorems_2_1_and_2_2_state_equality(
+        shape in 0u8..4,
+        n_threads in 0u8..3,
+        use_lock in any::<bool>(),
+        same_var in any::<bool>(),
+    ) {
+        let p = make_program(shape, n_threads, use_lock, same_var);
+        let runs = all_runs(&p, RUN_CAP);
+        prop_assume!(!runs.is_empty());
+        for mode in [HbMode::Regular, HbMode::Lazy] {
+            let mut state_of_class: HashMap<u128, &StateSnapshot> = HashMap::new();
+            for (trace, state) in &runs {
+                let fp = HbBuilder::from_trace(mode, &p, trace).fingerprint();
+                if let Some(prev) = state_of_class.insert(fp, state) {
+                    prop_assert_eq!(prev, state,
+                        "{} HBR class reached two different states", mode);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_count_at_most_lazy_class_count(
+        shape in 0u8..4,
+        n_threads in 0u8..3,
+        use_lock in any::<bool>(),
+        same_var in any::<bool>(),
+    ) {
+        // The paper's inequality chain on fully enumerated state spaces:
+        // #states ≤ #lazy HBRs ≤ #HBRs ≤ #schedules.
+        let p = make_program(shape, n_threads, use_lock, same_var);
+        let runs = all_runs(&p, RUN_CAP);
+        prop_assume!(!runs.is_empty() && runs.len() < RUN_CAP);
+        let states: std::collections::HashSet<_> =
+            runs.iter().map(|(_, s)| s.clone()).collect();
+        let lazy: std::collections::HashSet<_> = runs
+            .iter()
+            .map(|(t, _)| HbBuilder::from_trace(HbMode::Lazy, &p, t).fingerprint())
+            .collect();
+        let regular: std::collections::HashSet<_> = runs
+            .iter()
+            .map(|(t, _)| HbBuilder::from_trace(HbMode::Regular, &p, t).fingerprint())
+            .collect();
+        prop_assert!(states.len() <= lazy.len());
+        prop_assert!(lazy.len() <= regular.len());
+        prop_assert!(regular.len() <= runs.len());
+    }
+}

@@ -1,0 +1,542 @@
+//! Fluent construction of guest programs.
+//!
+//! [`ProgramBuilder`] declares shared state and threads; each thread body is
+//! built through a [`ThreadBuilder`] closure with labelled control flow and
+//! convenience emitters for common shapes (critical sections, bounded spins,
+//! unrolled repetition).
+
+use crate::ids::{MutexId, Reg, ThreadId, Value, VarId};
+use crate::instr::{BinOp, Instr, Operand, UnOp};
+use crate::program::{MutexDecl, Program, ThreadDef, VarDecl, MAX_REGS};
+use crate::ValidateError;
+
+/// A forward-referenceable position in a thread's code. Create with
+/// [`ThreadBuilder::label`], place with [`ThreadBuilder::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Builder for a [`Program`].
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    vars: Vec<VarDecl>,
+    mutexes: Vec<MutexDecl>,
+    threads: Vec<ThreadDef>,
+}
+
+impl ProgramBuilder {
+    /// Starts a new program.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            vars: Vec::new(),
+            mutexes: Vec::new(),
+            threads: Vec::new(),
+        }
+    }
+
+    /// Declares a shared variable with an initial value.
+    pub fn var(&mut self, name: impl Into<String>, init: Value) -> VarId {
+        let id = VarId::from_index(self.vars.len());
+        self.vars.push(VarDecl {
+            name: name.into(),
+            init,
+        });
+        id
+    }
+
+    /// Declares `count` shared variables named `{prefix}0..{prefix}{count-1}`.
+    pub fn var_array(&mut self, prefix: &str, count: usize, init: Value) -> Vec<VarId> {
+        (0..count).map(|i| self.var(format!("{prefix}{i}"), init)).collect()
+    }
+
+    /// Declares a mutex.
+    pub fn mutex(&mut self, name: impl Into<String>) -> MutexId {
+        let id = MutexId::from_index(self.mutexes.len());
+        self.mutexes.push(MutexDecl { name: name.into() });
+        id
+    }
+
+    /// Declares `count` mutexes named `{prefix}0..{prefix}{count-1}`.
+    pub fn mutex_array(&mut self, prefix: &str, count: usize) -> Vec<MutexId> {
+        (0..count).map(|i| self.mutex(format!("{prefix}{i}"))).collect()
+    }
+
+    /// Adds a thread whose body is emitted by `body`.
+    pub fn thread(
+        &mut self,
+        name: impl Into<String>,
+        body: impl FnOnce(&mut ThreadBuilder),
+    ) -> ThreadId {
+        let id = ThreadId::from_index(self.threads.len());
+        let mut tb = ThreadBuilder::new();
+        body(&mut tb);
+        self.threads.push(tb.finish(name.into()));
+        id
+    }
+
+    /// Finishes and validates the program.
+    ///
+    /// # Panics
+    /// Panics if validation fails — builder-produced programs are
+    /// structurally correct unless ids from a *different* builder were mixed
+    /// in, which is a programming error.
+    pub fn build(self) -> Program {
+        self.try_build().expect("builder produced invalid program")
+    }
+
+    /// Finishes the program, returning validation errors instead of
+    /// panicking.
+    pub fn try_build(self) -> Result<Program, ValidateError> {
+        Program::new(self.name, self.vars, self.mutexes, self.threads)
+    }
+}
+
+/// Emits the body of a single thread.
+///
+/// Register discipline: registers you name explicitly (`Reg(k)`) and
+/// registers from [`alloc_reg`](Self::alloc_reg) can be mixed freely —
+/// `alloc_reg` always returns a register strictly above every register the
+/// body has referenced so far.
+#[derive(Debug)]
+pub struct ThreadBuilder {
+    code: Vec<Instr>,
+    /// Resolved pc for each label, if bound.
+    labels: Vec<Option<usize>>,
+    /// Instructions whose jump target awaits label resolution.
+    fixups: Vec<(usize, Label)>,
+    /// One more than the highest register index referenced so far.
+    reg_high_water: u8,
+}
+
+impl ThreadBuilder {
+    fn new() -> Self {
+        ThreadBuilder {
+            code: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            reg_high_water: 0,
+        }
+    }
+
+    fn note_reg(&mut self, r: Reg) {
+        if r.0 + 1 > self.reg_high_water {
+            self.reg_high_water = r.0 + 1;
+        }
+    }
+
+    fn note_operand(&mut self, op: Operand) {
+        if let Operand::Reg(r) = op {
+            self.note_reg(r);
+        }
+    }
+
+    /// Returns a fresh register above everything referenced so far.
+    ///
+    /// # Panics
+    /// Panics if the thread would need more than [`MAX_REGS`] registers.
+    pub fn alloc_reg(&mut self) -> Reg {
+        assert!(
+            (self.reg_high_water as usize) < MAX_REGS,
+            "thread exceeds {MAX_REGS} registers"
+        );
+        let r = Reg(self.reg_high_water);
+        self.reg_high_water += 1;
+        r
+    }
+
+    // --- visible operations -------------------------------------------------
+
+    /// Emits `lock m`.
+    pub fn lock(&mut self, m: MutexId) {
+        self.code.push(Instr::Lock(m));
+    }
+
+    /// Emits `unlock m`.
+    pub fn unlock(&mut self, m: MutexId) {
+        self.code.push(Instr::Unlock(m));
+    }
+
+    /// Emits `dst = load var`.
+    pub fn load(&mut self, dst: Reg, var: VarId) {
+        self.note_reg(dst);
+        self.code.push(Instr::Load { dst, var });
+    }
+
+    /// Emits `store var = src`.
+    pub fn store(&mut self, var: VarId, src: impl Into<Operand>) {
+        let src = src.into();
+        self.note_operand(src);
+        self.code.push(Instr::Store { var, src });
+    }
+
+    // --- local operations ---------------------------------------------------
+
+    /// Emits `dst = src`.
+    pub fn set(&mut self, dst: Reg, src: impl Into<Operand>) {
+        let src = src.into();
+        self.note_reg(dst);
+        self.note_operand(src);
+        self.code.push(Instr::Set { dst, src });
+    }
+
+    /// Emits `dst = lhs op rhs`.
+    pub fn bin(&mut self, dst: Reg, op: BinOp, lhs: impl Into<Operand>, rhs: impl Into<Operand>) {
+        let (lhs, rhs) = (lhs.into(), rhs.into());
+        self.note_reg(dst);
+        self.note_operand(lhs);
+        self.note_operand(rhs);
+        self.code.push(Instr::Bin { dst, op, lhs, rhs });
+    }
+
+    /// Emits `dst = lhs + rhs`.
+    pub fn add(&mut self, dst: Reg, lhs: impl Into<Operand>, rhs: impl Into<Operand>) {
+        self.bin(dst, BinOp::Add, lhs, rhs);
+    }
+
+    /// Emits `dst = lhs - rhs`.
+    pub fn sub(&mut self, dst: Reg, lhs: impl Into<Operand>, rhs: impl Into<Operand>) {
+        self.bin(dst, BinOp::Sub, lhs, rhs);
+    }
+
+    /// Emits `dst = lhs * rhs`.
+    pub fn mul(&mut self, dst: Reg, lhs: impl Into<Operand>, rhs: impl Into<Operand>) {
+        self.bin(dst, BinOp::Mul, lhs, rhs);
+    }
+
+    /// Emits `dst = (lhs == rhs)`.
+    pub fn eq(&mut self, dst: Reg, lhs: impl Into<Operand>, rhs: impl Into<Operand>) {
+        self.bin(dst, BinOp::Eq, lhs, rhs);
+    }
+
+    /// Emits `dst = (lhs != rhs)`.
+    pub fn ne(&mut self, dst: Reg, lhs: impl Into<Operand>, rhs: impl Into<Operand>) {
+        self.bin(dst, BinOp::Ne, lhs, rhs);
+    }
+
+    /// Emits `dst = (lhs < rhs)`.
+    pub fn lt(&mut self, dst: Reg, lhs: impl Into<Operand>, rhs: impl Into<Operand>) {
+        self.bin(dst, BinOp::Lt, lhs, rhs);
+    }
+
+    /// Emits `dst = (lhs >= rhs)`.
+    pub fn ge(&mut self, dst: Reg, lhs: impl Into<Operand>, rhs: impl Into<Operand>) {
+        self.bin(dst, BinOp::Ge, lhs, rhs);
+    }
+
+    /// Emits `dst = op src`.
+    pub fn un(&mut self, dst: Reg, op: UnOp, src: impl Into<Operand>) {
+        let src = src.into();
+        self.note_reg(dst);
+        self.note_operand(src);
+        self.code.push(Instr::Un { dst, op, src });
+    }
+
+    /// Emits a no-op (handy as a label anchor).
+    pub fn nop(&mut self) {
+        self.code.push(Instr::Nop);
+    }
+
+    /// Emits `assert cond "msg"` — fails the thread when `cond` is zero.
+    pub fn assert_true(&mut self, cond: impl Into<Operand>, msg: impl Into<String>) {
+        let cond = cond.into();
+        self.note_operand(cond);
+        self.code.push(Instr::Assert {
+            cond,
+            msg: msg.into(),
+        });
+    }
+
+    /// Emits `scratch = (lhs == rhs); assert scratch` using a fresh scratch
+    /// register.
+    pub fn assert_eq(
+        &mut self,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+        msg: impl Into<String>,
+    ) {
+        let scratch = self.alloc_reg();
+        self.bin(scratch, BinOp::Eq, lhs, rhs);
+        self.assert_true(scratch, msg);
+    }
+
+    // --- control flow -------------------------------------------------------
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        let l = Label(self.labels.len());
+        self.labels.push(None);
+        l
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label bound twice in thread body"
+        );
+        self.labels[label.0] = Some(self.code.len());
+    }
+
+    /// Creates a label bound to the current position.
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jump(&mut self, label: Label) {
+        self.fixups.push((self.code.len(), label));
+        self.code.push(Instr::Jump { target: usize::MAX });
+    }
+
+    /// Emits a jump to `label` taken when `cond` is non-zero.
+    pub fn branch_if(&mut self, cond: impl Into<Operand>, label: Label) {
+        let cond = cond.into();
+        self.note_operand(cond);
+        self.fixups.push((self.code.len(), label));
+        self.code.push(Instr::Branch {
+            cond,
+            target: usize::MAX,
+            when_zero: false,
+        });
+    }
+
+    /// Emits a jump to `label` taken when `cond` is zero.
+    pub fn branch_if_zero(&mut self, cond: impl Into<Operand>, label: Label) {
+        let cond = cond.into();
+        self.note_operand(cond);
+        self.fixups.push((self.code.len(), label));
+        self.code.push(Instr::Branch {
+            cond,
+            target: usize::MAX,
+            when_zero: true,
+        });
+    }
+
+    // --- composite emitters ---------------------------------------------------
+
+    /// Emits `lock m; body; unlock m`.
+    pub fn with_lock(&mut self, m: MutexId, body: impl FnOnce(&mut Self)) {
+        self.lock(m);
+        body(self);
+        self.unlock(m);
+    }
+
+    /// Statically unrolls `body` `n` times, passing the iteration index.
+    pub fn repeat(&mut self, n: usize, mut body: impl FnMut(&mut Self, usize)) {
+        for i in 0..n {
+            body(self, i);
+        }
+    }
+
+    /// Emits `var := var + delta` under no lock (a read and a write — the
+    /// classic racy increment).
+    pub fn fetch_add_racy(&mut self, var: VarId, delta: Value) {
+        let r = self.alloc_reg();
+        self.load(r, var);
+        self.add(r, r, delta);
+        self.store(var, r);
+    }
+
+    /// Emits a *bounded* spin: re-reads `var` up to `max_tries` times until
+    /// it equals `expected`, then gives up and jumps to `give_up` (which the
+    /// caller binds). Keeps all executions finite, which the exploration
+    /// engines rely on.
+    pub fn spin_until_eq_bounded(
+        &mut self,
+        var: VarId,
+        expected: Value,
+        max_tries: usize,
+        give_up: Label,
+    ) {
+        let val = self.alloc_reg();
+        let hit = self.label();
+        for _ in 0..max_tries {
+            self.load(val, var);
+            self.eq(val, val, expected);
+            self.branch_if(val, hit);
+        }
+        self.jump(give_up);
+        self.bind(hit);
+    }
+
+    fn finish(mut self, name: String) -> ThreadDef {
+        let end = self.code.len();
+        for (pc, label) in std::mem::take(&mut self.fixups) {
+            let target = self.labels[label.0]
+                .unwrap_or_else(|| panic!("unbound label used at instruction {pc} of {name:?}"));
+            match &mut self.code[pc] {
+                Instr::Jump { target: t } | Instr::Branch { target: t, .. } => *t = target,
+                other => unreachable!("fixup points at non-jump {other:?}"),
+            }
+        }
+        // Labels bound at the very end of the body resolve to `end`, which
+        // the validator accepts as "jump to termination".
+        debug_assert!(self
+            .code
+            .iter()
+            .all(|i| !matches!(i, Instr::Jump { target } | Instr::Branch { target, .. } if *target == usize::MAX && end != usize::MAX)));
+        ThreadDef { name, code: self.code }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_two_thread_program_builds() {
+        let mut b = ProgramBuilder::new("demo");
+        let x = b.var("x", 0);
+        let m = b.mutex("m");
+        b.thread("T1", |t| {
+            t.with_lock(m, |t| {
+                t.load(Reg(0), x);
+                t.add(Reg(0), Reg(0), 1);
+                t.store(x, Reg(0));
+            });
+        });
+        b.thread("T2", |t| {
+            t.with_lock(m, |t| t.store(x, 10));
+        });
+        let p = b.build();
+        assert_eq!(p.thread_count(), 2);
+        assert_eq!(p.threads()[0].code.len(), 5);
+        assert_eq!(p.threads()[0].visible_instruction_count(), 4);
+        assert_eq!(p.threads()[1].visible_instruction_count(), 3);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut b = ProgramBuilder::new("loops");
+        let x = b.var("x", 0);
+        b.thread("T", |t| {
+            let top = t.here(); // backward target
+            let out = t.label(); // forward target
+            t.load(Reg(0), x);
+            t.branch_if(Reg(0), out);
+            t.store(x, 1);
+            t.jump(top);
+            t.bind(out);
+        });
+        let p = b.build();
+        let code = &p.threads()[0].code;
+        assert_eq!(code[1], Instr::Branch {
+            cond: Operand::Reg(Reg(0)),
+            target: 4, // bound at end
+            when_zero: false
+        });
+        assert_eq!(code[3], Instr::Jump { target: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new("bad");
+        b.thread("T", |t| {
+            let l = t.label();
+            t.jump(l);
+            // never bound
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new("bad");
+        b.thread("T", |t| {
+            let l = t.label();
+            t.bind(l);
+            t.bind(l);
+        });
+    }
+
+    #[test]
+    fn alloc_reg_avoids_explicit_registers() {
+        let mut b = ProgramBuilder::new("regs");
+        let x = b.var("x", 0);
+        b.thread("T", |t| {
+            t.load(Reg(4), x); // explicit high register
+            let r = t.alloc_reg();
+            assert_eq!(r, Reg(5));
+            let r2 = t.alloc_reg();
+            assert_eq!(r2, Reg(6));
+        });
+        b.build();
+    }
+
+    #[test]
+    fn var_and_mutex_arrays_number_sequentially() {
+        let mut b = ProgramBuilder::new("arrays");
+        let vs = b.var_array("slot", 3, 7);
+        let ms = b.mutex_array("lk", 2);
+        b.thread("T", |_| {});
+        let p = b.build();
+        assert_eq!(vs, vec![VarId(0), VarId(1), VarId(2)]);
+        assert_eq!(ms, vec![MutexId(0), MutexId(1)]);
+        assert_eq!(p.vars()[2].name, "slot2");
+        assert_eq!(p.vars()[2].init, 7);
+        assert_eq!(p.mutexes()[1].name, "lk1");
+    }
+
+    #[test]
+    fn repeat_unrolls_statically() {
+        let mut b = ProgramBuilder::new("unroll");
+        let x = b.var("x", 0);
+        b.thread("T", |t| {
+            t.repeat(3, |t, i| t.store(x, i as Value));
+        });
+        let p = b.build();
+        assert_eq!(p.threads()[0].code.len(), 3);
+        assert_eq!(
+            p.threads()[0].code[2],
+            Instr::Store {
+                var: x,
+                src: Operand::Const(2)
+            }
+        );
+    }
+
+    #[test]
+    fn assert_eq_uses_fresh_scratch() {
+        let mut b = ProgramBuilder::new("asserts");
+        let x = b.var("x", 0);
+        b.thread("T", |t| {
+            t.load(Reg(0), x);
+            t.assert_eq(Reg(0), 0, "x starts at zero");
+        });
+        let p = b.build();
+        let code = &p.threads()[0].code;
+        assert!(matches!(
+            code[1],
+            Instr::Bin {
+                dst: Reg(1),
+                op: BinOp::Eq,
+                ..
+            }
+        ));
+        assert!(matches!(code[2], Instr::Assert { .. }));
+    }
+
+    #[test]
+    fn bounded_spin_emits_finite_code() {
+        let mut b = ProgramBuilder::new("spin");
+        let flag = b.var("flag", 0);
+        let x = b.var("x", 0);
+        b.thread("T", |t| {
+            let give_up = t.label();
+            t.spin_until_eq_bounded(flag, 1, 3, give_up);
+            t.store(x, 1); // only on success path
+            t.bind(give_up);
+        });
+        let p = b.build();
+        // 3 iterations * (load, eq, branch) + jump + store.
+        assert_eq!(p.threads()[0].code.len(), 11);
+        p.validate().unwrap();
+    }
+}

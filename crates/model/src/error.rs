@@ -1,0 +1,106 @@
+//! Error types for program construction, validation and parsing.
+
+use std::fmt;
+
+/// A structural problem detected by [`Program::validate`].
+///
+/// [`Program::validate`]: crate::Program::validate
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A program must have at least one thread.
+    NoThreads,
+    /// Jump or branch target outside the thread's code.
+    BadJumpTarget {
+        thread: usize,
+        pc: usize,
+        target: usize,
+    },
+    /// Register index beyond [`MAX_REGS`](crate::MAX_REGS).
+    BadRegister { thread: usize, pc: usize, reg: u8 },
+    /// Reference to an undeclared shared variable.
+    BadVar { thread: usize, pc: usize, var: u16 },
+    /// Reference to an undeclared mutex.
+    BadMutex { thread: usize, pc: usize, mutex: u16 },
+    /// Two declarations share a name.
+    DuplicateName { name: String },
+    /// Too many threads (vector clocks and ids use dense small indices).
+    TooManyThreads { count: usize, max: usize },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::NoThreads => write!(f, "program has no threads"),
+            ValidateError::BadJumpTarget { thread, pc, target } => write!(
+                f,
+                "thread {thread}, instruction {pc}: jump target {target} out of range"
+            ),
+            ValidateError::BadRegister { thread, pc, reg } => write!(
+                f,
+                "thread {thread}, instruction {pc}: register r{reg} out of range"
+            ),
+            ValidateError::BadVar { thread, pc, var } => write!(
+                f,
+                "thread {thread}, instruction {pc}: undeclared variable v{var}"
+            ),
+            ValidateError::BadMutex { thread, pc, mutex } => write!(
+                f,
+                "thread {thread}, instruction {pc}: undeclared mutex m{mutex}"
+            ),
+            ValidateError::DuplicateName { name } => {
+                write!(f, "duplicate declaration name {name:?}")
+            }
+            ValidateError::TooManyThreads { count, max } => {
+                write!(f, "program has {count} threads; the maximum is {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// A syntax or resolution problem found while parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Explanation of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_readably() {
+        let e = ValidateError::BadJumpTarget {
+            thread: 1,
+            pc: 4,
+            target: 99,
+        };
+        assert_eq!(
+            e.to_string(),
+            "thread 1, instruction 4: jump target 99 out of range"
+        );
+        let p = ParseError::new(12, "expected mutex name");
+        assert_eq!(p.to_string(), "line 12: expected mutex name");
+    }
+}

@@ -1,0 +1,133 @@
+//! Typed identifiers for the guest-program model.
+//!
+//! All identifiers are small dense indices into the owning [`Program`]'s
+//! declaration tables, wrapped in newtypes so they cannot be confused with
+//! one another.
+//!
+//! [`Program`]: crate::Program
+
+use std::fmt;
+
+/// The scalar value type of the guest machine. All shared variables and
+//  registers hold `Value`s.
+pub type Value = i64;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u16);
+
+        impl $name {
+            /// The identifier as a dense index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds the identifier from a dense index.
+            ///
+            /// # Panics
+            /// Panics if `index` does not fit in a `u16`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                assert!(index <= u16::MAX as usize, concat!(stringify!($name), " overflow"));
+                $name(index as u16)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A guest thread, identified by its index in [`Program::threads`].
+    ///
+    /// [`Program::threads`]: crate::Program::threads
+    ThreadId,
+    "t"
+);
+
+id_type!(
+    /// A shared variable, identified by its index in [`Program::vars`].
+    ///
+    /// [`Program::vars`]: crate::Program::vars
+    VarId,
+    "v"
+);
+
+id_type!(
+    /// A mutex, identified by its index in [`Program::mutexes`].
+    ///
+    /// [`Program::mutexes`]: crate::Program::mutexes
+    MutexId,
+    "m"
+);
+
+/// A thread-private register. Each thread has [`MAX_REGS`] registers, all
+/// initially zero.
+///
+/// [`MAX_REGS`]: crate::MAX_REGS
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The register as a dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_indices() {
+        let t = ThreadId::from_index(7);
+        assert_eq!(t.index(), 7);
+        assert_eq!(format!("{t}"), "t7");
+        let v = VarId::from_index(0);
+        assert_eq!(format!("{v:?}"), "v0");
+        let m = MutexId::from_index(3);
+        assert_eq!(format!("{m}"), "m3");
+        let r = Reg(5);
+        assert_eq!(r.index(), 5);
+        assert_eq!(format!("{r}"), "r5");
+    }
+
+    #[test]
+    #[should_panic(expected = "ThreadId overflow")]
+    fn thread_id_overflow_panics() {
+        let _ = ThreadId::from_index(usize::from(u16::MAX) + 1);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ThreadId(1) < ThreadId(2));
+        assert!(VarId(0) < VarId(9));
+    }
+}

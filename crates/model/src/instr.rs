@@ -1,0 +1,521 @@
+//! Instruction set of the guest register machine.
+
+use crate::ids::{MutexId, Reg, Value, VarId};
+use std::fmt;
+
+/// A source operand: either an immediate constant or a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// An immediate value.
+    Const(Value),
+    /// The current contents of a register.
+    Reg(Reg),
+}
+
+impl From<Value> for Operand {
+    fn from(v: Value) -> Self {
+        Operand::Const(v)
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Const(v) => write!(f, "{v}"),
+            Operand::Reg(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// Binary operations over guest values.
+///
+/// Comparison operators produce `1` for true and `0` for false. Division and
+/// remainder by zero produce `0` (the guest machine is total: no instruction
+/// can trap). All arithmetic wraps on overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Min,
+    Max,
+    And,
+    Or,
+    Xor,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl BinOp {
+    /// Applies the operation; total on all inputs.
+    pub fn apply(self, a: Value, b: Value) -> Value {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Eq => (a == b) as Value,
+            BinOp::Ne => (a != b) as Value,
+            BinOp::Lt => (a < b) as Value,
+            BinOp::Le => (a <= b) as Value,
+            BinOp::Gt => (a > b) as Value,
+            BinOp::Ge => (a >= b) as Value,
+        }
+    }
+
+    /// Concrete-syntax token used by the parser and pretty-printer.
+    pub fn token(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+        }
+    }
+
+    /// Parses a concrete-syntax token.
+    pub fn from_token(tok: &str) -> Option<BinOp> {
+        Some(match tok {
+            "+" => BinOp::Add,
+            "-" => BinOp::Sub,
+            "*" => BinOp::Mul,
+            "/" => BinOp::Div,
+            "%" => BinOp::Rem,
+            "min" => BinOp::Min,
+            "max" => BinOp::Max,
+            "&" => BinOp::And,
+            "|" => BinOp::Or,
+            "^" => BinOp::Xor,
+            "==" => BinOp::Eq,
+            "!=" => BinOp::Ne,
+            "<" => BinOp::Lt,
+            "<=" => BinOp::Le,
+            ">" => BinOp::Gt,
+            ">=" => BinOp::Ge,
+            _ => return None,
+        })
+    }
+
+    /// All operations, for exhaustive tests.
+    pub const ALL: [BinOp; 16] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Rem,
+        BinOp::Min,
+        BinOp::Max,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+    ];
+}
+
+/// Unary operations over guest values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation (wrapping).
+    Neg,
+    /// Bitwise complement.
+    Not,
+    /// Logical negation: `0 ↦ 1`, anything else `↦ 0`.
+    BoolNot,
+}
+
+impl UnOp {
+    /// Applies the operation.
+    pub fn apply(self, a: Value) -> Value {
+        match self {
+            UnOp::Neg => a.wrapping_neg(),
+            UnOp::Not => !a,
+            UnOp::BoolNot => (a == 0) as Value,
+        }
+    }
+
+    /// Concrete-syntax token.
+    pub fn token(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+            UnOp::BoolNot => "bnot",
+        }
+    }
+
+    /// Parses a concrete-syntax token.
+    pub fn from_token(tok: &str) -> Option<UnOp> {
+        Some(match tok {
+            "neg" => UnOp::Neg,
+            "not" => UnOp::Not,
+            "bnot" => UnOp::BoolNot,
+            _ => return None,
+        })
+    }
+}
+
+/// The kind of a *visible* operation — the event alphabet of the paper's
+/// schedule model. Everything else a thread does is invisible to the
+/// scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VisibleKind {
+    /// `read(x)`: load a shared variable.
+    Read(VarId),
+    /// `write(x)`: store to a shared variable.
+    Write(VarId),
+    /// `lock(m)`: blocking mutex acquire.
+    Lock(MutexId),
+    /// `unlock(m)`: mutex release.
+    Unlock(MutexId),
+}
+
+impl VisibleKind {
+    /// `true` if the operation targets a mutex rather than a variable.
+    #[inline]
+    pub fn is_mutex_op(self) -> bool {
+        matches!(self, VisibleKind::Lock(_) | VisibleKind::Unlock(_))
+    }
+
+    /// `true` if the operation modifies its target. Writes modify their
+    /// variable; lock and unlock both modify their mutex (paper §2: "at
+    /// least one access is a modification" — every mutex operation counts).
+    #[inline]
+    pub fn is_modification(self) -> bool {
+        !matches!(self, VisibleKind::Read(_))
+    }
+
+    /// The variable accessed, if any.
+    #[inline]
+    pub fn var(self) -> Option<VarId> {
+        match self {
+            VisibleKind::Read(v) | VisibleKind::Write(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The mutex accessed, if any.
+    #[inline]
+    pub fn mutex(self) -> Option<MutexId> {
+        match self {
+            VisibleKind::Lock(m) | VisibleKind::Unlock(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Dependence under the **regular** happens-before relation (paper §2,
+    /// clause (b)): same variable or same mutex, with at least one side a
+    /// modification.
+    pub fn dependent_regular(self, other: VisibleKind) -> bool {
+        match (self.var(), other.var()) {
+            (Some(a), Some(b)) if a == b => self.is_modification() || other.is_modification(),
+            _ => matches!((self.mutex(), other.mutex()), (Some(a), Some(b)) if a == b),
+        }
+    }
+
+    /// Dependence under the **lazy** happens-before relation (paper §2,
+    /// modified clause (b)): same *non-mutex* variable with at least one
+    /// modification. Mutex operations induce no dependence.
+    pub fn dependent_lazy(self, other: VisibleKind) -> bool {
+        match (self.var(), other.var()) {
+            (Some(a), Some(b)) if a == b => self.is_modification() || other.is_modification(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for VisibleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VisibleKind::Read(v) => write!(f, "read({v})"),
+            VisibleKind::Write(v) => write!(f, "write({v})"),
+            VisibleKind::Lock(m) => write!(f, "lock({m})"),
+            VisibleKind::Unlock(m) => write!(f, "unlock({m})"),
+        }
+    }
+}
+
+/// One instruction of the guest register machine.
+///
+/// `Load`, `Store`, `Lock` and `Unlock` are visible; the rest are local.
+/// Control-flow targets are absolute instruction indices within the owning
+/// thread's code (the builder resolves labels at [`build`] time).
+///
+/// [`build`]: crate::ProgramBuilder::build
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Visible: `dst := x` for shared variable `x`.
+    Load { dst: Reg, var: VarId },
+    /// Visible: `x := src` for shared variable `x`.
+    Store { var: VarId, src: Operand },
+    /// Visible: blocking acquire of mutex `m`.
+    Lock(MutexId),
+    /// Visible: release of mutex `m`. Releasing a mutex the thread does not
+    /// hold is a program error that fails the run.
+    Unlock(MutexId),
+    /// Local: `dst := src`.
+    Set { dst: Reg, src: Operand },
+    /// Local: `dst := lhs op rhs`.
+    Bin {
+        dst: Reg,
+        op: BinOp,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    /// Local: `dst := op src`.
+    Un { dst: Reg, op: UnOp, src: Operand },
+    /// Local: unconditional jump to instruction index `target`.
+    Jump { target: usize },
+    /// Local: jump to `target` when `cond` is non-zero (or zero, when
+    /// `when_zero` is set).
+    Branch {
+        cond: Operand,
+        target: usize,
+        when_zero: bool,
+    },
+    /// Local: fail the thread with `msg` when `cond` evaluates to zero.
+    Assert { cond: Operand, msg: String },
+    /// Local: no effect. Useful as a label anchor.
+    Nop,
+}
+
+impl Instr {
+    /// The visible operation this instruction performs, if any.
+    pub fn visible_kind(&self) -> Option<VisibleKind> {
+        match *self {
+            Instr::Load { var, .. } => Some(VisibleKind::Read(var)),
+            Instr::Store { var, .. } => Some(VisibleKind::Write(var)),
+            Instr::Lock(m) => Some(VisibleKind::Lock(m)),
+            Instr::Unlock(m) => Some(VisibleKind::Unlock(m)),
+            _ => None,
+        }
+    }
+
+    /// `true` if the instruction is a visible operation.
+    #[inline]
+    pub fn is_visible(&self) -> bool {
+        matches!(
+            self,
+            Instr::Load { .. } | Instr::Store { .. } | Instr::Lock(_) | Instr::Unlock(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_arithmetic_semantics() {
+        assert_eq!(BinOp::Add.apply(2, 3), 5);
+        assert_eq!(BinOp::Sub.apply(2, 3), -1);
+        assert_eq!(BinOp::Mul.apply(4, 5), 20);
+        assert_eq!(BinOp::Div.apply(7, 2), 3);
+        assert_eq!(BinOp::Rem.apply(7, 2), 1);
+        assert_eq!(BinOp::Min.apply(7, 2), 2);
+        assert_eq!(BinOp::Max.apply(7, 2), 7);
+    }
+
+    #[test]
+    fn binop_division_by_zero_is_zero() {
+        assert_eq!(BinOp::Div.apply(42, 0), 0);
+        assert_eq!(BinOp::Rem.apply(42, 0), 0);
+    }
+
+    #[test]
+    fn binop_overflow_wraps() {
+        assert_eq!(BinOp::Add.apply(Value::MAX, 1), Value::MIN);
+        assert_eq!(BinOp::Mul.apply(Value::MAX, 2), -2);
+        assert_eq!(BinOp::Sub.apply(Value::MIN, 1), Value::MAX);
+    }
+
+    #[test]
+    fn binop_comparisons_produce_zero_one() {
+        assert_eq!(BinOp::Eq.apply(3, 3), 1);
+        assert_eq!(BinOp::Eq.apply(3, 4), 0);
+        assert_eq!(BinOp::Lt.apply(3, 4), 1);
+        assert_eq!(BinOp::Ge.apply(3, 4), 0);
+        assert_eq!(BinOp::Ne.apply(3, 4), 1);
+        assert_eq!(BinOp::Le.apply(4, 4), 1);
+        assert_eq!(BinOp::Gt.apply(5, 4), 1);
+    }
+
+    #[test]
+    fn binop_tokens_round_trip() {
+        for op in BinOp::ALL {
+            assert_eq!(BinOp::from_token(op.token()), Some(op), "{op:?}");
+        }
+        assert_eq!(BinOp::from_token("<<"), None);
+    }
+
+    #[test]
+    fn unop_semantics_and_tokens() {
+        assert_eq!(UnOp::Neg.apply(5), -5);
+        assert_eq!(UnOp::Neg.apply(Value::MIN), Value::MIN); // wraps
+        assert_eq!(UnOp::Not.apply(0), -1);
+        assert_eq!(UnOp::BoolNot.apply(0), 1);
+        assert_eq!(UnOp::BoolNot.apply(17), 0);
+        for op in [UnOp::Neg, UnOp::Not, UnOp::BoolNot] {
+            assert_eq!(UnOp::from_token(op.token()), Some(op));
+        }
+    }
+
+    #[test]
+    fn visible_kind_classification() {
+        let r = VisibleKind::Read(VarId(0));
+        let w = VisibleKind::Write(VarId(0));
+        let l = VisibleKind::Lock(MutexId(0));
+        let u = VisibleKind::Unlock(MutexId(0));
+        assert!(!r.is_mutex_op());
+        assert!(l.is_mutex_op() && u.is_mutex_op());
+        assert!(!r.is_modification());
+        assert!(w.is_modification() && l.is_modification() && u.is_modification());
+        assert_eq!(r.var(), Some(VarId(0)));
+        assert_eq!(l.mutex(), Some(MutexId(0)));
+        assert_eq!(r.mutex(), None);
+        assert_eq!(l.var(), None);
+    }
+
+    #[test]
+    fn regular_dependence_matches_paper_clause_b() {
+        let rx = VisibleKind::Read(VarId(0));
+        let wx = VisibleKind::Write(VarId(0));
+        let ry = VisibleKind::Read(VarId(1));
+        let lm = VisibleKind::Lock(MutexId(0));
+        let um = VisibleKind::Unlock(MutexId(0));
+        let ln = VisibleKind::Lock(MutexId(1));
+
+        // Read-read on the same variable: independent.
+        assert!(!rx.dependent_regular(rx));
+        // Read-write / write-write on the same variable: dependent.
+        assert!(rx.dependent_regular(wx));
+        assert!(wx.dependent_regular(rx));
+        assert!(wx.dependent_regular(wx));
+        // Different variables: independent.
+        assert!(!rx.dependent_regular(ry));
+        assert!(!wx.dependent_regular(ry));
+        // Same mutex: always dependent (lock and unlock both modify).
+        assert!(lm.dependent_regular(um));
+        assert!(lm.dependent_regular(lm));
+        assert!(um.dependent_regular(um));
+        // Different mutexes: independent.
+        assert!(!lm.dependent_regular(ln));
+        // Variable vs mutex: independent.
+        assert!(!rx.dependent_regular(lm));
+    }
+
+    #[test]
+    fn lazy_dependence_drops_mutex_edges() {
+        let wx = VisibleKind::Write(VarId(0));
+        let rx = VisibleKind::Read(VarId(0));
+        let lm = VisibleKind::Lock(MutexId(0));
+        let um = VisibleKind::Unlock(MutexId(0));
+
+        // Variable dependence is unchanged...
+        assert!(wx.dependent_lazy(rx));
+        assert!(!rx.dependent_lazy(rx));
+        // ...but mutex operations never induce dependence.
+        assert!(!lm.dependent_lazy(um));
+        assert!(!lm.dependent_lazy(lm));
+        assert!(!wx.dependent_lazy(lm));
+    }
+
+    #[test]
+    fn lazy_dependence_is_subset_of_regular() {
+        let kinds = [
+            VisibleKind::Read(VarId(0)),
+            VisibleKind::Write(VarId(0)),
+            VisibleKind::Read(VarId(1)),
+            VisibleKind::Write(VarId(1)),
+            VisibleKind::Lock(MutexId(0)),
+            VisibleKind::Unlock(MutexId(0)),
+            VisibleKind::Lock(MutexId(1)),
+        ];
+        for &a in &kinds {
+            for &b in &kinds {
+                if a.dependent_lazy(b) {
+                    assert!(a.dependent_regular(b), "{a} {b}");
+                }
+                // Both relations are symmetric.
+                assert_eq!(a.dependent_lazy(b), b.dependent_lazy(a));
+                assert_eq!(a.dependent_regular(b), b.dependent_regular(a));
+            }
+        }
+    }
+
+    #[test]
+    fn instr_visibility() {
+        assert!(Instr::Lock(MutexId(0)).is_visible());
+        assert!(Instr::Load {
+            dst: Reg(0),
+            var: VarId(0)
+        }
+        .is_visible());
+        assert!(!Instr::Nop.is_visible());
+        assert!(!Instr::Jump { target: 0 }.is_visible());
+        assert_eq!(
+            Instr::Store {
+                var: VarId(2),
+                src: Operand::Const(1)
+            }
+            .visible_kind(),
+            Some(VisibleKind::Write(VarId(2)))
+        );
+        assert_eq!(Instr::Nop.visible_kind(), None);
+    }
+
+    #[test]
+    fn operand_conversions_and_display() {
+        let c: Operand = 5.into();
+        let r: Operand = Reg(2).into();
+        assert_eq!(c, Operand::Const(5));
+        assert_eq!(r, Operand::Reg(Reg(2)));
+        assert_eq!(format!("{c}"), "5");
+        assert_eq!(format!("{r}"), "r2");
+    }
+}

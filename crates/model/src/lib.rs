@@ -1,0 +1,59 @@
+//! Guest-program model for systematic concurrency testing.
+//!
+//! This crate defines the *programs under test* explored by the `lazylocks`
+//! engines. A program is a fixed set of threads, each a small register
+//! machine over:
+//!
+//! * **shared variables** (`var x = 0`) — reads and writes are *visible*
+//!   events, the `read(x)` / `write(x)` of the paper's §2 model;
+//! * **mutexes** (`mutex m`) — `lock` / `unlock` are visible events with
+//!   blocking acquire semantics;
+//! * **registers** — thread-private scalars; arithmetic, moves, branches and
+//!   assertions over registers are *invisible* (local) instructions that the
+//!   scheduler never interleaves on.
+//!
+//! The event alphabet therefore matches the paper exactly: `read(x)`,
+//! `write(x)`, `lock(m)`, `unlock(m)`.
+//!
+//! Three ways to obtain a [`Program`]:
+//!
+//! 1. the fluent [`ProgramBuilder`] DSL (used by the benchmark suite),
+//! 2. the text format via [`Program::parse`] (see [`parse`] for the grammar),
+//! 3. constructing [`Program`] pieces directly and calling
+//!    [`Program::validate`].
+//!
+//! ```
+//! use lazylocks_model::{ProgramBuilder, Operand, Reg};
+//!
+//! let mut b = ProgramBuilder::new("demo");
+//! let x = b.var("x", 0);
+//! let m = b.mutex("m");
+//! b.thread("T1", |t| {
+//!     t.lock(m);
+//!     t.load(Reg(0), x);
+//!     t.add(Reg(0), Operand::Reg(Reg(0)), Operand::Const(1));
+//!     t.store(x, Operand::Reg(Reg(0)));
+//!     t.unlock(m);
+//! });
+//! b.thread("T2", |t| {
+//!     t.lock(m);
+//!     t.store(x, Operand::Const(10));
+//!     t.unlock(m);
+//! });
+//! let program = b.build();
+//! assert_eq!(program.threads().len(), 2);
+//! ```
+
+mod builder;
+mod error;
+mod ids;
+mod instr;
+pub mod parse;
+mod pretty;
+mod program;
+
+pub use builder::{Label, ProgramBuilder, ThreadBuilder};
+pub use error::{ParseError, ValidateError};
+pub use ids::{MutexId, Reg, ThreadId, Value, VarId};
+pub use instr::{BinOp, Instr, Operand, UnOp, VisibleKind};
+pub use program::{MutexDecl, Program, ThreadDef, VarDecl, MAX_REGS};

@@ -1,0 +1,567 @@
+//! Text format for guest programs.
+//!
+//! The format is line-oriented; `#` starts a comment. Grammar:
+//!
+//! ```text
+//! program <name>
+//! var <name> = <int>              # shared variable
+//! mutex <name>
+//! thread <name> {
+//!   lock <mutex>
+//!   unlock <mutex>
+//!   <reg> = load <var>
+//!   store <var> = <operand>
+//!   <reg> = <operand>
+//!   <reg> = <operand> <binop> <operand>
+//!   <reg> = <unop> <operand>
+//!   jump <label>
+//!   if <operand> goto <label>     # taken when non-zero
+//!   ifz <operand> goto <label>    # taken when zero
+//!   assert <operand> "message"
+//!   nop
+//! <label>:
+//! }
+//! ```
+//!
+//! Registers are `r0`–`r31`, operands are registers or signed integer
+//! literals, binary operators are `+ - * / % min max & | ^ == != < <= > >=`
+//! and unary operators are `neg not bnot`. Labels may be bound at the end of
+//! a thread body (jump-to-termination).
+//!
+//! ```
+//! use lazylocks_model::Program;
+//!
+//! let p = Program::parse(r#"
+//! program tiny
+//! var x = 0
+//! mutex m
+//! thread T1 {
+//!   lock m
+//!   r0 = load x
+//!   r0 = r0 + 1
+//!   store x = r0
+//!   unlock m
+//! }
+//! "#).unwrap();
+//! assert_eq!(p.name(), "tiny");
+//! assert_eq!(p.threads()[0].code.len(), 5);
+//! ```
+
+use crate::error::ParseError;
+use crate::ids::{Reg, Value};
+use crate::instr::{BinOp, Instr, Operand, UnOp};
+use crate::program::{MutexDecl, Program, ThreadDef, VarDecl};
+use std::collections::HashMap;
+
+/// Parses a program from the text format.
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    Parser::new(source).parse()
+}
+
+struct PendingThread {
+    name: String,
+    code: Vec<Instr>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<(usize, String, usize)>, // (instr index, label, source line)
+    start_line: usize,
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+    name: Option<String>,
+    vars: Vec<VarDecl>,
+    mutexes: Vec<MutexDecl>,
+    threads: Vec<ThreadDef>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(source: &'a str) -> Self {
+        let lines = source
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                let no_comment = match l.find('#') {
+                    // Keep '#' inside string literals (assert messages).
+                    Some(ix) if !in_string(l, ix) => &l[..ix],
+                    _ => l,
+                };
+                (i + 1, no_comment.trim())
+            })
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Parser {
+            lines,
+            pos: 0,
+            name: None,
+            vars: Vec::new(),
+            mutexes: Vec::new(),
+            threads: Vec::new(),
+        }
+    }
+
+    fn parse(mut self) -> Result<Program, ParseError> {
+        while self.pos < self.lines.len() {
+            let (line_no, line) = self.lines[self.pos];
+            let mut words = line.split_whitespace();
+            match words.next() {
+                Some("program") => {
+                    let name = words
+                        .next()
+                        .ok_or_else(|| ParseError::new(line_no, "expected program name"))?;
+                    self.name = Some(name.to_string());
+                    self.pos += 1;
+                }
+                Some("var") => {
+                    self.parse_var(line_no, line)?;
+                    self.pos += 1;
+                }
+                Some("mutex") => {
+                    let name = words
+                        .next()
+                        .ok_or_else(|| ParseError::new(line_no, "expected mutex name"))?;
+                    check_ident(line_no, name)?;
+                    self.mutexes.push(MutexDecl {
+                        name: name.to_string(),
+                    });
+                    self.pos += 1;
+                }
+                Some("thread") => self.parse_thread(line_no, line)?,
+                Some(other) => {
+                    return Err(ParseError::new(
+                        line_no,
+                        format!("unexpected top-level keyword {other:?}"),
+                    ))
+                }
+                None => unreachable!("blank lines are filtered"),
+            }
+        }
+        let name = self.name.unwrap_or_else(|| "unnamed".to_string());
+        Program::new(name, self.vars, self.mutexes, self.threads)
+            .map_err(|e| ParseError::new(0, format!("validation failed: {e}")))
+    }
+
+    fn parse_var(&mut self, line_no: usize, line: &str) -> Result<(), ParseError> {
+        // var <name> = <int>
+        let rest = line.strip_prefix("var").unwrap().trim();
+        let (name, init) = rest
+            .split_once('=')
+            .ok_or_else(|| ParseError::new(line_no, "expected `var <name> = <int>`"))?;
+        let name = name.trim();
+        check_ident(line_no, name)?;
+        let init: Value = init
+            .trim()
+            .parse()
+            .map_err(|_| ParseError::new(line_no, "expected integer initial value"))?;
+        self.vars.push(VarDecl {
+            name: name.to_string(),
+            init,
+        });
+        Ok(())
+    }
+
+    fn parse_thread(&mut self, line_no: usize, line: &str) -> Result<(), ParseError> {
+        let rest = line.strip_prefix("thread").unwrap().trim();
+        let name = rest
+            .strip_suffix('{')
+            .ok_or_else(|| ParseError::new(line_no, "expected `thread <name> {`"))?
+            .trim();
+        check_ident(line_no, name)?;
+        let mut pending = PendingThread {
+            name: name.to_string(),
+            code: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+            start_line: line_no,
+        };
+        self.pos += 1;
+        loop {
+            let Some(&(body_line_no, body_line)) = self.lines.get(self.pos) else {
+                return Err(ParseError::new(
+                    pending.start_line,
+                    format!("thread {:?} is missing a closing `}}`", pending.name),
+                ));
+            };
+            self.pos += 1;
+            if body_line == "}" {
+                break;
+            }
+            self.parse_body_line(&mut pending, body_line_no, body_line)?;
+        }
+        // Resolve labels; end-of-body binding is permitted.
+        let end = pending.code.len();
+        for (pc, label, fix_line) in pending.fixups {
+            let target = *pending.labels.get(&label).ok_or_else(|| {
+                ParseError::new(fix_line, format!("undefined label {label:?}"))
+            })?;
+            match &mut pending.code[pc] {
+                Instr::Jump { target: t } | Instr::Branch { target: t, .. } => *t = target,
+                _ => unreachable!(),
+            }
+        }
+        debug_assert!(pending.labels.values().all(|&t| t <= end));
+        self.threads.push(ThreadDef {
+            name: pending.name,
+            code: pending.code,
+        });
+        Ok(())
+    }
+
+    fn parse_body_line(
+        &mut self,
+        pending: &mut PendingThread,
+        line_no: usize,
+        line: &str,
+    ) -> Result<(), ParseError> {
+        // Label binding: `<ident>:`
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            check_ident(line_no, label)?;
+            if pending
+                .labels
+                .insert(label.to_string(), pending.code.len())
+                .is_some()
+            {
+                return Err(ParseError::new(
+                    line_no,
+                    format!("label {label:?} bound twice"),
+                ));
+            }
+            return Ok(());
+        }
+
+        let words: Vec<&str> = tokenize(line);
+        let instr = match words.as_slice() {
+            ["lock", m] => Instr::Lock(self.mutex_ref(line_no, m)?),
+            ["unlock", m] => Instr::Unlock(self.mutex_ref(line_no, m)?),
+            ["nop"] => Instr::Nop,
+            ["jump", label] => {
+                pending
+                    .fixups
+                    .push((pending.code.len(), label.to_string(), line_no));
+                Instr::Jump { target: usize::MAX }
+            }
+            ["if", cond, "goto", label] => {
+                pending
+                    .fixups
+                    .push((pending.code.len(), label.to_string(), line_no));
+                Instr::Branch {
+                    cond: parse_operand(line_no, cond)?,
+                    target: usize::MAX,
+                    when_zero: false,
+                }
+            }
+            ["ifz", cond, "goto", label] => {
+                pending
+                    .fixups
+                    .push((pending.code.len(), label.to_string(), line_no));
+                Instr::Branch {
+                    cond: parse_operand(line_no, cond)?,
+                    target: usize::MAX,
+                    when_zero: true,
+                }
+            }
+            ["assert", cond, msg @ ..] => {
+                let msg_text = msg.join(" ");
+                let msg_text = msg_text
+                    .strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .ok_or_else(|| {
+                        ParseError::new(line_no, "assert message must be double-quoted")
+                    })?;
+                Instr::Assert {
+                    cond: parse_operand(line_no, cond)?,
+                    msg: msg_text.to_string(),
+                }
+            }
+            ["store", var, "=", src] => Instr::Store {
+                var: self.var_ref(line_no, var)?,
+                src: parse_operand(line_no, src)?,
+            },
+            [dst, "=", "load", var] => Instr::Load {
+                dst: parse_reg(line_no, dst)?,
+                var: self.var_ref(line_no, var)?,
+            },
+            [dst, "=", src] => Instr::Set {
+                dst: parse_reg(line_no, dst)?,
+                src: parse_operand(line_no, src)?,
+            },
+            [dst, "=", lhs, op, rhs] => {
+                let op = BinOp::from_token(op).ok_or_else(|| {
+                    ParseError::new(line_no, format!("unknown binary operator {op:?}"))
+                })?;
+                Instr::Bin {
+                    dst: parse_reg(line_no, dst)?,
+                    op,
+                    lhs: parse_operand(line_no, lhs)?,
+                    rhs: parse_operand(line_no, rhs)?,
+                }
+            }
+            [dst, "=", op, src] => {
+                let op = UnOp::from_token(op).ok_or_else(|| {
+                    ParseError::new(line_no, format!("unknown unary operator {op:?}"))
+                })?;
+                Instr::Un {
+                    dst: parse_reg(line_no, dst)?,
+                    op,
+                    src: parse_operand(line_no, src)?,
+                }
+            }
+            _ => {
+                return Err(ParseError::new(
+                    line_no,
+                    format!("cannot parse instruction {line:?}"),
+                ))
+            }
+        };
+        pending.code.push(instr);
+        Ok(())
+    }
+
+    fn var_ref(&self, line_no: usize, name: &str) -> Result<crate::VarId, ParseError> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(crate::VarId::from_index)
+            .ok_or_else(|| ParseError::new(line_no, format!("undeclared variable {name:?}")))
+    }
+
+    fn mutex_ref(&self, line_no: usize, name: &str) -> Result<crate::MutexId, ParseError> {
+        self.mutexes
+            .iter()
+            .position(|m| m.name == name)
+            .map(crate::MutexId::from_index)
+            .ok_or_else(|| ParseError::new(line_no, format!("undeclared mutex {name:?}")))
+    }
+}
+
+/// Splits a body line into tokens, keeping quoted strings (with their
+/// quotes) as single tokens.
+fn tokenize(line: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while !rest.is_empty() {
+        rest = rest.trim_start();
+        if rest.is_empty() {
+            break;
+        }
+        if let Some(stripped) = rest.strip_prefix('"') {
+            let close = stripped.find('"').map(|i| i + 1).unwrap_or(rest.len() - 1);
+            let (tok, tail) = rest.split_at(close + 1);
+            out.push(tok);
+            rest = tail;
+        } else {
+            let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+            let (tok, tail) = rest.split_at(end);
+            out.push(tok);
+            rest = tail;
+        }
+    }
+    out
+}
+
+fn in_string(line: &str, ix: usize) -> bool {
+    line[..ix].matches('"').count() % 2 == 1
+}
+
+fn check_ident(line_no: usize, s: &str) -> Result<(), ParseError> {
+    let mut chars = s.chars();
+    let ok = match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {
+            chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+        }
+        _ => false,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(ParseError::new(
+            line_no,
+            format!("invalid identifier {s:?}"),
+        ))
+    }
+}
+
+fn parse_reg(line_no: usize, s: &str) -> Result<Reg, ParseError> {
+    s.strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .map(Reg)
+        .ok_or_else(|| ParseError::new(line_no, format!("expected register, found {s:?}")))
+}
+
+fn parse_operand(line_no: usize, s: &str) -> Result<Operand, ParseError> {
+    if let Ok(v) = s.parse::<Value>() {
+        return Ok(Operand::Const(v));
+    }
+    parse_reg(line_no, s).map(Operand::Reg).map_err(|_| {
+        ParseError::new(
+            line_no,
+            format!("expected register or integer literal, found {s:?}"),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MutexId, VarId};
+
+    #[test]
+    fn parses_declarations_and_bodies() {
+        let p = Program::parse(
+            r#"
+# A tiny program.
+program demo
+var x = 0
+var y = -3
+mutex m
+
+thread T1 {
+  lock m           # enter critical section
+  r0 = load x
+  r0 = r0 + 1
+  store x = r0
+  unlock m
+}
+thread T2 {
+  store y = 7
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(p.name(), "demo");
+        assert_eq!(p.vars().len(), 2);
+        assert_eq!(p.vars()[1].init, -3);
+        assert_eq!(p.mutexes().len(), 1);
+        assert_eq!(p.thread_count(), 2);
+        assert_eq!(p.threads()[0].code[0], Instr::Lock(MutexId(0)));
+        assert_eq!(
+            p.threads()[1].code[0],
+            Instr::Store {
+                var: VarId(1),
+                src: Operand::Const(7)
+            }
+        );
+    }
+
+    #[test]
+    fn parses_control_flow_with_labels() {
+        let p = Program::parse(
+            r#"
+program loops
+var flag = 0
+thread T {
+top:
+  r0 = load flag
+  ifz r0 goto top
+  jump done
+  store flag = 9
+done:
+}
+"#,
+        )
+        .unwrap();
+        let code = &p.threads()[0].code;
+        assert_eq!(
+            code[1],
+            Instr::Branch {
+                cond: Operand::Reg(Reg(0)),
+                target: 0,
+                when_zero: true
+            }
+        );
+        assert_eq!(code[2], Instr::Jump { target: 4 });
+    }
+
+    #[test]
+    fn parses_assert_with_spaces_and_hash_in_message() {
+        let p = Program::parse(
+            r#"
+program asserts
+thread T {
+  r1 = 5
+  assert r1 "value #1 must hold"
+}
+"#,
+        )
+        .unwrap();
+        assert_eq!(
+            p.threads()[0].code[1],
+            Instr::Assert {
+                cond: Operand::Reg(Reg(1)),
+                msg: "value #1 must hold".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_unary_and_binary_ops() {
+        let p = Program::parse(
+            r#"
+program ops
+thread T {
+  r0 = 6
+  r1 = r0 % 4
+  r2 = neg r1
+  r3 = r1 min r0
+}
+"#,
+        )
+        .unwrap();
+        let code = &p.threads()[0].code;
+        assert!(matches!(code[1], Instr::Bin { op: BinOp::Rem, .. }));
+        assert!(matches!(code[2], Instr::Un { op: UnOp::Neg, .. }));
+        assert!(matches!(code[3], Instr::Bin { op: BinOp::Min, .. }));
+    }
+
+    #[test]
+    fn rejects_undeclared_references() {
+        let err = Program::parse("program p\nthread T {\n lock ghost\n}\n").unwrap_err();
+        assert!(err.message.contains("undeclared mutex"));
+        let err = Program::parse("program p\nthread T {\n r0 = load ghost\n}\n").unwrap_err();
+        assert!(err.message.contains("undeclared variable"));
+    }
+
+    #[test]
+    fn rejects_undefined_and_duplicate_labels() {
+        let err = Program::parse("program p\nthread T {\n jump nowhere\n}\n").unwrap_err();
+        assert!(err.message.contains("undefined label"));
+        let err =
+            Program::parse("program p\nthread T {\nl:\nl:\n}\n").unwrap_err();
+        assert!(err.message.contains("bound twice"));
+    }
+
+    #[test]
+    fn rejects_missing_close_brace() {
+        let err = Program::parse("program p\nthread T {\n nop\n").unwrap_err();
+        assert!(err.message.contains("missing a closing"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Program::parse("florble\n").is_err());
+        let err = Program::parse("program p\nthread T {\n r0 = r1 <=> r2\n}\n").unwrap_err();
+        assert!(err.message.contains("unknown binary operator"));
+        let err = Program::parse("program p\nthread T {\n frobnicate\n}\n").unwrap_err();
+        assert!(err.message.contains("cannot parse instruction"));
+    }
+
+    #[test]
+    fn label_at_end_of_body_is_termination() {
+        let p = Program::parse(
+            "program p\nthread T {\n jump fin\n store_is_skipped:\nfin:\n}\nvar x = 0\n",
+        );
+        // `var` after thread also works (order free). Both trailing lines
+        // are labels, so the body is the single jump and `fin` binds to the
+        // end of the body (index 1 = termination).
+        let p = p.unwrap();
+        assert_eq!(p.threads()[0].code.len(), 1);
+        assert_eq!(p.threads()[0].code[0], Instr::Jump { target: 1 });
+    }
+
+    #[test]
+    fn default_program_name_when_missing() {
+        let p = Program::parse("thread T {\n nop\n}\n").unwrap();
+        assert_eq!(p.name(), "unnamed");
+    }
+}

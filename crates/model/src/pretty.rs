@@ -1,0 +1,141 @@
+//! Pretty-printer: renders a [`Program`] in the text format accepted by
+//! [`Program::parse`], such that parsing the output reproduces the program
+//! exactly (label *names* are synthesised, but resolve to the same targets).
+
+use crate::instr::Instr;
+use crate::program::Program;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Renders `program` as parseable source text.
+pub fn program_to_source(program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "program {}", program.name());
+    for v in program.vars() {
+        let _ = writeln!(out, "var {} = {}", v.name, v.init);
+    }
+    for m in program.mutexes() {
+        let _ = writeln!(out, "mutex {}", m.name);
+    }
+    for thread in program.threads() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "thread {} {{", thread.name);
+
+        // Collect jump targets and give each a synthetic label.
+        let mut labels: BTreeMap<usize, String> = BTreeMap::new();
+        for instr in &thread.code {
+            if let Instr::Jump { target } | Instr::Branch { target, .. } = instr {
+                let next = labels.len();
+                labels
+                    .entry(*target)
+                    .or_insert_with(|| format!("L{next}"));
+            }
+        }
+
+        for (pc, instr) in thread.code.iter().enumerate() {
+            if let Some(label) = labels.get(&pc) {
+                let _ = writeln!(out, "{label}:");
+            }
+            let _ = writeln!(out, "  {}", render_instr(program, instr, &labels));
+        }
+        if let Some(label) = labels.get(&thread.code.len()) {
+            let _ = writeln!(out, "{label}:");
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+fn render_instr(program: &Program, instr: &Instr, labels: &BTreeMap<usize, String>) -> String {
+    let var_name = |v: crate::VarId| program.vars()[v.index()].name.as_str();
+    let mutex_name = |m: crate::MutexId| program.mutexes()[m.index()].name.as_str();
+    match instr {
+        Instr::Load { dst, var } => format!("{dst} = load {}", var_name(*var)),
+        Instr::Store { var, src } => format!("store {} = {src}", var_name(*var)),
+        Instr::Lock(m) => format!("lock {}", mutex_name(*m)),
+        Instr::Unlock(m) => format!("unlock {}", mutex_name(*m)),
+        Instr::Set { dst, src } => format!("{dst} = {src}"),
+        Instr::Bin { dst, op, lhs, rhs } => format!("{dst} = {lhs} {} {rhs}", op.token()),
+        Instr::Un { dst, op, src } => format!("{dst} = {} {src}", op.token()),
+        Instr::Jump { target } => format!("jump {}", labels[target]),
+        Instr::Branch {
+            cond,
+            target,
+            when_zero,
+        } => {
+            let kw = if *when_zero { "ifz" } else { "if" };
+            format!("{kw} {cond} goto {}", labels[target])
+        }
+        Instr::Assert { cond, msg } => format!("assert {cond} \"{msg}\""),
+        Instr::Nop => "nop".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Operand, Program, ProgramBuilder, Reg};
+
+    fn sample_program() -> Program {
+        let mut b = ProgramBuilder::new("round_trip");
+        let x = b.var("x", 5);
+        let y = b.var("y", 0);
+        let m = b.mutex("m");
+        b.thread("T1", |t| {
+            t.with_lock(m, |t| {
+                t.load(Reg(0), x);
+                t.add(Reg(0), Reg(0), 1);
+                t.store(x, Reg(0));
+            });
+            let done = t.label();
+            t.branch_if_zero(Reg(0), done);
+            t.store(y, 1);
+            t.bind(done);
+            t.assert_true(Operand::Const(1), "always fine");
+        });
+        b.thread("T2", |t| {
+            let top = t.here();
+            t.load(Reg(0), y);
+            t.branch_if(Reg(0), top);
+            t.nop();
+        });
+        b.build()
+    }
+
+    #[test]
+    fn round_trip_parse_of_pretty_output() {
+        let p = sample_program();
+        let src = p.to_source();
+        let reparsed = Program::parse(&src).expect("pretty output must parse");
+        assert_eq!(p, reparsed, "pretty-print / parse round trip changed the program:\n{src}");
+    }
+
+    #[test]
+    fn pretty_output_contains_declarations() {
+        let src = sample_program().to_source();
+        assert!(src.contains("program round_trip"));
+        assert!(src.contains("var x = 5"));
+        assert!(src.contains("mutex m"));
+        assert!(src.contains("thread T1 {"));
+        assert!(src.contains("assert 1 \"always fine\""));
+    }
+
+    #[test]
+    fn display_matches_to_source() {
+        let p = sample_program();
+        assert_eq!(format!("{p}"), p.to_source());
+    }
+
+    #[test]
+    fn end_of_body_label_round_trips() {
+        let mut b = ProgramBuilder::new("end_label");
+        b.thread("T", |t| {
+            let end = t.label();
+            t.jump(end);
+            t.nop();
+            t.bind(end);
+        });
+        let p = b.build();
+        let reparsed = Program::parse(&p.to_source()).unwrap();
+        assert_eq!(p, reparsed);
+    }
+}

@@ -1,0 +1,113 @@
+//! Events: the visible operations of an execution, in schedule order.
+
+use lazylocks_model::{ThreadId, VisibleKind};
+use std::fmt;
+
+/// Identity of an event within an execution: the issuing thread and the
+/// ordinal of the event among that thread's events (0-based).
+///
+/// Because every thread executes a deterministic instruction stream between
+/// visible operations, `(thread, ordinal)` identifies "the same event"
+/// across different schedules that execute the same per-thread prefixes —
+/// the notion of event identity the happens-before machinery relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId {
+    /// The issuing thread.
+    pub thread: ThreadId,
+    /// 0-based index of this event among the thread's events.
+    pub ordinal: u32,
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.thread, self.ordinal)
+    }
+}
+
+/// One visible operation performed during an execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// Who performed the operation, and its per-thread ordinal.
+    pub id: EventId,
+    /// What was performed.
+    pub kind: VisibleKind,
+    /// The program counter of the instruction that produced the event
+    /// (within the issuing thread's code).
+    pub pc: u32,
+}
+
+impl Event {
+    /// The issuing thread.
+    #[inline]
+    pub fn thread(&self) -> ThreadId {
+        self.id.thread
+    }
+
+    /// Dependence under the regular happens-before relation; see
+    /// [`VisibleKind::dependent_regular`].
+    #[inline]
+    pub fn dependent_regular(&self, other: &Event) -> bool {
+        self.kind.dependent_regular(other.kind)
+    }
+
+    /// Dependence under the lazy happens-before relation; see
+    /// [`VisibleKind::dependent_lazy`].
+    #[inline]
+    pub fn dependent_lazy(&self, other: &Event) -> bool {
+        self.kind.dependent_lazy(other.kind)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.id, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazylocks_model::{MutexId, VarId};
+
+    fn ev(thread: u16, ordinal: u32, kind: VisibleKind) -> Event {
+        Event {
+            id: EventId {
+                thread: ThreadId(thread),
+                ordinal,
+            },
+            kind,
+            pc: 0,
+        }
+    }
+
+    #[test]
+    fn event_identity_orders_by_thread_then_ordinal() {
+        let a = EventId {
+            thread: ThreadId(0),
+            ordinal: 5,
+        };
+        let b = EventId {
+            thread: ThreadId(1),
+            ordinal: 0,
+        };
+        assert!(a < b);
+    }
+
+    #[test]
+    fn dependence_delegates_to_visible_kind() {
+        let w = ev(0, 0, VisibleKind::Write(VarId(3)));
+        let r = ev(1, 0, VisibleKind::Read(VarId(3)));
+        let l = ev(1, 1, VisibleKind::Lock(MutexId(0)));
+        let u = ev(0, 1, VisibleKind::Unlock(MutexId(0)));
+        assert!(w.dependent_regular(&r));
+        assert!(w.dependent_lazy(&r));
+        assert!(l.dependent_regular(&u));
+        assert!(!l.dependent_lazy(&u));
+    }
+
+    #[test]
+    fn display_formats_compactly() {
+        let e = ev(2, 7, VisibleKind::Lock(MutexId(1)));
+        assert_eq!(format!("{e}"), "t2#7:lock(m1)");
+    }
+}

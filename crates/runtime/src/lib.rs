@@ -1,0 +1,48 @@
+//! Deterministic interpreter and controlled scheduler for systematic
+//! concurrency testing.
+//!
+//! The [`Executor`] runs a [`Program`](lazylocks_model::Program) one
+//! *visible operation* at a time, with the caller (an exploration engine, a
+//! replay harness, a random walker) deciding which thread moves next. This
+//! is the execution substrate the paper's `LAZYLOCKS` tool provides for Java
+//! programs, rebuilt for our guest IR:
+//!
+//! * threads advance through thread-local instructions invisibly — the
+//!   scheduler only interleaves at `read` / `write` / `lock` / `unlock`;
+//! * `lock` has blocking semantics: a thread whose next operation is `lock m`
+//!   while `m` is held is *disabled* until the owner unlocks;
+//! * deadlocks (no enabled thread while some thread is still running),
+//!   assertion failures and unlock-without-hold faults are detected and
+//!   reported;
+//! * terminal (and intermediate) machine states are captured as canonical,
+//!   hashable [`StateSnapshot`]s so exploration engines can count distinct
+//!   states exactly;
+//! * complete schedules can be replayed deterministically
+//!   ([`run_schedule`]), the basis for Heisenbug reproduction.
+//!
+//! ```
+//! use lazylocks_model::{ProgramBuilder, Reg, ThreadId};
+//! use lazylocks_runtime::{run_schedule, RunStatus};
+//!
+//! let mut b = ProgramBuilder::new("two-writes");
+//! let x = b.var("x", 0);
+//! b.thread("T1", |t| t.store(x, 1));
+//! b.thread("T2", |t| t.store(x, 2));
+//! let p = b.build();
+//!
+//! let result = run_schedule(&p, &[ThreadId(0), ThreadId(1)]).unwrap();
+//! assert_eq!(result.status, RunStatus::Completed);
+//! assert_eq!(result.state.shared()[x.index()], 2); // T2 wrote last
+//! ```
+
+mod event;
+mod executor;
+mod fingerprint;
+mod schedule;
+mod state;
+
+pub use event::{Event, EventId};
+pub use executor::{ExecPhase, Executor, Fault, FaultKind, StepOutcome, ThreadStatus, LOCAL_STEP_BUDGET};
+pub use fingerprint::Fnv128;
+pub use schedule::{run_schedule, run_with_scheduler, InfeasibleSchedule, RunResult, RunStatus};
+pub use state::StateSnapshot;

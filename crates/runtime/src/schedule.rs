@@ -1,0 +1,323 @@
+//! Whole-run drivers: replaying explicit schedules and driving executions
+//! with a scheduling callback.
+
+use crate::event::Event;
+use crate::executor::{ExecPhase, Executor, Fault};
+use crate::state::StateSnapshot;
+use lazylocks_model::{MutexId, Program, ThreadId};
+use std::fmt;
+
+/// Default cap on the number of visible events in a single run. Guest
+/// programs in the benchmark suite are finite, but user programs with
+/// unbounded spin loops are not; the cap turns a hang into a reportable
+/// outcome.
+pub const DEFAULT_STEP_LIMIT: u64 = 1_000_000;
+
+/// How a driven run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunStatus {
+    /// All threads finished (some may have failed — see
+    /// [`RunResult::faults`]).
+    Completed,
+    /// No enabled thread while some thread still waits on a lock.
+    Deadlock {
+        /// The blocked threads and the mutexes they wait on.
+        waiting: Vec<(ThreadId, MutexId)>,
+    },
+    /// The per-run step limit was hit; the run was abandoned.
+    StepLimit,
+}
+
+impl RunStatus {
+    /// `true` for [`RunStatus::Deadlock`].
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, RunStatus::Deadlock { .. })
+    }
+}
+
+/// Outcome of a complete driven run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Every visible event, in schedule order.
+    pub trace: Vec<Event>,
+    /// The schedule actually taken (thread choice per event).
+    pub schedule: Vec<ThreadId>,
+    /// Why the run ended.
+    pub status: RunStatus,
+    /// Faults raised during the run (assertion failures etc.).
+    pub faults: Vec<Fault>,
+    /// The machine state at the end of the run.
+    pub state: StateSnapshot,
+}
+
+impl RunResult {
+    /// `true` if the run surfaced a bug: a deadlock or any fault.
+    pub fn has_bug(&self) -> bool {
+        self.status.is_deadlock() || !self.faults.is_empty()
+    }
+}
+
+/// A schedule could not be followed: the chosen thread was not enabled at
+/// some position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InfeasibleSchedule {
+    /// Index into the schedule at which replay failed.
+    pub position: usize,
+    /// The thread the schedule asked for.
+    pub thread: ThreadId,
+}
+
+impl fmt::Display for InfeasibleSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule infeasible at position {}: thread {} not enabled",
+            self.position, self.thread
+        )
+    }
+}
+
+impl std::error::Error for InfeasibleSchedule {}
+
+/// Replays an explicit schedule: at step `i`, thread `schedule[i]` performs
+/// its next visible operation. After the schedule is exhausted, remaining
+/// enabled threads run in thread-id order until the program stops (so a
+/// *prefix* schedule — e.g. one recorded up to a bug — still produces a
+/// complete run).
+///
+/// Returns an error if some prefix of the schedule cannot be executed
+/// because the requested thread is not enabled — in the paper's terms, the
+/// schedule is not *feasible*.
+pub fn run_schedule(
+    program: &Program,
+    schedule: &[ThreadId],
+) -> Result<RunResult, InfeasibleSchedule> {
+    let mut next = 0usize;
+    let result = run_with_scheduler(program, |exec| {
+        if next < schedule.len() {
+            let choice = schedule[next];
+            next += 1;
+            // Feasibility is checked below via `ScheduleViolation`.
+            return Some(choice);
+        }
+        exec.enabled_threads().first().copied()
+    });
+    match result {
+        Ok(r) => Ok(r),
+        Err(position) => Err(InfeasibleSchedule {
+            position,
+            thread: schedule[position],
+        }),
+    }
+}
+
+/// Drives a run with a scheduling callback: at every scheduling point the
+/// callback sees the executor and picks the next thread (returning `None`
+/// stops the run early, which counts as [`RunStatus::Completed`] only if
+/// the program is already done).
+///
+/// Returns `Err(position)` if the callback picked a non-enabled thread at
+/// the given scheduling position.
+pub fn run_with_scheduler(
+    program: &Program,
+    mut pick: impl FnMut(&Executor) -> Option<ThreadId>,
+) -> Result<RunResult, usize> {
+    let mut exec = Executor::new(program);
+    let mut trace = Vec::new();
+    let mut schedule = Vec::new();
+
+    let status = loop {
+        match exec.phase() {
+            ExecPhase::Done => break RunStatus::Completed,
+            ExecPhase::Deadlock { waiting } => break RunStatus::Deadlock { waiting },
+            ExecPhase::Running => {}
+        }
+        if exec.events_total() >= DEFAULT_STEP_LIMIT {
+            break RunStatus::StepLimit;
+        }
+        let Some(choice) = pick(&exec) else {
+            match exec.phase() {
+                ExecPhase::Done => break RunStatus::Completed,
+                ExecPhase::Deadlock { waiting } => break RunStatus::Deadlock { waiting },
+                // The scheduler gave up mid-run; report as a step limit.
+                ExecPhase::Running => break RunStatus::StepLimit,
+            }
+        };
+        if !exec.is_enabled(choice) {
+            return Err(schedule.len());
+        }
+        let out = exec.step(choice);
+        schedule.push(choice);
+        if let Some(event) = out.event {
+            trace.push(event);
+        }
+    };
+
+    Ok(RunResult {
+        trace,
+        schedule,
+        status,
+        faults: exec.faults().to_vec(),
+        state: exec.snapshot(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazylocks_model::{ProgramBuilder, Reg};
+
+    fn t(i: u16) -> ThreadId {
+        ThreadId(i)
+    }
+
+    fn two_writers() -> Program {
+        let mut b = ProgramBuilder::new("two-writers");
+        let x = b.var("x", 0);
+        b.thread("T1", |tb| tb.store(x, 1));
+        b.thread("T2", |tb| tb.store(x, 2));
+        b.build()
+    }
+
+    #[test]
+    fn replay_follows_schedule_exactly() {
+        let p = two_writers();
+        let r = run_schedule(&p, &[t(1), t(0)]).unwrap();
+        assert_eq!(r.status, RunStatus::Completed);
+        assert_eq!(r.schedule, vec![t(1), t(0)]);
+        assert_eq!(r.state.shared()[0], 1, "T1 wrote last");
+        let r = run_schedule(&p, &[t(0), t(1)]).unwrap();
+        assert_eq!(r.state.shared()[0], 2, "T2 wrote last");
+    }
+
+    #[test]
+    fn prefix_schedule_completes_in_thread_order() {
+        let p = two_writers();
+        // Only schedule T2's write; T1 finishes automatically.
+        let r = run_schedule(&p, &[t(1)]).unwrap();
+        assert_eq!(r.status, RunStatus::Completed);
+        assert_eq!(r.schedule, vec![t(1), t(0)]);
+        assert_eq!(r.state.shared()[0], 1);
+    }
+
+    #[test]
+    fn infeasible_schedule_reports_position() {
+        let mut b = ProgramBuilder::new("p");
+        let m = b.mutex("m");
+        b.thread("T1", |tb| {
+            tb.lock(m);
+            tb.unlock(m);
+        });
+        b.thread("T2", |tb| {
+            tb.lock(m);
+            tb.unlock(m);
+        });
+        let p = b.build();
+        // T1 locks, then T2 tries to lock while m is held: infeasible.
+        let err = run_schedule(&p, &[t(0), t(1)]).unwrap_err();
+        assert_eq!(
+            err,
+            InfeasibleSchedule {
+                position: 1,
+                thread: t(1)
+            }
+        );
+        assert!(err.to_string().contains("position 1"));
+    }
+
+    #[test]
+    fn deadlock_is_reported_with_waiters() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.mutex("a");
+        let c = b.mutex("b");
+        b.thread("T1", |tb| {
+            tb.lock(a);
+            tb.lock(c);
+        });
+        b.thread("T2", |tb| {
+            tb.lock(c);
+            tb.lock(a);
+        });
+        let p = b.build();
+        let r = run_schedule(&p, &[t(0), t(1)]).unwrap();
+        assert!(r.status.is_deadlock());
+        assert!(r.has_bug());
+        match r.status {
+            RunStatus::Deadlock { waiting } => assert_eq!(waiting.len(), 2),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn faults_surface_in_result() {
+        let mut b = ProgramBuilder::new("p");
+        let x = b.var("x", 0);
+        b.thread("T1", |tb| {
+            tb.load(Reg(0), x);
+            tb.assert_true(Reg(0), "boom");
+        });
+        let p = b.build();
+        let r = run_schedule(&p, &[t(0)]).unwrap();
+        assert_eq!(r.status, RunStatus::Completed);
+        assert_eq!(r.faults.len(), 1);
+        assert!(r.has_bug());
+    }
+
+    #[test]
+    fn trace_records_events_in_schedule_order() {
+        let p = two_writers();
+        let r = run_schedule(&p, &[t(1), t(0)]).unwrap();
+        assert_eq!(r.trace.len(), 2);
+        assert_eq!(r.trace[0].thread(), t(1));
+        assert_eq!(r.trace[1].thread(), t(0));
+    }
+
+    #[test]
+    fn scheduler_callback_sees_live_executor() {
+        let p = two_writers();
+        let mut seen_enabled = Vec::new();
+        let r = run_with_scheduler(&p, |exec| {
+            let enabled = exec.enabled_threads();
+            seen_enabled.push(enabled.len());
+            enabled.last().copied()
+        })
+        .unwrap();
+        assert_eq!(r.status, RunStatus::Completed);
+        assert_eq!(seen_enabled, vec![2, 1]);
+        assert_eq!(r.schedule, vec![t(1), t(0)]);
+    }
+
+    #[test]
+    fn callback_returning_none_mid_run_is_step_limit() {
+        let p = two_writers();
+        let r = run_with_scheduler(&p, |_| None).unwrap();
+        assert_eq!(r.status, RunStatus::StepLimit);
+        assert!(r.trace.is_empty());
+    }
+
+    #[test]
+    fn callback_picking_disabled_thread_is_error() {
+        let mut b = ProgramBuilder::new("p");
+        let m = b.mutex("m");
+        b.thread("T1", |tb| {
+            tb.lock(m);
+            tb.unlock(m);
+        });
+        b.thread("T2", |tb| {
+            tb.lock(m);
+            tb.unlock(m);
+        });
+        let p = b.build();
+        let mut first = true;
+        let err = run_with_scheduler(&p, |_| {
+            if first {
+                first = false;
+                Some(t(0))
+            } else {
+                Some(t(1)) // blocked after T0's lock
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, 1);
+    }
+}

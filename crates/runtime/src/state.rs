@@ -1,0 +1,163 @@
+//! Canonical machine-state snapshots.
+
+use crate::fingerprint::Fnv128;
+use lazylocks_model::{ThreadId, Value};
+use std::fmt;
+
+/// A canonical, hashable snapshot of the complete guest machine state:
+/// shared memory, per-thread registers and control state, and mutex
+/// ownership.
+///
+/// Two executions are "in the same state" in the sense of the paper's
+/// Theorems 2.1 and 2.2 exactly when their snapshots compare equal. The
+/// exploration engines use snapshots (or their 128-bit
+/// [`fingerprint`](StateSnapshot::fingerprint)s) to count distinct terminal
+/// states, giving the `#states` term of the paper's inequality
+/// `#states ≤ #lazy HBRs ≤ #HBRs ≤ #schedules`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StateSnapshot {
+    pub(crate) shared: Vec<Value>,
+    pub(crate) regs: Vec<Vec<Value>>,
+    pub(crate) pcs: Vec<u32>,
+    pub(crate) statuses: Vec<u8>,
+    pub(crate) mutex_owner: Vec<Option<ThreadId>>,
+}
+
+impl StateSnapshot {
+    /// Shared-variable values, indexed by `VarId`.
+    pub fn shared(&self) -> &[Value] {
+        &self.shared
+    }
+
+    /// Register files, indexed by `ThreadId` then register index.
+    pub fn regs(&self) -> &[Vec<Value>] {
+        &self.regs
+    }
+
+    /// Per-thread program counters.
+    pub fn pcs(&self) -> &[u32] {
+        &self.pcs
+    }
+
+    /// Per-thread status discriminants (see
+    /// [`ThreadStatus`](crate::ThreadStatus)): 0 runnable, 1 finished,
+    /// 2 failed.
+    pub fn statuses(&self) -> &[u8] {
+        &self.statuses
+    }
+
+    /// Mutex owners, indexed by `MutexId`; `None` means free.
+    pub fn mutex_owner(&self) -> &[Option<ThreadId>] {
+        &self.mutex_owner
+    }
+
+    /// `true` if no mutex is held.
+    pub fn all_mutexes_free(&self) -> bool {
+        self.mutex_owner.iter().all(|o| o.is_none())
+    }
+
+    /// Deterministic 128-bit digest of the snapshot. Equal snapshots have
+    /// equal fingerprints; the converse holds up to FNV-128 collision odds.
+    pub fn fingerprint(&self) -> u128 {
+        let mut h = Fnv128::new();
+        h.write_usize(self.shared.len());
+        for &v in &self.shared {
+            h.write_i64(v);
+        }
+        h.write_usize(self.regs.len());
+        for regs in &self.regs {
+            h.write_usize(regs.len());
+            for &v in regs {
+                h.write_i64(v);
+            }
+        }
+        for &pc in &self.pcs {
+            h.write_u32(pc);
+        }
+        h.write(&self.statuses);
+        for owner in &self.mutex_owner {
+            match owner {
+                None => h.write(&[0xff, 0xff, 0xfe]),
+                Some(t) => {
+                    h.write(&[0x01]);
+                    h.write(&t.0.to_le_bytes());
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+impl fmt::Display for StateSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shared={:?} mutexes=[", self.shared)?;
+        for (i, o) in self.mutex_owner.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            match o {
+                Some(t) => write!(f, "{t}")?,
+                None => write!(f, "-")?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> StateSnapshot {
+        StateSnapshot {
+            shared: vec![1, 2],
+            regs: vec![vec![0], vec![5, 6]],
+            pcs: vec![3, 4],
+            statuses: vec![1, 1],
+            mutex_owner: vec![None, Some(ThreadId(1))],
+        }
+    }
+
+    #[test]
+    fn equal_snapshots_equal_fingerprints() {
+        assert_eq!(snapshot(), snapshot());
+        assert_eq!(snapshot().fingerprint(), snapshot().fingerprint());
+    }
+
+    #[test]
+    fn any_field_change_changes_fingerprint() {
+        let base = snapshot().fingerprint();
+        let mut s = snapshot();
+        s.shared[0] = 9;
+        assert_ne!(s.fingerprint(), base);
+        let mut s = snapshot();
+        s.regs[1][0] = 9;
+        assert_ne!(s.fingerprint(), base);
+        let mut s = snapshot();
+        s.pcs[0] = 99;
+        assert_ne!(s.fingerprint(), base);
+        let mut s = snapshot();
+        s.statuses[0] = 2;
+        assert_ne!(s.fingerprint(), base);
+        let mut s = snapshot();
+        s.mutex_owner[1] = None;
+        assert_ne!(s.fingerprint(), base);
+        let mut s = snapshot();
+        s.mutex_owner[1] = Some(ThreadId(0));
+        assert_ne!(s.fingerprint(), base);
+    }
+
+    #[test]
+    fn all_mutexes_free_reports_held_locks() {
+        let mut s = snapshot();
+        assert!(!s.all_mutexes_free());
+        s.mutex_owner[1] = None;
+        assert!(s.all_mutexes_free());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = snapshot();
+        assert_eq!(format!("{s}"), "shared=[1, 2] mutexes=[-,t1]");
+    }
+}

@@ -1,0 +1,164 @@
+//! Bank-account transfers under two locking disciplines.
+//!
+//! * **coarse** — one bank-wide lock; transfers between *disjoint* account
+//!   pairs commute and the lazy HBR collapses their lock orders.
+//! * **fine** — per-account locks taken in account order (deadlock-free) or
+//!   in transfer order (`unordered`, deadlock-prone — the classic bug).
+
+use super::Register;
+use crate::registry::Expectations;
+use lazylocks_model::{MutexId, Program, ProgramBuilder, ThreadBuilder, Value, VarId};
+
+/// Emits `from -= amount; to += amount` (reads then writes, registers
+/// normalised).
+fn transfer_body(t: &mut ThreadBuilder, from: VarId, to: VarId, amount: Value) {
+    let rf = t.alloc_reg();
+    let rt = t.alloc_reg();
+    t.load(rf, from);
+    t.load(rt, to);
+    t.sub(rf, rf, amount);
+    t.add(rt, rt, amount);
+    t.store(from, rf);
+    t.store(to, rt);
+    t.set(rf, 0);
+    t.set(rt, 0);
+}
+
+/// Coarse: one bank lock around each transfer. `pairs[i]` is thread `i`'s
+/// `(from, to)` account pair.
+pub fn coarse(name: &str, accounts: usize, pairs: &[(usize, usize)]) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    let bank = b.mutex("bank");
+    let accts = b.var_array("acct", accounts, 100);
+    for (i, &(from, to)) in pairs.iter().enumerate() {
+        let (from, to) = (accts[from], accts[to]);
+        b.thread(format!("T{i}"), move |t| {
+            t.with_lock(bank, |t| transfer_body(t, from, to, (i + 1) as Value));
+        });
+    }
+    b.build()
+}
+
+/// Fine: per-account locks. With `ordered` the locks are taken in account
+/// order (deadlock-free); otherwise in `(from, to)` order (deadlock-prone
+/// when transfers form a cycle).
+pub fn fine(name: &str, accounts: usize, pairs: &[(usize, usize)], ordered: bool) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    let locks: Vec<MutexId> = b.mutex_array("lk", accounts);
+    let accts = b.var_array("acct", accounts, 100);
+    for (i, &(from, to)) in pairs.iter().enumerate() {
+        let (lf, lt) = (locks[from], locks[to]);
+        let (vf, vt) = (accts[from], accts[to]);
+        let (first, second) = if ordered && from > to { (lt, lf) } else { (lf, lt) };
+        b.thread(format!("T{i}"), move |t| {
+            t.lock(first);
+            t.lock(second);
+            transfer_body(t, vf, vt, (i + 1) as Value);
+            t.unlock(second);
+            t.unlock(first);
+        });
+    }
+    b.build()
+}
+
+/// Registers the family (8 benchmarks).
+pub fn register(add: Register) {
+    // Coarse lock, disjoint pairs: lazy wins.
+    add(
+        "accounts-coarse-disjoint2".to_string(),
+        "accounts",
+        "2 transfers between disjoint account pairs under one bank lock".to_string(),
+        coarse("accounts-coarse-disjoint2", 4, &[(0, 1), (2, 3)]),
+        Expectations::default(),
+    );
+    add(
+        "accounts-coarse-disjoint3".to_string(),
+        "accounts",
+        "3 transfers between disjoint account pairs under one bank lock".to_string(),
+        coarse("accounts-coarse-disjoint3", 6, &[(0, 1), (2, 3), (4, 5)]),
+        Expectations::default(),
+    );
+    // Coarse lock, overlapping pairs: data orders mirror lock orders.
+    add(
+        "accounts-coarse-shared2".to_string(),
+        "accounts",
+        "2 transfers sharing one account under one bank lock".to_string(),
+        coarse("accounts-coarse-shared2", 3, &[(0, 1), (1, 2)]),
+        Expectations::default(),
+    );
+    add(
+        "accounts-coarse-shared3".to_string(),
+        "accounts",
+        "3 transfers in a ring of 3 accounts under one bank lock".to_string(),
+        coarse("accounts-coarse-shared3", 3, &[(0, 1), (1, 2), (2, 0)]),
+        Expectations::default(),
+    );
+    // Fine locks, ordered acquisition: deadlock-free.
+    add(
+        "accounts-fine-ordered2".to_string(),
+        "accounts",
+        "2 overlapping transfers, per-account locks in account order".to_string(),
+        fine("accounts-fine-ordered2", 3, &[(0, 1), (2, 1)], true),
+        Expectations::default(),
+    );
+    add(
+        "accounts-fine-ordered3".to_string(),
+        "accounts",
+        "3 ring transfers, per-account locks in account order".to_string(),
+        fine("accounts-fine-ordered3", 3, &[(0, 1), (1, 2), (2, 0)], true),
+        Expectations::default(),
+    );
+    // Fine locks, unordered acquisition: the classic transfer deadlock.
+    add(
+        "accounts-fine-deadlock2".to_string(),
+        "accounts",
+        "opposing transfers with per-account locks in transfer order (deadlocks)".to_string(),
+        fine("accounts-fine-deadlock2", 2, &[(0, 1), (1, 0)], false),
+        Expectations {
+            may_deadlock: true,
+            ..Expectations::default()
+        },
+    );
+    add(
+        "accounts-fine-deadlock3".to_string(),
+        "accounts",
+        "3 ring transfers with per-account locks in transfer order (deadlocks)".to_string(),
+        fine("accounts-fine-deadlock3", 3, &[(0, 1), (1, 2), (2, 0)], false),
+        Expectations {
+            may_deadlock: true,
+            ..Expectations::default()
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazylocks::{DfsEnumeration, Dpor, ExploreConfig, Explorer};
+
+    #[test]
+    fn coarse_disjoint_collapses_under_lazy() {
+        let p = coarse("t", 4, &[(0, 1), (2, 3)]);
+        let stats = DfsEnumeration.explore(&p, &ExploreConfig::with_limit(100_000));
+        assert!(!stats.limit_hit);
+        assert_eq!(stats.unique_lazy_hbrs, 1);
+        assert_eq!(stats.unique_hbrs, 2);
+        assert_eq!(stats.unique_states, 1, "disjoint transfers commute");
+    }
+
+    #[test]
+    fn unordered_fine_locking_deadlocks() {
+        let p = fine("t", 2, &[(0, 1), (1, 0)], false);
+        let stats = Dpor::default().explore(&p, &ExploreConfig::with_limit(10_000));
+        assert!(stats.deadlocks > 0, "DPOR must find the transfer deadlock");
+    }
+
+    #[test]
+    fn ordered_fine_locking_never_deadlocks() {
+        let p = fine("t", 3, &[(0, 1), (1, 2), (2, 0)], true);
+        let stats = DfsEnumeration.explore(&p, &ExploreConfig::with_limit(100_000));
+        assert!(!stats.limit_hit);
+        assert_eq!(stats.deadlocks, 0);
+        assert_eq!(stats.unique_states, 1, "ring transfers commute arithmetically");
+    }
+}

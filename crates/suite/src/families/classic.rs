@@ -1,0 +1,203 @@
+//! Classic systematic-concurrency-testing benchmarks.
+//!
+//! * **indexer** — Flanagan & Godefroid's hash-table insertion benchmark:
+//!   threads insert values at hashed positions with open addressing;
+//!   below a table-size threshold the probe sequences never collide and
+//!   the threads are independent.
+//! * **filesystem** — the other DPOR classic: threads allocate disk blocks
+//!   to inodes under per-inode and per-block locks.
+//! * **last-zero** — threads increment a shared array while a checker
+//!   scans for the last zero entry.
+
+use super::Register;
+use crate::registry::Expectations;
+use lazylocks_model::{Program, ProgramBuilder, Value};
+
+/// F-G's indexer, scaled down: `threads` writers insert into a `size`-slot
+/// table at position `(i * stride) % size`, probing linearly on collision
+/// (at most `size` probes).
+pub fn indexer(threads: usize, size: usize, stride: usize) -> Program {
+    let mut b = ProgramBuilder::new(format!("indexer-t{threads}-s{size}"));
+    let table = b.var_array("slot", size, 0);
+    for i in 0..threads {
+        let table = table.clone();
+        let start = (i * stride) % size;
+        b.thread(format!("T{i}"), move |t| {
+            let rv = t.alloc_reg();
+            let done = t.label();
+            // Probe slots start, start+1, ... (unrolled, bounded by size).
+            for probe in 0..size {
+                let slot = table[(start + probe) % size];
+                let next = t.label();
+                t.load(rv, slot);
+                t.branch_if(rv, next); // occupied: probe next slot
+                t.store(slot, (i + 1) as Value);
+                t.jump(done);
+                t.bind(next);
+            }
+            t.bind(done);
+            t.set(rv, 0);
+        });
+    }
+    b.build()
+}
+
+/// F-G's filesystem, scaled down: thread `i` works on inode `i % inodes`;
+/// if the inode is unassigned it searches for a free block (starting at
+/// `(i * 2) % blocks`) under per-block locks and assigns it.
+pub fn filesystem(threads: usize, inodes: usize, blocks: usize) -> Program {
+    let mut b = ProgramBuilder::new(format!("fs-t{threads}-i{inodes}-b{blocks}"));
+    let inode_locks = b.mutex_array("li", inodes);
+    let block_locks = b.mutex_array("lb", blocks);
+    let inode = b.var_array("inode", inodes, 0);
+    let busy = b.var_array("busy", blocks, 0);
+    for i in 0..threads {
+        let ii = i % inodes;
+        let li = inode_locks[ii];
+        let vi = inode[ii];
+        let block_locks = block_locks.clone();
+        let busy = busy.clone();
+        b.thread(format!("T{i}"), move |t| {
+            let rv = t.alloc_reg();
+            let done = t.label();
+            t.lock(li);
+            t.load(rv, vi);
+            t.branch_if(rv, done); // inode already assigned
+            for probe in 0..blocks {
+                let bix = (i * 2 + probe) % blocks;
+                let (lb, vb) = (block_locks[bix], busy[bix]);
+                let next = t.label();
+                t.lock(lb);
+                t.load(rv, vb);
+                t.branch_if(rv, next); // block busy: try next
+                t.store(vb, 1);
+                t.store(vi, (bix + 1) as Value);
+                t.unlock(lb);
+                t.jump(done);
+                t.bind(next);
+                t.unlock(lb);
+            }
+            t.bind(done);
+            t.unlock(li);
+            t.set(rv, 0);
+        });
+    }
+    b.build()
+}
+
+/// Last-zero: `threads` incrementers do `a[i] = a[i-1] + 1` while a checker
+/// scans the array backwards for the last zero.
+pub fn last_zero(threads: usize, cells: usize) -> Program {
+    let mut b = ProgramBuilder::new(format!("lastzero-t{threads}-n{cells}"));
+    let a = b.var_array("a", cells, 0);
+    let found = b.var("found", -1);
+    {
+        let a = a.clone();
+        b.thread("checker", move |t| {
+            let rv = t.alloc_reg();
+            let ri = t.alloc_reg();
+            let done = t.label();
+            for i in (0..cells).rev() {
+                let next = t.label();
+                t.load(rv, a[i]);
+                t.branch_if(rv, next);
+                t.set(ri, i as Value);
+                t.store(found, ri);
+                t.jump(done);
+                t.bind(next);
+            }
+            t.bind(done);
+            t.set(rv, 0);
+            t.set(ri, 0);
+        });
+    }
+    for tix in 1..=threads {
+        let a = a.clone();
+        let src = (tix - 1).min(cells - 1);
+        let dst = tix.min(cells - 1);
+        b.thread(format!("inc{tix}"), move |t| {
+            let rv = t.alloc_reg();
+            t.load(rv, a[src]);
+            t.add(rv, rv, 1);
+            t.store(a[dst], rv);
+            t.set(rv, 0);
+        });
+    }
+    b.build()
+}
+
+/// Registers the family (12 benchmarks: 4 indexer + 4 filesystem + 4
+/// last-zero).
+pub fn register(add: Register) {
+    for (threads, size, stride) in [(2, 2, 0), (2, 4, 2), (3, 4, 2), (3, 3, 1)] {
+        add(
+            format!("indexer-t{threads}-s{size}"),
+            "classic",
+            format!("F-G indexer: {threads} writers into a {size}-slot table (stride {stride})"),
+            indexer(threads, size, stride),
+            Expectations::default(),
+        );
+    }
+    for (threads, inodes, blocks) in [(2, 1, 2), (2, 2, 2), (3, 2, 2), (3, 2, 3)] {
+        add(
+            format!("fs-t{threads}-i{inodes}-b{blocks}"),
+            "classic",
+            format!("F-G filesystem: {threads} threads, {inodes} inodes, {blocks} blocks"),
+            filesystem(threads, inodes, blocks),
+            Expectations::default(),
+        );
+    }
+    for (threads, cells) in [(1, 2), (2, 2), (2, 3), (3, 3)] {
+        add(
+            format!("lastzero-t{threads}-n{cells}"),
+            "classic",
+            format!("last-zero: {threads} incrementers over {cells} cells plus a checker"),
+            last_zero(threads, cells),
+            Expectations::default(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazylocks::{DfsEnumeration, Dpor, ExploreConfig, Explorer};
+
+    #[test]
+    fn indexer_without_collisions_is_independent() {
+        // 2 threads, 4 slots, stride 2: probe sequences start at 0 and 2
+        // and never collide.
+        let p = indexer(2, 4, 2);
+        let stats = DfsEnumeration.explore(&p, &ExploreConfig::with_limit(100_000));
+        assert!(!stats.limit_hit);
+        assert_eq!(stats.unique_states, 1, "disjoint slots: one outcome");
+        assert_eq!(stats.unique_hbrs, 1, "no conflicts at all");
+    }
+
+    #[test]
+    fn indexer_with_collisions_has_orderings() {
+        // 2 threads, 2 slots, stride 0: both start at slot 0.
+        let p = indexer(2, 2, 0);
+        let stats = DfsEnumeration.explore(&p, &ExploreConfig::with_limit(100_000));
+        assert!(!stats.limit_hit);
+        assert!(stats.unique_states >= 2, "who wins slot 0 differs");
+        stats.check_inequality().unwrap();
+    }
+
+    #[test]
+    fn filesystem_assigns_without_deadlock() {
+        let p = filesystem(2, 2, 2);
+        let stats = Dpor::default().explore(&p, &ExploreConfig::with_limit(50_000));
+        assert_eq!(stats.deadlocks, 0);
+        assert!(stats.schedules > 0);
+    }
+
+    #[test]
+    fn last_zero_checker_outcomes_depend_on_interleaving() {
+        let p = last_zero(2, 2);
+        let stats = DfsEnumeration.explore(&p, &ExploreConfig::with_limit(200_000));
+        assert!(!stats.limit_hit);
+        assert!(stats.unique_states >= 2);
+        stats.check_inequality().unwrap();
+    }
+}

@@ -1,0 +1,202 @@
+//! Coarse-grained locking: one global mutex guarding everything.
+//!
+//! Four sub-patterns spanning the lazy-HBR benefit axis:
+//!
+//! * **disjoint** — every thread touches its own variable inside the
+//!   critical section. All lock orders reach the same state; the lazy HBR
+//!   collapses them to one class (big wins in Figure 2).
+//! * **mixed** — locked disjoint slots plus an unprotected racy shared
+//!   counter: lock-order diversity collapses lazily while the racy counter
+//!   keeps many lazy classes alive (the Figure 3 profile).
+//! * **readonly** — every thread only reads shared data inside the
+//!   critical section. Same collapse as disjoint.
+//! * **shared** — every thread mutates the *same* counter. Every lock
+//!   order is also a data order, so regular and lazy class counts
+//!   coincide (diagonal points).
+
+use super::Register;
+use crate::registry::Expectations;
+use lazylocks_model::{Program, ProgramBuilder, Value};
+
+/// One global lock; thread `i` increments its own variable `rounds` times.
+pub fn disjoint(threads: usize, rounds: usize) -> Program {
+    let mut b = ProgramBuilder::new(format!("coarse-disjoint-t{threads}-r{rounds}"));
+    let m = b.mutex("global");
+    let slots = b.var_array("slot", threads, 0);
+    for (i, &slot) in slots.iter().enumerate() {
+        b.thread(format!("T{i}"), |t| {
+            let r = t.alloc_reg();
+            t.repeat(rounds, |t, _| {
+                t.with_lock(m, |t| {
+                    t.load(r, slot);
+                    t.add(r, r, 1);
+                    t.store(slot, r);
+                });
+            });
+            t.set(r, 0);
+        });
+    }
+    b.build()
+}
+
+/// One global lock over disjoint slots **plus** an unprotected racy
+/// increment of a shared counter after the critical section. The lock
+/// orders are invisible to the lazy HBR while the racy counter keeps the
+/// lazy class count high — the profile where, under a binding schedule
+/// budget, lazy HBR caching reaches more distinct lazy classes than
+/// regular HBR caching (the paper's Figure 3 effect).
+pub fn disjoint_racy(threads: usize) -> Program {
+    let mut b = ProgramBuilder::new(format!("coarse-mixed-t{threads}"));
+    let m = b.mutex("global");
+    let shared = b.var("shared", 0);
+    let slots = b.var_array("slot", threads, 0);
+    for (i, &slot) in slots.iter().enumerate() {
+        b.thread(format!("T{i}"), |t| {
+            let r = t.alloc_reg();
+            t.with_lock(m, |t| {
+                t.load(r, slot);
+                t.add(r, r, 1);
+                t.store(slot, r);
+            });
+            // Unprotected read-modify-write: rich lazy-class structure.
+            t.load(r, shared);
+            t.add(r, r, 1);
+            t.store(shared, r);
+            t.set(r, 0);
+        });
+    }
+    b.build()
+}
+
+/// One global lock; every thread reads the shared configuration and keeps
+/// a private copy (registers normalised away afterwards).
+pub fn readonly(threads: usize) -> Program {
+    let mut b = ProgramBuilder::new(format!("coarse-readonly-t{threads}"));
+    let m = b.mutex("global");
+    let config = b.var("config", 42);
+    let outs = b.var_array("out", threads, 0);
+    for (i, &out) in outs.iter().enumerate() {
+        b.thread(format!("T{i}"), |t| {
+            let r = t.alloc_reg();
+            t.with_lock(m, |t| {
+                t.load(r, config);
+            });
+            t.store(out, r);
+            t.set(r, 0);
+        });
+    }
+    b.build()
+}
+
+/// One global lock; every thread increments the *same* counter.
+pub fn shared(threads: usize, rounds: usize) -> Program {
+    let mut b = ProgramBuilder::new(format!("coarse-shared-t{threads}-r{rounds}"));
+    let m = b.mutex("global");
+    let counter = b.var("counter", 0);
+    for i in 0..threads {
+        b.thread(format!("T{i}"), |t| {
+            let r = t.alloc_reg();
+            t.repeat(rounds, |t, _| {
+                t.with_lock(m, |t| {
+                    t.load(r, counter);
+                    t.add(r, r, (i + 1) as Value);
+                    t.store(counter, r);
+                });
+            });
+            t.set(r, 0);
+        });
+    }
+    b.build()
+}
+
+/// Registers the family (18 benchmarks: 4 disjoint + 4 mixed + 4 readonly
+/// + 6 shared).
+pub fn register(add: Register) {
+    for (threads, rounds) in [(2, 1), (3, 1), (4, 1), (5, 1)] {
+        add(
+            format!("coarse-disjoint-t{threads}-r{rounds}"),
+            "coarse",
+            format!(
+                "{threads} threads each increment a private slot {rounds}x under one global lock"
+            ),
+            disjoint(threads, rounds),
+            Expectations::default(),
+        );
+    }
+    for threads in [3, 4, 5, 6] {
+        add(
+            format!("coarse-mixed-t{threads}"),
+            "coarse",
+            format!(
+                "{threads} threads: locked disjoint slots plus a racy shared counter"
+            ),
+            disjoint_racy(threads),
+            Expectations::default(),
+        );
+    }
+    for threads in [2, 3, 4, 5] {
+        add(
+            format!("coarse-readonly-t{threads}"),
+            "coarse",
+            format!("{threads} threads read shared config under one global lock"),
+            readonly(threads),
+            Expectations::default(),
+        );
+    }
+    for (threads, rounds) in [(2, 1), (2, 2), (3, 1), (3, 2), (4, 1), (4, 2)] {
+        add(
+            format!("coarse-shared-t{threads}-r{rounds}"),
+            "coarse",
+            format!("{threads} threads add distinct amounts to one counter {rounds}x under one global lock"),
+            shared(threads, rounds),
+            Expectations::default(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazylocks::{DfsEnumeration, ExploreConfig, Explorer, HbrCaching};
+
+    #[test]
+    fn disjoint_has_single_lazy_class() {
+        let p = disjoint(2, 1);
+        let stats = DfsEnumeration.explore(&p, &ExploreConfig::with_limit(100_000));
+        assert!(!stats.limit_hit);
+        assert_eq!(stats.unique_states, 1);
+        assert_eq!(stats.unique_lazy_hbrs, 1);
+        assert_eq!(stats.unique_hbrs, 2, "two lock orders remain distinct");
+    }
+
+    #[test]
+    fn readonly_has_single_lazy_class() {
+        let p = readonly(3);
+        let stats = DfsEnumeration.explore(&p, &ExploreConfig::with_limit(100_000));
+        assert!(!stats.limit_hit);
+        assert_eq!(stats.unique_lazy_hbrs, 1);
+        assert_eq!(stats.unique_hbrs, 6, "3! lock orders");
+        assert_eq!(stats.unique_states, 1);
+    }
+
+    #[test]
+    fn shared_classes_coincide() {
+        // Every lock order is a data order: the two relations agree.
+        let p = shared(3, 1);
+        let stats = DfsEnumeration.explore(&p, &ExploreConfig::with_limit(100_000));
+        assert!(!stats.limit_hit);
+        assert_eq!(stats.unique_hbrs, stats.unique_lazy_hbrs);
+        // All increments commute arithmetically: one final state.
+        assert_eq!(stats.unique_states, 1);
+    }
+
+    #[test]
+    fn lazy_caching_wins_on_disjoint() {
+        let p = disjoint(3, 1);
+        let config = ExploreConfig::with_limit(100_000);
+        let lazy = HbrCaching::lazy().explore(&p, &config);
+        let regular = HbrCaching::regular().explore(&p, &config);
+        assert!(lazy.schedules < regular.schedules);
+        assert_eq!(lazy.unique_states, regular.unique_states);
+    }
+}

@@ -1,0 +1,293 @@
+//! Lock-free flag protocols — mutex-free benchmarks where the regular and
+//! lazy happens-before relations coincide exactly (diagonal points in
+//! Figure 2).
+//!
+//! Includes Peterson's and Dekker's mutual-exclusion algorithms (with
+//! bounded spinning and a mutual-exclusion assertion), the store-buffer
+//! litmus test, message passing over a ready flag, and an n-flag rendezvous.
+
+use super::Register;
+use crate::registry::Expectations;
+use lazylocks_model::{Program, ProgramBuilder, Value};
+
+/// Peterson's algorithm for two threads, with bounded spinning. Each
+/// thread enters the critical section (checked with an in-CS counter
+/// assertion) or gives up after `spins` failed checks.
+pub fn peterson(spins: usize) -> Program {
+    let mut b = ProgramBuilder::new("peterson");
+    let flag0 = b.var("flag0", 0);
+    let flag1 = b.var("flag1", 0);
+    let turn = b.var("turn", 0);
+    let in_cs = b.var("in_cs", 0);
+    let entered = b.var_array("entered", 2, 0);
+
+    #[allow(clippy::needless_range_loop)] // `me` is the thread id, not just an index
+    for me in 0..2usize {
+        let (my_flag, their_flag) = if me == 0 { (flag0, flag1) } else { (flag1, flag0) };
+        let other = 1 - me;
+        let my_entered = entered[me];
+        b.thread(format!("T{me}"), move |t| {
+            let rf = t.alloc_reg();
+            let rt = t.alloc_reg();
+            let rc = t.alloc_reg();
+            t.store(my_flag, 1);
+            t.store(turn, other as Value);
+            let enter = t.label();
+            let give_up = t.label();
+            for _ in 0..spins {
+                // May enter when the other flag is down or it is our turn.
+                t.load(rf, their_flag);
+                t.branch_if_zero(rf, enter);
+                t.load(rt, turn);
+                t.eq(rt, rt, me as Value);
+                t.branch_if(rt, enter);
+            }
+            t.jump(give_up);
+            t.bind(enter);
+            // Critical section with mutual-exclusion check.
+            t.load(rc, in_cs);
+            t.add(rc, rc, 1);
+            t.store(in_cs, rc);
+            t.load(rc, in_cs);
+            t.eq(rc, rc, 1);
+            t.assert_true(rc, "mutual exclusion violated");
+            t.store(in_cs, 0);
+            t.store(my_entered, 1);
+            t.bind(give_up);
+            t.store(my_flag, 0);
+            t.set(rf, 0);
+            t.set(rt, 0);
+            t.set(rc, 0);
+        });
+    }
+    b.build()
+}
+
+/// A *check-then-act* handshake (the broken cousin of Dekker's algorithm):
+/// each thread checks the other's flag **before** raising its own, so both
+/// can pass the check simultaneously and violate mutual exclusion — the
+/// classic time-of-check/time-of-use bug.
+pub fn dekker(spins: usize) -> Program {
+    let mut b = ProgramBuilder::new("dekker");
+    let flags = b.var_array("flag", 2, 0);
+    let in_cs = b.var("in_cs", 0);
+    for me in 0..2usize {
+        let my_flag = flags[me];
+        let their_flag = flags[1 - me];
+        b.thread(format!("T{me}"), move |t| {
+            let rf = t.alloc_reg();
+            let rc = t.alloc_reg();
+            let enter = t.label();
+            let give_up = t.label();
+            for _ in 0..spins {
+                t.load(rf, their_flag);
+                t.branch_if_zero(rf, enter); // TOCTOU: check before set
+            }
+            t.jump(give_up);
+            t.bind(enter);
+            t.store(my_flag, 1);
+            t.load(rc, in_cs);
+            t.add(rc, rc, 1);
+            t.store(in_cs, rc);
+            t.load(rc, in_cs);
+            t.eq(rc, rc, 1);
+            t.assert_true(rc, "mutual exclusion violated by check-then-act");
+            t.store(in_cs, 0);
+            t.store(my_flag, 0);
+            t.bind(give_up);
+            t.set(rf, 0);
+            t.set(rc, 0);
+        });
+    }
+    b.build()
+}
+
+/// The store-buffer litmus test: `T0: x=1; r0=y` / `T1: y=1; r1=x`. Under
+/// sequential consistency (our model) at least one thread observes the
+/// other's store.
+pub fn store_buffer() -> Program {
+    let mut b = ProgramBuilder::new("store-buffer");
+    let x = b.var("x", 0);
+    let y = b.var("y", 0);
+    let r0 = b.var("obs0", -1);
+    let r1 = b.var("obs1", -1);
+    b.thread("T0", |t| {
+        let r = t.alloc_reg();
+        t.store(x, 1);
+        t.load(r, y);
+        t.store(r0, r);
+        t.set(r, 0);
+    });
+    b.thread("T1", |t| {
+        let r = t.alloc_reg();
+        t.store(y, 1);
+        t.load(r, x);
+        t.store(r1, r);
+        t.set(r, 0);
+    });
+    b.build()
+}
+
+/// Message passing: the producer writes data then raises a ready flag; the
+/// consumer spins (bounded) on the flag and asserts it reads the payload
+/// when the flag was seen.
+pub fn message_passing(spins: usize) -> Program {
+    let mut b = ProgramBuilder::new("message-passing");
+    let data = b.var("data", 0);
+    let ready = b.var("ready", 0);
+    let got = b.var("got", -1);
+    b.thread("producer", |t| {
+        t.store(data, 42);
+        t.store(ready, 1);
+    });
+    b.thread("consumer", move |t| {
+        let rf = t.alloc_reg();
+        let rv = t.alloc_reg();
+        let have = t.label();
+        let give_up = t.label();
+        for _ in 0..spins {
+            t.load(rf, ready);
+            t.branch_if(rf, have);
+        }
+        t.jump(give_up);
+        t.bind(have);
+        t.load(rv, data);
+        t.eq(rf, rv, 42);
+        t.assert_true(rf, "consumer saw ready but stale data");
+        t.store(got, rv);
+        t.bind(give_up);
+        t.set(rf, 0);
+        t.set(rv, 0);
+    });
+    b.build()
+}
+
+/// `n`-thread rendezvous over flags: everyone raises a flag, then counts
+/// how many flags it can see.
+pub fn rendezvous(n: usize) -> Program {
+    let mut b = ProgramBuilder::new(format!("rendezvous-{n}"));
+    let flags = b.var_array("flag", n, 0);
+    let counts = b.var_array("count", n, 0);
+    for i in 0..n {
+        let flags = flags.clone();
+        let out = counts[i];
+        b.thread(format!("T{i}"), move |t| {
+            let rs = t.alloc_reg();
+            let rv = t.alloc_reg();
+            t.store(flags[i], 1);
+            t.set(rs, 0);
+            for (j, &f) in flags.iter().enumerate() {
+                if j != i {
+                    t.load(rv, f);
+                    t.add(rs, rs, rv);
+                }
+            }
+            t.store(out, rs);
+            t.set(rs, 0);
+            t.set(rv, 0);
+        });
+    }
+    b.build()
+}
+
+/// Registers the family (6 benchmarks).
+pub fn register(add: Register) {
+    add(
+        "peterson".to_string(),
+        "flags",
+        "Peterson's mutual exclusion with bounded spins and an in-CS assertion".to_string(),
+        peterson(2),
+        Expectations::default(),
+    );
+    add(
+        "dekker".to_string(),
+        "flags",
+        "check-then-act flag handshake; violates mutual exclusion (TOCTOU)".to_string(),
+        dekker(2),
+        Expectations {
+            may_fail_assert: true,
+            ..Expectations::default()
+        },
+    );
+    add(
+        "store-buffer".to_string(),
+        "flags",
+        "the SB litmus test under sequential consistency".to_string(),
+        store_buffer(),
+        Expectations::default(),
+    );
+    add(
+        "message-passing".to_string(),
+        "flags",
+        "flag-guarded hand-off of a payload with a staleness assertion".to_string(),
+        message_passing(2),
+        Expectations::default(),
+    );
+    add(
+        "rendezvous-2".to_string(),
+        "flags",
+        "2-thread flag rendezvous".to_string(),
+        rendezvous(2),
+        Expectations::default(),
+    );
+    add(
+        "rendezvous-3".to_string(),
+        "flags",
+        "3-thread flag rendezvous".to_string(),
+        rendezvous(3),
+        Expectations::default(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazylocks::{DfsEnumeration, Dpor, ExploreConfig, Explorer};
+
+    #[test]
+    fn mutex_free_programs_sit_on_the_diagonal() {
+        for p in [store_buffer(), rendezvous(2), message_passing(2)] {
+            let stats = DfsEnumeration.explore(&p, &ExploreConfig::with_limit(500_000));
+            assert!(!stats.limit_hit, "{}", p.name());
+            assert_eq!(
+                stats.unique_hbrs, stats.unique_lazy_hbrs,
+                "{}: no mutexes → identical relations",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn peterson_preserves_mutual_exclusion() {
+        let stats = Dpor::default().explore(&peterson(2), &ExploreConfig::with_limit(200_000));
+        assert_eq!(
+            stats.faulted_schedules, 0,
+            "Peterson must never violate mutual exclusion"
+        );
+    }
+
+    #[test]
+    fn dekker_naive_check_can_fail() {
+        // The simplified flag check admits both threads at once.
+        let stats = Dpor::default().explore(&dekker(2), &ExploreConfig::with_limit(200_000));
+        assert!(
+            stats.faulted_schedules > 0,
+            "the naive handshake must violate mutual exclusion somewhere"
+        );
+    }
+
+    #[test]
+    fn store_buffer_has_three_outcomes() {
+        // (obs0, obs1) ∈ {(0,1), (1,0), (1,1)} — never (0,0) under SC.
+        let stats = DfsEnumeration.explore(&store_buffer(), &ExploreConfig::with_limit(100_000));
+        assert!(!stats.limit_hit);
+        assert_eq!(stats.unique_states, 3);
+    }
+
+    #[test]
+    fn message_passing_never_sees_stale_data() {
+        let stats =
+            Dpor::default().explore(&message_passing(2), &ExploreConfig::with_limit(200_000));
+        assert_eq!(stats.faulted_schedules, 0, "SC forbids stale reads here");
+    }
+}

@@ -1,0 +1,39 @@
+//! Benchmark families.
+//!
+//! Each module contributes a fixed number of benchmarks to the registry via
+//! its `register` function; together they form the 79-program corpus:
+//!
+//! | module | programs | pattern |
+//! |--------|----------|---------|
+//! | [`paper`] | 1 | the worked example of the paper's Figure 1 |
+//! | [`coarse`] | 18 | one global lock over disjoint / read-only / shared data |
+//! | [`fine`] | 6 | per-element locks |
+//! | [`accounts`] | 8 | bank transfers, coarse and per-account locking |
+//! | [`buffer`] | 6 | bounded producer/consumer ring |
+//! | [`philosophers`] | 6 | dining philosophers, deadlocking and ordered |
+//! | [`rw`] | 5 | readers/writers built from a mutex |
+//! | [`classic`] | 12 | indexer, filesystem (Flanagan–Godefroid), last-zero |
+//! | [`flags`] | 6 | lock-free flag protocols (Peterson, Dekker, litmus) |
+//! | [`barrier`] | 4 | spin barrier over a locked counter |
+//! | [`pipeline`] | 4 | staged hand-off chains |
+//! | [`workqueue`] | 3 | locked work-stealing index over disjoint items |
+
+pub mod accounts;
+pub mod barrier;
+pub mod buffer;
+pub mod classic;
+pub mod coarse;
+pub mod fine;
+pub mod flags;
+pub mod paper;
+pub mod philosophers;
+pub mod pipeline;
+pub mod rw;
+pub mod workqueue;
+
+use crate::registry::Expectations;
+use lazylocks_model::Program;
+
+/// The callback each family feeds benchmarks into:
+/// `(name, family, description, program, expectations)`.
+pub type Register<'a> = &'a mut dyn FnMut(String, &'static str, String, Program, Expectations);

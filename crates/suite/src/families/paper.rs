@@ -1,0 +1,65 @@
+//! The paper's Figure 1 worked example.
+
+use super::Register;
+use crate::registry::Expectations;
+use lazylocks_model::{ProgramBuilder, Program, Reg};
+
+/// Builds the exact program of the paper's Figure 1:
+///
+/// ```text
+/// T1: lock(m) read(x) unlock(m) write(y)
+/// T2: write(z) lock(m) read(x) unlock(m)
+/// ```
+///
+/// Under the regular HBR this program has two equivalence classes (one per
+/// lock order); under the lazy HBR it has one, and both classes reach the
+/// same state — the paper's §2 observation.
+pub fn figure1() -> Program {
+    let mut b = ProgramBuilder::new("paper-figure1");
+    let x = b.var("x", 0);
+    let y = b.var("y", 0);
+    let z = b.var("z", 0);
+    let m = b.mutex("m");
+    b.thread("T1", |t| {
+        t.lock(m);
+        t.load(Reg(0), x);
+        t.unlock(m);
+        t.store(y, Reg(0));
+    });
+    b.thread("T2", |t| {
+        t.store(z, 1);
+        t.lock(m);
+        t.load(Reg(0), x);
+        t.unlock(m);
+    });
+    b.build()
+}
+
+/// Registers the family (1 benchmark).
+pub fn register(add: Register) {
+    add(
+        "paper-figure1".to_string(),
+        "paper",
+        "the worked example of the paper's Figure 1: 2 regular HBR classes, 1 lazy class"
+            .to_string(),
+        figure1(),
+        Expectations::default(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_matches_paper_class_counts() {
+        use lazylocks::{DfsEnumeration, ExploreConfig, Explorer};
+        let p = figure1();
+        let stats = DfsEnumeration.explore(&p, &ExploreConfig::with_limit(100_000));
+        assert!(!stats.limit_hit);
+        assert_eq!(stats.unique_hbrs, 2, "two lock orders");
+        assert_eq!(stats.unique_lazy_hbrs, 1, "one lazy class");
+        assert_eq!(stats.unique_states, 1, "a single final state");
+        stats.check_inequality().unwrap();
+    }
+}

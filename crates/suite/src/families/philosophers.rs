@@ -1,0 +1,99 @@
+//! Dining philosophers.
+//!
+//! Philosopher `i` takes fork `i` then fork `(i+1) % n`, "eats" (writes a
+//! private plate variable), and puts the forks back. The **naive** variant
+//! deadlocks when everyone holds their left fork; the **ordered** variant
+//! breaks the cycle by making the last philosopher take forks in the
+//! opposite order (the textbook fix).
+//!
+//! Because eating only touches private plates, *all* complete schedules
+//! reach the same state and the lazy HBR collapses the fork-acquisition
+//! orders — philosophers are among the strongest below-diagonal points in
+//! Figure 2, while still exercising deadlock detection.
+
+use super::Register;
+use crate::registry::Expectations;
+use lazylocks_model::{Program, ProgramBuilder, Value};
+
+/// `n` philosophers; `ordered` applies the deadlock-avoiding fix.
+pub fn philosophers(n: usize, ordered: bool) -> Program {
+    let kind = if ordered { "ordered" } else { "naive" };
+    let mut b = ProgramBuilder::new(format!("philosophers-{kind}-{n}"));
+    let forks = b.mutex_array("fork", n);
+    let plates = b.var_array("plate", n, 0);
+    for i in 0..n {
+        let left = forks[i];
+        let right = forks[(i + 1) % n];
+        let plate = plates[i];
+        let (first, second) = if ordered && i == n - 1 {
+            (right, left)
+        } else {
+            (left, right)
+        };
+        b.thread(format!("P{i}"), move |t| {
+            t.lock(first);
+            t.lock(second);
+            t.store(plate, (i + 1) as Value); // eat
+            t.unlock(second);
+            t.unlock(first);
+        });
+    }
+    b.build()
+}
+
+/// Registers the family (6 benchmarks).
+pub fn register(add: Register) {
+    for n in [2, 3, 4] {
+        add(
+            format!("philosophers-naive-{n}"),
+            "philosophers",
+            format!("{n} dining philosophers, naive fork order (deadlocks)"),
+            philosophers(n, false),
+            Expectations {
+                may_deadlock: true,
+                ..Expectations::default()
+            },
+        );
+    }
+    for n in [2, 3, 4] {
+        add(
+            format!("philosophers-ordered-{n}"),
+            "philosophers",
+            format!("{n} dining philosophers, ordered fork acquisition (deadlock-free)"),
+            philosophers(n, true),
+            Expectations::default(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazylocks::{DfsEnumeration, Dpor, ExploreConfig, Explorer};
+
+    #[test]
+    fn naive_deadlocks_and_ordered_does_not() {
+        for n in [2, 3] {
+            let naive = Dpor::default()
+                .explore(&philosophers(n, false), &ExploreConfig::with_limit(50_000));
+            assert!(naive.deadlocks > 0, "naive {n} philosophers must deadlock");
+            let ordered = DfsEnumeration
+                .explore(&philosophers(n, true), &ExploreConfig::with_limit(200_000));
+            assert!(!ordered.limit_hit);
+            assert_eq!(ordered.deadlocks, 0, "ordered {n} must be deadlock-free");
+        }
+    }
+
+    #[test]
+    fn complete_schedules_share_one_lazy_class() {
+        // Eating writes private plates: every complete schedule reaches the
+        // same state, and the lazy HBR sees a single class among completed
+        // (non-deadlocked) executions of the ordered variant.
+        let stats = DfsEnumeration
+            .explore(&philosophers(2, true), &ExploreConfig::with_limit(200_000));
+        assert!(!stats.limit_hit);
+        assert_eq!(stats.unique_states, 1);
+        assert_eq!(stats.unique_lazy_hbrs, 1);
+        assert!(stats.unique_hbrs > 1, "fork orders stay distinct regularly");
+    }
+}

@@ -1,0 +1,18 @@
+//! Shared helpers for the runnable examples.
+
+use lazylocks::ExploreStats;
+
+/// Prints the standard counter block the examples share.
+pub fn print_summary(label: &str, stats: &ExploreStats) {
+    println!("── {label}");
+    println!(
+        "   schedules={} states={} lazyHBRs={} HBRs={} deadlocks={} faults={}{}",
+        stats.schedules,
+        stats.unique_states,
+        stats.unique_lazy_hbrs,
+        stats.unique_hbrs,
+        stats.deadlocks,
+        stats.faulted_schedules,
+        if stats.limit_hit { " (limit)" } else { "" },
+    );
+}

@@ -1,0 +1,139 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use lazylocks::{DfsEnumeration, ExploreConfig, ExploreStats, Explorer};
+use lazylocks_model::{Program, ProgramBuilder, Reg, Value};
+use lazylocks_runtime::{Event, ExecPhase, Executor, StateSnapshot};
+
+/// Exhaustive ground truth for `program`: `None` if the schedule space
+/// exceeds `limit` (the caller should then skip exact comparisons).
+pub fn ground_truth(program: &Program, limit: usize) -> Option<ExploreStats> {
+    let stats = DfsEnumeration.explore(program, &ExploreConfig::with_limit(limit));
+    if stats.limit_hit || stats.truncated_runs > 0 {
+        None
+    } else {
+        Some(stats)
+    }
+}
+
+/// Every complete run of `program` as `(trace, terminal state)`, capped at
+/// `cap` runs (returns `None` when the cap is hit).
+pub fn all_runs(program: &Program, cap: usize) -> Option<Vec<(Vec<Event>, StateSnapshot)>> {
+    let mut out = Vec::new();
+    let complete = dfs_runs(&Executor::new(program), &mut Vec::new(), &mut out, cap);
+    complete.then_some(out)
+}
+
+fn dfs_runs(
+    exec: &Executor,
+    trace: &mut Vec<Event>,
+    out: &mut Vec<(Vec<Event>, StateSnapshot)>,
+    cap: usize,
+) -> bool {
+    if out.len() >= cap {
+        return false;
+    }
+    if !matches!(exec.phase(), ExecPhase::Running) {
+        out.push((trace.clone(), exec.snapshot()));
+        return true;
+    }
+    for t in exec.enabled_threads() {
+        let mut child = exec.clone();
+        let step = child.step(t);
+        let pushed = step.event.is_some();
+        if let Some(e) = step.event {
+            trace.push(e);
+        }
+        let ok = dfs_runs(&child, trace, out, cap);
+        if pushed {
+            trace.pop();
+        }
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// A deterministic family of small random-ish programs for property tests.
+/// `spec` bytes select threads, per-thread operation sequences, and
+/// locking; every program is loop-free, hence finite.
+pub fn program_from_spec(spec: &[u8]) -> Program {
+    let mut b = ProgramBuilder::new("generated");
+    let n_vars = 2 + (spec.first().copied().unwrap_or(0) as usize % 2); // 2..=3
+    let vars = b.var_array("v", n_vars, 0);
+    let m0 = b.mutex("m0");
+    let m1 = b.mutex("m1");
+    let n_threads = 2 + (spec.get(1).copied().unwrap_or(0) as usize % 2); // 2..=3
+
+    for tix in 0..n_threads {
+        let vars = vars.clone();
+        let slice: Vec<u8> = spec
+            .iter()
+            .copied()
+            .skip(2 + tix * 4)
+            .take(4)
+            .collect();
+        b.thread(format!("T{tix}"), move |t| {
+            let r = Reg(0);
+            let mut held0 = false;
+            let mut held1 = false;
+            for &op in &slice {
+                let var = vars[op as usize % vars.len()];
+                match op % 7 {
+                    0 => t.load(r, var),
+                    1 => t.store(var, (op as Value) % 5),
+                    2 => {
+                        t.load(r, var);
+                        t.add(r, r, 1);
+                        t.store(var, r);
+                    }
+                    3 => {
+                        if !held0 {
+                            t.lock(m0);
+                            held0 = true;
+                        }
+                    }
+                    4 => {
+                        if held0 {
+                            t.unlock(m0);
+                            held0 = false;
+                        }
+                    }
+                    5 => {
+                        if !held1 && !held0 {
+                            // Only lock m1 when not holding m0: keeps the
+                            // generated corpus deadlock-free so state
+                            // comparisons stay meaningful.
+                            t.lock(m1);
+                            held1 = true;
+                        }
+                    }
+                    _ => {
+                        if held1 {
+                            t.unlock(m1);
+                            held1 = false;
+                        }
+                    }
+                }
+            }
+            if held0 {
+                t.unlock(m0);
+            }
+            if held1 {
+                t.unlock(m1);
+            }
+            t.set(r, 0);
+        });
+    }
+    b.build()
+}
+
+/// The exhaustible subset of the benchmark corpus: programs whose full
+/// schedule space fits under `limit` complete schedules. Used to keep
+/// exact-agreement tests fast and deterministic.
+pub fn exhaustible_benchmarks(limit: usize) -> Vec<(lazylocks_suite::Benchmark, ExploreStats)> {
+    lazylocks_suite::all()
+        .into_iter()
+        .filter_map(|b| ground_truth(&b.program, limit).map(|g| (b, g)))
+        .collect()
+}

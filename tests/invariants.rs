@@ -1,0 +1,100 @@
+//! The paper's §3 counting inequality, asserted across the entire corpus
+//! and every strategy:
+//!
+//! ```text
+//! #states ≤ #lazy HBRs ≤ #HBRs ≤ #schedules ≤ limit
+//! ```
+
+use lazylocks::{ExploreConfig, Strategy};
+
+const LIMIT: usize = 1_500;
+
+fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Dfs,
+        Strategy::Dpor { sleep_sets: true },
+        Strategy::Dpor { sleep_sets: false },
+        Strategy::HbrCaching,
+        Strategy::LazyHbrCaching,
+        Strategy::LazyDpor,
+        Strategy::Random,
+    ]
+}
+
+#[test]
+fn inequality_holds_for_every_benchmark_under_dpor() {
+    for bench in lazylocks_suite::all() {
+        let stats = Strategy::Dpor { sleep_sets: true }
+            .run(&bench.program, &ExploreConfig::with_limit(LIMIT));
+        stats
+            .check_inequality()
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        assert!(
+            stats.schedules <= LIMIT,
+            "{}: schedule limit not respected",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn inequality_holds_for_every_strategy_on_representatives() {
+    // One representative per family keeps the full cross-product fast.
+    let representatives = [
+        "paper-figure1",
+        "coarse-disjoint-t3-r1",
+        "coarse-shared-t2-r2",
+        "fine-t3-e2",
+        "accounts-coarse-shared2",
+        "accounts-fine-deadlock2",
+        "buffer-c1-p1x1",
+        "philosophers-naive-3",
+        "rw-r1-w1",
+        "indexer-t2-s2",
+        "fs-t2-i2-b2",
+        "lastzero-t2-n2",
+        "peterson",
+        "barrier-2-s1",
+        "pipeline-2-s2",
+        "workqueue-w2-i2",
+    ];
+    for name in representatives {
+        let bench = lazylocks_suite::by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+        for strategy in strategies() {
+            let stats = strategy.run(&bench.program, &ExploreConfig::with_limit(LIMIT));
+            stats
+                .check_inequality()
+                .unwrap_or_else(|e| panic!("{name} under {strategy:?}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn lazy_class_count_never_exceeds_regular_anywhere() {
+    for bench in lazylocks_suite::all() {
+        let stats = Strategy::Dpor { sleep_sets: true }
+            .run(&bench.program, &ExploreConfig::with_limit(LIMIT));
+        assert!(
+            stats.unique_lazy_hbrs <= stats.unique_hbrs,
+            "{}: {} lazy classes > {} regular classes",
+            bench.name,
+            stats.unique_lazy_hbrs,
+            stats.unique_hbrs
+        );
+    }
+}
+
+#[test]
+fn mutex_free_benchmarks_sit_exactly_on_the_diagonal() {
+    for bench in lazylocks_suite::all() {
+        if !bench.program.mutexes().is_empty() {
+            continue;
+        }
+        let stats = Strategy::Dfs.run(&bench.program, &ExploreConfig::with_limit(LIMIT));
+        assert_eq!(
+            stats.unique_hbrs, stats.unique_lazy_hbrs,
+            "{}: mutex-free program must have identical relations",
+            bench.name
+        );
+    }
+}

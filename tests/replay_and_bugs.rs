@@ -1,0 +1,115 @@
+//! Bug reporting and deterministic replay across the corpus, plus
+//! race-detector integration.
+
+use lazylocks::{detect_races, Dpor, ExploreConfig, Explorer, RandomWalk, Strategy};
+use lazylocks_runtime::{run_schedule, RunStatus};
+
+#[test]
+fn every_reported_bug_replays_deterministically() {
+    for bench in lazylocks_suite::all() {
+        if !bench.expect.may_deadlock && !bench.expect.may_fail_assert {
+            continue;
+        }
+        let stats = Dpor::default().explore(
+            &bench.program,
+            &ExploreConfig::with_limit(20_000).stopping_on_bug(),
+        );
+        let bug = stats
+            .first_bug
+            .unwrap_or_else(|| panic!("{}: flagged benchmark produced no bug", bench.name));
+        let replay = bug
+            .reproduce(&bench.program)
+            .unwrap_or_else(|e| panic!("{}: bug schedule infeasible: {e}", bench.name));
+        if bug.is_deadlock() {
+            assert!(
+                replay.status.is_deadlock(),
+                "{}: replay lost the deadlock",
+                bench.name
+            );
+        } else {
+            assert!(
+                !replay.faults.is_empty(),
+                "{}: replay lost the fault",
+                bench.name
+            );
+        }
+    }
+}
+
+#[test]
+fn random_and_systematic_find_the_same_bug_classes() {
+    // For the deadlocking benchmarks, a seeded random walk budget usually
+    // stumbles on the deadlock too; where it does, the bug kind agrees.
+    for name in ["philosophers-naive-2", "accounts-fine-deadlock2"] {
+        let bench = lazylocks_suite::by_name(name).unwrap();
+        let systematic = Dpor::default().explore(
+            &bench.program,
+            &ExploreConfig::with_limit(20_000).stopping_on_bug(),
+        );
+        assert!(systematic.first_bug.as_ref().unwrap().is_deadlock());
+        let random = RandomWalk.explore(
+            &bench.program,
+            &ExploreConfig::with_limit(2_000).stopping_on_bug().seeded(5),
+        );
+        if let Some(bug) = &random.first_bug {
+            assert!(bug.is_deadlock(), "{name}: bug kinds disagree");
+        }
+    }
+}
+
+#[test]
+fn race_detector_flags_racy_corpus_traces_and_clears_locked_ones() {
+    // Flag-based protocols race by design; fully-locked coarse benchmarks
+    // are race-free on every trace.
+    let racy = lazylocks_suite::by_name("store-buffer").unwrap();
+    let run = run_schedule(&racy.program, &[]).unwrap();
+    assert_eq!(run.status, RunStatus::Completed);
+    assert!(
+        !detect_races(&racy.program, &run.trace).is_empty(),
+        "store-buffer must race"
+    );
+
+    let locked = lazylocks_suite::by_name("coarse-shared-t2-r1").unwrap();
+    let run = run_schedule(&locked.program, &[]).unwrap();
+    assert!(
+        detect_races(&locked.program, &run.trace).is_empty(),
+        "coarse-locked counter must be race-free"
+    );
+}
+
+#[test]
+fn stop_on_bug_reduces_work_everywhere_bugs_exist() {
+    for bench in lazylocks_suite::all() {
+        if !bench.expect.may_deadlock {
+            continue;
+        }
+        let full = Dpor::default().explore(&bench.program, &ExploreConfig::with_limit(20_000));
+        let stopped = Dpor::default().explore(
+            &bench.program,
+            &ExploreConfig::with_limit(20_000).stopping_on_bug(),
+        );
+        assert!(
+            stopped.schedules <= full.schedules,
+            "{}: stop-on-bug did more work",
+            bench.name
+        );
+        assert!(stopped.found_bug(), "{}", bench.name);
+    }
+}
+
+#[test]
+fn bug_schedules_are_minimal_prefixes_of_their_runs() {
+    // The recorded schedule stops at the buggy terminal: replaying it and
+    // extending it deterministically reaches the same outcome.
+    let bench = lazylocks_suite::by_name("philosophers-naive-3").unwrap();
+    let stats = Strategy::Dpor { sleep_sets: true }.run(
+        &bench.program,
+        &ExploreConfig::with_limit(20_000).stopping_on_bug(),
+    );
+    let bug = stats.first_bug.unwrap();
+    assert_eq!(
+        bug.schedule.len(),
+        bug.trace_len,
+        "every deadlock-path step produced an event"
+    );
+}

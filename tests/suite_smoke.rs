@@ -1,0 +1,93 @@
+//! Corpus-wide smoke tests: every benchmark runs under every strategy
+//! without panicking, bug expectations hold, and the text format
+//! round-trips every program.
+
+use lazylocks::{ExploreConfig, Strategy};
+use lazylocks_model::Program;
+
+#[test]
+fn all_79_run_under_dpor_and_caching() {
+    let config = ExploreConfig::with_limit(400);
+    for bench in lazylocks_suite::all() {
+        for strategy in [
+            Strategy::Dpor { sleep_sets: true },
+            Strategy::HbrCaching,
+            Strategy::LazyHbrCaching,
+            Strategy::LazyDpor,
+        ] {
+            let stats = strategy.run(&bench.program, &config);
+            assert!(stats.schedules > 0, "{} under {strategy:?}", bench.name);
+            assert_eq!(
+                stats.truncated_runs, 0,
+                "{}: corpus programs must have bounded runs",
+                bench.name
+            );
+        }
+    }
+}
+
+#[test]
+fn deadlock_expectations_hold() {
+    for bench in lazylocks_suite::all() {
+        let stats = Strategy::Dpor { sleep_sets: true }
+            .run(&bench.program, &ExploreConfig::with_limit(20_000));
+        if bench.expect.may_deadlock {
+            assert!(
+                stats.deadlocks > 0,
+                "{} is flagged may_deadlock but none was found",
+                bench.name
+            );
+        } else {
+            assert_eq!(
+                stats.deadlocks, 0,
+                "{} deadlocked but is not flagged",
+                bench.name
+            );
+        }
+    }
+}
+
+#[test]
+fn assertion_expectations_hold() {
+    for bench in lazylocks_suite::all() {
+        let stats = Strategy::Dpor { sleep_sets: true }
+            .run(&bench.program, &ExploreConfig::with_limit(20_000));
+        if bench.expect.may_fail_assert {
+            assert!(
+                stats.faulted_schedules > 0,
+                "{} is flagged may_fail_assert but no fault was found",
+                bench.name
+            );
+        } else {
+            assert_eq!(
+                stats.faulted_schedules, 0,
+                "{} faulted but is not flagged",
+                bench.name
+            );
+        }
+    }
+}
+
+#[test]
+fn every_benchmark_round_trips_through_the_text_format() {
+    for bench in lazylocks_suite::all() {
+        let source = bench.program.to_source();
+        let reparsed = Program::parse(&source)
+            .unwrap_or_else(|e| panic!("{}: pretty output fails to parse: {e}", bench.name));
+        assert_eq!(
+            bench.program, reparsed,
+            "{}: text round trip changed the program",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn random_walks_cover_every_benchmark() {
+    // A cheap liveness check: random scheduling completes runs everywhere.
+    for bench in lazylocks_suite::all() {
+        let stats = Strategy::Random.run(&bench.program, &ExploreConfig::with_limit(25).seeded(11));
+        assert_eq!(stats.schedules, 25, "{}", bench.name);
+        assert_eq!(stats.truncated_runs, 0, "{}", bench.name);
+    }
+}

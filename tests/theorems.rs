@@ -1,0 +1,160 @@
+//! Machine-checked versions of the paper's Theorems 2.1 and 2.2, plus the
+//! counting argument from the Theorem 2.2 proof sketch, over corpus
+//! programs small enough to enumerate exhaustively.
+
+use lazylocks_hbr::{replay_events, HbBuilder, HbMode};
+use lazylocks_integration::all_runs;
+use lazylocks_model::VisibleKind;
+use std::collections::{HashMap, HashSet};
+
+/// Small corpus programs for the exhaustive theorem checks.
+fn theorem_subjects() -> Vec<lazylocks_suite::Benchmark> {
+    [
+        "paper-figure1",
+        "coarse-disjoint-t2-r1",
+        "coarse-readonly-t2",
+        "coarse-shared-t2-r1",
+        "fine-t2-e2",
+        "accounts-coarse-disjoint2",
+        "philosophers-ordered-2",
+        "store-buffer",
+        "rendezvous-2",
+        "indexer-t2-s2",
+        "lastzero-t1-n2",
+        "workqueue-w2-i2",
+    ]
+    .iter()
+    .map(|n| lazylocks_suite::by_name(n).unwrap_or_else(|| panic!("missing benchmark {n}")))
+    .collect()
+}
+
+#[test]
+fn theorem_2_1_linearizations_feasible_and_state_equal() {
+    // For every explored schedule: every linearization of its regular HBR
+    // is feasible, re-executes the same events, and reaches the same state.
+    for bench in theorem_subjects() {
+        let runs = all_runs(&bench.program, 20_000)
+            .unwrap_or_else(|| panic!("{} not exhaustible", bench.name));
+        // Deduplicate by relation to keep the enumeration affordable.
+        let mut seen = HashSet::new();
+        for (trace, state) in &runs {
+            let rel = HbBuilder::from_trace(HbMode::Regular, &bench.program, trace);
+            if !seen.insert(rel.fingerprint()) {
+                continue;
+            }
+            let lins = rel.linearizations(2_000);
+            assert!(lins.complete(), "{}: linearization blow-up", bench.name);
+            for order in lins.orders() {
+                let run = replay_events(&bench.program, order).unwrap_or_else(|e| {
+                    panic!("{}: Theorem 2.1 violated, infeasible: {e}", bench.name)
+                });
+                assert_eq!(
+                    &run.trace, order,
+                    "{}: linearization diverged during replay",
+                    bench.name
+                );
+                assert_eq!(
+                    &run.state, state,
+                    "{}: Theorem 2.1 violated, different state",
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem_2_2_equal_lazy_hbr_implies_equal_state() {
+    for bench in theorem_subjects() {
+        let runs = all_runs(&bench.program, 20_000)
+            .unwrap_or_else(|| panic!("{} not exhaustible", bench.name));
+        let mut state_of: HashMap<u128, &lazylocks_runtime::StateSnapshot> = HashMap::new();
+        for (trace, state) in &runs {
+            let fp = HbBuilder::from_trace(HbMode::Lazy, &bench.program, trace).fingerprint();
+            if let Some(prev) = state_of.insert(fp, state) {
+                assert_eq!(
+                    prev, state,
+                    "{}: Theorem 2.2 violated — same lazy HBR, different states",
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem_2_2_counting_argument_mutex_state() {
+    // Proof-sketch ingredient: two feasible schedules with the same lazy
+    // HBR contain the same lock/unlock events, so they end with the same
+    // mutex state. Verified directly on terminal snapshots.
+    for bench in theorem_subjects() {
+        let runs = all_runs(&bench.program, 20_000).unwrap();
+        let mut mutexes_of: HashMap<u128, Vec<Option<lazylocks_model::ThreadId>>> = HashMap::new();
+        for (trace, state) in &runs {
+            let fp = HbBuilder::from_trace(HbMode::Lazy, &bench.program, trace).fingerprint();
+            let owners = state.mutex_owner().to_vec();
+            if let Some(prev) = mutexes_of.insert(fp, owners.clone()) {
+                assert_eq!(prev, owners, "{}: mutex counting argument broken", bench.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn lazy_linearizations_may_block_but_feasible_ones_agree() {
+    // The §2 caveat: not all linearizations of a lazy HBR are feasible.
+    // On the paper's own example some must block, and the feasible ones
+    // reach exactly one state.
+    let bench = lazylocks_suite::by_name("coarse-disjoint-t2-r1").unwrap();
+    let runs = all_runs(&bench.program, 20_000).unwrap();
+    let (trace, _) = &runs[0];
+    let rel = HbBuilder::from_trace(HbMode::Lazy, &bench.program, trace);
+    let lins = rel.linearizations(10_000);
+    assert!(lins.complete());
+    let mut feasible = 0;
+    let mut infeasible = 0;
+    let mut states = HashSet::new();
+    for order in lins.orders() {
+        match replay_events(&bench.program, order) {
+            Ok(run) if run.trace == *order => {
+                feasible += 1;
+                states.insert(run.state);
+            }
+            _ => infeasible += 1,
+        }
+    }
+    assert!(feasible >= 2, "both lock orders are feasible");
+    assert!(
+        infeasible > 0,
+        "interleaving the critical sections must be infeasible"
+    );
+    assert_eq!(states.len(), 1, "Theorem 2.2 on the feasible subset");
+}
+
+#[test]
+fn hbr_refinement_and_event_multisets() {
+    // Same regular HBR ⇒ same lazy HBR, and same lazy HBR ⇒ identical
+    // per-thread event sequences (in particular the same lock/unlock
+    // multiset, the other counting-argument ingredient).
+    for bench in theorem_subjects() {
+        let runs = all_runs(&bench.program, 20_000).unwrap();
+        let mut lazy_of_regular: HashMap<u128, u128> = HashMap::new();
+        let mut locks_of_lazy: HashMap<u128, Vec<(VisibleKind, usize)>> = HashMap::new();
+        for (trace, _) in &runs {
+            let reg = HbBuilder::from_trace(HbMode::Regular, &bench.program, trace).fingerprint();
+            let lazy = HbBuilder::from_trace(HbMode::Lazy, &bench.program, trace).fingerprint();
+            if let Some(prev) = lazy_of_regular.insert(reg, lazy) {
+                assert_eq!(prev, lazy, "{}: refinement broken", bench.name);
+            }
+            let mut locks: Vec<(VisibleKind, usize)> = trace
+                .iter()
+                .filter(|e| e.kind.is_mutex_op())
+                .map(|e| (e.kind, e.thread().index()))
+                .collect();
+            locks.sort_by_key(|&(k, t)| (t, format!("{k}")));
+            if let Some(prev) = locks_of_lazy.insert(lazy, locks.clone()) {
+                assert_eq!(prev, locks, "{}: lock multiset differs in a lazy class", bench.name);
+            }
+        }
+    }
+}
