@@ -1,67 +1,63 @@
 //! Ablation benches for the design choices DESIGN.md calls out:
 //! sleep sets on/off, terminal-only vs prefix caching surrogate
 //! (regular vs lazy cache keys), and parallel DFS worker scaling.
+//!
+//! Strategies are built from registry spec strings — the same entry point
+//! the CLI and the session API use.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lazylocks::{Dpor, ExploreConfig, Explorer, HbrCaching, ParallelDfs};
+use lazylocks::{ExploreConfig, StrategyRegistry};
+use lazylocks_bench::timing::{black_box, Group};
 
-fn sleep_set_ablation(c: &mut Criterion) {
-    let subjects = ["coarse-shared-t3-r1", "philosophers-ordered-3", "rw-r2-w1"];
-    let mut group = c.benchmark_group("ablation_sleep_sets");
-    for name in subjects {
-        let bench = lazylocks_suite::by_name(name).expect("corpus benchmark");
-        let config = ExploreConfig::with_limit(2_000);
-        group.bench_with_input(BenchmarkId::new("dpor", name), &bench, |b, bench| {
-            b.iter(|| {
-                Dpor {
-                    sleep_sets: false,
-                    ..Dpor::default()
-                }
-                .explore(&bench.program, &config)
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("dpor-sleep", name), &bench, |b, bench| {
-            b.iter(|| {
-                Dpor {
-                    sleep_sets: true,
-                    ..Dpor::default()
-                }
-                .explore(&bench.program, &config)
-            })
+fn bench_specs(
+    group: &Group,
+    registry: &StrategyRegistry,
+    subject: &str,
+    specs: &[&str],
+    limit: usize,
+) {
+    let bench = lazylocks_suite::by_name(subject).expect("corpus benchmark");
+    let config = ExploreConfig::with_limit(limit);
+    for spec in specs {
+        let explorer = registry.create(spec).expect("registered spec");
+        group.bench(&format!("{spec}/{subject}"), || {
+            black_box(explorer.explore(&bench.program, &config));
         });
     }
-    group.finish();
 }
 
-fn cache_mode_ablation(c: &mut Criterion) {
-    let subjects = ["coarse-disjoint-t4-r1", "accounts-coarse-disjoint3"];
-    let mut group = c.benchmark_group("ablation_cache_mode");
-    for name in subjects {
-        let bench = lazylocks_suite::by_name(name).expect("corpus benchmark");
-        let config = ExploreConfig::with_limit(5_000);
-        group.bench_with_input(BenchmarkId::new("regular", name), &bench, |b, bench| {
-            b.iter(|| HbrCaching::regular().explore(&bench.program, &config))
-        });
-        group.bench_with_input(BenchmarkId::new("lazy", name), &bench, |b, bench| {
-            b.iter(|| HbrCaching::lazy().explore(&bench.program, &config))
-        });
-    }
-    group.finish();
-}
+fn main() {
+    let registry = StrategyRegistry::default();
 
-fn parallel_scaling(c: &mut Criterion) {
-    let bench = lazylocks_suite::by_name("coarse-shared-t4-r1").expect("corpus benchmark");
-    let config = ExploreConfig::with_limit(3_000);
-    let mut group = c.benchmark_group("ablation_parallel_workers");
-    for workers in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(workers),
-            &workers,
-            |b, &workers| b.iter(|| ParallelDfs { workers }.explore(&bench.program, &config)),
+    let group = Group::new("ablation_sleep_sets").max_iters(50);
+    for subject in ["coarse-shared-t3-r1", "philosophers-ordered-3", "rw-r2-w1"] {
+        bench_specs(
+            &group,
+            &registry,
+            subject,
+            &["dpor(sleep=false)", "dpor(sleep=true)"],
+            2_000,
         );
     }
-    group.finish();
-}
 
-criterion_group!(benches, sleep_set_ablation, cache_mode_ablation, parallel_scaling);
-criterion_main!(benches);
+    let group = Group::new("ablation_cache_mode").max_iters(50);
+    for subject in ["coarse-disjoint-t4-r1", "accounts-coarse-disjoint3"] {
+        bench_specs(
+            &group,
+            &registry,
+            subject,
+            &["caching(mode=regular)", "caching(mode=lazy)"],
+            5_000,
+        );
+    }
+
+    let group = Group::new("ablation_parallel_workers").max_iters(20);
+    for workers in [1usize, 2, 4] {
+        bench_specs(
+            &group,
+            &registry,
+            "coarse-shared-t4-r1",
+            &[&format!("parallel(workers={workers})")],
+            3_000,
+        );
+    }
+}

@@ -2,7 +2,7 @@
 //! a single deterministic run, and the cost of executor snapshots (the
 //! per-node price of the snapshot-based explorers).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lazylocks_bench::timing::{black_box, Group};
 use lazylocks_model::{Program, ProgramBuilder, Reg};
 use lazylocks_runtime::{run_schedule, Executor};
 
@@ -26,29 +26,25 @@ fn long_program(rounds: usize) -> Program {
     b.build()
 }
 
-fn executor_throughput(c: &mut Criterion) {
+fn main() {
     let program = long_program(200);
     let events = run_schedule(&program, &[]).unwrap().trace.len() as u64;
 
-    let mut group = c.benchmark_group("executor");
-    group.throughput(Throughput::Elements(events));
-    group.bench_function("run_schedule_events", |b| {
-        b.iter(|| run_schedule(&program, &[]).unwrap().trace.len())
+    let group = Group::new("executor");
+    group.bench_throughput("run_schedule_events", events, &mut || {
+        black_box(run_schedule(&program, &[]).unwrap().trace.len());
     });
-    group.finish();
 
     let mut exec = Executor::new(&program);
     for _ in 0..50 {
         let t = exec.enabled_threads()[0];
         exec.step(t);
     }
-    let mut group = c.benchmark_group("snapshots");
-    group.bench_function("executor_clone", |b| b.iter(|| exec.clone()));
-    group.bench_function("state_snapshot_fingerprint", |b| {
-        b.iter(|| exec.snapshot().fingerprint())
+    let group = Group::new("snapshots");
+    group.bench("executor_clone", || {
+        black_box(exec.clone());
     });
-    group.finish();
+    group.bench("state_snapshot_fingerprint", || {
+        black_box(exec.snapshot().fingerprint());
+    });
 }
-
-criterion_group!(benches, executor_throughput);
-criterion_main!(benches);

@@ -1,10 +1,12 @@
 //! Macro-benchmark: wall-clock cost of exploring representative corpus
-//! programs under each strategy with a fixed schedule budget.
+//! programs under each strategy with a fixed schedule budget, driven
+//! through the session API.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lazylocks::{DfsEnumeration, Dpor, ExploreConfig, Explorer, HbrCaching, LazyDpor};
+use lazylocks::{ExploreConfig, ExploreSession, StrategyRegistry};
+use lazylocks_bench::timing::{black_box, Group};
 
-fn explore_speed(c: &mut Criterion) {
+fn main() {
+    let registry = StrategyRegistry::default();
     let subjects = [
         "paper-figure1",
         "coarse-disjoint-t3-r1",
@@ -12,28 +14,17 @@ fn explore_speed(c: &mut Criterion) {
         "philosophers-ordered-3",
         "indexer-t2-s4",
     ];
-    let mut group = c.benchmark_group("explore_speed");
-    for name in subjects {
-        let bench = lazylocks_suite::by_name(name).expect("corpus benchmark");
-        let config = ExploreConfig::with_limit(500);
-        group.bench_with_input(BenchmarkId::new("dfs", name), &bench, |b, bench| {
-            b.iter(|| DfsEnumeration.explore(&bench.program, &config))
-        });
-        group.bench_with_input(BenchmarkId::new("dpor", name), &bench, |b, bench| {
-            b.iter(|| Dpor::default().explore(&bench.program, &config))
-        });
-        group.bench_with_input(BenchmarkId::new("caching", name), &bench, |b, bench| {
-            b.iter(|| HbrCaching::regular().explore(&bench.program, &config))
-        });
-        group.bench_with_input(BenchmarkId::new("lazy-caching", name), &bench, |b, bench| {
-            b.iter(|| HbrCaching::lazy().explore(&bench.program, &config))
-        });
-        group.bench_with_input(BenchmarkId::new("lazy-dpor", name), &bench, |b, bench| {
-            b.iter(|| LazyDpor::default().explore(&bench.program, &config))
-        });
+    let specs = ["dfs", "dpor", "caching", "caching(mode=lazy)", "lazy-dpor"];
+    let group = Group::new("explore_speed").max_iters(50);
+    for subject in subjects {
+        let bench = lazylocks_suite::by_name(subject).expect("corpus benchmark");
+        let session = ExploreSession::new(&bench.program)
+            .with_config(ExploreConfig::with_limit(500))
+            .progress_every(0);
+        for spec in specs {
+            group.bench(&format!("{spec}/{subject}"), || {
+                black_box(session.run_with(&registry, spec).expect("registered spec"));
+            });
+        }
     }
-    group.finish();
 }
-
-criterion_group!(benches, explore_speed);
-criterion_main!(benches);

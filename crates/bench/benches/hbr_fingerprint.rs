@@ -1,9 +1,9 @@
 //! Micro-benchmark: happens-before construction and fingerprinting
 //! throughput — the per-event cost every explorer pays.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lazylocks_bench::timing::{black_box, Group};
 use lazylocks_hbr::{event_record_hash, ClockEngine, HbBuilder, HbMode, PrefixAccumulator};
-use lazylocks_model::{ProgramBuilder, Reg, ThreadId};
+use lazylocks_model::{ProgramBuilder, Reg};
 use lazylocks_runtime::{run_schedule, Event};
 
 /// A trace with a healthy mix of variable and mutex events.
@@ -28,45 +28,28 @@ fn sample_trace(threads: usize, rounds: usize) -> (lazylocks_model::Program, Vec
         });
     }
     let p = b.build();
-    let trace = run_schedule(&p, &[]).map(|r| r.trace).unwrap_or_default();
-    // Round-robin-ish completion via thread order: build a longer trace by
-    // running threads in id order (the default completion).
-    let schedule: Vec<ThreadId> = Vec::new();
-    let run = run_schedule(&p, &schedule).unwrap();
-    let _ = trace;
+    // The default completion runs threads in id order; that is enough
+    // structure for a representative trace.
+    let run = run_schedule(&p, &[]).unwrap();
     (p, run.trace)
 }
 
-fn hbr_throughput(c: &mut Criterion) {
+fn main() {
     let (program, trace) = sample_trace(4, 8);
-    let mut group = c.benchmark_group("hbr_fingerprint");
-    group.throughput(Throughput::Elements(trace.len() as u64));
+    let group = Group::new("hbr_fingerprint");
+    let elements = trace.len() as u64;
     for mode in [HbMode::Regular, HbMode::Lazy, HbMode::SyncOnly] {
-        group.bench_with_input(
-            BenchmarkId::new("from_trace", format!("{mode}")),
-            &trace,
-            |b, trace| {
-                b.iter(|| HbBuilder::from_trace(mode, &program, trace).fingerprint())
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("clock_engine", format!("{mode}")),
-            &trace,
-            |b, trace| {
-                b.iter(|| {
-                    let mut engine = ClockEngine::for_program(mode, &program);
-                    let mut acc = PrefixAccumulator::new();
-                    for e in trace {
-                        let clock = engine.apply(e);
-                        acc.absorb(event_record_hash(e, &clock));
-                    }
-                    acc.fingerprint()
-                })
-            },
-        );
+        group.bench_throughput(&format!("from_trace/{mode}"), elements, &mut || {
+            black_box(HbBuilder::from_trace(mode, &program, &trace).fingerprint());
+        });
+        group.bench_throughput(&format!("clock_engine/{mode}"), elements, &mut || {
+            let mut engine = ClockEngine::for_program(mode, &program);
+            let mut acc = PrefixAccumulator::new();
+            for e in &trace {
+                let clock = engine.apply(e);
+                acc.absorb(event_record_hash(e, &clock));
+            }
+            black_box(acc.fingerprint());
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, hbr_throughput);
-criterion_main!(benches);

@@ -1,32 +1,24 @@
 //! Micro-benchmark: vector-clock lattice operations at the widths the
 //! corpus uses (2–8 threads).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lazylocks_bench::timing::{black_box, Group};
 use lazylocks_clock::VectorClock;
 
-fn clock_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vector_clock");
+fn main() {
+    let group = Group::new("vector_clock");
     for width in [2usize, 4, 8, 16] {
         let a = VectorClock::from_counts((0..width as u32).collect());
         let b = VectorClock::from_counts((0..width as u32).rev().collect());
-        group.bench_with_input(BenchmarkId::new("join", width), &width, |bencher, _| {
-            bencher.iter(|| {
-                let mut x = a.clone();
-                x.join(&b);
-                x
-            })
+        group.bench(&format!("join/{width}"), || {
+            let mut x = a.clone();
+            x.join(&b);
+            black_box(x);
         });
-        group.bench_with_input(BenchmarkId::new("le", width), &width, |bencher, _| {
-            bencher.iter(|| a.le(&b))
+        group.bench(&format!("le/{width}"), || {
+            black_box(a.le(&b));
         });
-        group.bench_with_input(
-            BenchmarkId::new("causal_cmp", width),
-            &width,
-            |bencher, _| bencher.iter(|| a.causal_cmp(&b)),
-        );
+        group.bench(&format!("causal_cmp/{width}"), || {
+            black_box(a.causal_cmp(&b));
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, clock_ops);
-criterion_main!(benches);

@@ -12,13 +12,17 @@
 //! ```
 
 use lazylocks::report::Row;
-use lazylocks::{Dpor, ExploreConfig, Explorer};
+use lazylocks::{ExploreConfig, ExploreSession};
 use lazylocks_bench::{limit_from_args, print_figure, sweep};
 
 fn main() {
     let limit = limit_from_args(10_000);
     let rows = sweep(|bench| {
-        let stats = Dpor::default().explore(&bench.program, &ExploreConfig::with_limit(limit));
+        let outcome = ExploreSession::new(&bench.program)
+            .with_config(ExploreConfig::with_limit(limit))
+            .run_spec("dpor")
+            .expect("dpor is registered");
+        let stats = outcome.stats;
         stats
             .check_inequality()
             .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
@@ -38,9 +42,7 @@ fn main() {
         &rows,
         limit,
     );
-    println!(
-        "\npaper reference: 33/79 below the diagonal, 80% of their HBRs redundant"
-    );
+    println!("\npaper reference: 33/79 below the diagonal, 80% of their HBRs redundant");
     println!(
         "this run:        {}/79 below the diagonal, {:.0}% of their HBRs redundant",
         summary.below_diagonal,

@@ -13,15 +13,19 @@
 //! ```
 
 use lazylocks::report::Row;
-use lazylocks::{ExploreConfig, Explorer, HbrCaching};
+use lazylocks::{ExploreConfig, ExploreSession};
 use lazylocks_bench::{limit_from_args, print_figure, sweep};
 
 fn main() {
     let limit = limit_from_args(1_000);
     let rows = sweep(|bench| {
-        let config = ExploreConfig::with_limit(limit);
-        let regular = HbrCaching::regular().explore(&bench.program, &config);
-        let lazy = HbrCaching::lazy().explore(&bench.program, &config);
+        let session =
+            ExploreSession::new(&bench.program).with_config(ExploreConfig::with_limit(limit));
+        let regular = session.run_spec("caching").expect("registered").stats;
+        let lazy = session
+            .run_spec("caching(mode=lazy)")
+            .expect("registered")
+            .stats;
         Row {
             id: bench.id,
             name: bench.name.clone(),
@@ -44,9 +48,7 @@ fn main() {
         summary.below_diagonal, 0,
         "regular caching must never reach more lazy classes"
     );
-    println!(
-        "\npaper reference: 18/79 off the diagonal, 84% more terminal lazy HBRs among them"
-    );
+    println!("\npaper reference: 18/79 off the diagonal, 84% more terminal lazy HBRs among them");
     println!(
         "this run:        {}/79 off the diagonal, {:.0}% more terminal lazy HBRs among them",
         summary.above_diagonal,

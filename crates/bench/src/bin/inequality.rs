@@ -8,7 +8,7 @@
 //! cargo run --release -p lazylocks-bench --bin inequality [-- --limit 100000]
 //! ```
 
-use lazylocks::{Dpor, ExploreConfig, Explorer};
+use lazylocks::{ExploreConfig, ExploreSession};
 use lazylocks_bench::limit_from_args;
 
 fn main() {
@@ -20,7 +20,11 @@ fn main() {
     );
     let mut violations = 0;
     for bench in lazylocks_suite::all() {
-        let stats = Dpor::default().explore(&bench.program, &ExploreConfig::with_limit(limit));
+        let stats = ExploreSession::new(&bench.program)
+            .with_config(ExploreConfig::with_limit(limit))
+            .run_spec("dpor")
+            .expect("dpor is registered")
+            .stats;
         let ok = stats.check_inequality();
         if ok.is_err() {
             violations += 1;

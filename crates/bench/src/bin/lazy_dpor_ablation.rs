@@ -7,11 +7,12 @@
 //! cargo run --release -p lazylocks-bench --bin lazy_dpor_ablation [-- --limit 100000]
 //! ```
 
-use lazylocks::{Dpor, ExploreConfig, Explorer, HbrCaching, LazyDpor, LazyDporStyle};
+use lazylocks::{ExploreConfig, ExploreSession, ExploreStats, StrategyRegistry};
 use lazylocks_bench::limit_from_args;
 
 fn main() {
     let limit = limit_from_args(5_000);
+    let registry = StrategyRegistry::default();
     println!("schedules explored per strategy (limit {limit}; * = limit hit)\n");
     println!(
         "{:>3}  {:<28} {:>9} {:>9} {:>9} {:>9} {:>9}  states d/l",
@@ -21,15 +22,19 @@ fn main() {
     let mut lazy_wins = 0usize;
     let mut state_mismatches = 0usize;
     for bench in lazylocks_suite::all() {
-        let config = ExploreConfig::with_limit(limit);
-        let dpor = Dpor::default().explore(&bench.program, &config);
-        let lazy = LazyDpor::default().explore(&bench.program, &config);
-        let vars = LazyDpor {
-            style: LazyDporStyle::VarsOnly,
-        }
-        .explore(&bench.program, &config);
-        let caching = HbrCaching::regular().explore(&bench.program, &config);
-        let lazy_caching = HbrCaching::lazy().explore(&bench.program, &config);
+        let session =
+            ExploreSession::new(&bench.program).with_config(ExploreConfig::with_limit(limit));
+        let run = |spec: &str| -> ExploreStats {
+            session
+                .run_with(&registry, spec)
+                .expect("registered spec")
+                .stats
+        };
+        let dpor = run("dpor");
+        let lazy = run("lazy-dpor");
+        let vars = run("lazy-dpor(style=vars)");
+        let caching = run("caching");
+        let lazy_caching = run("caching(mode=lazy)");
         for (t, s) in totals.iter_mut().zip([
             dpor.schedules,
             lazy.schedules,

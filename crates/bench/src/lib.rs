@@ -11,6 +11,8 @@
 use lazylocks::report::{rows_to_table, rows_to_tsv, DiagonalSummary, Row};
 use lazylocks::scatter::scatter_plot;
 
+pub mod timing;
+
 /// Parses `--limit N` (schedule budget) from argv; `default` otherwise.
 pub fn limit_from_args(default: usize) -> usize {
     let args: Vec<String> = std::env::args().collect();
@@ -48,7 +50,10 @@ pub fn print_figure(
         "benchmarks below the diagonal (y < x): {}",
         summary.below_diagonal
     );
-    println!("benchmarks on the diagonal (y = x): {}", summary.on_diagonal);
+    println!(
+        "benchmarks on the diagonal (y = x): {}",
+        summary.on_diagonal
+    );
     println!(
         "benchmarks above the diagonal (y > x): {}",
         summary.above_diagonal

@@ -1,0 +1,102 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The workspace builds without network access, so the benches use this
+//! dependency-free harness instead of criterion: warm up, run until a
+//! time budget or an iteration cap is hit, report mean/min per-iteration
+//! time (and optional throughput). Pass `--quick` to any bench binary to
+//! shrink the budget for smoke runs (CI uses this).
+
+use std::time::{Duration, Instant};
+
+/// One benchmark group; prints a header on creation and aligned result
+/// lines per case.
+pub struct Group {
+    name: String,
+    budget: Duration,
+    max_iters: u32,
+}
+
+/// `true` if `--quick` was passed to the bench binary.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+impl Group {
+    /// A group with the default budget (0.5s per case, 1/10th of that in
+    /// `--quick` mode).
+    pub fn new(name: &str) -> Self {
+        let budget = if quick_mode() {
+            Duration::from_millis(50)
+        } else {
+            Duration::from_millis(500)
+        };
+        println!("\n== {name}");
+        Group {
+            name: name.to_string(),
+            budget,
+            max_iters: 10_000,
+        }
+    }
+
+    /// Caps iterations per case (for expensive bodies).
+    pub fn max_iters(mut self, n: u32) -> Self {
+        self.max_iters = n;
+        self
+    }
+
+    /// Times `f`, printing mean/min per-iteration wall time.
+    pub fn bench(&self, case: &str, mut f: impl FnMut()) -> Duration {
+        self.bench_throughput(case, 0, &mut f)
+    }
+
+    /// Times `f`, additionally reporting `elements / mean-time` as
+    /// throughput when `elements > 0`.
+    ///
+    /// Iterations are run in batches sized so that one batch takes on the
+    /// order of 50µs: a nanosecond-scale body is then measured thousands
+    /// of calls per `Instant` pair, amortising the timer overhead that a
+    /// per-call measurement would fold into the result.
+    pub fn bench_throughput(&self, case: &str, elements: u64, f: &mut dyn FnMut()) -> Duration {
+        // Warm-up and batch-size calibration from a single timed run.
+        let t0 = Instant::now();
+        f();
+        let single = t0.elapsed().max(Duration::from_nanos(1));
+        let batch =
+            (Duration::from_micros(50).as_nanos() / single.as_nanos()).clamp(1, 10_000) as u32;
+
+        let mut iters = 0u32;
+        let mut min = Duration::MAX;
+        let started = Instant::now();
+        while started.elapsed() < self.budget && iters < self.max_iters {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            min = min.min(t0.elapsed() / batch);
+            iters += batch;
+        }
+        let mean = started.elapsed() / iters.max(1);
+        let throughput = if elements > 0 && mean > Duration::ZERO {
+            format!(
+                "  ({:.1} Melem/s)",
+                elements as f64 / mean.as_secs_f64() / 1e6
+            )
+        } else {
+            String::new()
+        };
+        println!(
+            "   {:<40} mean {:>12?}  min {:>12?}  ({} iters){}",
+            format!("{}/{case}", self.name),
+            mean,
+            min,
+            iters,
+            throughput
+        );
+        mean
+    }
+}
+
+/// Keeps a value from being optimised away (stable-Rust black box).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}

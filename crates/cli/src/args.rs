@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (no external dependency needed for a
 //! handful of flags).
 
-use lazylocks::Strategy;
+use lazylocks::StrategyRegistry;
 
 /// Usage text shown on parse errors and `help`.
 pub const USAGE: &str = "\
@@ -9,16 +9,19 @@ lazylocks — systematic concurrency testing with the lazy happens-before relati
 
 USAGE:
   lazylocks list [--family NAME]
+  lazylocks strategies
   lazylocks show  --bench NAME | --id N | --file PATH
   lazylocks run   (--bench NAME | --id N | --file PATH)
-                  [--strategy S] [--limit N] [--preemptions K]
-                  [--stop-on-bug] [--seed X]
+                  [--strategy SPEC] [--limit N] [--preemptions K]
+                  [--stop-on-bug] [--seed X] [--deadline-ms T]
+                  [--progress N]
   lazylocks compare (--bench NAME | --id N | --file PATH) [--limit N]
   lazylocks races (--bench NAME | --id N | --file PATH) [--walks N] [--seed X]
   lazylocks help
 
-STRATEGIES:
-  dfs | dpor | dpor-sleep | caching | lazy-caching | lazy-dpor | random | parallel
+STRATEGY SPECS (see `lazylocks strategies` for the full registry):
+  dfs | dpor | dpor(sleep=true) | caching(mode=lazy) | lazy-dpor |
+  random | parallel(workers=8) | bounded(start=0,step=1) | ...
 ";
 
 /// Which program to operate on.
@@ -38,16 +41,23 @@ pub enum Command {
     List {
         family: Option<String>,
     },
+    Strategies,
     Show {
         target: Target,
     },
     Run {
         target: Target,
-        strategy: Strategy,
+        /// A registry spec string, validated against the default registry
+        /// at parse time.
+        strategy: String,
         limit: usize,
         preemptions: Option<u32>,
         stop_on_bug: bool,
         seed: u64,
+        /// Wall-clock deadline in milliseconds.
+        deadline_ms: Option<u64>,
+        /// Progress tick cadence in schedules (0 = quiet).
+        progress: usize,
     },
     Compare {
         target: Target,
@@ -69,6 +79,12 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
 
     match sub {
         "help" | "--help" | "-h" => Ok(Command::Help),
+        "strategies" => {
+            parse_flags(&rest, |flag, _| {
+                Err(format!("unknown flag {flag} for strategies"))
+            })?;
+            Ok(Command::Strategies)
+        }
         "list" => {
             let mut family = None;
             parse_flags(&rest, |flag, value| match flag {
@@ -93,20 +109,25 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         }
         "run" => {
             let mut target = None;
-            let mut strategy = Strategy::Dpor { sleep_sets: true };
+            let mut strategy = "dpor(sleep=true)".to_string();
             let mut limit = 100_000usize;
             let mut preemptions = None;
             let mut stop_on_bug = false;
             let mut seed = 0x1a2b_3c4du64;
+            let mut deadline_ms = None;
+            let mut progress = 0usize;
             parse_flags(&rest, |flag, value| {
                 if parse_target_flag(flag, value, &mut target).is_some() {
                     return Ok(());
                 }
                 match flag {
                     "--strategy" => {
-                        let name = value.ok_or("--strategy needs a value")?;
-                        strategy = Strategy::parse(name)
-                            .ok_or_else(|| format!("unknown strategy {name:?}"))?;
+                        let spec = value.ok_or("--strategy needs a value")?;
+                        // Validate eagerly so typos fail before exploring.
+                        StrategyRegistry::default()
+                            .create(spec)
+                            .map_err(|e| e.to_string())?;
+                        strategy = spec.to_string();
                         Ok(())
                     }
                     "--limit" => {
@@ -125,6 +146,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         seed = parse_num(value, "--seed")? as u64;
                         Ok(())
                     }
+                    "--deadline-ms" => {
+                        deadline_ms = Some(parse_num(value, "--deadline-ms")? as u64);
+                        Ok(())
+                    }
+                    "--progress" => {
+                        progress = parse_num(value, "--progress")?;
+                        Ok(())
+                    }
                     _ => Err(format!("unknown flag {flag} for run")),
                 }
             })?;
@@ -135,6 +164,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 preemptions,
                 stop_on_bug,
                 seed,
+                deadline_ms,
+                progress,
             })
         }
         "compare" => {
@@ -189,11 +220,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
 
 /// Handles the shared target flags; returns `Some(())` if `flag` was one of
 /// them.
-fn parse_target_flag(
-    flag: &str,
-    value: Option<&str>,
-    target: &mut Option<Target>,
-) -> Option<()> {
+fn parse_target_flag(flag: &str, value: Option<&str>, target: &mut Option<Target>) -> Option<()> {
     match flag {
         "--bench" => {
             *target = Some(Target::Bench(value?.to_string()));
@@ -272,10 +299,16 @@ mod tests {
     }
 
     #[test]
+    fn parses_strategies() {
+        assert_eq!(parse(&argv("strategies")).unwrap(), Command::Strategies);
+    }
+
+    #[test]
     fn parses_run_with_all_flags() {
         let cmd = parse(&argv(
             "run --bench peterson --strategy lazy-caching --limit 500 \
-             --preemptions 2 --stop-on-bug --seed 9",
+             --preemptions 2 --stop-on-bug --seed 9 --deadline-ms 2000 \
+             --progress 100",
         ))
         .unwrap();
         match cmd {
@@ -286,14 +319,32 @@ mod tests {
                 preemptions,
                 stop_on_bug,
                 seed,
+                deadline_ms,
+                progress,
             } => {
                 assert_eq!(target, Target::Bench("peterson".to_string()));
-                assert_eq!(strategy, Strategy::LazyHbrCaching);
+                assert_eq!(strategy, "lazy-caching");
                 assert_eq!(limit, 500);
                 assert_eq!(preemptions, Some(2));
                 assert!(stop_on_bug);
                 assert_eq!(seed, 9);
+                assert_eq!(deadline_ms, Some(2000));
+                assert_eq!(progress, 100);
             }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_parameterised_strategy_specs() {
+        let cmd = parse(&argv("run --id 1 --strategy dpor(sleep=true)")).unwrap();
+        match cmd {
+            Command::Run { strategy, .. } => assert_eq!(strategy, "dpor(sleep=true)"),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let cmd = parse(&argv("run --id 1 --strategy parallel(workers=2)")).unwrap();
+        match cmd {
+            Command::Run { strategy, .. } => assert_eq!(strategy, "parallel(workers=2)"),
             other => panic!("wrong parse: {other:?}"),
         }
     }
@@ -320,8 +371,11 @@ mod tests {
         assert!(parse(&argv("frobnicate")).is_err());
         assert!(parse(&argv("run")).is_err());
         assert!(parse(&argv("run --bench x --strategy nope")).is_err());
+        assert!(parse(&argv("run --bench x --strategy dpor(sleep=perhaps)")).is_err());
+        assert!(parse(&argv("run --bench x --strategy dfs(workers=2)")).is_err());
         assert!(parse(&argv("run --bench x --limit abc")).is_err());
         assert!(parse(&argv("list --bogus 1")).is_err());
+        assert!(parse(&argv("strategies --bogus")).is_err());
     }
 
     #[test]

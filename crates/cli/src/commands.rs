@@ -1,10 +1,14 @@
 //! Command implementations.
 
 use crate::args::{Command, Target, USAGE};
-use lazylocks::{detect_races, ExploreConfig, ExploreStats, Strategy};
+use lazylocks::{
+    detect_races, ExploreConfig, ExploreOutcome, ExploreSession, Observer, Progress,
+    StrategyRegistry,
+};
 use lazylocks_model::Program;
 use lazylocks_runtime::run_with_scheduler;
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// Executes a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
@@ -14,6 +18,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             Ok(())
         }
         Command::List { family } => list(family.as_deref()),
+        Command::Strategies => strategies(),
         Command::Show { target } => {
             let program = resolve(&target)?;
             print!("{}", program.to_source());
@@ -26,13 +31,25 @@ pub fn run(cmd: Command) -> Result<(), String> {
             preemptions,
             stop_on_bug,
             seed,
+            deadline_ms,
+            progress,
         } => {
             let program = resolve(&target)?;
             let mut config = ExploreConfig::with_limit(limit).seeded(seed);
             config.preemption_bound = preemptions;
             config.stop_on_bug = stop_on_bug;
-            let stats = strategy.run(&program, &config);
-            print_stats(program.name(), &strategy_name(&strategy), &stats);
+
+            let mut session = ExploreSession::new(&program)
+                .with_config(config)
+                .progress_every(progress);
+            if progress > 0 {
+                session = session.observe(PrintProgress);
+            }
+            if let Some(ms) = deadline_ms {
+                session = session.deadline(Duration::from_millis(ms));
+            }
+            let outcome = session.run_spec(&strategy).map_err(|e| e.to_string())?;
+            print_outcome(program.name(), &outcome);
             Ok(())
         }
         Command::Compare { target, limit } => compare(&resolve(&target)?, limit),
@@ -44,16 +61,15 @@ pub fn run(cmd: Command) -> Result<(), String> {
     }
 }
 
-fn strategy_name(s: &Strategy) -> String {
-    match s {
-        Strategy::Dfs => "dfs".into(),
-        Strategy::Dpor { sleep_sets: false } => "dpor".into(),
-        Strategy::Dpor { sleep_sets: true } => "dpor-sleep".into(),
-        Strategy::HbrCaching => "caching".into(),
-        Strategy::LazyHbrCaching => "lazy-caching".into(),
-        Strategy::LazyDpor => "lazy-dpor".into(),
-        Strategy::Random => "random".into(),
-        Strategy::ParallelDfs { .. } => "parallel".into(),
+/// Progress observer for `run --progress N`: one status line per tick.
+struct PrintProgress;
+
+impl Observer for PrintProgress {
+    fn on_progress(&self, p: &Progress) {
+        eprintln!(
+            "... {} schedules, {} events, {} states, {} bugs",
+            p.schedules, p.events, p.unique_states, p.bugs
+        );
     }
 }
 
@@ -66,8 +82,8 @@ fn resolve(target: &Target) -> Result<Program, String> {
             .map(|b| b.program)
             .ok_or_else(|| format!("no benchmark with id {id}; the corpus has 1..=79")),
         Target::File(path) => {
-            let source = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let source =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             Program::parse(&source).map_err(|e| format!("cannot parse {path}: {e}"))
         }
     }
@@ -105,10 +121,30 @@ fn list(family: Option<&str>) -> Result<(), String> {
     Ok(())
 }
 
-fn print_stats(program: &str, strategy: &str, stats: &ExploreStats) {
+fn strategies() -> Result<(), String> {
+    let registry = StrategyRegistry::default();
+    println!("registered strategies (spec syntax: name or name(key=value, ...)):\n");
+    for (name, help) in registry.entries() {
+        println!("  {name:<12} {help}");
+    }
+    println!("\naliases:\n");
+    for (alias, target) in registry.alias_table() {
+        println!("  {alias:<16} = {target}");
+    }
+    Ok(())
+}
+
+fn print_outcome(program: &str, outcome: &ExploreOutcome) {
+    let stats = &outcome.stats;
     println!("program     : {program}");
-    println!("strategy    : {strategy}");
-    println!("schedules   : {}{}", stats.schedules, if stats.limit_hit { "  (limit hit)" } else { "" });
+    println!("strategy    : {}", outcome.strategy_id);
+    println!("verdict     : {}", outcome.verdict);
+    println!(
+        "schedules   : {}{}{}",
+        stats.schedules,
+        if stats.limit_hit { "  (limit hit)" } else { "" },
+        if stats.cancelled { "  (cancelled)" } else { "" }
+    );
     println!("events      : {}", stats.events);
     println!("max depth   : {}", stats.max_depth);
     println!("#states     : {}", stats.unique_states);
@@ -132,34 +168,39 @@ fn print_stats(program: &str, strategy: &str, stats: &ExploreStats) {
     if let Err(violation) = stats.check_inequality() {
         println!("WARNING     : counting inequality violated: {violation}");
     }
-    if let Some(bug) = &stats.first_bug {
-        println!("first bug   : {bug}");
+    for (i, bug) in outcome.bugs.iter().enumerate() {
+        println!("bug #{}     : {bug}", i + 1);
         let schedule: Vec<String> = bug.schedule.iter().map(|t| t.to_string()).collect();
         println!("replay with : {}", schedule.join(","));
     }
 }
 
 fn compare(program: &Program, limit: usize) -> Result<(), String> {
-    let strategies = [
-        Strategy::Dfs,
-        Strategy::Dpor { sleep_sets: false },
-        Strategy::Dpor { sleep_sets: true },
-        Strategy::HbrCaching,
-        Strategy::LazyHbrCaching,
-        Strategy::LazyDpor,
-        Strategy::Random,
+    let registry = StrategyRegistry::default();
+    let specs = [
+        "dfs",
+        "dpor",
+        "dpor(sleep=true)",
+        "caching",
+        "caching(mode=lazy)",
+        "lazy-dpor",
+        "random",
+        "bounded",
     ];
+    let session = ExploreSession::new(program).with_config(ExploreConfig::with_limit(limit));
     println!("program: {} (limit {limit})", program.name());
     println!(
         "{:<14} {:>10} {:>8} {:>10} {:>10} {:>8} {:>6}",
         "strategy", "schedules", "#states", "#lazyHBRs", "#HBRs", "bugs", "limit"
     );
-    for s in strategies {
-        let config = ExploreConfig::with_limit(limit);
-        let stats = s.run(program, &config);
+    for spec in specs {
+        let outcome = session
+            .run_with(&registry, spec)
+            .map_err(|e| e.to_string())?;
+        let stats = &outcome.stats;
         println!(
             "{:<14} {:>10} {:>8} {:>10} {:>10} {:>8} {:>6}",
-            strategy_name(&s),
+            outcome.strategy_id,
             stats.schedules,
             stats.unique_states,
             stats.unique_lazy_hbrs,
@@ -172,8 +213,8 @@ fn compare(program: &Program, limit: usize) -> Result<(), String> {
 }
 
 fn races(program: &Program, walks: usize, seed: u64) -> Result<(), String> {
-    use rand_like::Lcg;
-    let mut rng = Lcg::new(seed);
+    use lazylocks::rng::SplitMix64;
+    let mut rng = SplitMix64::new(seed);
     let mut all_races = std::collections::BTreeMap::new();
     for _ in 0..walks {
         let result = run_with_scheduler(program, |exec| {
@@ -181,7 +222,7 @@ fn races(program: &Program, walks: usize, seed: u64) -> Result<(), String> {
             if enabled.is_empty() {
                 None
             } else {
-                Some(enabled[rng.next_below(enabled.len())])
+                Some(enabled[rng.gen_range(enabled.len())])
             }
         })
         .map_err(|pos| format!("internal scheduling error at step {pos}"))?;
@@ -208,31 +249,6 @@ fn races(program: &Program, walks: usize, seed: u64) -> Result<(), String> {
     Ok(())
 }
 
-/// A tiny deterministic generator so the CLI does not need the full `rand`
-/// dependency tree (the core crate uses `rand` where quality matters; here
-/// we only shuffle schedule choices).
-mod rand_like {
-    pub struct Lcg(u64);
-
-    impl Lcg {
-        pub fn new(seed: u64) -> Self {
-            Lcg(seed.wrapping_mul(6364136223846793005).wrapping_add(1))
-        }
-
-        fn next(&mut self) -> u64 {
-            self.0 = self
-                .0
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            self.0 >> 17
-        }
-
-        pub fn next_below(&mut self, n: usize) -> usize {
-            (self.next() % n as u64) as usize
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,7 +267,11 @@ mod tests {
         let dir = std::env::temp_dir().join("lazylocks-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("tiny.llk");
-        std::fs::write(&path, "program tiny\nvar x = 0\nthread T {\n store x = 1\n}\n").unwrap();
+        std::fs::write(
+            &path,
+            "program tiny\nvar x = 0\nthread T {\n store x = 1\n}\n",
+        )
+        .unwrap();
         let p = resolve(&Target::File(path.to_string_lossy().into_owned())).unwrap();
         assert_eq!(p.name(), "tiny");
         assert_eq!(p.thread_count(), 1);
@@ -263,23 +283,59 @@ mod tests {
             family: Some("paper".into()),
         })
         .unwrap();
+        run(Command::Strategies).unwrap();
         run(Command::Show {
             target: Target::Id(1),
         })
         .unwrap();
         run(Command::Run {
             target: Target::Bench("paper-figure1".into()),
-            strategy: Strategy::Dpor { sleep_sets: true },
+            strategy: "dpor(sleep=true)".into(),
             limit: 1000,
             preemptions: None,
             stop_on_bug: false,
             seed: 1,
+            deadline_ms: None,
+            progress: 0,
         })
         .unwrap();
         run(Command::Races {
             target: Target::Bench("store-buffer".into()),
             walks: 20,
             seed: 3,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn run_rejects_unknown_specs_at_execution_too() {
+        let err = run(Command::Run {
+            target: Target::Id(1),
+            strategy: "no-such-strategy".into(),
+            limit: 10,
+            preemptions: None,
+            stop_on_bug: false,
+            seed: 1,
+            deadline_ms: None,
+            progress: 0,
+        })
+        .unwrap_err();
+        assert!(err.contains("unknown strategy"));
+    }
+
+    #[test]
+    fn run_with_deadline_reports_cancellation() {
+        // A zero deadline cancels even the first schedule batch; the
+        // command must still succeed and print a cancelled outcome.
+        run(Command::Run {
+            target: Target::Bench("paper-figure1".into()),
+            strategy: "dfs".into(),
+            limit: 1_000_000,
+            preemptions: None,
+            stop_on_bug: false,
+            seed: 1,
+            deadline_ms: Some(0),
+            progress: 0,
         })
         .unwrap();
     }

@@ -297,10 +297,7 @@ mod tests {
         assert!(vc(&[1, 0]) < vc(&[1, 1]));
         assert!(vc(&[1, 1]) > vc(&[1, 0]));
         assert_eq!(vc(&[1, 0]).partial_cmp(&vc(&[0, 1])), None);
-        assert_eq!(
-            vc(&[2, 2]).partial_cmp(&vc(&[2, 2])),
-            Some(Ordering::Equal)
-        );
+        assert_eq!(vc(&[2, 2]).partial_cmp(&vc(&[2, 2])), Some(Ordering::Equal));
     }
 
     #[test]

@@ -1,104 +1,151 @@
 //! Property-based tests: `VectorClock` under `join`/`meet` forms a lattice
 //! and `causal_cmp` is a genuine partial order.
+//!
+//! Cases are drawn from a deterministic generator (fixed seed, fixed case
+//! count) instead of an external property-testing crate, so failures
+//! always reproduce bit-for-bit.
 
 use lazylocks_clock::{CausalOrd, VectorClock};
-use proptest::prelude::*;
 
 const WIDTH: usize = 5;
+const CASES: usize = 256;
 
-fn clock_strategy() -> impl Strategy<Value = VectorClock> {
-    prop::collection::vec(0u32..64, WIDTH).prop_map(VectorClock::from_counts)
+/// A tiny deterministic SplitMix64 (duplicated here rather than depending
+/// on the core crate: `clock` sits at the bottom of the workspace).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn clock(&mut self) -> VectorClock {
+        VectorClock::from_counts((0..WIDTH).map(|_| (self.next() % 64) as u32).collect())
+    }
 }
 
-proptest! {
-    #[test]
-    fn join_commutes(a in clock_strategy(), b in clock_strategy()) {
-        prop_assert_eq!(a.joined(&b), b.joined(&a));
+/// Runs `check` on `CASES` deterministic triples of clocks.
+fn for_clock_triples(mut check: impl FnMut(VectorClock, VectorClock, VectorClock)) {
+    let mut rng = Rng(0xc10c_0c10);
+    for _ in 0..CASES {
+        check(rng.clock(), rng.clock(), rng.clock());
     }
+}
 
-    #[test]
-    fn join_is_associative(a in clock_strategy(), b in clock_strategy(), c in clock_strategy()) {
-        prop_assert_eq!(a.joined(&b).joined(&c), a.joined(&b.joined(&c)));
-    }
+#[test]
+fn join_commutes() {
+    for_clock_triples(|a, b, _| {
+        assert_eq!(a.joined(&b), b.joined(&a));
+    });
+}
 
-    #[test]
-    fn join_is_idempotent(a in clock_strategy()) {
-        prop_assert_eq!(a.joined(&a), a);
-    }
+#[test]
+fn join_is_associative() {
+    for_clock_triples(|a, b, c| {
+        assert_eq!(a.joined(&b).joined(&c), a.joined(&b.joined(&c)));
+    });
+}
 
-    #[test]
-    fn join_is_least_upper_bound(a in clock_strategy(), b in clock_strategy()) {
+#[test]
+fn join_is_idempotent() {
+    for_clock_triples(|a, _, _| {
+        assert_eq!(a.joined(&a), a);
+    });
+}
+
+#[test]
+fn join_is_least_upper_bound() {
+    for_clock_triples(|a, b, _| {
         let j = a.joined(&b);
-        prop_assert!(a.le(&j));
-        prop_assert!(b.le(&j));
+        assert!(a.le(&j));
+        assert!(b.le(&j));
         // Least: any other upper bound dominates the join.
         let mut ub = a.clone();
         ub.join(&b);
         ub.tick(0);
-        prop_assert!(j.le(&ub));
-    }
+        assert!(j.le(&ub));
+    });
+}
 
-    #[test]
-    fn meet_is_greatest_lower_bound(a in clock_strategy(), b in clock_strategy()) {
+#[test]
+fn meet_is_greatest_lower_bound() {
+    for_clock_triples(|a, b, _| {
         let mut m = a.clone();
         m.meet(&b);
-        prop_assert!(m.le(&a));
-        prop_assert!(m.le(&b));
-    }
+        assert!(m.le(&a));
+        assert!(m.le(&b));
+    });
+}
 
-    #[test]
-    fn absorption_laws(a in clock_strategy(), b in clock_strategy()) {
+#[test]
+fn absorption_laws() {
+    for_clock_triples(|a, b, _| {
         // a ∨ (a ∧ b) = a
         let mut m = a.clone();
         m.meet(&b);
-        prop_assert_eq!(a.joined(&m), a.clone());
+        assert_eq!(a.joined(&m), a);
         // a ∧ (a ∨ b) = a
         let mut n = a.clone();
         n.meet(&a.joined(&b));
-        prop_assert_eq!(n, a);
-    }
+        assert_eq!(n, a);
+    });
+}
 
-    #[test]
-    fn le_is_reflexive_and_antisymmetric(a in clock_strategy(), b in clock_strategy()) {
-        prop_assert!(a.le(&a));
+#[test]
+fn le_is_reflexive_and_antisymmetric() {
+    for_clock_triples(|a, b, _| {
+        assert!(a.le(&a));
         if a.le(&b) && b.le(&a) {
-            prop_assert_eq!(&a, &b);
+            assert_eq!(a, b);
         }
-    }
+    });
+}
 
-    #[test]
-    fn le_is_transitive(a in clock_strategy(), b in clock_strategy(), c in clock_strategy()) {
+#[test]
+fn le_is_transitive() {
+    for_clock_triples(|a, b, c| {
         let j1 = a.joined(&b);
         let j2 = j1.joined(&c);
         // a ≤ a∨b ≤ (a∨b)∨c by construction; check the chain composes.
-        prop_assert!(a.le(&j1));
-        prop_assert!(j1.le(&j2));
-        prop_assert!(a.le(&j2));
-    }
+        assert!(a.le(&j1));
+        assert!(j1.le(&j2));
+        assert!(a.le(&j2));
+    });
+}
 
-    #[test]
-    fn causal_cmp_is_consistent_with_le(a in clock_strategy(), b in clock_strategy()) {
-        match a.causal_cmp(&b) {
-            CausalOrd::Equal => prop_assert!(a.le(&b) && b.le(&a)),
-            CausalOrd::Before => prop_assert!(a.le(&b) && !b.le(&a)),
-            CausalOrd::After => prop_assert!(b.le(&a) && !a.le(&b)),
-            CausalOrd::Concurrent => prop_assert!(!a.le(&b) && !b.le(&a)),
-        }
-    }
+#[test]
+fn causal_cmp_is_consistent_with_le() {
+    for_clock_triples(|a, b, _| match a.causal_cmp(&b) {
+        CausalOrd::Equal => assert!(a.le(&b) && b.le(&a)),
+        CausalOrd::Before => assert!(a.le(&b) && !b.le(&a)),
+        CausalOrd::After => assert!(b.le(&a) && !a.le(&b)),
+        CausalOrd::Concurrent => assert!(!a.le(&b) && !b.le(&a)),
+    });
+}
 
-    #[test]
-    fn tick_strictly_increases(a in clock_strategy(), t in 0usize..WIDTH) {
+#[test]
+fn tick_strictly_increases() {
+    let mut rng = Rng(0x71c4_0000);
+    for case in 0..CASES {
+        let a = rng.clock();
+        let t = case % WIDTH;
         let mut ticked = a.clone();
         ticked.tick(t);
-        prop_assert!(a.lt(&ticked));
-        prop_assert_eq!(a.causal_cmp(&ticked), CausalOrd::Before);
+        assert!(a.lt(&ticked));
+        assert_eq!(a.causal_cmp(&ticked), CausalOrd::Before);
     }
+}
 
-    #[test]
-    fn total_is_monotone_under_join(a in clock_strategy(), b in clock_strategy()) {
+#[test]
+fn total_is_monotone_under_join() {
+    for_clock_triples(|a, b, _| {
         let j = a.joined(&b);
-        prop_assert!(j.total() >= a.total());
-        prop_assert!(j.total() >= b.total());
-        prop_assert!(j.total() <= a.total() + b.total());
-    }
+        assert!(j.total() >= a.total());
+        assert!(j.total() >= b.total());
+        assert!(j.total() <= a.total() + b.total());
+    });
 }

@@ -74,7 +74,6 @@ impl fmt::Display for BugReport {
 mod tests {
     use super::*;
     use lazylocks_model::ProgramBuilder;
-    
 
     #[test]
     fn deadlock_report_reproduces() {

@@ -1,5 +1,7 @@
 //! Exploration configuration.
 
+use crate::session::ExploreControl;
+
 /// Budget and feature knobs shared by every exploration strategy.
 #[derive(Debug, Clone)]
 pub struct ExploreConfig {
@@ -29,6 +31,11 @@ pub struct ExploreConfig {
     /// [`ExploreStats::state_witnesses`](crate::ExploreStats) — handy for
     /// debugging missed interleavings, off by default (it allocates).
     pub collect_state_witnesses: bool,
+    /// Run control: cancellation token, wall-clock deadline and observer
+    /// fan-out. Inert by default; [`ExploreSession`](crate::ExploreSession)
+    /// installs a live control for the duration of a run. Checked
+    /// cooperatively by every strategy's main loop.
+    pub control: ExploreControl,
 }
 
 impl Default for ExploreConfig {
@@ -43,6 +50,7 @@ impl Default for ExploreConfig {
             collect_hbrs: true,
             collect_lazy_hbrs: true,
             collect_state_witnesses: false,
+            control: ExploreControl::default(),
         }
     }
 }
@@ -73,6 +81,13 @@ impl ExploreConfig {
         self.seed = seed;
         self
     }
+
+    /// Installs a run control, returning `self` for chaining. Most users
+    /// should go through [`ExploreSession`](crate::ExploreSession) instead.
+    pub fn controlled(mut self, control: ExploreControl) -> Self {
+        self.control = control;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -90,7 +105,10 @@ mod tests {
 
     #[test]
     fn builders_chain() {
-        let c = ExploreConfig::with_limit(500).preemptions(2).stopping_on_bug().seeded(42);
+        let c = ExploreConfig::with_limit(500)
+            .preemptions(2)
+            .stopping_on_bug()
+            .seeded(42);
         assert_eq!(c.schedule_limit, 500);
         assert_eq!(c.preemption_bound, Some(2));
         assert!(c.stop_on_bug);

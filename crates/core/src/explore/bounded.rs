@@ -22,8 +22,13 @@ use std::time::Instant;
 /// The iterative preemption-bounding explorer.
 #[derive(Debug, Clone, Copy)]
 pub struct IterativeBounding {
+    /// First preemption bound to try.
+    pub start_bound: u32,
     /// Highest preemption bound to try (inclusive).
     pub max_bound: u32,
+    /// Increment between waves (must be positive). A step above 1 trades
+    /// the per-bound coverage statement for fewer re-explorations.
+    pub bound_step: u32,
     /// Happens-before mode for the per-wave prefix cache. Lazy composes
     /// the paper's contribution with context bounding — exactly the
     /// setting of Musuvathi & Qadeer's HBR-caching report.
@@ -33,7 +38,9 @@ pub struct IterativeBounding {
 impl Default for IterativeBounding {
     fn default() -> Self {
         IterativeBounding {
+            start_bound: 0,
             max_bound: 3,
+            bound_step: 1,
             cache_mode: HbMode::Lazy,
         }
     }
@@ -56,12 +63,19 @@ impl IterativeBounding {
     /// `config.stop_on_bug`), the budget is spent, or `max_bound` is done.
     pub fn run(&self, program: &Program, config: &ExploreConfig) -> BoundedRun {
         let start = Instant::now();
-        let mut waves = Vec::new();
+        let mut waves: Vec<(u32, ExploreStats)> = Vec::new();
         let mut bug_bound = None;
         let mut remaining = config.schedule_limit;
+        let step = self.bound_step.max(1) as usize;
 
-        for bound in 0..=self.max_bound {
+        for bound in (self.start_bound..=self.max_bound).step_by(step) {
             if remaining == 0 {
+                break;
+            }
+            if config.control.cancel_requested() {
+                if let Some(&mut (_, ref mut s)) = waves.last_mut() {
+                    s.cancelled = true;
+                }
                 break;
             }
             let mut wave_config = config.clone();
@@ -82,21 +96,46 @@ impl IterativeBounding {
             }
             // A wave that was not cut short by the bound has seen the whole
             // tree: higher bounds cannot add anything.
-            if waves.last().is_some_and(|(_, s)| s.bound_prunes == 0 && !s.limit_hit) {
+            if waves
+                .last()
+                .is_some_and(|(_, s)| s.bound_prunes == 0 && !s.limit_hit)
+            {
                 break;
             }
         }
 
-        let mut final_stats = waves
-            .last()
-            .map(|(_, s)| s.clone())
-            .unwrap_or_default();
+        let mut final_stats = waves.last().map(|(_, s)| s.clone()).unwrap_or_default();
+        if waves.is_empty() && config.control.cancel_requested() {
+            // Cancelled before the first wave could run: record the
+            // truncation so the outcome is not mistaken for a clean finish.
+            final_stats.cancelled = true;
+        }
         final_stats.wall_time = start.elapsed();
         BoundedRun {
             final_stats,
             waves,
             bug_bound,
         }
+    }
+}
+
+impl Explorer for IterativeBounding {
+    fn name(&self) -> String {
+        "bounded".to_string()
+    }
+
+    /// Runs the waves and reports the final wave's (cumulative) stats —
+    /// the per-wave detail of [`IterativeBounding::run`] is collapsed, the
+    /// total wall time is kept. A bug found in an *earlier* wave is
+    /// carried over: the final wave shares its budget with its
+    /// predecessors and may not re-reach the buggy schedule.
+    fn explore(&self, program: &Program, config: &ExploreConfig) -> ExploreStats {
+        let run = self.run(program, config);
+        let mut stats = run.final_stats;
+        if stats.first_bug.is_none() {
+            stats.first_bug = run.waves.into_iter().find_map(|(_, s)| s.first_bug);
+        }
+        stats
     }
 }
 
@@ -159,6 +198,7 @@ mod tests {
         let run = IterativeBounding {
             max_bound: 10,
             cache_mode: HbMode::Regular,
+            ..IterativeBounding::default()
         }
         .run(&p, &ExploreConfig::with_limit(100_000));
         // The schedule tree has at most 3 preemptions; waves end early.
@@ -197,7 +237,14 @@ mod tests {
         let run = IterativeBounding::default()
             .run(&p, &ExploreConfig::with_limit(50_000).stopping_on_bug());
         let bound = run.bug_bound.expect("deadlock found");
-        assert!(bound <= 1, "the AB-BA deadlock needs at most one preemption");
-        assert_eq!(run.waves.last().unwrap().0, bound, "stopped at the bug wave");
+        assert!(
+            bound <= 1,
+            "the AB-BA deadlock needs at most one preemption"
+        );
+        assert_eq!(
+            run.waves.last().unwrap().0,
+            bound,
+            "stopped at the bug wave"
+        );
     }
 }

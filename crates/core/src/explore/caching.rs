@@ -91,6 +91,9 @@ impl<'p> CachingCtx<'p> {
         last: Option<ThreadId>,
         preemptions: u32,
     ) -> Continue {
+        if self.collector.cancel_requested() {
+            return Continue::Stop;
+        }
         if !matches!(exec.phase(), ExecPhase::Running) {
             return self
                 .collector

@@ -55,6 +55,9 @@ impl<'p> DfsCtx<'p> {
         last: Option<ThreadId>,
         preemptions: u32,
     ) -> Continue {
+        if self.collector.cancel_requested() {
+            return Continue::Stop;
+        }
         if !matches!(exec.phase(), ExecPhase::Running) {
             return self
                 .collector
@@ -298,7 +301,10 @@ mod tests {
         // Trace: l1 w1 u1 l2 w2 u2 and the swap: exactly 2 schedules.
         assert_eq!(stats.schedules, 2);
         assert_eq!(stats.unique_hbrs, 2);
-        assert_eq!(stats.unique_lazy_hbrs, 2, "different writes → different states");
+        assert_eq!(
+            stats.unique_lazy_hbrs, 2,
+            "different writes → different states"
+        );
         assert_eq!(stats.unique_states, 2);
         stats.check_inequality().unwrap();
     }

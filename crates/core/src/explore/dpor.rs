@@ -188,6 +188,9 @@ impl<'p> DporEngine<'p> {
         self.push_frame(root_exec, clocks, BTreeSet::new(), 0, 0);
 
         while let Some(top) = self.stack.len().checked_sub(1) {
+            if self.collector.cancel_requested() {
+                return;
+            }
             let pick = {
                 let frame = &self.stack[top];
                 frame
@@ -399,26 +402,18 @@ impl<'p> DporEngine<'p> {
     /// mutex). The lazy lock-acquisition mode further restricts lock pairs
     /// to the deadlock-relevant ones, where at least one side acquired
     /// while holding another mutex.
-    fn backtrack_dependent(
-        &self,
-        kind: VisibleKind,
-        f: &Event,
-        d: usize,
-        p_nested: bool,
-    ) -> bool {
+    fn backtrack_dependent(&self, kind: VisibleKind, f: &Event, d: usize, p_nested: bool) -> bool {
         if kind.dependent_lazy(f.kind) {
             return true;
         }
         match (kind, f.kind) {
-            (VisibleKind::Lock(m1), VisibleKind::Lock(m2)) if m1 == m2 => {
-                match self.dependence {
-                    DependenceMode::Regular => true,
-                    DependenceMode::LazyVarsOnly => false,
-                    DependenceMode::LazyLockAcquisitions => {
-                        p_nested || self.stack[d].exec.holds_any_mutex(f.thread())
-                    }
+            (VisibleKind::Lock(m1), VisibleKind::Lock(m2)) if m1 == m2 => match self.dependence {
+                DependenceMode::Regular => true,
+                DependenceMode::LazyVarsOnly => false,
+                DependenceMode::LazyLockAcquisitions => {
+                    p_nested || self.stack[d].exec.holds_any_mutex(f.thread())
                 }
-            }
+            },
             _ => false,
         }
     }

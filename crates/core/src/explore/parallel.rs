@@ -2,9 +2,9 @@
 //!
 //! The schedule tree is split near the root: a breadth-first expansion
 //! produces a frontier of independent subtree roots (executor snapshots
-//! plus their trace prefixes), which a crossbeam channel feeds to worker
-//! threads. Each worker explores its subtrees depth-first with a local
-//! collector; a shared atomic counter enforces the global schedule
+//! plus their trace prefixes), which a mutex-guarded work queue feeds to
+//! worker threads. Each worker explores its subtrees depth-first with a
+//! local collector; a shared atomic counter enforces the global schedule
 //! budget; per-worker results are merged exactly (set unions) at the end.
 //!
 //! Parallel enumeration has no reduction — it is the scale-out version of
@@ -19,16 +19,15 @@ use lazylocks_model::{Program, ThreadId};
 use lazylocks_runtime::{Event, ExecPhase, Executor};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// The parallel DFS explorer.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ParallelDfs {
     /// Worker threads; `0` uses the machine's available parallelism.
     pub workers: usize,
 }
-
 
 /// A subtree root handed to a worker.
 struct WorkItem<'p> {
@@ -67,6 +66,9 @@ impl Explorer for ParallelDfs {
         });
         let target = workers * 4;
         while frontier.len() < target {
+            if root_collector.cancel_requested() {
+                break;
+            }
             let Some(item) = frontier.pop_front() else {
                 break;
             };
@@ -127,24 +129,24 @@ impl Explorer for ParallelDfs {
         }
 
         // --- parallel phase ---
-        let (tx, rx) = crossbeam::channel::unbounded::<WorkItem>();
-        for item in frontier {
-            tx.send(item).expect("queue open");
-        }
-        drop(tx);
+        let queue: Mutex<VecDeque<WorkItem>> = Mutex::new(frontier);
 
         let worker_results: Vec<Collector> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
-                    let rx = rx.clone();
+                    let queue = &queue;
                     let budget = &budget;
                     let stop = &stop;
                     scope.spawn(move || {
                         let mut collector = Collector::new(config);
-                        while let Ok(item) = rx.recv() {
+                        loop {
                             if stop.load(Ordering::Relaxed) {
                                 break;
                             }
+                            let item = queue.lock().expect("queue poisoned").pop_front();
+                            let Some(item) = item else {
+                                break;
+                            };
                             let mut ctx = WorkerCtx {
                                 program,
                                 collector: &mut collector,
@@ -160,7 +162,10 @@ impl Explorer for ParallelDfs {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
 
         for w in worker_results {
@@ -207,6 +212,10 @@ struct WorkerCtx<'a, 'p> {
 impl<'p> WorkerCtx<'_, 'p> {
     fn visit(&mut self, exec: &Executor<'p>, last: Option<ThreadId>, preemptions: u32) -> Continue {
         if self.stop.load(Ordering::Relaxed) {
+            return Continue::Stop;
+        }
+        if self.collector.cancel_requested() {
+            self.stop.store(true, Ordering::Relaxed);
             return Continue::Stop;
         }
         if !matches!(exec.phase(), ExecPhase::Running) {

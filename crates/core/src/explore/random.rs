@@ -7,11 +7,10 @@
 
 use crate::config::ExploreConfig;
 use crate::explore::Explorer;
+use crate::rng::SplitMix64;
 use crate::stats::{Collector, Continue, ExploreStats};
 use lazylocks_model::{Program, ThreadId};
 use lazylocks_runtime::{Event, ExecPhase, Executor};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 /// The random-walk explorer.
@@ -26,9 +25,9 @@ impl Explorer for RandomWalk {
     fn explore(&self, program: &Program, config: &ExploreConfig) -> ExploreStats {
         let start = Instant::now();
         let mut collector = Collector::new(config);
-        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut rng = SplitMix64::new(config.seed);
 
-        'walks: while !collector.budget_exhausted() {
+        'walks: while !collector.budget_exhausted() && !collector.cancel_requested() {
             let mut exec = Executor::new(program);
             let mut trace: Vec<Event> = Vec::new();
             let mut schedule: Vec<ThreadId> = Vec::new();
@@ -67,7 +66,7 @@ impl Explorer for RandomWalk {
                     !choices.is_empty(),
                     "continuing the running thread is never a preemption"
                 );
-                let t = choices[rng.gen_range(0..choices.len())];
+                let t = choices[rng.gen_range(choices.len())];
                 if last.is_some_and(|l| l != t && exec.is_enabled(l)) {
                     preemptions += 1;
                 }
@@ -152,7 +151,9 @@ mod tests {
         let p = b.build();
         let stats = RandomWalk.explore(
             &p,
-            &ExploreConfig::with_limit(10_000).stopping_on_bug().seeded(3),
+            &ExploreConfig::with_limit(10_000)
+                .stopping_on_bug()
+                .seeded(3),
         );
         assert!(stats.found_bug());
         assert!(stats.schedules < 10_000, "stops well before the budget");

@@ -12,7 +12,8 @@
 //! * exploration strategies: exhaustive DFS, **DPOR** (Flanagan–Godefroid
 //!   with sleep sets), **HBR caching** and **lazy HBR caching**
 //!   (Musuvathi–Qadeer style), a prototype **lazy DPOR** (the paper's §4
-//!   future work), random walks, and a parallel DFS ([`explore`]);
+//!   future work), random walks, a parallel DFS and CHESS-style iterative
+//!   preemption bounding ([`explore`]);
 //! * safety-property checkers: deadlocks, assertion failures, and a
 //!   happens-before data-race detector ([`race`]);
 //! * statistics matching the paper's evaluation: schedules, unique terminal
@@ -21,8 +22,14 @@
 //!
 //! ## Quick start
 //!
+//! Explorations run through an [`ExploreSession`]: it owns a program plus
+//! an [`ExploreConfig`], takes strategies as **registry spec strings**
+//! (`dpor(sleep=true)`, `caching(mode=lazy)`, `parallel(workers=8)`, …),
+//! supports [`Observer`] hooks, wall-clock deadlines and cooperative
+//! cancellation, and returns a structured [`ExploreOutcome`]:
+//!
 //! ```
-//! use lazylocks::{ExploreConfig, Explorer, HbrCaching, Dpor};
+//! use lazylocks::{ExploreConfig, ExploreSession, Verdict};
 //! use lazylocks_model::{ProgramBuilder, Reg};
 //!
 //! // The paper's Figure 1: two threads, a mutex, disjoint extra writes.
@@ -45,14 +52,41 @@
 //! });
 //! let program = b.build();
 //!
-//! let config = ExploreConfig::with_limit(10_000);
-//! let stats = Dpor::default().explore(&program, &config);
-//! assert_eq!(stats.unique_hbrs, 2);       // two lock orders
-//! assert_eq!(stats.unique_lazy_hbrs, 1);  // ...but a single lazy class
-//! assert_eq!(stats.unique_states, 1);     // ...reaching a single state
+//! let session = ExploreSession::new(&program)
+//!     .with_config(ExploreConfig::with_limit(10_000));
 //!
-//! // Lazy HBR caching needs a single schedule for this program.
-//! let stats = HbrCaching::lazy().explore(&program, &config);
+//! // DPOR distinguishes the two lock orders (two regular HBR classes)...
+//! let outcome = session.run_spec("dpor").unwrap();
+//! assert_eq!(outcome.verdict, Verdict::Clean);
+//! assert_eq!(outcome.stats.unique_hbrs, 2);       // two lock orders
+//! assert_eq!(outcome.stats.unique_lazy_hbrs, 1);  // ...but a single lazy class
+//! assert_eq!(outcome.stats.unique_states, 1);     // ...reaching a single state
+//!
+//! // ...while lazy HBR caching needs a single schedule for this program.
+//! let outcome = session.run_spec("caching(mode=lazy)").unwrap();
+//! assert_eq!(outcome.stats.schedules, 1);
+//! ```
+//!
+//! Strategies can still be constructed and run directly (the
+//! [`Explorer`] trait is unchanged), and custom strategies join the party
+//! by registering a factory in a [`StrategyRegistry`]:
+//!
+//! ```
+//! use lazylocks::{Dpor, ExploreConfig, Explorer, StrategyRegistry};
+//! # use lazylocks_model::ProgramBuilder;
+//! # let mut b = ProgramBuilder::new("p");
+//! # let x = b.var("x", 0);
+//! # b.thread("T1", |t| t.store(x, 1));
+//! # let program = b.build();
+//!
+//! let mut registry = StrategyRegistry::default();
+//! registry.register("my-dpor", "sleep-set DPOR shorthand", |_| {
+//!     Ok(Box::new(Dpor { sleep_sets: true, ..Dpor::default() }))
+//! });
+//! let stats = registry
+//!     .create("my-dpor")
+//!     .unwrap()
+//!     .explore(&program, &ExploreConfig::with_limit(100));
 //! assert_eq!(stats.schedules, 1);
 //! ```
 
@@ -61,18 +95,27 @@ mod config;
 pub mod explore;
 mod minimize;
 pub mod race;
+mod registry;
 pub mod report;
+pub mod rng;
 pub mod scatter;
+mod session;
 mod stats;
 
 pub use bug::{BugKind, BugReport};
 pub use config::ExploreConfig;
+#[allow(deprecated)]
+pub use explore::Strategy;
 pub use explore::{
     BoundedRun, DependenceMode, DfsEnumeration, Dpor, Explorer, HbrCaching, IterativeBounding,
-    LazyDpor, LazyDporStyle, ParallelDfs, RandomWalk, Strategy,
+    LazyDpor, LazyDporStyle, ParallelDfs, RandomWalk,
 };
 pub use minimize::minimize_schedule;
 pub use race::{detect_races, is_race_free, RaceReport};
+pub use registry::{ExplorerFactory, SpecError, SpecParams, StrategyRegistry};
+pub use session::{
+    CancelToken, ExploreControl, ExploreOutcome, ExploreSession, Observer, Progress, Verdict,
+};
 pub use stats::ExploreStats;
 
 // Re-export the substrate crates so downstream users need only one

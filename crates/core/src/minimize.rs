@@ -125,7 +125,10 @@ mod tests {
 
     fn find_bug(program: &Program) -> BugReport {
         Dpor::default()
-            .explore(program, &ExploreConfig::with_limit(50_000).stopping_on_bug())
+            .explore(
+                program,
+                &ExploreConfig::with_limit(50_000).stopping_on_bug(),
+            )
             .first_bug
             .expect("program must have a bug")
     }
@@ -160,7 +163,9 @@ mod tests {
         let minimal = minimize_schedule(&p, &bug);
         let run = minimal.reproduce(&p).unwrap();
         assert!(
-            run.faults.iter().any(|f| f.to_string().contains("x must be set")),
+            run.faults
+                .iter()
+                .any(|f| f.to_string().contains("x must be set")),
             "minimised schedule keeps the fault"
         );
         assert!(minimal.schedule.len() <= bug.schedule.len());

@@ -50,8 +50,13 @@ struct VarHistory {
 pub fn detect_races(program: &Program, trace: &[Event]) -> Vec<RaceReport> {
     let mut engine = ClockEngine::for_program(HbMode::SyncOnly, program);
     let mut history: Vec<VarHistory> = vec![VarHistory::default(); program.vars().len()];
-    let mut seen: HashSet<(VarId, lazylocks_model::ThreadId, u32, lazylocks_model::ThreadId, u32)> =
-        HashSet::new();
+    let mut seen: HashSet<(
+        VarId,
+        lazylocks_model::ThreadId,
+        u32,
+        lazylocks_model::ThreadId,
+        u32,
+    )> = HashSet::new();
     let mut races = Vec::new();
 
     for &event in trace {

@@ -1,0 +1,615 @@
+//! The string-keyed strategy registry.
+//!
+//! Exploration strategies are addressed by **spec strings** of the form
+//! `name` or `name(key=value, key=value)` — e.g. `dpor(sleep=true)`,
+//! `parallel(workers=8)` or `bounded(start=0, step=1)`. A
+//! [`StrategyRegistry`] maps canonical names to boxed [`Explorer`]
+//! factories and resolves aliases (including every legacy
+//! `Strategy`-enum name), so new strategies can be plugged in — by
+//! downstream crates too — without touching any enum, parser or CLI
+//! table.
+//!
+//! ```
+//! use lazylocks::{ExploreConfig, StrategyRegistry};
+//! use lazylocks_model::ProgramBuilder;
+//!
+//! let registry = StrategyRegistry::default();
+//! let explorer = registry.create("dpor(sleep=true)").unwrap();
+//!
+//! let mut b = ProgramBuilder::new("p");
+//! let x = b.var("x", 0);
+//! b.thread("T1", |t| t.store(x, 1));
+//! b.thread("T2", |t| t.store(x, 2));
+//! let stats = explorer.explore(&b.build(), &ExploreConfig::with_limit(100));
+//! assert_eq!(stats.unique_states, 2);
+//! ```
+
+use crate::explore::{
+    DependenceMode, DfsEnumeration, Dpor, Explorer, HbrCaching, IterativeBounding, LazyDpor,
+    LazyDporStyle, ParallelDfs, RandomWalk,
+};
+use lazylocks_hbr::HbMode;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a spec string was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The spec does not match `name` / `name(k=v, …)`.
+    Malformed {
+        /// The offending spec.
+        spec: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// No strategy or alias with this name is registered.
+    UnknownStrategy {
+        /// The unknown name.
+        name: String,
+        /// Every registered name and alias, for the error message.
+        known: Vec<String>,
+    },
+    /// The strategy exists but does not take this parameter.
+    UnknownParam {
+        /// The strategy name.
+        strategy: String,
+        /// The rejected parameter key.
+        param: String,
+    },
+    /// The parameter exists but the value does not parse.
+    InvalidValue {
+        /// The strategy name.
+        strategy: String,
+        /// The parameter key.
+        param: String,
+        /// The rejected value.
+        value: String,
+        /// What would have been accepted.
+        expected: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Malformed { spec, reason } => {
+                write!(f, "malformed strategy spec {spec:?}: {reason}")
+            }
+            SpecError::UnknownStrategy { name, known } => {
+                write!(f, "unknown strategy {name:?}; known: {}", known.join(", "))
+            }
+            SpecError::UnknownParam { strategy, param } => {
+                write!(f, "strategy {strategy:?} takes no parameter {param:?}")
+            }
+            SpecError::InvalidValue {
+                strategy,
+                param,
+                value,
+                expected,
+            } => write!(
+                f,
+                "invalid value {value:?} for {strategy}({param}=…): expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A parsed spec: strategy name plus its remaining key=value parameters.
+///
+/// Factories *take* the parameters they understand; whatever is left when
+/// the factory returns is reported as [`SpecError::UnknownParam`], so
+/// typos fail loudly instead of silently running a default.
+#[derive(Debug, Clone)]
+pub struct SpecParams {
+    name: String,
+    params: BTreeMap<String, String>,
+}
+
+impl SpecParams {
+    /// Parses `name` or `name(k=v, …)`.
+    pub fn parse(spec: &str) -> Result<SpecParams, SpecError> {
+        let malformed = |reason: &str| SpecError::Malformed {
+            spec: spec.to_string(),
+            reason: reason.to_string(),
+        };
+        let s = spec.trim();
+        if s.is_empty() {
+            return Err(malformed("empty spec"));
+        }
+        let (name, body) = match s.find('(') {
+            None => (s, None),
+            Some(open) => {
+                let Some(rest) = s[open + 1..].strip_suffix(')') else {
+                    return Err(malformed("missing closing parenthesis"));
+                };
+                (&s[..open], Some(rest))
+            }
+        };
+        let name = name.trim();
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(malformed("strategy names are [a-zA-Z0-9_-]+"));
+        }
+        let mut params = BTreeMap::new();
+        if let Some(body) = body {
+            for pair in body.split(',') {
+                let pair = pair.trim();
+                if pair.is_empty() {
+                    // Tolerate `name()` and trailing commas.
+                    continue;
+                }
+                let Some((k, v)) = pair.split_once('=') else {
+                    return Err(malformed("parameters are key=value pairs"));
+                };
+                let (k, v) = (k.trim(), v.trim());
+                if k.is_empty() || v.is_empty() {
+                    return Err(malformed("parameters are key=value pairs"));
+                }
+                if params.insert(k.to_string(), v.to_string()).is_some() {
+                    return Err(malformed("duplicate parameter"));
+                }
+            }
+        }
+        Ok(SpecParams {
+            name: name.to_string(),
+            params,
+        })
+    }
+
+    /// The strategy name of the spec.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Consumes a boolean parameter (`true`/`false`/`yes`/`no`/`1`/`0`).
+    pub fn take_bool(&mut self, key: &str, default: bool) -> Result<bool, SpecError> {
+        match self.params.remove(key) {
+            None => Ok(default),
+            Some(v) => match v.as_str() {
+                "true" | "yes" | "1" | "on" => Ok(true),
+                "false" | "no" | "0" | "off" => Ok(false),
+                _ => Err(self.invalid(key, &v, "a boolean (true/false)")),
+            },
+        }
+    }
+
+    /// Consumes an unsigned-integer parameter.
+    pub fn take_usize(&mut self, key: &str, default: usize) -> Result<usize, SpecError> {
+        match self.params.remove(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| self.invalid(key, &v, "an unsigned integer")),
+        }
+    }
+
+    /// Consumes a `u32` parameter.
+    pub fn take_u32(&mut self, key: &str, default: u32) -> Result<u32, SpecError> {
+        match self.params.remove(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| self.invalid(key, &v, "an unsigned integer")),
+        }
+    }
+
+    /// Consumes an enumerated parameter; the value must be one of
+    /// `choices`.
+    pub fn take_choice(
+        &mut self,
+        key: &str,
+        choices: &[&str],
+        default: &str,
+    ) -> Result<String, SpecError> {
+        debug_assert!(choices.contains(&default));
+        match self.params.remove(key) {
+            None => Ok(default.to_string()),
+            Some(v) if choices.contains(&v.as_str()) => Ok(v),
+            Some(v) => Err(self.invalid(key, &v, &format!("one of {}", choices.join("/")))),
+        }
+    }
+
+    fn invalid(&self, param: &str, value: &str, expected: &str) -> SpecError {
+        SpecError::InvalidValue {
+            strategy: self.name.clone(),
+            param: param.to_string(),
+            value: value.to_string(),
+            expected: expected.to_string(),
+        }
+    }
+
+    /// The first parameter a factory did not consume, if any.
+    fn leftover(&self) -> Option<&String> {
+        self.params.keys().next()
+    }
+}
+
+/// A boxed constructor turning spec parameters into a ready explorer.
+pub type ExplorerFactory =
+    Box<dyn Fn(&mut SpecParams) -> Result<Box<dyn Explorer>, SpecError> + Send + Sync>;
+
+struct Entry {
+    help: &'static str,
+    factory: ExplorerFactory,
+}
+
+/// Maps spec strings to [`Explorer`] factories.
+///
+/// [`StrategyRegistry::default`] registers the seven built-in strategy
+/// families plus aliases for every legacy `Strategy`-enum name (including
+/// both `dpor-sleep`/`dpor-nosleep` spellings); [`StrategyRegistry::empty`]
+/// starts blank for fully custom harnesses. Registering a name that
+/// already exists replaces the previous factory.
+pub struct StrategyRegistry {
+    entries: BTreeMap<String, Entry>,
+    aliases: BTreeMap<String, String>,
+}
+
+impl Default for StrategyRegistry {
+    fn default() -> Self {
+        let mut r = StrategyRegistry::empty();
+
+        r.register("dfs", "exhaustive depth-first enumeration", |p| {
+            let _ = p;
+            Ok(Box::new(DfsEnumeration))
+        });
+        r.register(
+            "dpor",
+            "dynamic partial-order reduction [sleep=bool, deps=regular/lazy-vars/lazy-locks]",
+            |p| {
+                let sleep_sets = p.take_bool("sleep", false)?;
+                let dependence = match p
+                    .take_choice("deps", &["regular", "lazy-vars", "lazy-locks"], "regular")?
+                    .as_str()
+                {
+                    "lazy-vars" => DependenceMode::LazyVarsOnly,
+                    "lazy-locks" => DependenceMode::LazyLockAcquisitions,
+                    _ => DependenceMode::Regular,
+                };
+                Ok(Box::new(Dpor {
+                    sleep_sets,
+                    dependence,
+                }))
+            },
+        );
+        r.register(
+            "caching",
+            "prefix-HBR caching [mode=regular/lazy/sync]",
+            |p| {
+                let mode = match p
+                    .take_choice("mode", &["regular", "lazy", "sync"], "regular")?
+                    .as_str()
+                {
+                    "lazy" => HbMode::Lazy,
+                    "sync" => HbMode::SyncOnly,
+                    _ => HbMode::Regular,
+                };
+                Ok(Box::new(HbrCaching { mode }))
+            },
+        );
+        r.register(
+            "lazy-dpor",
+            "prototype lazy DPOR (paper §4) [style=locks/vars]",
+            |p| {
+                let style = match p
+                    .take_choice("style", &["locks", "vars"], "locks")?
+                    .as_str()
+                {
+                    "vars" => LazyDporStyle::VarsOnly,
+                    _ => LazyDporStyle::LockAcquisitions,
+                };
+                Ok(Box::new(LazyDpor { style }))
+            },
+        );
+        r.register(
+            "random",
+            "uniform random walks (seed from the config)",
+            |p| {
+                let _ = p;
+                Ok(Box::new(RandomWalk))
+            },
+        );
+        r.register(
+            "parallel",
+            "parallel DFS across OS threads [workers=N, 0=auto]",
+            |p| {
+                let workers = p.take_usize("workers", 0)?;
+                Ok(Box::new(ParallelDfs { workers }))
+            },
+        );
+        r.register(
+            "bounded",
+            "CHESS-style iterative preemption bounding \
+             [start=N, max=N, step=N, mode=regular/lazy/sync]",
+            |p| {
+                let start_bound = p.take_u32("start", 0)?;
+                let max_bound = p.take_u32("max", 3)?;
+                let bound_step = p.take_u32("step", 1)?;
+                if bound_step == 0 {
+                    return Err(SpecError::InvalidValue {
+                        strategy: "bounded".to_string(),
+                        param: "step".to_string(),
+                        value: "0".to_string(),
+                        expected: "a positive step".to_string(),
+                    });
+                }
+                let cache_mode = match p
+                    .take_choice("mode", &["regular", "lazy", "sync"], "lazy")?
+                    .as_str()
+                {
+                    "regular" => HbMode::Regular,
+                    "sync" => HbMode::SyncOnly,
+                    _ => HbMode::Lazy,
+                };
+                Ok(Box::new(IterativeBounding {
+                    start_bound,
+                    max_bound,
+                    bound_step,
+                    cache_mode,
+                }))
+            },
+        );
+
+        // Legacy `Strategy`-enum names (and the historically advertised
+        // `dpor-nosleep` spelling) stay available as aliases.
+        r.alias("dpor-sleep", "dpor(sleep=true)");
+        r.alias("dpor-nosleep", "dpor(sleep=false)");
+        r.alias("lazy-caching", "caching(mode=lazy)");
+        r.alias("sync-caching", "caching(mode=sync)");
+        r.alias("lazy-dpor-vars", "lazy-dpor(style=vars)");
+        r.alias("parallel-dfs", "parallel");
+        r.alias("chess", "bounded");
+        r
+    }
+}
+
+impl StrategyRegistry {
+    /// An empty registry (no strategies, no aliases).
+    pub fn empty() -> Self {
+        StrategyRegistry {
+            entries: BTreeMap::new(),
+            aliases: BTreeMap::new(),
+        }
+    }
+
+    /// Registers (or replaces) a strategy factory under a canonical name.
+    pub fn register(
+        &mut self,
+        name: &str,
+        help: &'static str,
+        factory: impl Fn(&mut SpecParams) -> Result<Box<dyn Explorer>, SpecError>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.entries.insert(
+            name.to_string(),
+            Entry {
+                help,
+                factory: Box::new(factory),
+            },
+        );
+    }
+
+    /// Registers `alias` as shorthand for `target` (itself a spec string;
+    /// parameters given with the alias are merged in on top).
+    pub fn alias(&mut self, alias: &str, target: &str) {
+        self.aliases.insert(alias.to_string(), target.to_string());
+    }
+
+    /// Builds the explorer described by `spec`.
+    pub fn create(&self, spec: &str) -> Result<Box<dyn Explorer>, SpecError> {
+        let mut parsed = SpecParams::parse(spec)?;
+        // Resolve alias chains (bounded, to reject accidental cycles).
+        for _ in 0..8 {
+            let Some(target) = self.aliases.get(&parsed.name) else {
+                break;
+            };
+            let base = SpecParams::parse(target)?;
+            let user_params = std::mem::take(&mut parsed.params);
+            parsed = base;
+            // Parameters written with the alias override the baked ones.
+            parsed.params.extend(user_params);
+        }
+        let Some(entry) = self.entries.get(&parsed.name) else {
+            return Err(SpecError::UnknownStrategy {
+                name: parsed.name,
+                known: self.specs(),
+            });
+        };
+        let explorer = (entry.factory)(&mut parsed)?;
+        if let Some(param) = parsed.leftover() {
+            return Err(SpecError::UnknownParam {
+                strategy: parsed.name.clone(),
+                param: param.clone(),
+            });
+        }
+        Ok(explorer)
+    }
+
+    /// Every canonical strategy name, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Every registered `(alias, target)` pair, sorted by alias.
+    pub fn alias_table(&self) -> Vec<(String, String)> {
+        self.aliases
+            .iter()
+            .map(|(a, t)| (a.clone(), t.clone()))
+            .collect()
+    }
+
+    /// Every accepted spec name: canonical names plus aliases, sorted.
+    pub fn specs(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .entries
+            .keys()
+            .chain(self.aliases.keys())
+            .cloned()
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// `(name, help)` for every canonical strategy, for CLI listings.
+    pub fn entries(&self) -> Vec<(String, &'static str)> {
+        self.entries
+            .iter()
+            .map(|(name, e)| (name.clone(), e.help))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExploreConfig;
+    use lazylocks_model::ProgramBuilder;
+
+    fn tiny_program() -> lazylocks_model::Program {
+        let mut b = ProgramBuilder::new("tiny");
+        let x = b.var("x", 0);
+        b.thread("T1", |t| t.store(x, 1));
+        b.thread("T2", |t| t.store(x, 2));
+        b.build()
+    }
+
+    #[test]
+    fn default_registry_exposes_all_legacy_strategies() {
+        let r = StrategyRegistry::default();
+        for name in [
+            "dfs",
+            "dpor",
+            "dpor-sleep",
+            "caching",
+            "lazy-caching",
+            "lazy-dpor",
+            "random",
+            "parallel",
+        ] {
+            assert!(r.create(name).is_ok(), "{name} must resolve");
+        }
+    }
+
+    #[test]
+    fn every_advertised_spec_creates_a_working_explorer() {
+        let r = StrategyRegistry::default();
+        let p = tiny_program();
+        for spec in r.specs() {
+            let explorer = r.create(&spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            let stats = explorer.explore(&p, &ExploreConfig::with_limit(50));
+            assert!(stats.schedules >= 1, "{spec} explored nothing");
+        }
+    }
+
+    #[test]
+    fn parameterised_specs_configure_the_explorer() {
+        let r = StrategyRegistry::default();
+        assert_eq!(r.create("dpor(sleep=true)").unwrap().name(), "dpor-sleep");
+        assert_eq!(r.create("dpor(sleep=false)").unwrap().name(), "dpor");
+        assert_eq!(r.create("dpor-nosleep").unwrap().name(), "dpor");
+        assert_eq!(
+            r.create("caching(mode=lazy)").unwrap().name(),
+            "lazy-caching"
+        );
+        assert_eq!(
+            r.create("lazy-dpor(style=vars)").unwrap().name(),
+            "lazy-dpor-vars"
+        );
+        assert_eq!(
+            r.create("parallel(workers=2)").unwrap().name(),
+            "parallel-dfs"
+        );
+        assert_eq!(
+            r.create("bounded(start=1, max=2)").unwrap().name(),
+            "bounded"
+        );
+    }
+
+    #[test]
+    fn alias_params_merge_with_user_params() {
+        let r = StrategyRegistry::default();
+        // `dpor-sleep(deps=lazy-locks)` = alias target + extra parameter.
+        let e = r.create("dpor-sleep(deps=lazy-locks)").unwrap();
+        assert_eq!(e.name(), "lazy-dpor");
+        // The alias parameter can also be overridden outright.
+        let e = r.create("dpor-sleep(sleep=false)").unwrap();
+        assert_eq!(e.name(), "dpor");
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        let r = StrategyRegistry::default();
+        for bad in [
+            "",
+            "   ",
+            "dpor(",
+            "dpor)",
+            "dpor(sleep)",
+            "dpor(sleep=)",
+            "dpor(=true)",
+            "dpor(sleep=true,sleep=false)",
+            "dp or",
+        ] {
+            assert!(
+                matches!(r.create(bad), Err(SpecError::Malformed { .. })),
+                "{bad:?} must be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_names_params_and_values_are_rejected() {
+        let r = StrategyRegistry::default();
+        assert!(matches!(
+            r.create("zen-garden"),
+            Err(SpecError::UnknownStrategy { .. })
+        ));
+        assert!(matches!(
+            r.create("dfs(workers=3)"),
+            Err(SpecError::UnknownParam { .. })
+        ));
+        assert!(matches!(
+            r.create("dpor(sleep=maybe)"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            r.create("bounded(step=0)"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        // Error messages name the offender.
+        let Err(err) = r.create("zen-garden") else {
+            panic!("unknown strategy must not resolve");
+        };
+        let err = err.to_string();
+        assert!(err.contains("zen-garden") && err.contains("dpor"));
+    }
+
+    #[test]
+    fn custom_strategies_can_be_registered() {
+        struct Nop;
+        impl Explorer for Nop {
+            fn name(&self) -> String {
+                "nop".to_string()
+            }
+            fn explore(
+                &self,
+                _: &lazylocks_model::Program,
+                _: &ExploreConfig,
+            ) -> crate::ExploreStats {
+                crate::ExploreStats::default()
+            }
+        }
+        let mut r = StrategyRegistry::empty();
+        r.register("nop", "does nothing", |_| Ok(Box::new(Nop)));
+        r.alias("noop", "nop");
+        assert_eq!(r.create("noop").unwrap().name(), "nop");
+        assert_eq!(r.names(), vec!["nop".to_string()]);
+    }
+}

@@ -14,13 +14,14 @@ use std::fmt::Write as _;
 /// than one digit occupy several cells (clipped at the right edge). Points
 /// whose benchmark hit the schedule limit are marked with a trailing `*`
 /// in the legend.
-pub fn scatter_plot(x_label: &str, y_label: &str, rows: &[Row], width: usize, height: usize) -> String {
-    let max_val = rows
-        .iter()
-        .map(|r| r.x.max(r.y))
-        .max()
-        .unwrap_or(1)
-        .max(1) as f64;
+pub fn scatter_plot(
+    x_label: &str,
+    y_label: &str,
+    rows: &[Row],
+    width: usize,
+    height: usize,
+) -> String {
+    let max_val = rows.iter().map(|r| r.x.max(r.y)).max().unwrap_or(1).max(1) as f64;
     let log_max = max_val.ln_1p();
 
     // grid[y][x] holds a character; y = 0 is the top row.

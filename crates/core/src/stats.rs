@@ -38,6 +38,11 @@ pub struct ExploreStats {
     /// `true` if the schedule limit stopped the exploration (the
     /// "underlined benchmark" marker of the paper's figures).
     pub limit_hit: bool,
+    /// `true` if the exploration was stopped early by a cancellation
+    /// token, wall-clock deadline or observer vote (see
+    /// [`ExploreSession`](crate::ExploreSession)) — the cooperative
+    /// counterpart of `limit_hit`.
+    pub cancelled: bool,
     /// Subtrees pruned by the prefix-HBR cache (caching strategies only).
     pub cache_prunes: usize,
     /// Subtrees pruned by sleep sets (DPOR only).
@@ -128,6 +133,21 @@ impl Collector {
         self.stats.schedules >= self.config.schedule_limit
     }
 
+    /// Cooperative cancellation poll, called by every strategy's main
+    /// loop: `true` once the config's control (token, deadline or an
+    /// observer vote) asks the exploration to stop. Records the
+    /// truncation in [`ExploreStats::cancelled`].
+    pub(crate) fn cancel_requested(&mut self) -> bool {
+        if self.stats.cancelled {
+            return true;
+        }
+        if self.config.control.cancel_requested() {
+            self.stats.cancelled = true;
+            return true;
+        }
+        false
+    }
+
     /// Records one terminal execution.
     pub(crate) fn record_terminal(
         &mut self,
@@ -172,18 +192,24 @@ impl Collector {
             }
         }
         if let Some(kind) = bug {
+            let report = BugReport {
+                kind,
+                schedule: schedule.to_vec(),
+                trace_len: trace.len(),
+            };
+            self.config.control.note_bug(&report);
             if self.stats.first_bug.is_none() {
-                self.stats.first_bug = Some(BugReport {
-                    kind,
-                    schedule: schedule.to_vec(),
-                    trace_len: trace.len(),
-                });
+                self.stats.first_bug = Some(report);
             }
             if self.config.stop_on_bug {
                 return Continue::Stop;
             }
         }
 
+        self.config.control.note_schedule(&self.stats);
+        if self.cancel_requested() {
+            return Continue::Stop;
+        }
         if self.budget_exhausted() {
             self.stats.limit_hit = true;
             return Continue::Stop;
@@ -213,6 +239,7 @@ impl Collector {
         self.stats.faulted_schedules += other.stats.faulted_schedules;
         self.stats.max_depth = self.stats.max_depth.max(other.stats.max_depth);
         self.stats.limit_hit |= other.stats.limit_hit;
+        self.stats.cancelled |= other.stats.cancelled;
         self.stats.cache_prunes += other.stats.cache_prunes;
         self.stats.sleep_prunes += other.stats.sleep_prunes;
         self.stats.bound_prunes += other.stats.bound_prunes;
@@ -220,7 +247,9 @@ impl Collector {
         if self.stats.first_bug.is_none() {
             self.stats.first_bug = other.stats.first_bug;
         }
-        self.stats.state_witnesses.extend(other.stats.state_witnesses);
+        self.stats
+            .state_witnesses
+            .extend(other.stats.state_witnesses);
         self.stats.hbr_witnesses.extend(other.stats.hbr_witnesses);
         self.stats.unique_states = self.states.len();
         self.stats.unique_hbrs = self.hbrs.len();

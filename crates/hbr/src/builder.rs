@@ -233,9 +233,7 @@ mod tests {
         // Schedule B: T2's write(z) first, then T1, then the rest of T2 —
         // another feasible schedule of the same program.
         let tr = figure1_trace();
-        let reordered = vec![
-            tr[4], tr[0], tr[1], tr[2], tr[3], tr[5], tr[6], tr[7],
-        ];
+        let reordered = vec![tr[4], tr[0], tr[1], tr[2], tr[3], tr[5], tr[6], tr[7]];
         let fp_b = build(HbMode::Lazy, &reordered).prefix_fingerprint();
         assert_eq!(fp_a, fp_b, "same lazy HBR must fingerprint identically");
 
@@ -245,15 +243,16 @@ mod tests {
         let fp_ra = build(HbMode::Regular, &tr).prefix_fingerprint();
         let fp_rb = build(HbMode::Regular, &reordered).prefix_fingerprint();
         assert_eq!(fp_ra, fp_rb);
-        let swapped = vec![
-            tr[4], tr[5], tr[6], tr[7], tr[0], tr[1], tr[2], tr[3],
-        ];
+        let swapped = vec![tr[4], tr[5], tr[6], tr[7], tr[0], tr[1], tr[2], tr[3]];
         // Re-number ordinals? Not needed: each thread's own sequence is
         // unchanged, only the interleaving differs.
         let fp_rc = build(HbMode::Regular, &swapped).prefix_fingerprint();
         assert_ne!(fp_ra, fp_rc, "lock-order reversal changes the regular HBR");
         let fp_lc = build(HbMode::Lazy, &swapped).prefix_fingerprint();
-        assert_eq!(fp_a, fp_lc, "lock-order reversal is invisible to the lazy HBR");
+        assert_eq!(
+            fp_a, fp_lc,
+            "lock-order reversal is invisible to the lazy HBR"
+        );
     }
 
     #[test]

@@ -331,15 +331,11 @@ mod tests {
         for order in rel.linearizations(10_000).orders() {
             let unlock_t1 = order
                 .iter()
-                .position(|e| {
-                    e.thread() == ThreadId(0) && matches!(e.kind, VisibleKind::Unlock(_))
-                })
+                .position(|e| e.thread() == ThreadId(0) && matches!(e.kind, VisibleKind::Unlock(_)))
                 .unwrap();
             let lock_t2 = order
                 .iter()
-                .position(|e| {
-                    e.thread() == ThreadId(1) && matches!(e.kind, VisibleKind::Lock(_))
-                })
+                .position(|e| e.thread() == ThreadId(1) && matches!(e.kind, VisibleKind::Lock(_)))
                 .unwrap();
             assert!(unlock_t1 < lock_t2);
         }

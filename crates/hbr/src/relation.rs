@@ -142,9 +142,7 @@ impl HbRelation {
 
     /// Looks up a record by event identity.
     pub fn record_for(&self, id: EventId) -> Option<&EventRecord> {
-        self.records
-            .iter()
-            .find(|r| r.event.id == id)
+        self.records.iter().find(|r| r.event.id == id)
     }
 }
 

@@ -6,11 +6,14 @@
 //!   paper's `#lazy HBRs ≤ #HBRs`);
 //! * Theorem 2.1: schedules with equal regular HBR reach equal states;
 //! * Theorem 2.2: schedules with equal *lazy* HBR reach equal states.
+//!
+//! The program-family parameter space (4 shapes × 3 thread counts × lock
+//! on/off × same-var on/off = 48 programs) is small enough to enumerate
+//! exhaustively, which checks strictly more than sampling it.
 
 use lazylocks_hbr::{HbBuilder, HbMode};
 use lazylocks_model::{Program, ProgramBuilder, Reg, Value};
 use lazylocks_runtime::{Event, ExecPhase, Executor, StateSnapshot};
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 /// All complete runs of `program` (every schedule, depth-first), capped.
@@ -64,7 +67,11 @@ fn make_program(shape: u8, n_threads: u8, use_lock: bool, same_var: bool) -> Pro
             let shared = b.var("shared", 0);
             let privates = b.var_array("p", n_threads as usize, 0);
             for i in 0..n_threads {
-                let var = if same_var { shared } else { privates[i as usize] };
+                let var = if same_var {
+                    shared
+                } else {
+                    privates[i as usize]
+                };
                 b.thread(format!("T{i}"), |t| {
                     if use_lock {
                         t.lock(m);
@@ -153,19 +160,33 @@ fn make_program(shape: u8, n_threads: u8, use_lock: bool, same_var: bool) -> Pro
 
 const RUN_CAP: usize = 4_000;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// The enumerated `(trace, terminal state)` runs of one program.
+type Runs = Vec<(Vec<Event>, StateSnapshot)>;
 
-    #[test]
-    fn identity_representations_agree(
-        shape in 0u8..4,
-        n_threads in 0u8..3,
-        use_lock in any::<bool>(),
-        same_var in any::<bool>(),
-    ) {
-        let p = make_program(shape, n_threads, use_lock, same_var);
-        let runs = all_runs(&p, RUN_CAP);
-        prop_assume!(!runs.is_empty());
+/// Every `(shape, n_threads, use_lock, same_var)` combination with its
+/// enumerated runs (skipping empty enumerations, as the property tests
+/// did via `prop_assume`).
+fn all_cases() -> Vec<(Program, Runs)> {
+    let mut out = Vec::new();
+    for shape in 0u8..4 {
+        for n_threads in 0u8..3 {
+            for use_lock in [false, true] {
+                for same_var in [false, true] {
+                    let p = make_program(shape, n_threads, use_lock, same_var);
+                    let runs = all_runs(&p, RUN_CAP);
+                    if !runs.is_empty() {
+                        out.push((p, runs));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn identity_representations_agree() {
+    for (p, runs) in all_cases() {
         for mode in HbMode::ALL {
             // Equality of any two representations is checked in linear time
             // by demanding a bijection between their equivalence classes:
@@ -183,37 +204,37 @@ proptest! {
                 let canon = rel.canonical();
                 let foata = rel.foata_normal_form();
                 if let Some(prev) = canon_of_fp.insert(fp, canon.clone()) {
-                    prop_assert_eq!(&prev, &canon_of_fp[&fp],
-                        "{} mode: same fingerprint, different canonical forms", mode);
-                    let _ = prev;
+                    assert_eq!(
+                        prev, canon,
+                        "{mode} mode: same fingerprint, different canonical forms"
+                    );
                 }
                 if let Some(prev) = fp_of_canon.insert(canon.clone(), fp) {
-                    prop_assert_eq!(prev, fp,
-                        "{} mode: same canonical form, different fingerprints", mode);
+                    assert_eq!(
+                        prev, fp,
+                        "{mode} mode: same canonical form, different fingerprints"
+                    );
                 }
                 if let Some(prev) = foata_of_canon.insert(canon.clone(), foata.clone()) {
-                    prop_assert_eq!(&prev, &foata_of_canon[&canon],
-                        "{} mode: same canonical form, different Foata forms", mode);
-                    let _ = prev;
+                    assert_eq!(
+                        prev, foata,
+                        "{mode} mode: same canonical form, different Foata forms"
+                    );
                 }
                 if let Some(prev) = canon_of_foata.insert(foata, canon.clone()) {
-                    prop_assert_eq!(&prev, &canon,
-                        "{} mode: same Foata form, different canonical forms", mode);
+                    assert_eq!(
+                        prev, canon,
+                        "{mode} mode: same Foata form, different canonical forms"
+                    );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn regular_classes_refine_lazy_classes(
-        shape in 0u8..4,
-        n_threads in 0u8..3,
-        use_lock in any::<bool>(),
-        same_var in any::<bool>(),
-    ) {
-        let p = make_program(shape, n_threads, use_lock, same_var);
-        let runs = all_runs(&p, RUN_CAP);
-        prop_assume!(!runs.is_empty());
+#[test]
+fn regular_classes_refine_lazy_classes() {
+    for (p, runs) in all_cases() {
         let mut lazy_of_regular: HashMap<u128, u128> = HashMap::new();
         let mut regular_fps = std::collections::HashSet::new();
         let mut lazy_fps = std::collections::HashSet::new();
@@ -223,50 +244,42 @@ proptest! {
             regular_fps.insert(reg);
             lazy_fps.insert(lazy);
             if let Some(prev) = lazy_of_regular.insert(reg, lazy) {
-                prop_assert_eq!(prev, lazy,
-                    "equal regular HBR must imply equal lazy HBR");
+                assert_eq!(prev, lazy, "equal regular HBR must imply equal lazy HBR");
             }
         }
-        prop_assert!(lazy_fps.len() <= regular_fps.len(),
-            "#lazy HBRs ({}) must be ≤ #HBRs ({})", lazy_fps.len(), regular_fps.len());
+        assert!(
+            lazy_fps.len() <= regular_fps.len(),
+            "#lazy HBRs ({}) must be ≤ #HBRs ({})",
+            lazy_fps.len(),
+            regular_fps.len()
+        );
     }
+}
 
-    #[test]
-    fn theorems_2_1_and_2_2_state_equality(
-        shape in 0u8..4,
-        n_threads in 0u8..3,
-        use_lock in any::<bool>(),
-        same_var in any::<bool>(),
-    ) {
-        let p = make_program(shape, n_threads, use_lock, same_var);
-        let runs = all_runs(&p, RUN_CAP);
-        prop_assume!(!runs.is_empty());
+#[test]
+fn theorems_2_1_and_2_2_state_equality() {
+    for (p, runs) in all_cases() {
         for mode in [HbMode::Regular, HbMode::Lazy] {
             let mut state_of_class: HashMap<u128, &StateSnapshot> = HashMap::new();
             for (trace, state) in &runs {
                 let fp = HbBuilder::from_trace(mode, &p, trace).fingerprint();
                 if let Some(prev) = state_of_class.insert(fp, state) {
-                    prop_assert_eq!(prev, state,
-                        "{} HBR class reached two different states", mode);
+                    assert_eq!(prev, state, "{mode} HBR class reached two different states");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn state_count_at_most_lazy_class_count(
-        shape in 0u8..4,
-        n_threads in 0u8..3,
-        use_lock in any::<bool>(),
-        same_var in any::<bool>(),
-    ) {
-        // The paper's inequality chain on fully enumerated state spaces:
-        // #states ≤ #lazy HBRs ≤ #HBRs ≤ #schedules.
-        let p = make_program(shape, n_threads, use_lock, same_var);
-        let runs = all_runs(&p, RUN_CAP);
-        prop_assume!(!runs.is_empty() && runs.len() < RUN_CAP);
-        let states: std::collections::HashSet<_> =
-            runs.iter().map(|(_, s)| s.clone()).collect();
+#[test]
+fn state_count_at_most_lazy_class_count() {
+    // The paper's inequality chain on fully enumerated state spaces:
+    // #states ≤ #lazy HBRs ≤ #HBRs ≤ #schedules.
+    for (p, runs) in all_cases() {
+        if runs.len() >= RUN_CAP {
+            continue; // enumeration was capped: counts are not exhaustive
+        }
+        let states: std::collections::HashSet<_> = runs.iter().map(|(_, s)| s.clone()).collect();
         let lazy: std::collections::HashSet<_> = runs
             .iter()
             .map(|(t, _)| HbBuilder::from_trace(HbMode::Lazy, &p, t).fingerprint())
@@ -275,8 +288,8 @@ proptest! {
             .iter()
             .map(|(t, _)| HbBuilder::from_trace(HbMode::Regular, &p, t).fingerprint())
             .collect();
-        prop_assert!(states.len() <= lazy.len());
-        prop_assert!(lazy.len() <= regular.len());
-        prop_assert!(regular.len() <= runs.len());
+        assert!(states.len() <= lazy.len());
+        assert!(lazy.len() <= regular.len());
+        assert!(regular.len() <= runs.len());
     }
 }

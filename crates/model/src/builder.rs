@@ -47,7 +47,9 @@ impl ProgramBuilder {
 
     /// Declares `count` shared variables named `{prefix}0..{prefix}{count-1}`.
     pub fn var_array(&mut self, prefix: &str, count: usize, init: Value) -> Vec<VarId> {
-        (0..count).map(|i| self.var(format!("{prefix}{i}"), init)).collect()
+        (0..count)
+            .map(|i| self.var(format!("{prefix}{i}"), init))
+            .collect()
     }
 
     /// Declares a mutex.
@@ -59,7 +61,9 @@ impl ProgramBuilder {
 
     /// Declares `count` mutexes named `{prefix}0..{prefix}{count-1}`.
     pub fn mutex_array(&mut self, prefix: &str, count: usize) -> Vec<MutexId> {
-        (0..count).map(|i| self.mutex(format!("{prefix}{i}"))).collect()
+        (0..count)
+            .map(|i| self.mutex(format!("{prefix}{i}")))
+            .collect()
     }
 
     /// Adds a thread whose body is emitted by `body`.
@@ -381,7 +385,10 @@ impl ThreadBuilder {
             .code
             .iter()
             .all(|i| !matches!(i, Instr::Jump { target } | Instr::Branch { target, .. } if *target == usize::MAX && end != usize::MAX)));
-        ThreadDef { name, code: self.code }
+        ThreadDef {
+            name,
+            code: self.code,
+        }
     }
 }
 
@@ -426,11 +433,14 @@ mod tests {
         });
         let p = b.build();
         let code = &p.threads()[0].code;
-        assert_eq!(code[1], Instr::Branch {
-            cond: Operand::Reg(Reg(0)),
-            target: 4, // bound at end
-            when_zero: false
-        });
+        assert_eq!(
+            code[1],
+            Instr::Branch {
+                cond: Operand::Reg(Reg(0)),
+                target: 4, // bound at end
+                when_zero: false
+            }
+        );
         assert_eq!(code[3], Instr::Jump { target: 0 });
     }
 

@@ -20,7 +20,11 @@ pub enum ValidateError {
     /// Reference to an undeclared shared variable.
     BadVar { thread: usize, pc: usize, var: u16 },
     /// Reference to an undeclared mutex.
-    BadMutex { thread: usize, pc: usize, mutex: u16 },
+    BadMutex {
+        thread: usize,
+        pc: usize,
+        mutex: u16,
+    },
     /// Two declarations share a name.
     DuplicateName { name: String },
     /// Too many threads (vector clocks and ids use dense small indices).

@@ -191,9 +191,10 @@ impl<'a> Parser<'a> {
         // Resolve labels; end-of-body binding is permitted.
         let end = pending.code.len();
         for (pc, label, fix_line) in pending.fixups {
-            let target = *pending.labels.get(&label).ok_or_else(|| {
-                ParseError::new(fix_line, format!("undefined label {label:?}"))
-            })?;
+            let target = *pending
+                .labels
+                .get(&label)
+                .ok_or_else(|| ParseError::new(fix_line, format!("undefined label {label:?}")))?;
             match &mut pending.code[pc] {
                 Instr::Jump { target: t } | Instr::Branch { target: t, .. } => *t = target,
                 _ => unreachable!(),
@@ -526,8 +527,7 @@ thread T {
     fn rejects_undefined_and_duplicate_labels() {
         let err = Program::parse("program p\nthread T {\n jump nowhere\n}\n").unwrap_err();
         assert!(err.message.contains("undefined label"));
-        let err =
-            Program::parse("program p\nthread T {\nl:\nl:\n}\n").unwrap_err();
+        let err = Program::parse("program p\nthread T {\nl:\nl:\n}\n").unwrap_err();
         assert!(err.message.contains("bound twice"));
     }
 

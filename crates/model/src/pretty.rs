@@ -26,9 +26,7 @@ pub fn program_to_source(program: &Program) -> String {
         for instr in &thread.code {
             if let Instr::Jump { target } | Instr::Branch { target, .. } = instr {
                 let next = labels.len();
-                labels
-                    .entry(*target)
-                    .or_insert_with(|| format!("L{next}"));
+                labels.entry(*target).or_insert_with(|| format!("L{next}"));
             }
         }
 
@@ -106,7 +104,10 @@ mod tests {
         let p = sample_program();
         let src = p.to_source();
         let reparsed = Program::parse(&src).expect("pretty output must parse");
-        assert_eq!(p, reparsed, "pretty-print / parse round trip changed the program:\n{src}");
+        assert_eq!(
+            p, reparsed,
+            "pretty-print / parse round trip changed the program:\n{src}"
+        );
     }
 
     #[test]

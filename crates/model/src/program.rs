@@ -371,7 +371,10 @@ mod tests {
             vec![thread("T", vec![Instr::Jump { target: 2 }])],
         )
         .unwrap_err();
-        assert!(matches!(err, ValidateError::BadJumpTarget { target: 2, .. }));
+        assert!(matches!(
+            err,
+            ValidateError::BadJumpTarget { target: 2, .. }
+        ));
     }
 
     #[test]
@@ -432,7 +435,10 @@ mod tests {
                 var: VarId(0),
                 src: bad,
             },
-            Instr::Set { dst: Reg(0), src: bad },
+            Instr::Set {
+                dst: Reg(0),
+                src: bad,
+            },
             Instr::Bin {
                 dst: Reg(0),
                 op: crate::BinOp::Add,

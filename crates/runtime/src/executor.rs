@@ -2,9 +2,7 @@
 
 use crate::event::{Event, EventId};
 use crate::state::StateSnapshot;
-use lazylocks_model::{
-    Instr, MutexId, Operand, Program, Reg, ThreadId, Value, VisibleKind,
-};
+use lazylocks_model::{Instr, MutexId, Operand, Program, Reg, ThreadId, Value, VisibleKind};
 use std::fmt;
 
 /// Safety valve: maximum local (invisible) instructions executed in one
@@ -224,7 +222,10 @@ impl<'p> Executor<'p> {
 
     /// Number of enabled threads.
     pub fn enabled_count(&self) -> usize {
-        self.program.thread_ids().filter(|&t| self.is_enabled(t)).count()
+        self.program
+            .thread_ids()
+            .filter(|&t| self.is_enabled(t))
+            .count()
     }
 
     /// Overall phase: running, done, or deadlocked.

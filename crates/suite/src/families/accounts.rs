@@ -49,7 +49,11 @@ pub fn fine(name: &str, accounts: usize, pairs: &[(usize, usize)], ordered: bool
     for (i, &(from, to)) in pairs.iter().enumerate() {
         let (lf, lt) = (locks[from], locks[to]);
         let (vf, vt) = (accts[from], accts[to]);
-        let (first, second) = if ordered && from > to { (lt, lf) } else { (lf, lt) };
+        let (first, second) = if ordered && from > to {
+            (lt, lf)
+        } else {
+            (lf, lt)
+        };
         b.thread(format!("T{i}"), move |t| {
             t.lock(first);
             t.lock(second);
@@ -123,7 +127,12 @@ pub fn register(add: Register) {
         "accounts-fine-deadlock3".to_string(),
         "accounts",
         "3 ring transfers with per-account locks in transfer order (deadlocks)".to_string(),
-        fine("accounts-fine-deadlock3", 3, &[(0, 1), (1, 2), (2, 0)], false),
+        fine(
+            "accounts-fine-deadlock3",
+            3,
+            &[(0, 1), (1, 2), (2, 0)],
+            false,
+        ),
         Expectations {
             may_deadlock: true,
             ..Expectations::default()
@@ -159,6 +168,9 @@ mod tests {
         let stats = DfsEnumeration.explore(&p, &ExploreConfig::with_limit(100_000));
         assert!(!stats.limit_hit);
         assert_eq!(stats.deadlocks, 0);
-        assert_eq!(stats.unique_states, 1, "ring transfers commute arithmetically");
+        assert_eq!(
+            stats.unique_states, 1,
+            "ring transfers commute arithmetically"
+        );
     }
 }

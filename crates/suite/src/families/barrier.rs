@@ -66,7 +66,8 @@ mod tests {
 
     #[test]
     fn barrier_never_deadlocks() {
-        let stats = Dpor::default().explore(&spin_barrier(2, 2), &ExploreConfig::with_limit(50_000));
+        let stats =
+            Dpor::default().explore(&spin_barrier(2, 2), &ExploreConfig::with_limit(50_000));
         assert_eq!(stats.deadlocks, 0);
         assert!(stats.schedules > 0);
         stats.check_inequality().unwrap();

@@ -20,9 +20,7 @@ pub fn bounded_buffer(
     consumers: usize,
     retries: usize,
 ) -> Program {
-    let mut b = ProgramBuilder::new(format!(
-        "buffer-c{capacity}-p{producers}-c{consumers}"
-    ));
+    let mut b = ProgramBuilder::new(format!("buffer-c{capacity}-p{producers}-c{consumers}"));
     let m = b.mutex("buf");
     let count = b.var("count", 0);
     let head = b.var("head", 0);
@@ -42,7 +40,7 @@ pub fn bounded_buffer(
                 t.load(rc, count);
                 t.ge(rp, rc, capacity as Value);
                 t.branch_if(rp, next_try); // full: unlock and retry
-                // slot[tail % capacity] = item; tail++; count++.
+                                           // slot[tail % capacity] = item; tail++; count++.
                 t.load(rp, tail);
                 // Compute tail % capacity into rp (capacity is a power of
                 // two in the registry; modulo keeps it general).

@@ -127,9 +127,7 @@ pub fn register(add: Register) {
         add(
             format!("coarse-mixed-t{threads}"),
             "coarse",
-            format!(
-                "{threads} threads: locked disjoint slots plus a racy shared counter"
-            ),
+            format!("{threads} threads: locked disjoint slots plus a racy shared counter"),
             disjoint_racy(threads),
             Expectations::default(),
         );

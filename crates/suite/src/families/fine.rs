@@ -67,7 +67,10 @@ mod tests {
         let stats = DfsEnumeration.explore(&p, &ExploreConfig::with_limit(100_000));
         assert!(!stats.limit_hit);
         assert_eq!(stats.unique_hbrs, 2, "two orders of the contended pair");
-        assert_eq!(stats.unique_lazy_hbrs, 2, "the contended data orders them too");
+        assert_eq!(
+            stats.unique_lazy_hbrs, 2,
+            "the contended data orders them too"
+        );
         assert_eq!(stats.unique_states, 1, "addition commutes");
         stats.check_inequality().unwrap();
     }

@@ -23,7 +23,11 @@ pub fn peterson(spins: usize) -> Program {
 
     #[allow(clippy::needless_range_loop)] // `me` is the thread id, not just an index
     for me in 0..2usize {
-        let (my_flag, their_flag) = if me == 0 { (flag0, flag1) } else { (flag1, flag0) };
+        let (my_flag, their_flag) = if me == 0 {
+            (flag0, flag1)
+        } else {
+            (flag1, flag0)
+        };
         let other = 1 - me;
         let my_entered = entered[me];
         b.thread(format!("T{me}"), move |t| {
@@ -250,7 +254,8 @@ mod tests {
             let stats = DfsEnumeration.explore(&p, &ExploreConfig::with_limit(500_000));
             assert!(!stats.limit_hit, "{}", p.name());
             assert_eq!(
-                stats.unique_hbrs, stats.unique_lazy_hbrs,
+                stats.unique_hbrs,
+                stats.unique_lazy_hbrs,
                 "{}: no mutexes → identical relations",
                 p.name()
             );

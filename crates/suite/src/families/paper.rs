@@ -2,7 +2,7 @@
 
 use super::Register;
 use crate::registry::Expectations;
-use lazylocks_model::{ProgramBuilder, Program, Reg};
+use lazylocks_model::{Program, ProgramBuilder, Reg};
 
 /// Builds the exact program of the paper's Figure 1:
 ///

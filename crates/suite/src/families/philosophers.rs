@@ -77,8 +77,8 @@ mod tests {
             let naive = Dpor::default()
                 .explore(&philosophers(n, false), &ExploreConfig::with_limit(50_000));
             assert!(naive.deadlocks > 0, "naive {n} philosophers must deadlock");
-            let ordered = DfsEnumeration
-                .explore(&philosophers(n, true), &ExploreConfig::with_limit(200_000));
+            let ordered =
+                DfsEnumeration.explore(&philosophers(n, true), &ExploreConfig::with_limit(200_000));
             assert!(!ordered.limit_hit);
             assert_eq!(ordered.deadlocks, 0, "ordered {n} must be deadlock-free");
         }
@@ -89,8 +89,8 @@ mod tests {
         // Eating writes private plates: every complete schedule reaches the
         // same state, and the lazy HBR sees a single class among completed
         // (non-deadlocked) executions of the ordered variant.
-        let stats = DfsEnumeration
-            .explore(&philosophers(2, true), &ExploreConfig::with_limit(200_000));
+        let stats =
+            DfsEnumeration.explore(&philosophers(2, true), &ExploreConfig::with_limit(200_000));
         assert!(!stats.limit_hit);
         assert_eq!(stats.unique_states, 1);
         assert_eq!(stats.unique_lazy_hbrs, 1);

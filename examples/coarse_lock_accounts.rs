@@ -9,8 +9,8 @@
 //! cargo run -p lazylocks-examples --bin coarse_lock_accounts
 //! ```
 
-use lazylocks::{Dpor, ExploreConfig, Explorer, HbrCaching, LazyDpor};
-use lazylocks_examples::print_summary;
+use lazylocks::{ExploreConfig, ExploreSession};
+use lazylocks_examples::print_outcome;
 use lazylocks_suite::families::accounts;
 
 fn main() {
@@ -19,26 +19,26 @@ fn main() {
     let program = accounts::coarse("bank-day", 6, &[(0, 1), (2, 3), (4, 5)]);
     println!("guest program:\n{}", program.to_source());
 
-    let config = ExploreConfig::with_limit(100_000);
+    let session = ExploreSession::new(&program).with_config(ExploreConfig::with_limit(100_000));
 
-    let dpor = Dpor::default().explore(&program, &config);
-    print_summary("DPOR (regular HBR)", &dpor);
+    let dpor = session.run_spec("dpor").unwrap();
+    print_outcome("DPOR (regular HBR)", &dpor);
 
-    let regular = HbrCaching::regular().explore(&program, &config);
-    print_summary("HBR caching", &regular);
+    let regular = session.run_spec("caching").unwrap();
+    print_outcome("HBR caching", &regular);
 
-    let lazy = HbrCaching::lazy().explore(&program, &config);
-    print_summary("lazy HBR caching", &lazy);
+    let lazy = session.run_spec("caching(mode=lazy)").unwrap();
+    print_outcome("lazy HBR caching", &lazy);
 
-    let lazy_dpor = LazyDpor::default().explore(&program, &config);
-    print_summary("lazy DPOR prototype (paper §4)", &lazy_dpor);
+    let lazy_dpor = session.run_spec("lazy-dpor").unwrap();
+    print_outcome("lazy DPOR prototype (paper §4)", &lazy_dpor);
 
-    assert_eq!(dpor.unique_states, 1, "disjoint transfers commute");
-    assert_eq!(lazy.unique_lazy_hbrs, 1);
-    assert!(lazy.schedules < regular.schedules);
-    assert!(lazy_dpor.schedules < dpor.schedules);
+    assert_eq!(dpor.stats.unique_states, 1, "disjoint transfers commute");
+    assert_eq!(lazy.stats.unique_lazy_hbrs, 1);
+    assert!(lazy.stats.schedules < regular.stats.schedules);
+    assert!(lazy_dpor.stats.schedules < dpor.stats.schedules);
     println!(
         "\ncoarse-locked disjoint transfers: {} schedules for DPOR, {} lazily.",
-        dpor.schedules, lazy.schedules
+        dpor.stats.schedules, lazy.stats.schedules
     );
 }

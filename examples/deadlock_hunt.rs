@@ -1,26 +1,29 @@
 //! Hunting a lock-order deadlock in the dining philosophers, and verifying
 //! the textbook fix — the bread-and-butter workflow of a systematic
-//! concurrency tester.
+//! concurrency tester, driven through the session API.
 //!
 //! Run with:
 //! ```text
 //! cargo run -p lazylocks-examples --bin deadlock_hunt
 //! ```
 
-use lazylocks::{BugKind, Dpor, ExploreConfig, Explorer};
-use lazylocks_examples::print_summary;
+use lazylocks::{BugKind, ExploreConfig, ExploreSession, Verdict};
+use lazylocks_examples::print_outcome;
 use lazylocks_suite::families::philosophers;
 
 fn main() {
     // Four naive philosophers: everyone grabs the left fork first.
     let broken = philosophers::philosophers(4, false);
-    let config = ExploreConfig::with_limit(100_000).stopping_on_bug();
-    let stats = Dpor::default().explore(&broken, &config);
-    print_summary("naive philosophers (stop on first bug)", &stats);
+    let outcome = ExploreSession::new(&broken)
+        .with_config(ExploreConfig::with_limit(100_000).stopping_on_bug())
+        .run_spec("dpor")
+        .expect("dpor is registered");
+    print_outcome("naive philosophers (stop on first bug)", &outcome);
+    assert_eq!(outcome.verdict, Verdict::BugFound);
 
-    let bug = stats
-        .first_bug
-        .as_ref()
+    let bug = outcome
+        .bugs
+        .first()
         .expect("DPOR must reverse a fork acquisition and hit the deadlock");
     println!("\nfound: {bug}");
     match &bug.kind {
@@ -35,13 +38,29 @@ fn main() {
 
     // Deterministic replay from the recorded schedule.
     let replay = bug.reproduce(&broken).expect("schedule must be feasible");
-    assert!(replay.status.is_deadlock(), "replay reaches the same deadlock");
-    println!("replayed the deadlock from the recorded {}-step schedule.", bug.schedule.len());
+    assert!(
+        replay.status.is_deadlock(),
+        "replay reaches the same deadlock"
+    );
+    println!(
+        "replayed the deadlock from the recorded {}-step schedule.",
+        bug.schedule.len()
+    );
 
     // The ordered variant is deadlock-free under the same budget.
     let fixed = philosophers::philosophers(4, true);
-    let stats = Dpor::default().explore(&fixed, &ExploreConfig::with_limit(100_000));
-    print_summary("ordered philosophers (textbook fix)", &stats);
-    assert_eq!(stats.deadlocks, 0, "the fix removes every deadlock");
-    println!("\nordered fork acquisition verified deadlock-free over {} schedules.", stats.schedules);
+    let outcome = ExploreSession::new(&fixed)
+        .with_config(ExploreConfig::with_limit(100_000))
+        .run_spec("dpor")
+        .expect("dpor is registered");
+    print_outcome("ordered philosophers (textbook fix)", &outcome);
+    assert_eq!(
+        outcome.verdict,
+        Verdict::Clean,
+        "the fix removes every deadlock"
+    );
+    println!(
+        "\nordered fork acquisition verified deadlock-free over {} schedules.",
+        outcome.stats.schedules
+    );
 }

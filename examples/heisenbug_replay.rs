@@ -7,8 +7,8 @@
 //! cargo run -p lazylocks-examples --bin heisenbug_replay
 //! ```
 
-use lazylocks::{Dpor, ExploreConfig, Explorer, RandomWalk};
-use lazylocks_examples::print_summary;
+use lazylocks::{ExploreConfig, ExploreSession, Verdict};
+use lazylocks_examples::print_outcome;
 use lazylocks_suite::families::flags;
 
 fn main() {
@@ -18,18 +18,24 @@ fn main() {
     println!("guest program:\n{}", program.to_source());
 
     // Random walks: may or may not trip the assertion.
-    let random = RandomWalk.explore(
-        &program,
-        &ExploreConfig::with_limit(100).seeded(1),
-    );
-    print_summary("100 random walks", &random);
+    let random = ExploreSession::new(&program)
+        .with_config(ExploreConfig::with_limit(100).seeded(1))
+        .run_spec("random")
+        .expect("random is registered");
+    print_outcome("100 random walks", &random);
 
     // Systematic exploration: guaranteed to find it.
-    let config = ExploreConfig::with_limit(100_000).stopping_on_bug();
-    let stats = Dpor::default().explore(&program, &config);
-    print_summary("DPOR (stop on first bug)", &stats);
+    let outcome = ExploreSession::new(&program)
+        .with_config(ExploreConfig::with_limit(100_000).stopping_on_bug())
+        .run_spec("dpor")
+        .expect("dpor is registered");
+    print_outcome("DPOR (stop on first bug)", &outcome);
+    assert_eq!(outcome.verdict, Verdict::BugFound);
 
-    let bug = stats.first_bug.expect("DPOR must find the TOCTOU violation");
+    let bug = outcome
+        .bugs
+        .first()
+        .expect("DPOR must find the TOCTOU violation");
     println!("\nfound: {bug}");
 
     // The schedule is a complete reproducer: replay it as many times as
@@ -37,7 +43,10 @@ fn main() {
     for round in 1..=3 {
         let replay = bug.reproduce(&program).expect("feasible schedule");
         assert!(
-            replay.faults.iter().any(|f| f.to_string().contains("mutual exclusion")),
+            replay
+                .faults
+                .iter()
+                .any(|f| f.to_string().contains("mutual exclusion")),
             "replay must re-trigger the assertion"
         );
         println!("replay #{round}: assertion re-triggered deterministically");

@@ -1,12 +1,12 @@
 //! Shared helpers for the runnable examples.
 
-use lazylocks::ExploreStats;
+use lazylocks::{ExploreOutcome, ExploreStats};
 
 /// Prints the standard counter block the examples share.
 pub fn print_summary(label: &str, stats: &ExploreStats) {
     println!("── {label}");
     println!(
-        "   schedules={} states={} lazyHBRs={} HBRs={} deadlocks={} faults={}{}",
+        "   schedules={} states={} lazyHBRs={} HBRs={} deadlocks={} faults={}{}{}",
         stats.schedules,
         stats.unique_states,
         stats.unique_lazy_hbrs,
@@ -14,5 +14,14 @@ pub fn print_summary(label: &str, stats: &ExploreStats) {
         stats.deadlocks,
         stats.faulted_schedules,
         if stats.limit_hit { " (limit)" } else { "" },
+        if stats.cancelled { " (cancelled)" } else { "" },
+    );
+}
+
+/// Prints a session outcome: strategy id, verdict, then the counter block.
+pub fn print_outcome(label: &str, outcome: &ExploreOutcome) {
+    print_summary(
+        &format!("{label} [{} → {}]", outcome.strategy_id, outcome.verdict),
+        &outcome.stats,
     );
 }

@@ -1,15 +1,30 @@
-//! Quickstart: build the paper's Figure 1 program, explore it with several
-//! strategies, and watch the lazy happens-before relation collapse the two
-//! mutex orderings into one equivalence class.
+//! Quickstart: build the paper's Figure 1 program, explore it through an
+//! [`ExploreSession`] with registry spec strings, watch the lazy
+//! happens-before relation collapse the two mutex orderings into one
+//! equivalence class — and see an observer-driven deadline cancel a DFS
+//! over a much bigger program long before its schedule limit.
 //!
 //! Run with:
 //! ```text
 //! cargo run -p lazylocks-examples --bin quickstart
 //! ```
 
-use lazylocks::{DfsEnumeration, Dpor, ExploreConfig, Explorer, HbrCaching};
-use lazylocks_examples::print_summary;
+use lazylocks::{ExploreConfig, ExploreSession, Observer, Progress, Verdict};
+use lazylocks_examples::print_outcome;
 use lazylocks_model::{ProgramBuilder, Reg};
+use std::time::Duration;
+
+/// A progress observer: one line every tick.
+struct Ticker;
+
+impl Observer for Ticker {
+    fn on_progress(&self, p: &Progress) {
+        println!(
+            "   ... {} schedules so far ({} events)",
+            p.schedules, p.events
+        );
+    }
+}
 
 fn main() {
     // The program of Figure 1:
@@ -36,23 +51,66 @@ fn main() {
 
     println!("guest program:\n{}", program.to_source());
 
-    let config = ExploreConfig::with_limit(100_000);
+    // One session, many strategies: the registry turns spec strings into
+    // explorers.
+    let session = ExploreSession::new(&program).with_config(ExploreConfig::with_limit(100_000));
 
     // Exhaustive enumeration: the ground truth.
-    let dfs = DfsEnumeration.explore(&program, &config);
-    print_summary("exhaustive DFS", &dfs);
+    let dfs = session.run_spec("dfs").unwrap();
+    print_outcome("exhaustive DFS", &dfs);
 
     // DPOR explores one schedule per *regular* HBR class: the two lock
     // orders stay distinct even though they reach the same state.
-    let dpor = Dpor::default().explore(&program, &config);
-    print_summary("DPOR", &dpor);
+    let dpor = session.run_spec("dpor").unwrap();
+    print_outcome("DPOR", &dpor);
 
     // Lazy HBR caching identifies the lock orders: a single schedule.
-    let lazy = HbrCaching::lazy().explore(&program, &config);
-    print_summary("lazy HBR caching", &lazy);
+    let lazy = session.run_spec("caching(mode=lazy)").unwrap();
+    print_outcome("lazy HBR caching", &lazy);
 
-    assert_eq!(dpor.unique_hbrs, 2, "two regular classes (paper §2)");
-    assert_eq!(dpor.unique_lazy_hbrs, 1, "one lazy class (paper §2)");
-    assert_eq!(lazy.schedules, 1, "lazy caching needs a single schedule");
-    println!("\nFigure 1 reproduced: 2 regular HBR classes, 1 lazy class, 1 state.");
+    assert_eq!(dpor.stats.unique_hbrs, 2, "two regular classes (paper §2)");
+    assert_eq!(dpor.stats.unique_lazy_hbrs, 1, "one lazy class (paper §2)");
+    assert_eq!(
+        lazy.stats.schedules, 1,
+        "lazy caching needs a single schedule"
+    );
+    println!("\nFigure 1 reproduced: 2 regular HBR classes, 1 lazy class, 1 state.\n");
+
+    // --- deadlines and cancellation -----------------------------------
+    // Eight racy threads: the schedule tree dwarfs any practical budget.
+    // A 50ms deadline stops the DFS cooperatively, long before its
+    // (astronomical) schedule limit, and the truncation is recorded in
+    // the outcome.
+    let mut b = ProgramBuilder::new("wide");
+    let w = b.var("w", 0);
+    for i in 0..8 {
+        b.thread(format!("W{i}"), |t| {
+            t.load(Reg(0), w);
+            t.add(Reg(0), Reg(0), 1);
+            t.store(w, Reg(0));
+            t.set(Reg(0), 0);
+        });
+    }
+    let wide = b.build();
+
+    let limit = 1_000_000_000;
+    let outcome = ExploreSession::new(&wide)
+        .with_config(ExploreConfig::with_limit(limit))
+        .deadline(Duration::from_millis(50))
+        .progress_every(20_000)
+        .observe(Ticker)
+        .run_spec("dfs")
+        .unwrap();
+    print_outcome("8-thread DFS under a 50ms deadline", &outcome);
+
+    assert_eq!(outcome.verdict, Verdict::Cancelled);
+    assert!(outcome.stats.cancelled, "truncation recorded in the stats");
+    assert!(
+        outcome.stats.schedules < limit,
+        "stopped far before the schedule limit"
+    );
+    println!(
+        "\ndeadline cancelled the DFS after {} schedules (limit was {limit}).",
+        outcome.stats.schedules
+    );
 }

@@ -7,10 +7,10 @@
 //! cargo run -p lazylocks-examples --bin race_detective
 //! ```
 
-use lazylocks::{detect_races, DfsEnumeration, ExploreConfig, Explorer};
+use lazylocks::{detect_races, ExploreConfig, ExploreSession};
+use lazylocks_model::ThreadId;
 use lazylocks_model::{Program, ProgramBuilder, Reg};
 use lazylocks_runtime::run_schedule;
-use lazylocks_model::ThreadId;
 
 /// A stats counter where the writer locks but the reader "only reads, so
 /// surely it doesn't need the lock" — the classic rationalisation.
@@ -55,7 +55,11 @@ fn main() {
 
     // The fixed version: sweep EVERY schedule and assert race freedom.
     let fixed = build(false);
-    let stats = DfsEnumeration.explore(&fixed, &ExploreConfig::with_limit(100_000));
+    let stats = ExploreSession::new(&fixed)
+        .with_config(ExploreConfig::with_limit(100_000))
+        .run_spec("dfs")
+        .expect("dfs is registered")
+        .stats;
     assert!(!stats.limit_hit);
     println!(
         "\nfixed version: exhaustively checked {} schedules...",

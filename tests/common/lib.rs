@@ -67,12 +67,7 @@ pub fn program_from_spec(spec: &[u8]) -> Program {
 
     for tix in 0..n_threads {
         let vars = vars.clone();
-        let slice: Vec<u8> = spec
-            .iter()
-            .copied()
-            .skip(2 + tix * 4)
-            .take(4)
-            .collect();
+        let slice: Vec<u8> = spec.iter().copied().skip(2 + tix * 4).take(4).collect();
         b.thread(format!("T{tix}"), move |t| {
             let r = Reg(0);
             let mut held0 = false;

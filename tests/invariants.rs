@@ -5,27 +5,28 @@
 //! #states ≤ #lazy HBRs ≤ #HBRs ≤ #schedules ≤ limit
 //! ```
 
-use lazylocks::{ExploreConfig, Strategy};
+use lazylocks::{ExploreConfig, ExploreSession, StrategyRegistry};
 
 const LIMIT: usize = 1_500;
 
-fn strategies() -> Vec<Strategy> {
-    vec![
-        Strategy::Dfs,
-        Strategy::Dpor { sleep_sets: true },
-        Strategy::Dpor { sleep_sets: false },
-        Strategy::HbrCaching,
-        Strategy::LazyHbrCaching,
-        Strategy::LazyDpor,
-        Strategy::Random,
-    ]
-}
+const SPECS: [&str; 7] = [
+    "dfs",
+    "dpor(sleep=true)",
+    "dpor(sleep=false)",
+    "caching",
+    "caching(mode=lazy)",
+    "lazy-dpor",
+    "random",
+];
 
 #[test]
 fn inequality_holds_for_every_benchmark_under_dpor() {
     for bench in lazylocks_suite::all() {
-        let stats = Strategy::Dpor { sleep_sets: true }
-            .run(&bench.program, &ExploreConfig::with_limit(LIMIT));
+        let stats = ExploreSession::new(&bench.program)
+            .with_config(ExploreConfig::with_limit(LIMIT))
+            .run_spec("dpor(sleep=true)")
+            .unwrap()
+            .stats;
         stats
             .check_inequality()
             .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
@@ -58,13 +59,16 @@ fn inequality_holds_for_every_strategy_on_representatives() {
         "pipeline-2-s2",
         "workqueue-w2-i2",
     ];
+    let registry = StrategyRegistry::default();
     for name in representatives {
         let bench = lazylocks_suite::by_name(name).unwrap_or_else(|| panic!("missing {name}"));
-        for strategy in strategies() {
-            let stats = strategy.run(&bench.program, &ExploreConfig::with_limit(LIMIT));
+        let session =
+            ExploreSession::new(&bench.program).with_config(ExploreConfig::with_limit(LIMIT));
+        for spec in SPECS {
+            let stats = session.run_with(&registry, spec).unwrap().stats;
             stats
                 .check_inequality()
-                .unwrap_or_else(|e| panic!("{name} under {strategy:?}: {e}"));
+                .unwrap_or_else(|e| panic!("{name} under {spec}: {e}"));
         }
     }
 }
@@ -72,8 +76,11 @@ fn inequality_holds_for_every_strategy_on_representatives() {
 #[test]
 fn lazy_class_count_never_exceeds_regular_anywhere() {
     for bench in lazylocks_suite::all() {
-        let stats = Strategy::Dpor { sleep_sets: true }
-            .run(&bench.program, &ExploreConfig::with_limit(LIMIT));
+        let stats = ExploreSession::new(&bench.program)
+            .with_config(ExploreConfig::with_limit(LIMIT))
+            .run_spec("dpor(sleep=true)")
+            .unwrap()
+            .stats;
         assert!(
             stats.unique_lazy_hbrs <= stats.unique_hbrs,
             "{}: {} lazy classes > {} regular classes",
@@ -90,7 +97,11 @@ fn mutex_free_benchmarks_sit_exactly_on_the_diagonal() {
         if !bench.program.mutexes().is_empty() {
             continue;
         }
-        let stats = Strategy::Dfs.run(&bench.program, &ExploreConfig::with_limit(LIMIT));
+        let stats = ExploreSession::new(&bench.program)
+            .with_config(ExploreConfig::with_limit(LIMIT))
+            .run_spec("dfs")
+            .unwrap()
+            .stats;
         assert_eq!(
             stats.unique_hbrs, stats.unique_lazy_hbrs,
             "{}: mutex-free program must have identical relations",

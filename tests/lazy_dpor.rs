@@ -75,7 +75,9 @@ fn aggregate_schedule_counts_shrink_with_laziness() {
     for (bench, _) in exhaustible_benchmarks(3_000) {
         let config = ExploreConfig::with_limit(200_000);
         total_regular += Dpor::default().explore(&bench.program, &config).schedules;
-        total_lazy += LazyDpor::default().explore(&bench.program, &config).schedules;
+        total_lazy += LazyDpor::default()
+            .explore(&bench.program, &config)
+            .schedules;
         total_vars += LazyDpor {
             style: LazyDporStyle::VarsOnly,
         }
@@ -102,7 +104,10 @@ fn flagship_reduction_on_coarse_disjoint() {
         let regular = Dpor::default().explore(&bench.program, &config);
         let lazy = LazyDpor::default().explore(&bench.program, &config);
         let factorial: usize = (1..=n).product();
-        assert_eq!(regular.schedules, factorial, "n={n}: DPOR explores n! orders");
+        assert_eq!(
+            regular.schedules, factorial,
+            "n={n}: DPOR explores n! orders"
+        );
         assert_eq!(lazy.schedules, 1, "n={n}: lazy DPOR explores one");
         assert_eq!(lazy.unique_states, regular.unique_states);
     }

@@ -1,7 +1,7 @@
 //! End-to-end reproduction of every claim the paper makes about its
 //! Figure 1 example (§2).
 
-use lazylocks::{DfsEnumeration, Dpor, ExploreConfig, Explorer, HbrCaching, Strategy};
+use lazylocks::{DfsEnumeration, Dpor, ExploreConfig, ExploreSession, Explorer, HbrCaching};
 use lazylocks_hbr::{replay_events, HbBuilder, HbMode};
 use lazylocks_model::{ThreadId, VisibleKind};
 use lazylocks_runtime::run_schedule;
@@ -29,7 +29,11 @@ fn figure1_schedule() -> Vec<ThreadId> {
 fn figure1_trace_matches_the_paper() {
     let p = figure1();
     let run = run_schedule(&p, &figure1_schedule()).unwrap();
-    let kinds: Vec<String> = run.trace.iter().map(|e| format!("{}:{}", e.thread(), e.kind)).collect();
+    let kinds: Vec<String> = run
+        .trace
+        .iter()
+        .map(|e| format!("{}:{}", e.thread(), e.kind))
+        .collect();
     assert_eq!(
         kinds,
         vec![
@@ -136,16 +140,17 @@ fn figure1_lazy_linearization_infeasibility_example() {
 #[test]
 fn figure1_every_strategy_reaches_the_single_state() {
     let p = figure1();
-    for strategy in [
-        Strategy::Dfs,
-        Strategy::Dpor { sleep_sets: true },
-        Strategy::HbrCaching,
-        Strategy::LazyHbrCaching,
-        Strategy::LazyDpor,
-        Strategy::ParallelDfs { workers: 2 },
+    let session = ExploreSession::new(&p).with_config(ExploreConfig::with_limit(10_000));
+    for spec in [
+        "dfs",
+        "dpor(sleep=true)",
+        "caching",
+        "caching(mode=lazy)",
+        "lazy-dpor",
+        "parallel(workers=2)",
     ] {
-        let stats = strategy.run(&p, &ExploreConfig::with_limit(10_000));
-        assert_eq!(stats.unique_states, 1, "{strategy:?}");
-        assert!(!stats.found_bug(), "{strategy:?}");
+        let outcome = session.run_spec(spec).unwrap();
+        assert_eq!(outcome.stats.unique_states, 1, "{spec}");
+        assert!(!outcome.found_bug(), "{spec}");
     }
 }

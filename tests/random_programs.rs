@@ -1,58 +1,96 @@
 //! Property-based cross-checks on randomly generated programs: the
 //! strategies must agree with exhaustive enumeration on arbitrary small
 //! loop-free guest programs, not just on the curated corpus.
+//!
+//! Specs are drawn from the workspace's deterministic [`SplitMix64`]
+//! generator (fixed seed, fixed case count), so every run checks exactly
+//! the same corpus of generated programs — a failure always reproduces.
 
+use lazylocks::rng::SplitMix64;
 use lazylocks::{DfsEnumeration, Dpor, ExploreConfig, Explorer, HbrCaching};
 use lazylocks_hbr::{HbBuilder, HbMode};
 use lazylocks_integration::{all_runs, program_from_spec};
-use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
-fn spec_strategy() -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec(any::<u8>(), 8..16)
+const CASES: usize = 48;
+
+/// The deterministic spec corpus: `CASES` byte vectors of length 8..16.
+fn spec_corpus() -> Vec<Vec<u8>> {
+    let mut rng = SplitMix64::new(0x5eed_1e55_u64);
+    (0..CASES)
+        .map(|_| {
+            let len = 8 + rng.gen_range(8);
+            let mut spec = vec![0u8; len];
+            rng.fill_bytes(&mut spec);
+            spec
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn dpor_and_caching_agree_with_dfs(spec in spec_strategy()) {
+#[test]
+fn dpor_and_caching_agree_with_dfs() {
+    for spec in spec_corpus() {
         let program = program_from_spec(&spec);
         let config = ExploreConfig::with_limit(30_000);
         let dfs = DfsEnumeration.explore(&program, &config);
-        prop_assume!(!dfs.limit_hit);
+        if dfs.limit_hit {
+            continue; // too big to serve as ground truth
+        }
 
         // Default DPOR: exact agreement on states and classes.
         let dpor = Dpor::default().explore(&program, &config);
-        prop_assert!(!dpor.limit_hit);
-        prop_assert_eq!(dpor.unique_states, dfs.unique_states,
-            "default DPOR missed states on {:?}", spec);
-        prop_assert_eq!(dpor.unique_hbrs, dfs.unique_hbrs,
-            "default DPOR missed HBR classes on {:?}", spec);
-        prop_assert!(dpor.schedules <= dfs.schedules);
+        assert!(!dpor.limit_hit);
+        assert_eq!(
+            dpor.unique_states, dfs.unique_states,
+            "default DPOR missed states on {spec:?}"
+        );
+        assert_eq!(
+            dpor.unique_hbrs, dfs.unique_hbrs,
+            "default DPOR missed HBR classes on {spec:?}"
+        );
+        assert!(dpor.schedules <= dfs.schedules);
         // Sleep-set mode: bug parity (its documented contract).
-        let sleepy = Dpor { sleep_sets: true, ..Dpor::default() }.explore(&program, &config);
-        prop_assert_eq!(sleepy.deadlocks > 0, dfs.deadlocks > 0,
-            "sleep-set DPOR lost deadlock parity on {:?}", spec);
-        prop_assert_eq!(sleepy.faulted_schedules > 0, dfs.faulted_schedules > 0,
-            "sleep-set DPOR lost fault parity on {:?}", spec);
-        prop_assert!(sleepy.schedules <= dpor.schedules,
-            "sleep sets must prune, not add");
+        let sleepy = Dpor {
+            sleep_sets: true,
+            ..Dpor::default()
+        }
+        .explore(&program, &config);
+        assert_eq!(
+            sleepy.deadlocks > 0,
+            dfs.deadlocks > 0,
+            "sleep-set DPOR lost deadlock parity on {spec:?}"
+        );
+        assert_eq!(
+            sleepy.faulted_schedules > 0,
+            dfs.faulted_schedules > 0,
+            "sleep-set DPOR lost fault parity on {spec:?}"
+        );
+        assert!(
+            sleepy.schedules <= dpor.schedules,
+            "sleep sets must prune, not add"
+        );
         for caching in [HbrCaching::regular(), HbrCaching::lazy()] {
             let stats = caching.explore(&program, &config);
-            prop_assert!(!stats.limit_hit);
-            prop_assert_eq!(stats.unique_states, dfs.unique_states,
-                "{} missed states on {:?}", caching.name(), spec);
-            prop_assert!(stats.schedules <= dfs.schedules);
+            assert!(!stats.limit_hit);
+            assert_eq!(
+                stats.unique_states,
+                dfs.unique_states,
+                "{} missed states on {:?}",
+                caching.name(),
+                spec
+            );
+            assert!(stats.schedules <= dfs.schedules);
         }
     }
+}
 
-    #[test]
-    fn theorems_hold_on_random_programs(spec in spec_strategy()) {
+#[test]
+fn theorems_hold_on_random_programs() {
+    for spec in spec_corpus() {
         let program = program_from_spec(&spec);
         let Some(runs) = all_runs(&program, 8_000) else {
             // Too many schedules; skip this instance.
-            return Ok(());
+            continue;
         };
         // Theorem 2.1 + 2.2 as class→state functions.
         for mode in [HbMode::Regular, HbMode::Lazy] {
@@ -60,43 +98,51 @@ proptest! {
             for (trace, state) in &runs {
                 let fp = HbBuilder::from_trace(mode, &program, trace).fingerprint();
                 if let Some(prev) = state_of.insert(fp, state) {
-                    prop_assert_eq!(prev, state,
-                        "{:?}: same {:?} class, different states (spec {:?})",
-                        mode, mode, spec);
+                    assert_eq!(
+                        prev, state,
+                        "{mode:?}: same class, different states (spec {spec:?})"
+                    );
                 }
             }
         }
         // Counting chain on the exhaustive space.
         let states: HashSet<_> = runs.iter().map(|(_, s)| s.clone()).collect();
-        let lazy: HashSet<_> = runs.iter()
+        let lazy: HashSet<_> = runs
+            .iter()
             .map(|(t, _)| HbBuilder::from_trace(HbMode::Lazy, &program, t).fingerprint())
             .collect();
-        let regular: HashSet<_> = runs.iter()
+        let regular: HashSet<_> = runs
+            .iter()
             .map(|(t, _)| HbBuilder::from_trace(HbMode::Regular, &program, t).fingerprint())
             .collect();
-        prop_assert!(states.len() <= lazy.len());
-        prop_assert!(lazy.len() <= regular.len());
-        prop_assert!(regular.len() <= runs.len());
+        assert!(states.len() <= lazy.len());
+        assert!(lazy.len() <= regular.len());
+        assert!(regular.len() <= runs.len());
     }
+}
 
-    #[test]
-    fn generated_programs_round_trip_the_text_format(spec in spec_strategy()) {
+#[test]
+fn generated_programs_round_trip_the_text_format() {
+    for spec in spec_corpus() {
         let program = program_from_spec(&spec);
         let source = program.to_source();
-        let reparsed = lazylocks_model::Program::parse(&source)
-            .expect("pretty output must parse");
-        prop_assert_eq!(program, reparsed);
+        let reparsed = lazylocks_model::Program::parse(&source).expect("pretty output must parse");
+        assert_eq!(program, reparsed);
     }
+}
 
-    #[test]
-    fn replay_reproduces_every_terminal_state(spec in spec_strategy()) {
+#[test]
+fn replay_reproduces_every_terminal_state() {
+    for spec in spec_corpus() {
         let program = program_from_spec(&spec);
-        let Some(runs) = all_runs(&program, 2_000) else { return Ok(()); };
+        let Some(runs) = all_runs(&program, 2_000) else {
+            continue;
+        };
         for (trace, state) in runs.iter().take(50) {
             let schedule: Vec<_> = trace.iter().map(|e| e.thread()).collect();
             let replay = lazylocks_runtime::run_schedule(&program, &schedule)
                 .expect("recorded schedules replay");
-            prop_assert_eq!(&replay.state, state);
+            assert_eq!(&replay.state, state);
         }
     }
 }

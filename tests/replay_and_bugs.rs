@@ -1,7 +1,7 @@
 //! Bug reporting and deterministic replay across the corpus, plus
 //! race-detector integration.
 
-use lazylocks::{detect_races, Dpor, ExploreConfig, Explorer, RandomWalk, Strategy};
+use lazylocks::{detect_races, Dpor, ExploreConfig, ExploreSession, Explorer, RandomWalk};
 use lazylocks_runtime::{run_schedule, RunStatus};
 
 #[test]
@@ -102,10 +102,11 @@ fn bug_schedules_are_minimal_prefixes_of_their_runs() {
     // The recorded schedule stops at the buggy terminal: replaying it and
     // extending it deterministically reaches the same outcome.
     let bench = lazylocks_suite::by_name("philosophers-naive-3").unwrap();
-    let stats = Strategy::Dpor { sleep_sets: true }.run(
-        &bench.program,
-        &ExploreConfig::with_limit(20_000).stopping_on_bug(),
-    );
+    let stats = ExploreSession::new(&bench.program)
+        .with_config(ExploreConfig::with_limit(20_000).stopping_on_bug())
+        .run_spec("dpor(sleep=true)")
+        .unwrap()
+        .stats;
     let bug = stats.first_bug.unwrap();
     assert_eq!(
         bug.schedule.len(),

@@ -2,21 +2,23 @@
 //! without panicking, bug expectations hold, and the text format
 //! round-trips every program.
 
-use lazylocks::{ExploreConfig, Strategy};
+use lazylocks::{ExploreConfig, ExploreSession, StrategyRegistry, Verdict};
 use lazylocks_model::Program;
 
 #[test]
 fn all_79_run_under_dpor_and_caching() {
-    let config = ExploreConfig::with_limit(400);
+    let registry = StrategyRegistry::default();
     for bench in lazylocks_suite::all() {
-        for strategy in [
-            Strategy::Dpor { sleep_sets: true },
-            Strategy::HbrCaching,
-            Strategy::LazyHbrCaching,
-            Strategy::LazyDpor,
+        let session =
+            ExploreSession::new(&bench.program).with_config(ExploreConfig::with_limit(400));
+        for spec in [
+            "dpor(sleep=true)",
+            "caching",
+            "caching(mode=lazy)",
+            "lazy-dpor",
         ] {
-            let stats = strategy.run(&bench.program, &config);
-            assert!(stats.schedules > 0, "{} under {strategy:?}", bench.name);
+            let stats = session.run_with(&registry, spec).unwrap().stats;
+            assert!(stats.schedules > 0, "{} under {spec}", bench.name);
             assert_eq!(
                 stats.truncated_runs, 0,
                 "{}: corpus programs must have bounded runs",
@@ -29,17 +31,25 @@ fn all_79_run_under_dpor_and_caching() {
 #[test]
 fn deadlock_expectations_hold() {
     for bench in lazylocks_suite::all() {
-        let stats = Strategy::Dpor { sleep_sets: true }
-            .run(&bench.program, &ExploreConfig::with_limit(20_000));
+        let outcome = ExploreSession::new(&bench.program)
+            .with_config(ExploreConfig::with_limit(20_000))
+            .run_spec("dpor(sleep=true)")
+            .unwrap();
         if bench.expect.may_deadlock {
             assert!(
-                stats.deadlocks > 0,
+                outcome.stats.deadlocks > 0,
                 "{} is flagged may_deadlock but none was found",
+                bench.name
+            );
+            assert_eq!(outcome.verdict, Verdict::BugFound, "{}", bench.name);
+            assert!(
+                outcome.bugs.iter().any(|b| b.is_deadlock()),
+                "{}: outcome must carry the deadlock report",
                 bench.name
             );
         } else {
             assert_eq!(
-                stats.deadlocks, 0,
+                outcome.stats.deadlocks, 0,
                 "{} deadlocked but is not flagged",
                 bench.name
             );
@@ -50,17 +60,24 @@ fn deadlock_expectations_hold() {
 #[test]
 fn assertion_expectations_hold() {
     for bench in lazylocks_suite::all() {
-        let stats = Strategy::Dpor { sleep_sets: true }
-            .run(&bench.program, &ExploreConfig::with_limit(20_000));
+        let outcome = ExploreSession::new(&bench.program)
+            .with_config(ExploreConfig::with_limit(20_000))
+            .run_spec("dpor(sleep=true)")
+            .unwrap();
         if bench.expect.may_fail_assert {
             assert!(
-                stats.faulted_schedules > 0,
+                outcome.stats.faulted_schedules > 0,
                 "{} is flagged may_fail_assert but no fault was found",
+                bench.name
+            );
+            assert!(
+                !outcome.bugs.is_empty(),
+                "{}: outcome must carry the fault report",
                 bench.name
             );
         } else {
             assert_eq!(
-                stats.faulted_schedules, 0,
+                outcome.stats.faulted_schedules, 0,
                 "{} faulted but is not flagged",
                 bench.name
             );
@@ -86,7 +103,11 @@ fn every_benchmark_round_trips_through_the_text_format() {
 fn random_walks_cover_every_benchmark() {
     // A cheap liveness check: random scheduling completes runs everywhere.
     for bench in lazylocks_suite::all() {
-        let stats = Strategy::Random.run(&bench.program, &ExploreConfig::with_limit(25).seeded(11));
+        let stats = ExploreSession::new(&bench.program)
+            .with_config(ExploreConfig::with_limit(25).seeded(11))
+            .run_spec("random")
+            .unwrap()
+            .stats;
         assert_eq!(stats.schedules, 25, "{}", bench.name);
         assert_eq!(stats.truncated_runs, 0, "{}", bench.name);
     }

@@ -94,7 +94,11 @@ fn theorem_2_2_counting_argument_mutex_state() {
             let fp = HbBuilder::from_trace(HbMode::Lazy, &bench.program, trace).fingerprint();
             let owners = state.mutex_owner().to_vec();
             if let Some(prev) = mutexes_of.insert(fp, owners.clone()) {
-                assert_eq!(prev, owners, "{}: mutex counting argument broken", bench.name);
+                assert_eq!(
+                    prev, owners,
+                    "{}: mutex counting argument broken",
+                    bench.name
+                );
             }
         }
     }
@@ -153,7 +157,11 @@ fn hbr_refinement_and_event_multisets() {
                 .collect();
             locks.sort_by_key(|&(k, t)| (t, format!("{k}")));
             if let Some(prev) = locks_of_lazy.insert(lazy, locks.clone()) {
-                assert_eq!(prev, locks, "{}: lock multiset differs in a lazy class", bench.name);
+                assert_eq!(
+                    prev, locks,
+                    "{}: lock multiset differs in a lazy class",
+                    bench.name
+                );
             }
         }
     }
