@@ -14,7 +14,10 @@ USAGE:
   lazylocks run   (--bench NAME | --id N | --file PATH)
                   [--strategy SPEC] [--limit N] [--preemptions K]
                   [--stop-on-bug] [--seed X] [--deadline-ms T]
-                  [--progress N]
+                  [--progress N] [--minimize] [--save-traces DIR] [--json]
+  lazylocks explore ...            alias of `run`
+  lazylocks replay PATH [--bench NAME | --id N | --file PATH] [--json]
+  lazylocks corpus (list | prune | seed) [--dir DIR] [--limit N] [--json]
   lazylocks compare (--bench NAME | --id N | --file PATH) [--limit N]
   lazylocks races (--bench NAME | --id N | --file PATH) [--walks N] [--seed X]
   lazylocks help
@@ -22,6 +25,13 @@ USAGE:
 STRATEGY SPECS (see `lazylocks strategies` for the full registry):
   dfs | dpor | dpor(sleep=true) | caching(mode=lazy) | lazy-dpor |
   random | parallel(workers=8) | bounded(start=0,step=1) | ...
+
+TRACE ARTIFACTS:
+  `run --save-traces DIR` persists one replayable JSON artifact per
+  distinct bug (minimised by default); `replay` re-runs an artifact file
+  or a whole directory and classifies each as reproduced / diverged /
+  program-changed; `corpus seed` explores every bug-bearing benchmark
+  into a regression corpus (default dir: .lazylocks/corpus).
 ";
 
 /// Which program to operate on.
@@ -58,6 +68,27 @@ pub enum Command {
         deadline_ms: Option<u64>,
         /// Progress tick cadence in schedules (0 = quiet).
         progress: usize,
+        /// Minimise reported bug schedules by delta debugging.
+        minimize: bool,
+        /// Persist a trace artifact per distinct bug into this directory.
+        save_traces: Option<String>,
+        /// Emit the outcome as a JSON document on stdout.
+        json: bool,
+    },
+    Replay {
+        /// An artifact file, or a directory of artifacts.
+        path: String,
+        /// Replay against this program instead of the embedded source.
+        target: Option<Target>,
+        /// Emit the reports as a JSON document on stdout.
+        json: bool,
+    },
+    Corpus {
+        action: CorpusAction,
+        /// Corpus directory (default: `.lazylocks/corpus`).
+        dir: Option<String>,
+        /// Emit the result as a JSON document on stdout.
+        json: bool,
     },
     Compare {
         target: Target,
@@ -69,6 +100,20 @@ pub enum Command {
         seed: u64,
     },
     Help,
+}
+
+/// What `lazylocks corpus <action>` should do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorpusAction {
+    /// Print the corpus contents.
+    List,
+    /// Remove artifacts that no longer decode or reproduce.
+    Prune,
+    /// Explore every bug-bearing benchmark into the corpus.
+    Seed {
+        /// Per-benchmark schedule budget.
+        limit: usize,
+    },
 }
 
 /// Parses `argv` (without the program name).
@@ -107,7 +152,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 target: target.ok_or("show needs --bench, --id or --file")?,
             })
         }
-        "run" => {
+        "run" | "explore" => {
             let mut target = None;
             let mut strategy = "dpor(sleep=true)".to_string();
             let mut limit = 100_000usize;
@@ -116,6 +161,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut seed = 0x1a2b_3c4du64;
             let mut deadline_ms = None;
             let mut progress = 0usize;
+            let mut minimize = false;
+            let mut save_traces = None;
+            let mut json = false;
             parse_flags(&rest, |flag, value| {
                 if parse_target_flag(flag, value, &mut target).is_some() {
                     return Ok(());
@@ -154,11 +202,24 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         progress = parse_num(value, "--progress")?;
                         Ok(())
                     }
-                    _ => Err(format!("unknown flag {flag} for run")),
+                    "--minimize" => {
+                        minimize = true;
+                        Ok(())
+                    }
+                    "--save-traces" => {
+                        save_traces =
+                            Some(value.ok_or("--save-traces needs a directory")?.to_string());
+                        Ok(())
+                    }
+                    "--json" => {
+                        json = true;
+                        Ok(())
+                    }
+                    _ => Err(format!("unknown flag {flag} for {sub}")),
                 }
             })?;
             Ok(Command::Run {
-                target: target.ok_or("run needs --bench, --id or --file")?,
+                target: target.ok_or(format!("{sub} needs --bench, --id or --file"))?,
                 strategy,
                 limit,
                 preemptions,
@@ -166,7 +227,61 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 seed,
                 deadline_ms,
                 progress,
+                minimize,
+                save_traces,
+                json,
             })
+        }
+        "replay" => {
+            let (path, flags) = match rest.split_first() {
+                Some((first, flags)) if !first.starts_with("--") => (first.to_string(), flags),
+                _ => return Err("replay needs an artifact file or directory".to_string()),
+            };
+            let mut target = None;
+            let mut json = false;
+            parse_flags(flags, |flag, value| {
+                if parse_target_flag(flag, value, &mut target).is_some() {
+                    return Ok(());
+                }
+                match flag {
+                    "--json" => {
+                        json = true;
+                        Ok(())
+                    }
+                    _ => Err(format!("unknown flag {flag} for replay")),
+                }
+            })?;
+            Ok(Command::Replay { path, target, json })
+        }
+        "corpus" => {
+            let (action, flags) = match rest.split_first() {
+                Some((&"list", flags)) => (CorpusAction::List, flags),
+                Some((&"prune", flags)) => (CorpusAction::Prune, flags),
+                Some((&"seed", flags)) => (CorpusAction::Seed { limit: 10_000 }, flags),
+                _ => return Err("corpus needs an action: list, prune or seed".to_string()),
+            };
+            let mut action = action;
+            let mut dir = None;
+            let mut json = false;
+            parse_flags(flags, |flag, value| match flag {
+                "--dir" => {
+                    dir = Some(value.ok_or("--dir needs a value")?.to_string());
+                    Ok(())
+                }
+                "--limit" => match &mut action {
+                    CorpusAction::Seed { limit } => {
+                        *limit = parse_num(value, "--limit")?;
+                        Ok(())
+                    }
+                    _ => Err("--limit only applies to corpus seed".to_string()),
+                },
+                "--json" => {
+                    json = true;
+                    Ok(())
+                }
+                _ => Err(format!("unknown flag {flag} for corpus")),
+            })?;
+            Ok(Command::Corpus { action, dir, json })
         }
         "compare" => {
             let mut target = None;
@@ -260,7 +375,7 @@ fn parse_flags(
             return Err(format!("unexpected argument {flag:?}"));
         }
         // Boolean flags take no value; everything else consumes one.
-        let boolean = matches!(flag, "--stop-on-bug");
+        let boolean = matches!(flag, "--stop-on-bug" | "--minimize" | "--json");
         let value = if boolean {
             None
         } else {
@@ -308,7 +423,7 @@ mod tests {
         let cmd = parse(&argv(
             "run --bench peterson --strategy lazy-caching --limit 500 \
              --preemptions 2 --stop-on-bug --seed 9 --deadline-ms 2000 \
-             --progress 100",
+             --progress 100 --minimize --save-traces traces --json",
         ))
         .unwrap();
         match cmd {
@@ -321,6 +436,9 @@ mod tests {
                 seed,
                 deadline_ms,
                 progress,
+                minimize,
+                save_traces,
+                json,
             } => {
                 assert_eq!(target, Target::Bench("peterson".to_string()));
                 assert_eq!(strategy, "lazy-caching");
@@ -330,9 +448,74 @@ mod tests {
                 assert_eq!(seed, 9);
                 assert_eq!(deadline_ms, Some(2000));
                 assert_eq!(progress, 100);
+                assert!(minimize);
+                assert_eq!(save_traces.as_deref(), Some("traces"));
+                assert!(json);
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn explore_is_an_alias_of_run() {
+        let a = parse(&argv("explore --id 1 --stop-on-bug")).unwrap();
+        let b = parse(&argv("run --id 1 --stop-on-bug")).unwrap();
+        assert_eq!(a, b);
+        assert!(matches!(a, Command::Run { .. }));
+    }
+
+    #[test]
+    fn parses_replay() {
+        assert_eq!(
+            parse(&argv("replay trace.json")).unwrap(),
+            Command::Replay {
+                path: "trace.json".to_string(),
+                target: None,
+                json: false,
+            }
+        );
+        assert_eq!(
+            parse(&argv("replay corpus --bench peterson --json")).unwrap(),
+            Command::Replay {
+                path: "corpus".to_string(),
+                target: Some(Target::Bench("peterson".to_string())),
+                json: true,
+            }
+        );
+        assert!(parse(&argv("replay")).is_err());
+        assert!(parse(&argv("replay --json")).is_err());
+        assert!(parse(&argv("replay t.json --walks 3")).is_err());
+    }
+
+    #[test]
+    fn parses_corpus() {
+        assert_eq!(
+            parse(&argv("corpus list")).unwrap(),
+            Command::Corpus {
+                action: CorpusAction::List,
+                dir: None,
+                json: false,
+            }
+        );
+        assert_eq!(
+            parse(&argv("corpus prune --dir d --json")).unwrap(),
+            Command::Corpus {
+                action: CorpusAction::Prune,
+                dir: Some("d".to_string()),
+                json: true,
+            }
+        );
+        assert_eq!(
+            parse(&argv("corpus seed --limit 50")).unwrap(),
+            Command::Corpus {
+                action: CorpusAction::Seed { limit: 50 },
+                dir: None,
+                json: false,
+            }
+        );
+        assert!(parse(&argv("corpus")).is_err());
+        assert!(parse(&argv("corpus polish")).is_err());
+        assert!(parse(&argv("corpus list --limit 3")).is_err());
     }
 
     #[test]

@@ -1,13 +1,19 @@
 //! Command implementations.
 
-use crate::args::{Command, Target, USAGE};
+use crate::args::{Command, CorpusAction, Target, USAGE};
 use lazylocks::{
-    detect_races, ExploreConfig, ExploreOutcome, ExploreSession, Observer, Progress,
-    StrategyRegistry,
+    detect_races, minimize_schedule, BugReport, ExploreConfig, ExploreOutcome, ExploreSession,
+    Observer, Progress, StrategyRegistry,
 };
 use lazylocks_model::Program;
 use lazylocks_runtime::run_with_scheduler;
+use lazylocks_trace::{
+    bug_kind_to_json, replay_against, replay_embedded, stats_to_json, CorpusStore, Json,
+    ReplayReport, TraceArtifact, TraceRecorder,
+};
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Executes a parsed command.
@@ -33,6 +39,9 @@ pub fn run(cmd: Command) -> Result<(), String> {
             seed,
             deadline_ms,
             progress,
+            minimize,
+            save_traces,
+            json,
         } => {
             let program = resolve(&target)?;
             let mut config = ExploreConfig::with_limit(limit).seeded(seed);
@@ -42,16 +51,66 @@ pub fn run(cmd: Command) -> Result<(), String> {
             let mut session = ExploreSession::new(&program)
                 .with_config(config)
                 .progress_every(progress);
-            if progress > 0 {
+            if progress > 0 && !json {
                 session = session.observe(PrintProgress);
             }
             if let Some(ms) = deadline_ms {
                 session = session.deadline(Duration::from_millis(ms));
             }
+            let recorder = match &save_traces {
+                Some(dir) => {
+                    let store = CorpusStore::open(dir)
+                        .map_err(|e| format!("cannot open trace directory {dir}: {e}"))?;
+                    let recorder = Arc::new(TraceRecorder::new(store, &program, &strategy, seed));
+                    session = session.observe_arc(recorder.clone());
+                    Some(recorder)
+                }
+                None => None,
+            };
             let outcome = session.run_spec(&strategy).map_err(|e| e.to_string())?;
-            print_outcome(program.name(), &outcome);
+            // Saved artifacts are minimised by default; --minimize also
+            // minimises the schedules reported below (reusing the
+            // recorder's already-minimised reports when there is one).
+            let (finalized, trace_errors) = match &recorder {
+                Some(recorder) => recorder.finalize(&outcome.stats),
+                None => (Vec::new(), Vec::new()),
+            };
+            let traces: Vec<PathBuf> = finalized.iter().map(|f| f.path.clone()).collect();
+            let bugs: Vec<BugReport> = match (&recorder, minimize) {
+                (_, false) => outcome.bugs.clone(),
+                (Some(_), true) => finalized.iter().map(|f| f.bug.clone()).collect(),
+                (None, true) => outcome
+                    .bugs
+                    .iter()
+                    .map(|b| minimize_schedule(&program, b))
+                    .collect(),
+            };
+            if json {
+                println!(
+                    "{}",
+                    outcome_json(
+                        program.name(),
+                        &strategy,
+                        &outcome,
+                        &bugs,
+                        minimize,
+                        &traces
+                    )
+                    .pretty()
+                );
+            } else {
+                print_outcome(program.name(), &outcome, &bugs, minimize);
+                for path in &traces {
+                    println!("trace saved  : {}", path.display());
+                }
+            }
+            for e in &trace_errors {
+                eprintln!("warning: {e}");
+            }
             Ok(())
         }
+        Command::Replay { path, target, json } => replay(&path, target.as_ref(), json),
+        Command::Corpus { action, dir, json } => corpus(action, dir.as_deref(), json),
         Command::Compare { target, limit } => compare(&resolve(&target)?, limit),
         Command::Races {
             target,
@@ -134,7 +193,57 @@ fn strategies() -> Result<(), String> {
     Ok(())
 }
 
-fn print_outcome(program: &str, outcome: &ExploreOutcome) {
+/// The machine-readable form of a `run --json` outcome.
+fn outcome_json(
+    program: &str,
+    spec: &str,
+    outcome: &ExploreOutcome,
+    bugs: &[BugReport],
+    minimized: bool,
+    traces: &[PathBuf],
+) -> Json {
+    Json::obj([
+        ("program", Json::Str(program.to_string())),
+        ("strategy", Json::Str(outcome.strategy_id.clone())),
+        ("spec", Json::Str(spec.to_string())),
+        ("verdict", Json::Str(outcome.verdict.to_string())),
+        ("stats", stats_to_json(&outcome.stats)),
+        (
+            "bugs",
+            Json::Arr(
+                bugs.iter()
+                    .map(|b| {
+                        Json::obj([
+                            ("kind", bug_kind_to_json(&b.kind)),
+                            (
+                                "schedule",
+                                Json::Arr(
+                                    b.schedule
+                                        .iter()
+                                        .map(|t| Json::Int(i128::from(t.0)))
+                                        .collect(),
+                                ),
+                            ),
+                            ("trace_len", Json::Int(b.trace_len as i128)),
+                            ("minimized", Json::Bool(minimized)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "traces",
+            Json::Arr(
+                traces
+                    .iter()
+                    .map(|p| Json::Str(p.display().to_string()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn print_outcome(program: &str, outcome: &ExploreOutcome, bugs: &[BugReport], minimized: bool) {
     let stats = &outcome.stats;
     println!("program     : {program}");
     println!("strategy    : {}", outcome.strategy_id);
@@ -168,11 +277,256 @@ fn print_outcome(program: &str, outcome: &ExploreOutcome) {
     if let Err(violation) = stats.check_inequality() {
         println!("WARNING     : counting inequality violated: {violation}");
     }
-    for (i, bug) in outcome.bugs.iter().enumerate() {
-        println!("bug #{}     : {bug}", i + 1);
+    for (i, bug) in bugs.iter().enumerate() {
+        let tag = if minimized { " (minimized)" } else { "" };
+        println!("bug #{}     : {bug}{tag}", i + 1);
         let schedule: Vec<String> = bug.schedule.iter().map(|t| t.to_string()).collect();
         println!("replay with : {}", schedule.join(","));
     }
+}
+
+/// `lazylocks replay <file|dir>`: replay one artifact or every artifact in
+/// a directory, classify each, and fail unless everything reproduces.
+fn replay(path: &str, target: Option<&Target>, json: bool) -> Result<(), String> {
+    let path = Path::new(path);
+    let files: Vec<PathBuf> = if path.is_dir() {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("no artifacts (*.json) in {}", path.display()));
+        }
+        files
+    } else {
+        vec![path.to_path_buf()]
+    };
+    let target_program = target.map(resolve).transpose()?;
+
+    let mut failures = 0usize;
+    let mut reports: Vec<(PathBuf, Result<ReplayReport, String>)> = Vec::new();
+    for file in files {
+        let report = std::fs::read_to_string(&file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))
+            .and_then(|text| TraceArtifact::parse(&text).map_err(|e| e.to_string()))
+            .and_then(|artifact| match &target_program {
+                Some(program) => Ok(replay_against(&artifact, program)),
+                None => replay_embedded(&artifact).map_err(|e| e.to_string()),
+            });
+        if !matches!(&report, Ok(r) if r.reproduced()) {
+            failures += 1;
+        }
+        reports.push((file, report));
+    }
+
+    if json {
+        let items = reports
+            .iter()
+            .map(|(file, report)| {
+                let mut pairs = vec![("file", Json::Str(file.display().to_string()))];
+                match report {
+                    Ok(r) => pairs.extend([
+                        ("verdict", Json::Str(r.verdict.to_string())),
+                        ("expected", Json::Str(r.expected.clone())),
+                        ("observed", Json::Str(r.observed.clone())),
+                        ("details", Json::Str(r.details.clone())),
+                    ]),
+                    Err(e) => pairs.extend([
+                        ("verdict", Json::Str("error".to_string())),
+                        ("details", Json::Str(e.clone())),
+                    ]),
+                }
+                Json::obj(pairs)
+            })
+            .collect();
+        println!("{}", Json::Arr(items).pretty());
+    } else {
+        for (file, report) in &reports {
+            match report {
+                Ok(r) => println!("{}: {r}", file.display()),
+                Err(e) => println!("{}: error: {e}", file.display()),
+            }
+        }
+        println!(
+            "{} artifact(s): {} reproduced, {failures} failed",
+            reports.len(),
+            reports.len() - failures
+        );
+    }
+    if failures > 0 {
+        return Err(format!(
+            "{failures} of {} artifact(s) did not reproduce",
+            reports.len()
+        ));
+    }
+    Ok(())
+}
+
+/// `lazylocks corpus {list,prune,seed}`.
+fn corpus(action: CorpusAction, dir: Option<&str>, json: bool) -> Result<(), String> {
+    let root = dir
+        .map(PathBuf::from)
+        .unwrap_or_else(CorpusStore::default_root);
+    let store = CorpusStore::open(&root)
+        .map_err(|e| format!("cannot open corpus {}: {e}", root.display()))?;
+    match action {
+        CorpusAction::List => {
+            let entries = store.list().map_err(|e| e.to_string())?;
+            if json {
+                let items = entries
+                    .iter()
+                    .map(|entry| {
+                        let mut pairs = vec![("file", Json::Str(entry.path.display().to_string()))];
+                        match &entry.artifact {
+                            Ok(a) => pairs.extend([
+                                ("program", Json::Str(a.program_name.clone())),
+                                ("fingerprint", Json::u128_hex(a.program_fingerprint)),
+                                ("outcome", Json::Str(a.outcome_label())),
+                                ("strategy", Json::Str(a.strategy_spec.clone())),
+                                ("schedule_len", Json::Int(a.schedule.len() as i128)),
+                                ("minimized", Json::Bool(a.minimized)),
+                            ]),
+                            Err(e) => pairs.push(("error", Json::Str(e.to_string()))),
+                        }
+                        Json::obj(pairs)
+                    })
+                    .collect();
+                println!("{}", Json::Arr(items).pretty());
+                return Ok(());
+            }
+            println!("{:<44} {:<24} {:>8} outcome", "file", "program", "schedule");
+            for entry in &entries {
+                let file = entry
+                    .path
+                    .file_name()
+                    .map(|f| f.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                match &entry.artifact {
+                    Ok(a) => println!(
+                        "{file:<44} {:<24} {:>8} {}{}",
+                        a.program_name,
+                        a.schedule.len(),
+                        a.outcome_label(),
+                        if a.minimized { " [minimized]" } else { "" }
+                    ),
+                    Err(e) => println!("{file:<44} <undecodable: {e}>"),
+                }
+            }
+            println!(
+                "\n{} artifact(s) in {}",
+                entries.len(),
+                store.root().display()
+            );
+            Ok(())
+        }
+        CorpusAction::Prune => {
+            let report = store.prune().map_err(|e| e.to_string())?;
+            if json {
+                let removed = report
+                    .removed
+                    .iter()
+                    .map(|(path, reason)| {
+                        Json::obj([
+                            ("file", Json::Str(path.display().to_string())),
+                            ("reason", Json::Str(reason.clone())),
+                        ])
+                    })
+                    .collect();
+                println!(
+                    "{}",
+                    Json::obj([
+                        ("kept", Json::Int(report.kept as i128)),
+                        ("removed", Json::Arr(removed)),
+                    ])
+                    .pretty()
+                );
+                return Ok(());
+            }
+            for (path, reason) in &report.removed {
+                println!("removed {}: {reason}", path.display());
+            }
+            println!("kept {}, removed {}", report.kept, report.removed.len());
+            Ok(())
+        }
+        CorpusAction::Seed { limit } => corpus_seed(&store, limit, json),
+    }
+}
+
+/// Explores every bug-bearing benchmark (per its [`Expectations`]) into
+/// the corpus, one minimised artifact per distinct bug.
+///
+/// [`Expectations`]: lazylocks_suite::Expectations
+fn corpus_seed(store: &CorpusStore, limit: usize, json: bool) -> Result<(), String> {
+    const SEED_SPEC: &str = "dpor(sleep=true)";
+    let mut items = Vec::new();
+    let mut missing = 0usize;
+    for bench in lazylocks_suite::buggy() {
+        let config = ExploreConfig::with_limit(limit).stopping_on_bug();
+        let recorder = Arc::new(TraceRecorder::new(
+            store.clone(),
+            &bench.program,
+            SEED_SPEC,
+            config.seed,
+        ));
+        let outcome = ExploreSession::new(&bench.program)
+            .with_config(config)
+            .observe_arc(recorder.clone())
+            .run_spec(SEED_SPEC)
+            .map_err(|e| e.to_string())?;
+        let (finalized, errors) = recorder.finalize(&outcome.stats);
+        for e in &errors {
+            eprintln!("warning: {e}");
+        }
+        if finalized.is_empty() {
+            missing += 1;
+        }
+        let paths: Vec<PathBuf> = finalized.into_iter().map(|f| f.path).collect();
+        items.push((bench.name.clone(), outcome.stats.schedules, paths));
+    }
+    if json {
+        let arr = items
+            .iter()
+            .map(|(name, schedules, paths)| {
+                Json::obj([
+                    ("bench", Json::Str(name.clone())),
+                    ("schedules", Json::Int(*schedules as i128)),
+                    (
+                        "traces",
+                        Json::Arr(
+                            paths
+                                .iter()
+                                .map(|p| Json::Str(p.display().to_string()))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        println!("{}", Json::Arr(arr).pretty());
+    } else {
+        for (name, schedules, paths) in &items {
+            match paths.first() {
+                Some(path) => println!(
+                    "{name}: bug found after {schedules} schedule(s) -> {}",
+                    path.display()
+                ),
+                None => println!("{name}: no bug within {limit} schedules"),
+            }
+        }
+        println!(
+            "\nseeded {} benchmark(s) into {}",
+            items.len() - missing,
+            store.root().display()
+        );
+    }
+    if missing > 0 {
+        return Err(format!(
+            "{missing} expected-buggy benchmark(s) produced no bug within {limit} schedules"
+        ));
+    }
+    Ok(())
 }
 
 fn compare(program: &Program, limit: usize) -> Result<(), String> {
@@ -277,6 +631,23 @@ mod tests {
         assert_eq!(p.thread_count(), 1);
     }
 
+    /// A `Command::Run` with every new knob off, for tests.
+    fn plain_run(target: Target, strategy: &str) -> Command {
+        Command::Run {
+            target,
+            strategy: strategy.into(),
+            limit: 1000,
+            preemptions: None,
+            stop_on_bug: false,
+            seed: 1,
+            deadline_ms: None,
+            progress: 0,
+            minimize: false,
+            save_traces: None,
+            json: false,
+        }
+    }
+
     #[test]
     fn commands_execute_end_to_end() {
         run(Command::List {
@@ -288,16 +659,10 @@ mod tests {
             target: Target::Id(1),
         })
         .unwrap();
-        run(Command::Run {
-            target: Target::Bench("paper-figure1".into()),
-            strategy: "dpor(sleep=true)".into(),
-            limit: 1000,
-            preemptions: None,
-            stop_on_bug: false,
-            seed: 1,
-            deadline_ms: None,
-            progress: 0,
-        })
+        run(plain_run(
+            Target::Bench("paper-figure1".into()),
+            "dpor(sleep=true)",
+        ))
         .unwrap();
         run(Command::Races {
             target: Target::Bench("store-buffer".into()),
@@ -309,17 +674,7 @@ mod tests {
 
     #[test]
     fn run_rejects_unknown_specs_at_execution_too() {
-        let err = run(Command::Run {
-            target: Target::Id(1),
-            strategy: "no-such-strategy".into(),
-            limit: 10,
-            preemptions: None,
-            stop_on_bug: false,
-            seed: 1,
-            deadline_ms: None,
-            progress: 0,
-        })
-        .unwrap_err();
+        let err = run(plain_run(Target::Id(1), "no-such-strategy")).unwrap_err();
         assert!(err.contains("unknown strategy"));
     }
 
@@ -336,8 +691,124 @@ mod tests {
             seed: 1,
             deadline_ms: Some(0),
             progress: 0,
+            minimize: false,
+            save_traces: None,
+            json: false,
         })
         .unwrap();
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lazylocks-cli-cmd-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn run_saves_minimised_traces_and_replay_reproduces_them() {
+        let dir = temp_dir("run-traces");
+        run(Command::Run {
+            target: Target::Bench("philosophers-naive-2".into()),
+            strategy: "dpor(sleep=true)".into(),
+            limit: 10_000,
+            preemptions: None,
+            stop_on_bug: true,
+            seed: 1,
+            deadline_ms: None,
+            progress: 0,
+            minimize: true,
+            save_traces: Some(dir.to_string_lossy().into_owned()),
+            json: false,
+        })
+        .unwrap();
+        let store = CorpusStore::open(&dir).unwrap();
+        let entries = store.list().unwrap();
+        assert_eq!(entries.len(), 1);
+        let artifact = entries[0].artifact.as_ref().unwrap();
+        assert!(artifact.minimized);
+        assert_eq!(artifact.program_name, "philosophers-naive-2");
+
+        // Replaying the directory succeeds...
+        run(Command::Replay {
+            path: dir.to_string_lossy().into_owned(),
+            target: None,
+            json: false,
+        })
+        .unwrap();
+        // ...both embedded and against the (unchanged) benchmark...
+        run(Command::Replay {
+            path: entries[0].path.to_string_lossy().into_owned(),
+            target: Some(Target::Bench("philosophers-naive-2".into())),
+            json: true,
+        })
+        .unwrap();
+        // ...but not against a different program.
+        let err = run(Command::Replay {
+            path: entries[0].path.to_string_lossy().into_owned(),
+            target: Some(Target::Bench("paper-figure1".into())),
+            json: false,
+        })
+        .unwrap_err();
+        assert!(err.contains("did not reproduce"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corpus_list_and_prune_commands() {
+        let dir = temp_dir("corpus");
+        // Seed one artifact through the run path.
+        run(Command::Run {
+            target: Target::Bench("accounts-fine-deadlock2".into()),
+            strategy: "dpor".into(),
+            limit: 10_000,
+            preemptions: None,
+            stop_on_bug: true,
+            seed: 1,
+            deadline_ms: None,
+            progress: 0,
+            minimize: false,
+            save_traces: Some(dir.to_string_lossy().into_owned()),
+            json: true,
+        })
+        .unwrap();
+        for json in [false, true] {
+            run(Command::Corpus {
+                action: CorpusAction::List,
+                dir: Some(dir.to_string_lossy().into_owned()),
+                json,
+            })
+            .unwrap();
+        }
+        run(Command::Corpus {
+            action: CorpusAction::Prune,
+            dir: Some(dir.to_string_lossy().into_owned()),
+            json: false,
+        })
+        .unwrap();
+        // The artifact reproduces, so prune kept it.
+        assert_eq!(CorpusStore::open(&dir).unwrap().list().unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_errors_on_missing_and_empty_paths() {
+        assert!(run(Command::Replay {
+            path: "/no/such/artifact.json".into(),
+            target: None,
+            json: false,
+        })
+        .is_err());
+        let dir = temp_dir("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = run(Command::Replay {
+            path: dir.to_string_lossy().into_owned(),
+            target: None,
+            json: false,
+        })
+        .unwrap_err();
+        assert!(err.contains("no artifacts"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -43,143 +43,8 @@ pub trait Explorer {
     fn explore(&self, program: &Program, config: &ExploreConfig) -> ExploreStats;
 }
 
-/// Legacy closed strategy selection, superseded by the string-keyed
-/// [`StrategyRegistry`](crate::StrategyRegistry) plus
-/// [`ExploreSession`](crate::ExploreSession).
-///
-/// The enum remains as a thin shim: [`Strategy::parse`] still accepts all
-/// historical names and [`Strategy::run`] delegates to the default
-/// registry, so old callers keep working — but new strategies only appear
-/// in the registry, never here.
-#[deprecated(
-    since = "0.2.0",
-    note = "use StrategyRegistry spec strings with ExploreSession instead"
-)]
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Strategy {
-    /// Naive depth-first enumeration of every schedule.
-    Dfs,
-    /// Dynamic partial-order reduction (optionally with sleep sets).
-    Dpor {
-        /// Enable the sleep-set refinement.
-        sleep_sets: bool,
-    },
-    /// HBR caching with the regular happens-before relation.
-    HbrCaching,
-    /// HBR caching with the lazy happens-before relation (the paper's
-    /// contribution).
-    LazyHbrCaching,
-    /// Prototype lazy DPOR (paper §4).
-    LazyDpor,
-    /// Uniform random walks.
-    Random,
-    /// Parallel DFS across `workers` OS threads.
-    ParallelDfs {
-        /// Number of worker threads (0 = available parallelism).
-        workers: usize,
-    },
-}
-
-#[allow(deprecated)]
-impl Strategy {
-    /// Parses a legacy name: `dfs`, `dpor`, `dpor-sleep` / `dpor-nosleep`
-    /// (both spellings accepted, as in the registry), `caching`,
-    /// `lazy-caching`, `lazy-dpor`, `random`, `parallel`.
-    pub fn parse(name: &str) -> Option<Strategy> {
-        Some(match name {
-            "dfs" => Strategy::Dfs,
-            "dpor" | "dpor-nosleep" => Strategy::Dpor { sleep_sets: false },
-            "dpor-sleep" => Strategy::Dpor { sleep_sets: true },
-            "caching" => Strategy::HbrCaching,
-            "lazy-caching" => Strategy::LazyHbrCaching,
-            "lazy-dpor" => Strategy::LazyDpor,
-            "random" => Strategy::Random,
-            "parallel" => Strategy::ParallelDfs { workers: 0 },
-            _ => return None,
-        })
-    }
-
-    /// All canonical strategy names accepted by [`Strategy::parse`].
-    pub const NAMES: [&'static str; 8] = [
-        "dfs",
-        "dpor",
-        "dpor-sleep",
-        "caching",
-        "lazy-caching",
-        "lazy-dpor",
-        "random",
-        "parallel",
-    ];
-
-    /// The registry spec string equivalent to this strategy.
-    pub fn spec(&self) -> String {
-        match self {
-            Strategy::Dfs => "dfs".to_string(),
-            Strategy::Dpor { sleep_sets } => format!("dpor(sleep={sleep_sets})"),
-            Strategy::HbrCaching => "caching".to_string(),
-            Strategy::LazyHbrCaching => "caching(mode=lazy)".to_string(),
-            Strategy::LazyDpor => "lazy-dpor".to_string(),
-            Strategy::Random => "random".to_string(),
-            Strategy::ParallelDfs { workers } => format!("parallel(workers={workers})"),
-        }
-    }
-
-    /// Runs the strategy by delegating to the default
-    /// [`StrategyRegistry`](crate::StrategyRegistry).
-    pub fn run(&self, program: &Program, config: &ExploreConfig) -> ExploreStats {
-        crate::registry::StrategyRegistry::default()
-            .create(&self.spec())
-            .expect("legacy strategy specs are always registered")
-            .explore(program, config)
-    }
-}
-
-#[cfg(test)]
-#[allow(deprecated)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn strategy_names_parse_round_trip() {
-        for name in Strategy::NAMES {
-            assert!(Strategy::parse(name).is_some(), "{name} should parse");
-        }
-        assert!(
-            Strategy::parse("dpor-nosleep").is_some(),
-            "both spellings parse"
-        );
-        assert_eq!(Strategy::parse("nope"), None);
-        assert_eq!(
-            Strategy::parse("dpor"),
-            Some(Strategy::Dpor { sleep_sets: false })
-        );
-    }
-
-    #[test]
-    fn shim_specs_resolve_in_the_default_registry() {
-        let registry = crate::registry::StrategyRegistry::default();
-        for name in Strategy::NAMES {
-            let strategy = Strategy::parse(name).unwrap();
-            assert!(
-                registry.create(&strategy.spec()).is_ok(),
-                "{name} → {} must resolve",
-                strategy.spec()
-            );
-        }
-    }
-
-    #[test]
-    fn shim_run_matches_direct_explorer() {
-        use lazylocks_model::ProgramBuilder;
-        let mut b = ProgramBuilder::new("p");
-        let x = b.var("x", 0);
-        b.thread("T1", |t| t.store(x, 1));
-        b.thread("T2", |t| t.store(x, 2));
-        let p = b.build();
-        let config = ExploreConfig::with_limit(100);
-        let via_shim = Strategy::Dpor { sleep_sets: false }.run(&p, &config);
-        let direct = Dpor::default().explore(&p, &config);
-        assert_eq!(via_shim.schedules, direct.schedules);
-        assert_eq!(via_shim.unique_states, direct.unique_states);
-    }
-}
+// The deprecated closed `Strategy` enum that used to live here was
+// removed: all strategy selection goes through the string-keyed
+// [`StrategyRegistry`](crate::StrategyRegistry) (which still accepts every
+// historical name as an alias) plus
+// [`ExploreSession`](crate::ExploreSession).

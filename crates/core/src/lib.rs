@@ -104,8 +104,6 @@ mod stats;
 
 pub use bug::{BugKind, BugReport};
 pub use config::ExploreConfig;
-#[allow(deprecated)]
-pub use explore::Strategy;
 pub use explore::{
     BoundedRun, DependenceMode, DfsEnumeration, Dpor, Explorer, HbrCaching, IterativeBounding,
     LazyDpor, LazyDporStyle, ParallelDfs, RandomWalk,

@@ -81,10 +81,15 @@ impl<'a> Parser<'a> {
             .lines()
             .enumerate()
             .map(|(i, l)| {
-                let no_comment = match l.find('#') {
-                    // Keep '#' inside string literals (assert messages).
-                    Some(ix) if !in_string(l, ix) => &l[..ix],
-                    _ => l,
+                // Strip from the first '#' that is *outside* a string
+                // literal (assert messages may legally contain '#').
+                let cut = l
+                    .match_indices('#')
+                    .map(|(ix, _)| ix)
+                    .find(|&ix| !in_string(l, ix));
+                let no_comment = match cut {
+                    Some(ix) => &l[..ix],
+                    None => l,
                 };
                 (i + 1, no_comment.trim())
             })
@@ -272,7 +277,7 @@ impl<'a> Parser<'a> {
                     })?;
                 Instr::Assert {
                     cond: parse_operand(line_no, cond)?,
-                    msg: msg_text.to_string(),
+                    msg: unescape_msg(line_no, msg_text)?,
                 }
             }
             ["store", var, "=", src] => Instr::Store {
@@ -347,7 +352,9 @@ fn tokenize(line: &str) -> Vec<&str> {
             break;
         }
         if let Some(stripped) = rest.strip_prefix('"') {
-            let close = stripped.find('"').map(|i| i + 1).unwrap_or(rest.len() - 1);
+            let close = find_unescaped_quote(stripped)
+                .map(|i| i + 1)
+                .unwrap_or(rest.len() - 1);
             let (tok, tail) = rest.split_at(close + 1);
             out.push(tok);
             rest = tail;
@@ -361,8 +368,71 @@ fn tokenize(line: &str) -> Vec<&str> {
     out
 }
 
+/// Byte offset of the first `"` in `s` that is not preceded by a `\`
+/// escape.
+fn find_unescaped_quote(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// `true` if byte offset `ix` falls inside a string literal, honouring
+/// `\"` escapes.
 fn in_string(line: &str, ix: usize) -> bool {
-    line[..ix].matches('"').count() % 2 == 1
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    let mut inside = false;
+    while i < ix.min(bytes.len()) {
+        match bytes[i] {
+            b'\\' if inside => i += 2,
+            b'"' => {
+                inside = !inside;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    inside
+}
+
+/// Decodes the escapes produced by the pretty-printer inside an assert
+/// message: `\\`, `\"`, `\n`, `\r`, `\t`.
+fn unescape_msg(line_no: usize, s: &str) -> Result<String, ParseError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some(other) => {
+                return Err(ParseError::new(
+                    line_no,
+                    format!("invalid escape \\{other} in assert message"),
+                ))
+            }
+            None => {
+                return Err(ParseError::new(
+                    line_no,
+                    "assert message ends with a bare backslash",
+                ))
+            }
+        }
+    }
+    Ok(out)
 }
 
 fn check_ident(line_no: usize, s: &str) -> Result<(), ParseError> {
@@ -441,6 +511,22 @@ thread T2 {
             Instr::Store {
                 var: VarId(1),
                 src: Operand::Const(7)
+            }
+        );
+    }
+
+    #[test]
+    fn trailing_comment_after_hash_in_assert_message() {
+        // The first '#' is inside the string and must be kept; the second
+        // starts a real comment and must be stripped.
+        let p =
+            Program::parse("program p\nthread T {\n assert 1 \"50% # done\" # TODO revisit\n}\n")
+                .unwrap();
+        assert_eq!(
+            p.threads()[0].code[0],
+            Instr::Assert {
+                cond: Operand::Const(1),
+                msg: "50% # done".to_string(),
             }
         );
     }

@@ -64,9 +64,27 @@ fn render_instr(program: &Program, instr: &Instr, labels: &BTreeMap<usize, Strin
             let kw = if *when_zero { "ifz" } else { "if" };
             format!("{kw} {cond} goto {}", labels[target])
         }
-        Instr::Assert { cond, msg } => format!("assert {cond} \"{msg}\""),
+        Instr::Assert { cond, msg } => format!("assert {cond} \"{}\"", escape_msg(msg)),
         Instr::Nop => "nop".to_string(),
     }
+}
+
+/// Escapes an assert message for the text format, so that arbitrary
+/// builder-constructed messages (embedded quotes, backslashes, newlines)
+/// survive the print → parse round trip.
+fn escape_msg(msg: &str) -> String {
+    let mut out = String::with_capacity(msg.len());
+    for c in msg.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -118,6 +136,43 @@ mod tests {
         assert!(src.contains("mutex m"));
         assert!(src.contains("thread T1 {"));
         assert!(src.contains("assert 1 \"always fine\""));
+    }
+
+    #[test]
+    fn hostile_assert_messages_round_trip() {
+        // Quotes, backslashes, newlines, tabs, '#' (the comment marker)
+        // and runs of spaces must all survive print → parse — trace
+        // artifacts embed programs as source and rely on it.
+        let messages = [
+            "with \"embedded quotes\"",
+            "back\\slash and trailing \\",
+            "multi\nline\tmessage\r",
+            "not # a comment",
+            "spaced    out",
+            "",
+        ];
+        let mut b = ProgramBuilder::new("hostile");
+        b.thread("T", |t| {
+            for msg in messages {
+                t.assert_true(Operand::Const(1), msg);
+            }
+        });
+        let p = b.build();
+        let reparsed = Program::parse(&p.to_source()).expect("escaped output must parse");
+        assert_eq!(
+            p,
+            reparsed,
+            "assert-message round trip changed the program:\n{}",
+            p.to_source()
+        );
+    }
+
+    #[test]
+    fn bad_escapes_are_rejected() {
+        let err = Program::parse("program p\nthread T {\n assert 1 \"bad \\q\"\n}\n").unwrap_err();
+        assert!(err.to_string().contains("invalid escape"));
+        let err = Program::parse("program p\nthread T {\n assert 1 \"bad \\\"\n}\n").unwrap_err();
+        assert!(err.to_string().contains("backslash") || err.to_string().contains("quoted"));
     }
 
     #[test]

@@ -159,6 +159,21 @@ impl Program {
         crate::pretty::program_to_source(self)
     }
 
+    /// The canonical byte encoding of this program, used as the substrate
+    /// for program fingerprinting (trace artifacts key their validity on
+    /// it).
+    ///
+    /// The encoding is the pretty-printed source form, which is canonical:
+    /// the printer is deterministic, prints every structural field, and
+    /// `parse ∘ to_source` is the structural identity (asserted by the
+    /// [`pretty`](crate::pretty) tests). Consequently two programs have the
+    /// same canonical bytes **iff** they are structurally equal, and a
+    /// program survives a print → parse round trip with its canonical
+    /// bytes — hence its fingerprint — intact.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        self.to_source().into_bytes()
+    }
+
     /// Checks structural well-formedness: jump targets in range, registers
     /// within [`MAX_REGS`], variable/mutex references declared, names
     /// unique, at least one thread.
@@ -425,6 +440,41 @@ mod tests {
         assert_eq!(p.mutex_by_name("m"), Some(MutexId(0)));
         assert_eq!(p.thread_by_name("T1"), Some(ThreadId(1)));
         assert_eq!(p.thread_ids().count(), 2);
+    }
+
+    #[test]
+    fn canonical_bytes_survive_source_round_trip() {
+        let p = Program::new(
+            "canon",
+            vec![var("x", 3)],
+            vec![MutexDecl {
+                name: "m".to_string(),
+            }],
+            vec![thread(
+                "T",
+                vec![
+                    Instr::Lock(MutexId(0)),
+                    Instr::Store {
+                        var: VarId(0),
+                        src: Operand::Const(7),
+                    },
+                    Instr::Unlock(MutexId(0)),
+                ],
+            )],
+        )
+        .unwrap();
+        let reparsed = Program::parse(&p.to_source()).unwrap();
+        assert_eq!(p.canonical_bytes(), reparsed.canonical_bytes());
+
+        // Any structural change perturbs the canonical bytes.
+        let renamed = Program::new(
+            "canon2",
+            p.vars().to_vec(),
+            p.mutexes().to_vec(),
+            p.threads().to_vec(),
+        )
+        .unwrap();
+        assert_ne!(p.canonical_bytes(), renamed.canonical_bytes());
     }
 
     #[test]

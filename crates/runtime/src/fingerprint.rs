@@ -88,6 +88,36 @@ impl Default for Fnv128 {
     }
 }
 
+/// The canonical 128-bit fingerprint of a guest program.
+///
+/// Hashes [`Program::canonical_bytes`] (the deterministic pretty-printed
+/// form) with [`Fnv128`], prefixed by a domain tag so program fingerprints
+/// never collide with state or relation fingerprints built from the same
+/// hasher. Two programs share a fingerprint iff they are structurally
+/// equal, and the fingerprint survives a `to_source` → `parse` round trip
+/// — the property trace artifacts rely on to detect that a stored
+/// counterexample no longer matches the program under test.
+///
+/// ```
+/// use lazylocks_model::ProgramBuilder;
+/// use lazylocks_runtime::program_fingerprint;
+///
+/// let mut b = ProgramBuilder::new("p");
+/// let x = b.var("x", 0);
+/// b.thread("T1", |t| t.store(x, 1));
+/// let p = b.build();
+///
+/// let fp = program_fingerprint(&p);
+/// let reparsed = lazylocks_model::Program::parse(&p.to_source()).unwrap();
+/// assert_eq!(fp, program_fingerprint(&reparsed));
+/// ```
+pub fn program_fingerprint(program: &lazylocks_model::Program) -> u128 {
+    let mut h = Fnv128::new();
+    h.write(b"lazylocks-program-v1\0");
+    h.write(&program.canonical_bytes());
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +152,27 @@ mod tests {
         let mut b = Fnv128::new();
         b.write_u64(7);
         assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn program_fingerprint_is_canonical_and_change_sensitive() {
+        use lazylocks_model::ProgramBuilder;
+        let build = |name: &str, init: i64| {
+            let mut b = ProgramBuilder::new(name);
+            let x = b.var("x", init);
+            b.thread("T1", |t| t.store(x, 1));
+            b.build()
+        };
+        let p = build("p", 0);
+        assert_eq!(program_fingerprint(&p), program_fingerprint(&build("p", 0)));
+        // A changed initial value or name is a changed program.
+        assert_ne!(program_fingerprint(&p), program_fingerprint(&build("p", 1)));
+        assert_ne!(program_fingerprint(&p), program_fingerprint(&build("q", 0)));
+        // Domain separation from raw byte hashing.
+        assert_ne!(
+            program_fingerprint(&p),
+            Fnv128::hash_bytes(&p.canonical_bytes())
+        );
     }
 
     #[test]

@@ -45,6 +45,6 @@ pub use event::{Event, EventId};
 pub use executor::{
     ExecPhase, Executor, Fault, FaultKind, StepOutcome, ThreadStatus, LOCAL_STEP_BUDGET,
 };
-pub use fingerprint::Fnv128;
+pub use fingerprint::{program_fingerprint, Fnv128};
 pub use schedule::{run_schedule, run_with_scheduler, InfeasibleSchedule, RunResult, RunStatus};
 pub use state::StateSnapshot;

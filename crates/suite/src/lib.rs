@@ -35,4 +35,4 @@
 pub mod families;
 mod registry;
 
-pub use registry::{all, by_id, by_name, Benchmark, Expectations};
+pub use registry::{all, buggy, by_id, by_name, Benchmark, Expectations};

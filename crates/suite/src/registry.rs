@@ -13,6 +13,15 @@ pub struct Expectations {
     pub may_fail_assert: bool,
 }
 
+impl Expectations {
+    /// `true` if the benchmark is expected to exhibit any bug class — the
+    /// membership test for the regression corpus (`lazylocks corpus
+    /// seed`).
+    pub fn expects_bug(&self) -> bool {
+        self.may_deadlock || self.may_fail_assert
+    }
+}
+
 /// One benchmark of the corpus.
 #[derive(Debug, Clone)]
 pub struct Benchmark {
@@ -77,6 +86,16 @@ pub fn by_name(name: &str) -> Option<Benchmark> {
     all().into_iter().find(|b| b.name == name)
 }
 
+/// The bug-bearing subset of the corpus: every benchmark whose
+/// [`Expectations`] promise at least one deadlocking or asserting
+/// schedule. This is the seed set for the regression trace corpus.
+pub fn buggy() -> Vec<Benchmark> {
+    all()
+        .into_iter()
+        .filter(|b| b.expect.expects_bug())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +130,21 @@ mod tests {
         let b = by_name("paper-figure1").unwrap();
         assert_eq!(b.id, 1);
         assert!(by_name("no-such-benchmark").is_none());
+    }
+
+    #[test]
+    fn buggy_subset_matches_expectations() {
+        let buggy = buggy();
+        assert!(!buggy.is_empty(), "the corpus has bug-bearing benchmarks");
+        for b in &buggy {
+            assert!(b.expect.expects_bug());
+        }
+        let expected: usize = all().iter().filter(|b| b.expect.expects_bug()).count();
+        assert_eq!(buggy.len(), expected);
+        assert!(
+            buggy.iter().any(|b| b.name == "philosophers-naive-2"),
+            "naive philosophers belong to the regression seed set"
+        );
     }
 
     #[test]

@@ -1,0 +1,625 @@
+//! The versioned trace-artifact format.
+//!
+//! A [`TraceArtifact`] is a self-contained, machine-readable record of one
+//! counterexample (or witness) execution: the exact program (embedded as
+//! canonical source plus fingerprint), the strategy spec and seed that
+//! found it, the schedule choice list, the bug, and the exploration
+//! counters. Self-containment is the point — an artifact replays in a
+//! fresh process with no access to the original benchmark registry.
+//!
+//! ## Versioning policy
+//!
+//! Every artifact carries `"format": "lazylocks-trace"` and an integer
+//! `"format_version"` (currently [`FORMAT_VERSION`]). Readers accept any
+//! version `<=` their own and reject newer ones with
+//! [`ArtifactError::Version`]; writers always emit the current version.
+//! Adding an optional field is a non-breaking change (readers default it);
+//! removing or re-typing a field bumps the version.
+
+use crate::json::{Json, JsonError};
+use lazylocks::{BugKind, BugReport, ExploreStats};
+use lazylocks_model::{MutexId, ThreadId};
+use lazylocks_runtime::{program_fingerprint, Fault, FaultKind, Fnv128};
+use std::fmt;
+use std::time::Duration;
+
+/// Current artifact format version. See the module docs for the policy.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// The `"format"` marker every artifact carries.
+pub const FORMAT_NAME: &str = "lazylocks-trace";
+
+/// A persistent, replayable record of one explored execution.
+#[derive(Debug, Clone)]
+pub struct TraceArtifact {
+    /// Version of the tool that wrote the artifact (`CARGO_PKG_VERSION`).
+    pub tool_version: String,
+    /// The guest program's name.
+    pub program_name: String,
+    /// Canonical fingerprint of the program
+    /// ([`lazylocks_runtime::program_fingerprint`]).
+    pub program_fingerprint: u128,
+    /// The program itself, in the `.llk` text format — what makes the
+    /// artifact self-contained.
+    pub program_source: String,
+    /// The strategy registry spec that produced the schedule.
+    pub strategy_spec: String,
+    /// The exploration seed.
+    pub seed: u64,
+    /// The schedule choice list; replaying it reproduces the execution.
+    pub schedule: Vec<ThreadId>,
+    /// `true` if the schedule went through delta-debugging minimisation.
+    pub minimized: bool,
+    /// The bug the schedule triggers; `None` for plain witness traces.
+    pub bug: Option<BugKind>,
+    /// Number of visible events in the recorded execution.
+    pub trace_len: usize,
+    /// Exploration counters at the time the artifact was (re)written.
+    /// `None` when the artifact was streamed out mid-exploration.
+    pub stats: Option<ExploreStats>,
+}
+
+/// Artifacts compare by their serialized form, which covers every
+/// semantic field (the counters inside `stats` do not implement `Eq`
+/// directly).
+impl PartialEq for TraceArtifact {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_json() == other.to_json()
+    }
+}
+
+impl TraceArtifact {
+    /// Builds an artifact for a bug found while exploring `program`.
+    pub fn from_bug(
+        program: &lazylocks_model::Program,
+        strategy_spec: &str,
+        seed: u64,
+        bug: &BugReport,
+    ) -> TraceArtifact {
+        TraceArtifact {
+            tool_version: env!("CARGO_PKG_VERSION").to_string(),
+            program_name: program.name().to_string(),
+            program_fingerprint: program_fingerprint(program),
+            program_source: program.to_source(),
+            strategy_spec: strategy_spec.to_string(),
+            seed,
+            schedule: bug.schedule.clone(),
+            minimized: false,
+            bug: Some(bug.kind.clone()),
+            trace_len: bug.trace_len,
+            stats: None,
+        }
+    }
+
+    /// Attaches final exploration counters, returning `self` for chaining.
+    pub fn with_stats(mut self, stats: &ExploreStats) -> TraceArtifact {
+        self.stats = Some(stats.clone());
+        self
+    }
+
+    /// The recorded bug as a [`BugReport`] (schedule + kind), if any.
+    pub fn bug_report(&self) -> Option<BugReport> {
+        self.bug.as_ref().map(|kind| BugReport {
+            kind: kind.clone(),
+            schedule: self.schedule.clone(),
+            trace_len: self.trace_len,
+        })
+    }
+
+    /// One-line human label for the recorded outcome: `"clean"` for
+    /// witness traces, otherwise the bug class (see [`bug_class`]).
+    pub fn outcome_label(&self) -> String {
+        match &self.bug {
+            None => "clean".to_string(),
+            Some(kind) => bug_class(kind),
+        }
+    }
+
+    /// The corpus dedup key: a fingerprint over the program fingerprint and
+    /// the bug *class* (not the schedule), so re-finding the same bug along
+    /// a different interleaving — or after minimisation — lands on the same
+    /// corpus slot.
+    pub fn corpus_key(&self) -> u128 {
+        let mut h = Fnv128::new();
+        h.write(b"lazylocks-corpus-key-v1\0");
+        h.write(&self.program_fingerprint.to_le_bytes());
+        match &self.bug {
+            None => h.write(b"clean"),
+            Some(BugKind::Deadlock { waiting }) => {
+                h.write(b"deadlock");
+                let mut waiting = waiting.clone();
+                waiting.sort();
+                for (t, m) in waiting {
+                    h.write_u32(u32::from(t.0));
+                    h.write_u32(u32::from(m.0));
+                }
+            }
+            Some(BugKind::Fault(fault)) => {
+                h.write(b"fault");
+                h.write_u32(u32::from(fault.thread.0));
+                h.write_u32(fault.pc);
+                match &fault.kind {
+                    FaultKind::AssertFailed { msg } => {
+                        h.write(b"assert\0");
+                        h.write(msg.as_bytes());
+                    }
+                    FaultKind::UnlockNotHeld { mutex } => {
+                        h.write(b"unlock\0");
+                        h.write_u32(u32::from(mutex.0));
+                    }
+                    FaultKind::LocalStepBudget => h.write(b"budget\0"),
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Encodes the artifact as a JSON document (pretty-printed; artifacts
+    /// are meant to live in a repository and diff well).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// The artifact as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("format", Json::Str(FORMAT_NAME.to_string())),
+            ("format_version", Json::Int(i128::from(FORMAT_VERSION))),
+            ("tool_version", Json::Str(self.tool_version.clone())),
+            (
+                "program",
+                Json::obj([
+                    ("name", Json::Str(self.program_name.clone())),
+                    ("fingerprint", Json::u128_hex(self.program_fingerprint)),
+                    ("source", Json::Str(self.program_source.clone())),
+                ]),
+            ),
+            ("strategy", Json::Str(self.strategy_spec.clone())),
+            ("seed", Json::Int(i128::from(self.seed))),
+            (
+                "schedule",
+                Json::Arr(
+                    self.schedule
+                        .iter()
+                        .map(|t| Json::Int(i128::from(t.0)))
+                        .collect(),
+                ),
+            ),
+            ("minimized", Json::Bool(self.minimized)),
+            (
+                "bug",
+                match &self.bug {
+                    None => Json::Null,
+                    Some(kind) => bug_kind_to_json(kind),
+                },
+            ),
+            ("trace_len", Json::Int(self.trace_len as i128)),
+            (
+                "stats",
+                match &self.stats {
+                    None => Json::Null,
+                    Some(stats) => stats_to_json(stats),
+                },
+            ),
+        ])
+    }
+
+    /// Parses an artifact from its JSON text.
+    pub fn parse(text: &str) -> Result<TraceArtifact, ArtifactError> {
+        TraceArtifact::from_json(&Json::parse(text)?)
+    }
+
+    /// Decodes an artifact from a JSON value.
+    pub fn from_json(v: &Json) -> Result<TraceArtifact, ArtifactError> {
+        if v.get("format").and_then(Json::as_str) != Some(FORMAT_NAME) {
+            return Err(ArtifactError::schema(
+                "format",
+                format!("missing or wrong format marker (want {FORMAT_NAME:?})"),
+            ));
+        }
+        let version = require(v, "format_version", Json::as_u64)?;
+        if version > FORMAT_VERSION {
+            return Err(ArtifactError::Version { found: version });
+        }
+        let program = v
+            .get("program")
+            .ok_or_else(|| ArtifactError::schema("program", "missing"))?;
+        let schedule = require(v, "schedule", Json::as_arr)?
+            .iter()
+            .map(|t| {
+                t.as_u64()
+                    .and_then(|t| u16::try_from(t).ok())
+                    .map(ThreadId)
+                    .ok_or_else(|| ArtifactError::schema("schedule", "not a thread index"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let bug = match v
+            .get("bug")
+            .ok_or_else(|| ArtifactError::schema("bug", "missing"))?
+        {
+            Json::Null => None,
+            other => Some(bug_kind_from_json(other)?),
+        };
+        let stats = match v.get("stats") {
+            None | Some(Json::Null) => None,
+            Some(other) => Some(stats_from_json(other)?),
+        };
+        Ok(TraceArtifact {
+            tool_version: require(v, "tool_version", Json::as_str)?.to_string(),
+            program_name: require(program, "name", Json::as_str)?.to_string(),
+            program_fingerprint: require(program, "fingerprint", Json::as_u128_hex)?,
+            program_source: require(program, "source", Json::as_str)?.to_string(),
+            strategy_spec: require(v, "strategy", Json::as_str)?.to_string(),
+            seed: require(v, "seed", Json::as_u64)?,
+            schedule,
+            minimized: require(v, "minimized", Json::as_bool)?,
+            bug,
+            trace_len: require(v, "trace_len", Json::as_usize)?,
+            stats,
+        })
+    }
+}
+
+/// The stable class label of a bug, used for replay classification
+/// messages: deadlocks are one class, faults are classed by thread,
+/// program counter and fault kind.
+pub fn bug_class(kind: &BugKind) -> String {
+    match kind {
+        BugKind::Deadlock { .. } => "deadlock".to_string(),
+        BugKind::Fault(fault) => format!("fault({fault})"),
+    }
+}
+
+/// Encodes a [`BugKind`] as JSON (shared with the CLI's `--json` output).
+pub fn bug_kind_to_json(kind: &BugKind) -> Json {
+    match kind {
+        BugKind::Deadlock { waiting } => Json::obj([
+            ("class", Json::Str("deadlock".to_string())),
+            (
+                "waiting",
+                Json::Arr(
+                    waiting
+                        .iter()
+                        .map(|(t, m)| {
+                            Json::Arr(vec![Json::Int(i128::from(t.0)), Json::Int(i128::from(m.0))])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        BugKind::Fault(fault) => {
+            let kind = match &fault.kind {
+                FaultKind::AssertFailed { msg } => Json::obj([
+                    ("type", Json::Str("assert-failed".to_string())),
+                    ("msg", Json::Str(msg.clone())),
+                ]),
+                FaultKind::UnlockNotHeld { mutex } => Json::obj([
+                    ("type", Json::Str("unlock-not-held".to_string())),
+                    ("mutex", Json::Int(i128::from(mutex.0))),
+                ]),
+                FaultKind::LocalStepBudget => {
+                    Json::obj([("type", Json::Str("local-step-budget".to_string()))])
+                }
+            };
+            Json::obj([
+                ("class", Json::Str("fault".to_string())),
+                ("thread", Json::Int(i128::from(fault.thread.0))),
+                ("pc", Json::Int(i128::from(fault.pc))),
+                ("kind", kind),
+            ])
+        }
+    }
+}
+
+fn bug_kind_from_json(v: &Json) -> Result<BugKind, ArtifactError> {
+    let id16 = |field: &'static str, v: &Json| {
+        v.as_u64()
+            .and_then(|n| u16::try_from(n).ok())
+            .ok_or_else(|| ArtifactError::schema(field, "not a 16-bit id"))
+    };
+    match require(v, "class", Json::as_str)? {
+        "deadlock" => {
+            let waiting = require(v, "waiting", Json::as_arr)?
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                        ArtifactError::schema("waiting", "not a [thread, mutex] pair")
+                    })?;
+                    Ok((
+                        ThreadId(id16("waiting", &pair[0])?),
+                        MutexId(id16("waiting", &pair[1])?),
+                    ))
+                })
+                .collect::<Result<Vec<_>, ArtifactError>>()?;
+            Ok(BugKind::Deadlock { waiting })
+        }
+        "fault" => {
+            let kind_v = v
+                .get("kind")
+                .ok_or_else(|| ArtifactError::schema("kind", "missing"))?;
+            let kind = match require(kind_v, "type", Json::as_str)? {
+                "assert-failed" => FaultKind::AssertFailed {
+                    msg: require(kind_v, "msg", Json::as_str)?.to_string(),
+                },
+                "unlock-not-held" => FaultKind::UnlockNotHeld {
+                    mutex: MutexId(id16("mutex", kind_v.get("mutex").unwrap_or(&Json::Null))?),
+                },
+                "local-step-budget" => FaultKind::LocalStepBudget,
+                other => {
+                    return Err(ArtifactError::schema(
+                        "kind",
+                        format!("unknown fault kind {other:?}"),
+                    ))
+                }
+            };
+            Ok(BugKind::Fault(Fault {
+                thread: ThreadId(id16("thread", v.get("thread").unwrap_or(&Json::Null))?),
+                pc: require(v, "pc", Json::as_u64)?
+                    .try_into()
+                    .map_err(|_| ArtifactError::schema("pc", "out of range"))?,
+                kind,
+            }))
+        }
+        other => Err(ArtifactError::schema(
+            "class",
+            format!("unknown bug class {other:?}"),
+        )),
+    }
+}
+
+/// Encodes the scalar counters of [`ExploreStats`] as JSON (shared with
+/// the CLI's `--json` output). Witness lists and the embedded first-bug
+/// report are deliberately not persisted: artifacts carry their own
+/// schedule, and witnesses can be arbitrarily large.
+pub fn stats_to_json(stats: &ExploreStats) -> Json {
+    Json::obj([
+        ("schedules", Json::Int(stats.schedules as i128)),
+        ("events", Json::Int(i128::from(stats.events))),
+        ("unique_states", Json::Int(stats.unique_states as i128)),
+        ("unique_hbrs", Json::Int(stats.unique_hbrs as i128)),
+        (
+            "unique_lazy_hbrs",
+            Json::Int(stats.unique_lazy_hbrs as i128),
+        ),
+        ("deadlocks", Json::Int(stats.deadlocks as i128)),
+        (
+            "faulted_schedules",
+            Json::Int(stats.faulted_schedules as i128),
+        ),
+        ("max_depth", Json::Int(stats.max_depth as i128)),
+        ("limit_hit", Json::Bool(stats.limit_hit)),
+        ("cancelled", Json::Bool(stats.cancelled)),
+        ("cache_prunes", Json::Int(stats.cache_prunes as i128)),
+        ("sleep_prunes", Json::Int(stats.sleep_prunes as i128)),
+        ("bound_prunes", Json::Int(stats.bound_prunes as i128)),
+        ("truncated_runs", Json::Int(stats.truncated_runs as i128)),
+        (
+            "wall_time_us",
+            Json::Int(stats.wall_time.as_micros().min(u64::MAX as u128) as i128),
+        ),
+    ])
+}
+
+fn stats_from_json(v: &Json) -> Result<ExploreStats, ArtifactError> {
+    Ok(ExploreStats {
+        schedules: require(v, "schedules", Json::as_usize)?,
+        events: require(v, "events", Json::as_u64)?,
+        unique_states: require(v, "unique_states", Json::as_usize)?,
+        unique_hbrs: require(v, "unique_hbrs", Json::as_usize)?,
+        unique_lazy_hbrs: require(v, "unique_lazy_hbrs", Json::as_usize)?,
+        deadlocks: require(v, "deadlocks", Json::as_usize)?,
+        faulted_schedules: require(v, "faulted_schedules", Json::as_usize)?,
+        max_depth: require(v, "max_depth", Json::as_usize)?,
+        limit_hit: require(v, "limit_hit", Json::as_bool)?,
+        cancelled: require(v, "cancelled", Json::as_bool)?,
+        cache_prunes: require(v, "cache_prunes", Json::as_usize)?,
+        sleep_prunes: require(v, "sleep_prunes", Json::as_usize)?,
+        bound_prunes: require(v, "bound_prunes", Json::as_usize)?,
+        truncated_runs: require(v, "truncated_runs", Json::as_usize)?,
+        wall_time: Duration::from_micros(require(v, "wall_time_us", Json::as_u64)?),
+        ..ExploreStats::default()
+    })
+}
+
+fn require<'a, T>(
+    v: &'a Json,
+    field: &'static str,
+    accessor: impl Fn(&'a Json) -> Option<T>,
+) -> Result<T, ArtifactError> {
+    v.get(field)
+        .and_then(accessor)
+        .ok_or_else(|| ArtifactError::schema(field, "missing or wrong type"))
+}
+
+/// Why an artifact could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The text is not well-formed JSON.
+    Json(JsonError),
+    /// The JSON does not match the artifact schema.
+    Schema {
+        /// The offending field.
+        field: &'static str,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// The artifact was written by a newer tool.
+    Version {
+        /// The version the artifact declares.
+        found: u64,
+    },
+}
+
+impl ArtifactError {
+    fn schema(field: &'static str, message: impl Into<String>) -> ArtifactError {
+        ArtifactError::Schema {
+            field,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Json(e) => write!(f, "{e}"),
+            ArtifactError::Schema { field, message } => {
+                write!(f, "artifact field {field:?}: {message}")
+            }
+            ArtifactError::Version { found } => write!(
+                f,
+                "artifact format version {found} is newer than this tool's {FORMAT_VERSION}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<JsonError> for ArtifactError {
+    fn from(e: JsonError) -> Self {
+        ArtifactError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazylocks_model::{ProgramBuilder, Reg};
+
+    fn deadlock_artifact() -> TraceArtifact {
+        let mut b = ProgramBuilder::new("abba");
+        let l0 = b.mutex("l0");
+        let l1 = b.mutex("l1");
+        b.thread("T1", |t| {
+            t.lock(l0);
+            t.lock(l1);
+        });
+        b.thread("T2", |t| {
+            t.lock(l1);
+            t.lock(l0);
+        });
+        let p = b.build();
+        let bug = BugReport {
+            kind: BugKind::Deadlock {
+                waiting: vec![(ThreadId(0), l1), (ThreadId(1), l0)],
+            },
+            schedule: vec![ThreadId(0), ThreadId(1)],
+            trace_len: 2,
+        };
+        TraceArtifact::from_bug(&p, "dpor(sleep=true)", 7, &bug)
+    }
+
+    fn fault_artifact() -> TraceArtifact {
+        let mut b = ProgramBuilder::new("assert");
+        let x = b.var("x", 0);
+        b.thread("T1", |t| {
+            t.load(Reg(0), x);
+            t.assert_true(Reg(0), "x must be set — with \"quotes\" and\nnewlines");
+        });
+        b.thread("T2", |t| t.store(x, 1));
+        let p = b.build();
+        let bug = BugReport {
+            kind: BugKind::Fault(Fault {
+                thread: ThreadId(0),
+                pc: 1,
+                kind: FaultKind::AssertFailed {
+                    msg: "x must be set — with \"quotes\" and\nnewlines".to_string(),
+                },
+            }),
+            schedule: vec![ThreadId(0)],
+            trace_len: 1,
+        };
+        TraceArtifact::from_bug(&p, "dfs", 42, &bug).with_stats(&ExploreStats {
+            schedules: 3,
+            events: 9,
+            unique_states: 2,
+            wall_time: Duration::from_micros(1234),
+            ..ExploreStats::default()
+        })
+    }
+
+    #[test]
+    fn deadlock_artifact_round_trips() {
+        let a = deadlock_artifact();
+        let back = TraceArtifact::parse(&a.to_json_string()).unwrap();
+        assert_eq!(a, back);
+        assert_eq!(back.outcome_label(), "deadlock");
+        assert!(back.stats.is_none());
+    }
+
+    #[test]
+    fn fault_artifact_round_trips_with_stats() {
+        let a = fault_artifact();
+        let back = TraceArtifact::parse(&a.to_json_string()).unwrap();
+        assert_eq!(a, back);
+        assert!(back.outcome_label().starts_with("fault("));
+        let stats = back.stats.unwrap();
+        assert_eq!(stats.schedules, 3);
+        assert_eq!(stats.wall_time, Duration::from_micros(1234));
+    }
+
+    #[test]
+    fn corpus_key_ignores_schedule_but_not_bug_class() {
+        let a = deadlock_artifact();
+        let mut b = a.clone();
+        b.schedule = vec![ThreadId(1), ThreadId(0), ThreadId(1)];
+        b.minimized = true;
+        assert_eq!(a.corpus_key(), b.corpus_key());
+        let mut c = a.clone();
+        c.bug = None;
+        assert_ne!(a.corpus_key(), c.corpus_key());
+        let mut d = a.clone();
+        d.program_fingerprint ^= 1;
+        assert_ne!(a.corpus_key(), d.corpus_key());
+    }
+
+    #[test]
+    fn newer_versions_are_rejected() {
+        let mut v = deadlock_artifact().to_json();
+        if let Json::Obj(pairs) = &mut v {
+            for (k, val) in pairs.iter_mut() {
+                if k == "format_version" {
+                    *val = Json::Int(i128::from(FORMAT_VERSION + 1));
+                }
+            }
+        }
+        let err = TraceArtifact::from_json(&v).unwrap_err();
+        assert!(matches!(
+            err,
+            ArtifactError::Version {
+                found
+            } if found == FORMAT_VERSION + 1
+        ));
+        assert!(err.to_string().contains("newer"));
+    }
+
+    #[test]
+    fn schema_violations_name_the_field() {
+        let err = TraceArtifact::parse("{}").unwrap_err();
+        assert!(err.to_string().contains("format"));
+
+        let mut v = deadlock_artifact().to_json();
+        if let Json::Obj(pairs) = &mut v {
+            pairs.retain(|(k, _)| k != "schedule");
+        }
+        let err = TraceArtifact::from_json(&v).unwrap_err();
+        assert!(matches!(
+            err,
+            ArtifactError::Schema {
+                field: "schedule",
+                ..
+            }
+        ));
+
+        let err = TraceArtifact::parse("not json").unwrap_err();
+        assert!(matches!(err, ArtifactError::Json(_)));
+    }
+
+    #[test]
+    fn embedded_source_reparses_to_the_recorded_fingerprint() {
+        let a = fault_artifact();
+        let p = lazylocks_model::Program::parse(&a.program_source).unwrap();
+        assert_eq!(program_fingerprint(&p), a.program_fingerprint);
+    }
+}

@@ -1,0 +1,63 @@
+//! # lazylocks-trace — persistent counterexamples, corpus management and
+//! replay verification.
+//!
+//! The paper's value proposition is *reproducible* schedules: a bug found
+//! by lazy-HBR DPOR is only useful if the failing interleaving can be
+//! stored, replayed in a fresh process, and shrunk later. This crate is
+//! that operational substrate, with zero external dependencies:
+//!
+//! * [`json`] — a small self-contained JSON encoder/decoder (the workspace
+//!   builds offline; serde is unavailable);
+//! * [`TraceArtifact`] — the versioned artifact format: tool version,
+//!   canonical program fingerprint **and embedded source**, strategy spec,
+//!   seed, schedule choice list, bug, and exploration counters;
+//! * [`CorpusStore`] — a directory of artifacts with fingerprint-keyed
+//!   dedup, atomic writes, listing and pruning;
+//! * [`replay_embedded`] / [`replay_against`] — replay verification that
+//!   classifies an artifact as [`Reproduced`](ReplayVerdict::Reproduced),
+//!   [`Diverged`](ReplayVerdict::Diverged) or
+//!   [`ProgramChanged`](ReplayVerdict::ProgramChanged) with a
+//!   human-readable diagnosis;
+//! * [`TraceRecorder`] — a session [`Observer`](lazylocks::Observer) that
+//!   auto-saves (by default minimised) artifacts for every bug found.
+//!
+//! ```
+//! use lazylocks::{Dpor, ExploreConfig, Explorer};
+//! use lazylocks_model::ProgramBuilder;
+//! use lazylocks_trace::{replay_embedded, ReplayVerdict, TraceArtifact};
+//!
+//! // Find the AB-BA deadlock...
+//! let mut b = ProgramBuilder::new("abba");
+//! let l0 = b.mutex("l0");
+//! let l1 = b.mutex("l1");
+//! b.thread("T1", |t| { t.lock(l0); t.lock(l1); });
+//! b.thread("T2", |t| { t.lock(l1); t.lock(l0); });
+//! let program = b.build();
+//! let stats = Dpor::default()
+//!     .explore(&program, &ExploreConfig::with_limit(1_000).stopping_on_bug());
+//! let bug = stats.first_bug.unwrap();
+//!
+//! // ...persist it as a self-contained artifact...
+//! let artifact = TraceArtifact::from_bug(&program, "dpor", 0, &bug);
+//! let text = artifact.to_json_string();
+//!
+//! // ...and replay it from the text alone, program included.
+//! let loaded = TraceArtifact::parse(&text).unwrap();
+//! let report = replay_embedded(&loaded).unwrap();
+//! assert_eq!(report.verdict, ReplayVerdict::Reproduced);
+//! ```
+
+pub mod artifact;
+pub mod json;
+pub mod recorder;
+pub mod replay;
+pub mod store;
+
+pub use artifact::{
+    bug_class, bug_kind_to_json, stats_to_json, ArtifactError, TraceArtifact, FORMAT_NAME,
+    FORMAT_VERSION,
+};
+pub use json::{Json, JsonError};
+pub use recorder::{FinalizedTrace, TraceRecorder};
+pub use replay::{bug_matches, replay_against, replay_embedded, ReplayReport, ReplayVerdict};
+pub use store::{CorpusEntry, CorpusStore, PruneReport, SaveOutcome};
