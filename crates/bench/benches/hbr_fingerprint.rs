@@ -47,7 +47,7 @@ fn main() {
             let mut acc = PrefixAccumulator::new();
             for e in &trace {
                 let clock = engine.apply(e);
-                acc.absorb(event_record_hash(e, &clock));
+                acc.absorb(event_record_hash(e, clock));
             }
             black_box(acc.fingerprint());
         });

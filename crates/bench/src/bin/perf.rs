@@ -1,0 +1,149 @@
+//! **perf** — the tracked end-to-end exploration throughput baseline.
+//!
+//! Runs every registered exploration strategy (plus the named parameter
+//! variants the paper's evaluation leans on) over a fixed slice of the
+//! benchmark corpus — weighted toward the deepest families (philosophers,
+//! workqueue) where per-step costs dominate — and emits a machine-readable
+//! `BENCH_perf.json` next to a human-readable table. CI smoke-runs this
+//! binary with `--quick` and archives the JSON, so the repository carries
+//! a perf trajectory alongside its correctness suite.
+//!
+//! ```text
+//! cargo run --release -p lazylocks-bench --bin perf [-- --quick]
+//!     [--limit N] [--out PATH]
+//! ```
+//!
+//! The JSON schema (integer-only, see `lazylocks_trace::json`):
+//!
+//! ```text
+//! { "format": "lazylocks-perf", "version": 1, "schedule_limit": N,
+//!   "results": [ { "bench", "strategy", "schedules", "events",
+//!                  "wall_time_us", "execs_per_sec", "events_per_sec",
+//!                  "events_compared", "limit_hit" } ] }
+//! ```
+
+use lazylocks::{ExploreConfig, ExploreSession, StrategyRegistry};
+use lazylocks_bench::timing::quick_mode;
+use lazylocks_trace::json::Json;
+use std::time::{Duration, Instant};
+
+/// The fixed suite slice: id-stable names covering the deepest families
+/// plus one representative of the shallow ones.
+const BENCHES: &[&str] = &[
+    "paper-figure1",
+    "coarse-disjoint-t4-r1",
+    "fine-t3-e3",
+    "accounts-fine-deadlock2",
+    "philosophers-naive-4",
+    "philosophers-ordered-4",
+    "workqueue-w2-i3",
+    "workqueue-w3-i2",
+];
+
+/// Parameter variants measured on top of every registered strategy's
+/// default configuration.
+const EXTRA_SPECS: &[&str] = &[
+    "dpor(sleep=true)",
+    "lazy-dpor(style=vars)",
+    "caching(mode=lazy)",
+];
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let quick = quick_mode();
+    let limit: usize = arg_value("--limit")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 150 } else { 3000 });
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_perf.json".to_string());
+
+    let registry = StrategyRegistry::default();
+    let mut specs: Vec<String> = registry.names();
+    specs.extend(EXTRA_SPECS.iter().map(|s| s.to_string()));
+
+    // Each cell is re-explored until the aggregate wall time reaches this
+    // window: single explorations of the reduced strategies finish in
+    // microseconds, far below timer noise.
+    let window = if quick {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(250)
+    };
+    let max_runs = 10_000u32;
+
+    println!("== perf: exploration throughput (schedule limit {limit}) ==\n");
+    println!(
+        "{:<26} {:<24} {:>8} {:>9} {:>6} {:>11} {:>11} {:>11}",
+        "bench", "strategy", "scheds", "events", "runs", "wall_us", "execs/s", "events/s"
+    );
+
+    let mut results = Vec::new();
+    for name in BENCHES {
+        let bench = lazylocks_suite::by_name(name)
+            .unwrap_or_else(|| panic!("benchmark {name} missing from the corpus"));
+        for spec in &specs {
+            let explore = || {
+                ExploreSession::new(&bench.program)
+                    .with_config(ExploreConfig::with_limit(limit))
+                    .run_spec(spec)
+                    .unwrap_or_else(|e| panic!("{name}/{spec}: {e}"))
+                    .stats
+            };
+            // Warm-up run; `s` is its counter snapshot. Rates aggregate the
+            // *per-run* schedule/event counts rather than assuming every
+            // repeat matches the snapshot: the parallel strategy's split
+            // of a limit-capped budget across workers is not run-to-run
+            // deterministic.
+            let s = explore();
+            let mut runs = 1u32;
+            let mut total = s.wall_time;
+            let mut total_schedules = s.schedules as u64;
+            let mut total_events = s.events;
+            let started = Instant::now();
+            while started.elapsed() < window && runs < max_runs {
+                let r = explore();
+                total += r.wall_time;
+                total_schedules += r.schedules as u64;
+                total_events += r.events;
+                runs += 1;
+            }
+            let secs = total.as_secs_f64().max(1e-9);
+            let execs_per_sec = (total_schedules as f64 / secs).round() as i128;
+            let events_per_sec = (total_events as f64 / secs).round() as i128;
+            let mean_us = (total.as_micros() / u128::from(runs)).min(u64::MAX as u128) as i128;
+            println!(
+                "{:<26} {:<24} {:>8} {:>9} {:>6} {:>11} {:>11} {:>11}",
+                name, spec, s.schedules, s.events, runs, mean_us, execs_per_sec, events_per_sec
+            );
+            results.push(Json::obj([
+                ("bench", Json::Str(name.to_string())),
+                ("strategy", Json::Str(spec.clone())),
+                ("schedules", Json::Int(s.schedules as i128)),
+                ("events", Json::Int(i128::from(s.events))),
+                ("runs", Json::Int(i128::from(runs))),
+                ("wall_time_us", Json::Int(mean_us)),
+                ("execs_per_sec", Json::Int(execs_per_sec)),
+                ("events_per_sec", Json::Int(events_per_sec)),
+                ("events_compared", Json::Int(i128::from(s.events_compared))),
+                ("limit_hit", Json::Bool(s.limit_hit)),
+            ]));
+        }
+    }
+
+    let doc = Json::obj([
+        ("format", Json::Str("lazylocks-perf".to_string())),
+        ("version", Json::Int(1)),
+        ("schedule_limit", Json::Int(limit as i128)),
+        ("quick", Json::Bool(quick)),
+        ("results", Json::Arr(results)),
+    ]);
+    std::fs::write(&out_path, doc.pretty() + "\n")
+        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+}

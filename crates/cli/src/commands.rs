@@ -572,11 +572,11 @@ fn races(program: &Program, walks: usize, seed: u64) -> Result<(), String> {
     let mut all_races = std::collections::BTreeMap::new();
     for _ in 0..walks {
         let result = run_with_scheduler(program, |exec| {
-            let enabled = exec.enabled_threads();
+            let enabled = exec.enabled_set();
             if enabled.is_empty() {
                 None
             } else {
-                Some(enabled[rng.gen_range(enabled.len())])
+                enabled.nth(rng.gen_range(enabled.len()))
             }
         })
         .map_err(|pos| format!("internal scheduling error at step {pos}"))?;

@@ -16,10 +16,12 @@
 //!   to decide whether two dependent events are already ordered and therefore
 //!   do not warrant a backtracking point.
 //!
-//! Clocks here are *bounded*: the thread count of a guest program is fixed at
-//! construction, so a clock is a plain `Vec<u32>` indexed by thread id. All
-//! lattice operations are O(#threads).
+//! Clocks here are *bounded*: the thread count of a guest program is fixed
+//! at construction. Clocks over at most [`INLINE_WIDTH`] threads — every
+//! program in the benchmark corpus — are stored inline and never touch the
+//! heap; wider clocks spill to a `Vec<u32>`. All lattice operations are
+//! O(#threads) and in place.
 
 mod vector_clock;
 
-pub use vector_clock::{CausalOrd, VectorClock};
+pub use vector_clock::{CausalOrd, VectorClock, INLINE_WIDTH};

@@ -2,6 +2,7 @@
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// Result of comparing two vector clocks under the causal (component-wise)
 /// partial order.
@@ -31,12 +32,35 @@ impl CausalOrd {
     }
 }
 
+/// Widths up to this many threads are stored inline (no heap allocation).
+/// Covers the entire benchmark corpus; wider programs spill to a `Vec`.
+pub const INLINE_WIDTH: usize = 8;
+
+/// Storage: clocks of width ≤ [`INLINE_WIDTH`] live entirely on the stack
+/// (the common case — exploration engines clone clocks on every step);
+/// wider clocks fall back to a heap vector. The representation is a pure
+/// function of the width, so two clocks of equal width always share a
+/// variant and the unused tail of an inline array stays zero.
+#[derive(Clone)]
+enum Repr {
+    Inline {
+        len: u8,
+        counts: [u32; INLINE_WIDTH],
+    },
+    Heap(Vec<u32>),
+}
+
 /// A fixed-width vector clock: one `u32` counter per thread of the guest
 /// program.
 ///
 /// The component for thread `t` counts how many of `t`'s events are in the
 /// causal past described by this clock. The zero clock describes the empty
 /// past.
+///
+/// Clocks of width ≤ [`INLINE_WIDTH`] are allocation-free: construction,
+/// `Clone` and every lattice operation touch only the stack. This is what
+/// keeps the exploration hot loop (which snapshots clock state at every
+/// scheduling point) off the allocator for typical programs.
 ///
 /// ```
 /// use lazylocks_clock::{CausalOrd, VectorClock};
@@ -50,33 +74,61 @@ impl CausalOrd {
 /// b.join(&a);            // b = [1, 1, 0]
 /// assert_eq!(a.causal_cmp(&b), CausalOrd::Before);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Clone)]
 pub struct VectorClock {
-    counts: Vec<u32>,
+    repr: Repr,
+}
+
+impl Default for VectorClock {
+    fn default() -> Self {
+        VectorClock::new(0)
+    }
 }
 
 impl VectorClock {
     /// The zero clock over `width` threads.
     pub fn new(width: usize) -> Self {
-        VectorClock {
-            counts: vec![0; width],
-        }
+        let repr = if width <= INLINE_WIDTH {
+            Repr::Inline {
+                len: width as u8,
+                counts: [0; INLINE_WIDTH],
+            }
+        } else {
+            Repr::Heap(vec![0; width])
+        };
+        VectorClock { repr }
     }
 
     /// Builds a clock directly from per-thread counters.
     pub fn from_counts(counts: Vec<u32>) -> Self {
-        VectorClock { counts }
+        if counts.len() <= INLINE_WIDTH {
+            let mut inline = [0; INLINE_WIDTH];
+            inline[..counts.len()].copy_from_slice(&counts);
+            VectorClock {
+                repr: Repr::Inline {
+                    len: counts.len() as u8,
+                    counts: inline,
+                },
+            }
+        } else {
+            VectorClock {
+                repr: Repr::Heap(counts),
+            }
+        }
     }
 
     /// Number of threads this clock covers.
     #[inline]
     pub fn width(&self) -> usize {
-        self.counts.len()
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(v) => v.len(),
+        }
     }
 
     /// `true` if every component is zero.
     pub fn is_zero(&self) -> bool {
-        self.counts.iter().all(|&c| c == 0)
+        self.counts().iter().all(|&c| c == 0)
     }
 
     /// The component for `thread`.
@@ -85,28 +137,29 @@ impl VectorClock {
     /// Panics if `thread >= self.width()`.
     #[inline]
     pub fn get(&self, thread: usize) -> u32 {
-        self.counts[thread]
+        self.counts()[thread]
     }
 
     /// Sets the component for `thread`.
     #[inline]
     pub fn set(&mut self, thread: usize, value: u32) {
-        self.counts[thread] = value;
+        self.counts_mut()[thread] = value;
     }
 
     /// Increments the component for `thread` and returns the new value.
     #[inline]
     pub fn tick(&mut self, thread: usize) -> u32 {
-        self.counts[thread] += 1;
-        self.counts[thread]
+        let c = &mut self.counts_mut()[thread];
+        *c += 1;
+        *c
     }
 
     /// Component-wise maximum: after the call, `self` describes the union of
-    /// both causal pasts.
+    /// both causal pasts. In place, allocation-free.
     #[inline]
     pub fn join(&mut self, other: &VectorClock) {
         debug_assert_eq!(self.width(), other.width(), "clock width mismatch");
-        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+        for (a, b) in self.counts_mut().iter_mut().zip(other.counts().iter()) {
             if *b > *a {
                 *a = *b;
             }
@@ -120,10 +173,31 @@ impl VectorClock {
         out
     }
 
+    /// Overwrites `self` with the join `a ⊔ b`, reusing `self`'s storage —
+    /// the allocation-free replacement for `*self = a.joined(b)`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the three widths disagree.
+    pub fn join_from(&mut self, a: &VectorClock, b: &VectorClock) {
+        self.assign(a);
+        self.join(b);
+    }
+
+    /// Overwrites `self` with `other`'s components, reusing `self`'s
+    /// storage — the allocation-free replacement for `*self = other.clone()`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the widths differ.
+    #[inline]
+    pub fn assign(&mut self, other: &VectorClock) {
+        debug_assert_eq!(self.width(), other.width(), "clock width mismatch");
+        self.counts_mut().copy_from_slice(other.counts());
+    }
+
     /// Component-wise minimum (meet of the lattice).
     pub fn meet(&mut self, other: &VectorClock) {
         debug_assert_eq!(self.width(), other.width(), "clock width mismatch");
-        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+        for (a, b) in self.counts_mut().iter_mut().zip(other.counts().iter()) {
             if *b < *a {
                 *a = *b;
             }
@@ -136,15 +210,15 @@ impl VectorClock {
     #[inline]
     pub fn le(&self, other: &VectorClock) -> bool {
         debug_assert_eq!(self.width(), other.width(), "clock width mismatch");
-        self.counts
+        self.counts()
             .iter()
-            .zip(other.counts.iter())
+            .zip(other.counts().iter())
             .all(|(a, b)| a <= b)
     }
 
     /// `true` iff `self.le(other)` and the clocks differ.
     pub fn lt(&self, other: &VectorClock) -> bool {
-        self.le(other) && self.counts != other.counts
+        self.le(other) && self.counts() != other.counts()
     }
 
     /// `true` iff the clocks are incomparable.
@@ -166,24 +240,42 @@ impl VectorClock {
 
     /// Iterator over `(thread, count)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
-        self.counts.iter().copied().enumerate()
+        self.counts().iter().copied().enumerate()
     }
 
     /// The raw per-thread counters.
     #[inline]
     pub fn counts(&self) -> &[u32] {
-        &self.counts
+        match &self.repr {
+            Repr::Inline { len, counts } => &counts[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn counts_mut(&mut self) -> &mut [u32] {
+        match &mut self.repr {
+            Repr::Inline { len, counts } => &mut counts[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// `true` if the clock lives entirely on the stack (width ≤
+    /// [`INLINE_WIDTH`]).
+    #[inline]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline { .. })
     }
 
     /// Sum of all components: the number of events in the causal past
     /// (counted with multiplicity per thread).
     pub fn total(&self) -> u64 {
-        self.counts.iter().map(|&c| c as u64).sum()
+        self.counts().iter().map(|&c| c as u64).sum()
     }
 
     /// Resets every component to zero, keeping the width.
     pub fn clear(&mut self) {
-        for c in &mut self.counts {
+        for c in self.counts_mut() {
             *c = 0;
         }
     }
@@ -192,9 +284,26 @@ impl VectorClock {
     /// fingerprinting code in `lazylocks-hbr` to serialise clocks
     /// canonically (little-endian components in thread order).
     pub fn write_bytes(&self, out: &mut impl FnMut(&[u8])) {
-        for c in &self.counts {
+        for c in self.counts() {
             out(&c.to_le_bytes());
         }
+    }
+}
+
+// Identity is defined over the visible counters only, so it cannot depend
+// on the storage variant. (The variant is a function of the width anyway;
+// these impls keep that invariant out of the correctness argument.)
+impl PartialEq for VectorClock {
+    fn eq(&self, other: &Self) -> bool {
+        self.counts() == other.counts()
+    }
+}
+
+impl Eq for VectorClock {}
+
+impl Hash for VectorClock {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.counts().hash(state);
     }
 }
 
@@ -212,14 +321,14 @@ impl PartialOrd for VectorClock {
 
 impl fmt::Debug for VectorClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "VC{:?}", self.counts)
+        write!(f, "VC{:?}", self.counts())
     }
 }
 
 impl fmt::Display for VectorClock {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "⟨")?;
-        for (i, c) in self.counts.iter().enumerate() {
+        for (i, c) in self.counts().iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
@@ -269,6 +378,22 @@ mod tests {
         let b = vc(&[1, 4, 5]);
         a.meet(&b);
         assert_eq!(a, vc(&[1, 0, 5]));
+    }
+
+    #[test]
+    fn assign_copies_in_place() {
+        let mut a = vc(&[3, 0, 5]);
+        a.assign(&vc(&[1, 4, 9]));
+        assert_eq!(a, vc(&[1, 4, 9]));
+    }
+
+    #[test]
+    fn join_from_is_out_of_place_join() {
+        let mut out = VectorClock::new(3);
+        let a = vc(&[3, 0, 5]);
+        let b = vc(&[1, 4, 5]);
+        out.join_from(&a, &b);
+        assert_eq!(out, a.joined(&b));
     }
 
     #[test]
@@ -330,5 +455,28 @@ mod tests {
         let mut bytes = Vec::new();
         a.write_bytes(&mut |chunk| bytes.extend_from_slice(chunk));
         assert_eq!(bytes, vec![1, 0, 0, 0, 2, 1, 0, 0]);
+    }
+
+    #[test]
+    fn storage_variant_follows_width() {
+        assert!(VectorClock::new(INLINE_WIDTH).is_inline());
+        assert!(!VectorClock::new(INLINE_WIDTH + 1).is_inline());
+        assert!(vc(&[0; INLINE_WIDTH]).is_inline());
+        assert!(!vc(&[0; INLINE_WIDTH + 1]).is_inline());
+    }
+
+    #[test]
+    fn operations_work_across_the_spill_boundary() {
+        for width in [INLINE_WIDTH - 1, INLINE_WIDTH, INLINE_WIDTH + 1] {
+            let mut a = VectorClock::new(width);
+            let mut b = VectorClock::new(width);
+            a.tick(0);
+            b.tick(width - 1);
+            let j = a.joined(&b);
+            assert_eq!(j.get(0), 1);
+            assert_eq!(j.get(width - 1), 1);
+            assert_eq!(j.total(), 2);
+            assert!(a.concurrent(&b));
+        }
     }
 }

@@ -104,7 +104,7 @@ impl<'p> CachingCtx<'p> {
             return Continue::Yes;
         }
 
-        for t in exec.enabled_threads() {
+        for t in exec.enabled_iter() {
             let preempt = last.is_some_and(|l| l != t && exec.is_enabled(l));
             let p = preemptions + u32::from(preempt);
             if let Some(bound) = self.collector.config().preemption_bound {
@@ -120,7 +120,7 @@ impl<'p> CachingCtx<'p> {
             let mut child_acc = acc;
             if let Some(event) = out.event {
                 let clock = child_clocks.apply(&event);
-                child_acc.absorb(event_record_hash(&event, &clock));
+                child_acc.absorb(event_record_hash(&event, clock));
                 // Prefix cache: an equivalent prefix reaches the same state
                 // (Theorems 2.1/2.2) and was already fully explored.
                 if !self.cache.insert(child_acc.fingerprint()) {

@@ -68,7 +68,7 @@ impl<'p> DfsCtx<'p> {
             return Continue::Yes;
         }
 
-        for t in exec.enabled_threads() {
+        for t in exec.enabled_iter() {
             // A preemption switches away from a thread that could have
             // continued.
             let preempt = last.is_some_and(|l| l != t && exec.is_enabled(l));

@@ -23,10 +23,10 @@
 use crate::config::ExploreConfig;
 use crate::explore::Explorer;
 use crate::stats::{Collector, Continue, ExploreStats};
+use lazylocks_clock::VectorClock;
 use lazylocks_hbr::{ClockEngine, HbMode};
-use lazylocks_model::{Program, ThreadId, VisibleKind};
+use lazylocks_model::{Program, ThreadId, ThreadSet, VisibleKind};
 use lazylocks_runtime::{Event, ExecPhase, Executor};
-use std::collections::BTreeSet;
 use std::time::Instant;
 
 /// Which dependence relation drives race detection and backtracking.
@@ -136,8 +136,11 @@ impl Explorer for Dpor {
             dependence: self.dependence,
             stack: Vec::new(),
             trace: Vec::new(),
-            trace_clocks: Vec::new(),
             schedule: Vec::new(),
+            var_writes: vec![Vec::new(); program.vars().len()],
+            var_reads: vec![Vec::new(); program.vars().len()],
+            mutex_locks: vec![Vec::new(); program.mutexes().len()],
+            race_buf: Vec::new(),
         };
         engine.run();
         let mut stats = engine.collector.into_stats();
@@ -148,12 +151,16 @@ impl Explorer for Dpor {
 
 /// One frame of the DPOR stack: the state *before* the transition recorded
 /// at the same depth in `trace`.
+///
+/// The three thread sets are `u64` bitmasks ([`ThreadSet`]): frames are
+/// pushed and popped on every step, and `BTreeSet`s here used to be the
+/// dominant allocation churn of the hot loop.
 struct Frame<'p> {
     exec: Executor<'p>,
     clocks: ClockEngine,
-    backtrack: BTreeSet<ThreadId>,
-    done: BTreeSet<ThreadId>,
-    sleep: BTreeSet<ThreadId>,
+    backtrack: ThreadSet,
+    done: ThreadSet,
+    sleep: ThreadSet,
     /// Trace/schedule lengths when the frame was pushed (for unwinding).
     trace_mark: usize,
     sched_mark: usize,
@@ -166,18 +173,36 @@ struct DporEngine<'p> {
     dependence: DependenceMode,
     stack: Vec<Frame<'p>>,
     trace: Vec<Event>,
-    /// Happens-before clock of each trace event (parallel to `trace`).
-    trace_clocks: Vec<lazylocks_clock::VectorClock>,
     schedule: Vec<ThreadId>,
+    /// Per-variable trace indices of writes, in trace order. Maintained
+    /// incrementally: pushed when an event is appended, popped when the
+    /// trace is truncated on unwind — so race detection enumerates only
+    /// the accesses of the conflicting object instead of scanning the
+    /// whole trace (O(depth)) per step.
+    var_writes: Vec<Vec<usize>>,
+    /// Per-variable trace indices of reads, in trace order.
+    var_reads: Vec<Vec<usize>>,
+    /// Per-mutex trace indices of acquisitions, in trace order. Doubles as
+    /// the O(1) "owner's live acquisition" lookup (its last entry) that
+    /// previously required a reverse scan of the trace per blocked thread.
+    mutex_locks: Vec<Vec<usize>>,
+    /// Scratch buffer for uncovered race-partner indices, reused across
+    /// steps so the common no-race path performs no allocation.
+    race_buf: Vec<usize>,
 }
 
 /// `clock` summarises (at least) event `f`'s causal past.
-fn covers(clock: &lazylocks_clock::VectorClock, f: &Event) -> bool {
+fn covers(clock: &VectorClock, f: &Event) -> bool {
     clock.get(f.thread().index()) > f.id.ordinal
 }
 
 impl<'p> DporEngine<'p> {
     fn run(&mut self) {
+        assert!(
+            self.program.thread_count() <= ThreadSet::MAX_THREADS,
+            "DPOR supports at most {} threads",
+            ThreadSet::MAX_THREADS
+        );
         let root_exec = Executor::new(self.program);
         if !matches!(root_exec.phase(), ExecPhase::Running) {
             self.collector
@@ -185,7 +210,7 @@ impl<'p> DporEngine<'p> {
             return;
         }
         let clocks = ClockEngine::for_program(self.dependence.hb_mode(), self.program);
-        self.push_frame(root_exec, clocks, BTreeSet::new(), 0, 0);
+        self.push_frame(root_exec, clocks, ThreadSet::new(), 0, 0);
 
         while let Some(top) = self.stack.len().checked_sub(1) {
             if self.collector.cancel_requested() {
@@ -193,17 +218,13 @@ impl<'p> DporEngine<'p> {
             }
             let pick = {
                 let frame = &self.stack[top];
-                frame
-                    .backtrack
-                    .iter()
-                    .find(|t| !frame.done.contains(t) && !frame.sleep.contains(t))
-                    .copied()
+                (frame.backtrack - frame.done - frame.sleep).first()
             };
             let Some(p) = pick else {
                 // Frame exhausted: unwind.
                 let frame = self.stack.pop().unwrap();
+                self.unindex_tail(frame.trace_mark);
                 self.trace.truncate(frame.trace_mark);
-                self.trace_clocks.truncate(frame.trace_mark);
                 self.schedule.truncate(frame.sched_mark);
                 continue;
             };
@@ -214,6 +235,33 @@ impl<'p> DporEngine<'p> {
         }
     }
 
+    /// Appends `event` (about to sit at trace position `i`) to its
+    /// per-object access index.
+    fn index_event(&mut self, i: usize, event: &Event) {
+        match event.kind {
+            VisibleKind::Read(x) => self.var_reads[x.index()].push(i),
+            VisibleKind::Write(x) => self.var_writes[x.index()].push(i),
+            VisibleKind::Lock(m) => self.mutex_locks[m.index()].push(i),
+            VisibleKind::Unlock(_) => {}
+        }
+    }
+
+    /// Removes every trace event at position `mark` or later from the
+    /// per-object access indices (the inverse of [`Self::index_event`],
+    /// called before the trace itself is truncated to `mark`). Amortised
+    /// O(1) per popped event.
+    fn unindex_tail(&mut self, mark: usize) {
+        for i in (mark..self.trace.len()).rev() {
+            let popped = match self.trace[i].kind {
+                VisibleKind::Read(x) => self.var_reads[x.index()].pop(),
+                VisibleKind::Write(x) => self.var_writes[x.index()].pop(),
+                VisibleKind::Lock(m) => self.mutex_locks[m.index()].pop(),
+                VisibleKind::Unlock(_) => continue,
+            };
+            debug_assert_eq!(popped, Some(i), "access index out of sync");
+        }
+    }
+
     /// `trace_mark`/`sched_mark` are the lengths to restore when the frame
     /// is popped — i.e. the lengths from *before* the step that entered
     /// this frame.
@@ -221,17 +269,14 @@ impl<'p> DporEngine<'p> {
         &mut self,
         exec: Executor<'p>,
         clocks: ClockEngine,
-        sleep: BTreeSet<ThreadId>,
+        sleep: ThreadSet,
         trace_mark: usize,
         sched_mark: usize,
     ) {
         // Initial backtrack point: the first enabled thread outside the
         // sleep set (one representative; races add the rest on demand).
-        let init = exec
-            .enabled_threads()
-            .into_iter()
-            .find(|t| !sleep.contains(t));
-        let mut backtrack = BTreeSet::new();
+        let init = exec.enabled_iter().find(|&t| !sleep.contains(t));
+        let mut backtrack = ThreadSet::new();
         match init {
             Some(t) => {
                 backtrack.insert(t);
@@ -245,7 +290,7 @@ impl<'p> DporEngine<'p> {
             exec,
             clocks,
             backtrack,
-            done: BTreeSet::new(),
+            done: ThreadSet::new(),
             sleep,
             trace_mark,
             sched_mark,
@@ -270,25 +315,70 @@ impl<'p> DporEngine<'p> {
             // g with f <HB g <HB event). Every reversible race is processed
             // — handling only the latest one interacts unsoundly with sleep
             // sets (the "sleep-set blocking" problem).
+            //
+            // Candidates come from the per-object access indices, not a
+            // trace scan: only accesses of the conflicting variable (all
+            // writes for a read; writes and reads for a write) or
+            // acquisitions of the conflicting mutex can be dependent.
             let p_nested = self.stack[top].exec.holds_any_mutex(p);
-            let cp = self.stack[top].clocks.thread_clock(p).clone();
-            let ce = child_clocks.apply(&event);
-            let n = self.trace.len();
-            for i in 0..n {
-                let f = self.trace[i];
-                if f.thread() == p {
-                    continue; // program order: never a race
+            let mut race_buf = std::mem::take(&mut self.race_buf);
+            debug_assert!(race_buf.is_empty());
+            let mut compared = 0u64;
+            {
+                let cp = self.stack[top].clocks.thread_clock(p);
+                match event.kind {
+                    VisibleKind::Read(x) => {
+                        compared += self.collect_partners(
+                            &self.var_writes[x.index()],
+                            event.kind,
+                            p,
+                            cp,
+                            p_nested,
+                            &mut race_buf,
+                        );
+                    }
+                    VisibleKind::Write(x) => {
+                        compared += self.collect_partners(
+                            &self.var_writes[x.index()],
+                            event.kind,
+                            p,
+                            cp,
+                            p_nested,
+                            &mut race_buf,
+                        );
+                        compared += self.collect_partners(
+                            &self.var_reads[x.index()],
+                            event.kind,
+                            p,
+                            cp,
+                            p_nested,
+                            &mut race_buf,
+                        );
+                    }
+                    VisibleKind::Lock(m) => {
+                        compared += self.collect_partners(
+                            &self.mutex_locks[m.index()],
+                            event.kind,
+                            p,
+                            cp,
+                            p_nested,
+                            &mut race_buf,
+                        );
+                    }
+                    // An unlock is never co-enabled with another operation
+                    // on its mutex: no candidates at all.
+                    VisibleKind::Unlock(_) => {}
                 }
-                if !self.backtrack_dependent(event.kind, &f, i, p_nested) {
-                    continue;
-                }
-                if covers(&cp, &f) {
-                    continue; // already ordered before p's transition
-                }
-                self.handle_race(i, p, &cp);
             }
+            self.collector.stats.events_compared += compared;
+            child_clocks.apply(&event);
+            self.index_event(self.trace.len(), &event);
             self.trace.push(event);
-            self.trace_clocks.push(ce);
+            for &i in &race_buf {
+                self.handle_race(i, p);
+            }
+            race_buf.clear();
+            self.race_buf = race_buf;
         }
         self.schedule.push(p);
 
@@ -299,46 +389,45 @@ impl<'p> DporEngine<'p> {
         // so the append-based detection above cannot see the race; this is
         // the per-state pending-transition check of the original algorithm,
         // specialised to the only transitions that can pend: acquisitions.
-        let mut blocked_races: Vec<(usize, ThreadId, lazylocks_clock::VectorClock)> = Vec::new();
-        for q in self.program.thread_ids() {
-            let Some(VisibleKind::Lock(m)) = child_exec.next_visible(q) else {
-                continue;
-            };
-            let Some(owner) = child_exec.mutex_owner(m) else {
-                continue; // free: not blocked
-            };
-            if owner == q {
-                continue; // self-relock: no reversal exists
-            }
-            // The owner's live acquisition is the last Lock(m) in the trace.
-            let Some(j) = (0..self.trace.len()).rev().find(|&j| {
-                let e = self.trace[j];
-                e.thread() == owner && e.kind == VisibleKind::Lock(m)
-            }) else {
-                continue;
-            };
-            let f = self.trace[j];
-            let q_nested = child_exec.holds_any_mutex(q);
-            if !self.backtrack_dependent(VisibleKind::Lock(m), &f, j, q_nested) {
-                continue;
-            }
-            let cq = child_clocks.thread_clock(q).clone();
-            if covers(&cq, &f) {
-                continue;
-            }
-            blocked_races.push((j, q, cq));
-        }
-        for (j, q, cq) in blocked_races {
-            if j < self.stack.len() {
-                self.handle_race(j, q, &cq);
+        // Skipped outright for mutex-free programs, where nothing can ever
+        // block.
+        if !self.program.mutexes().is_empty() {
+            for q in self.program.thread_ids() {
+                let Some(VisibleKind::Lock(m)) = child_exec.next_visible(q) else {
+                    continue;
+                };
+                let Some(owner) = child_exec.mutex_owner(m) else {
+                    continue; // free: not blocked
+                };
+                if owner == q {
+                    continue; // self-relock: no reversal exists
+                }
+                // The owner's live acquisition is the last of its indexed
+                // Lock(m) events (no trace scan).
+                let Some(&j) = self.mutex_locks[m.index()]
+                    .iter()
+                    .rev()
+                    .find(|&&j| self.trace[j].thread() == owner)
+                else {
+                    continue;
+                };
+                self.collector.stats.events_compared += 1;
+                let q_nested = child_exec.holds_any_mutex(q);
+                let cq = child_clocks.thread_clock(q);
+                if !self.is_race_partner(VisibleKind::Lock(m), q, cq, j, q_nested) {
+                    continue;
+                }
+                if j < self.stack.len() {
+                    self.handle_race(j, q);
+                }
             }
         }
 
         // --- sleep set for the child ---
         let child_sleep = if self.sleep_sets {
             let frame = &self.stack[top];
-            let mut sleep = BTreeSet::new();
-            for &r in frame.sleep.iter().chain(frame.done.iter()) {
+            let mut sleep = ThreadSet::new();
+            for r in frame.sleep.union(frame.done).iter() {
                 if r == p {
                     continue;
                 }
@@ -360,7 +449,7 @@ impl<'p> DporEngine<'p> {
             }
             sleep
         } else {
-            BTreeSet::new()
+            ThreadSet::new()
         };
 
         match child_exec.phase() {
@@ -418,8 +507,47 @@ impl<'p> DporEngine<'p> {
         }
     }
 
+    /// The shared candidate filter of both race passes: is the earlier
+    /// event at trace position `i` a reversible-race partner for a
+    /// transition of `actor` (kind `kind`, causal past `actor_clock`,
+    /// nested-lock status `nested`)?
+    fn is_race_partner(
+        &self,
+        kind: VisibleKind,
+        actor: ThreadId,
+        actor_clock: &VectorClock,
+        i: usize,
+        nested: bool,
+    ) -> bool {
+        let f = &self.trace[i];
+        f.thread() != actor // program order: never a race
+            && self.backtrack_dependent(kind, f, i, nested)
+            && !covers(actor_clock, f) // not already ordered before actor
+    }
+
+    /// Filters one per-object candidate list through
+    /// [`Self::is_race_partner`], appending the survivors to `buf`.
+    /// Returns the number of candidates examined (the `events_compared`
+    /// contribution).
+    fn collect_partners(
+        &self,
+        candidates: &[usize],
+        kind: VisibleKind,
+        actor: ThreadId,
+        actor_clock: &VectorClock,
+        nested: bool,
+        buf: &mut Vec<usize>,
+    ) -> u64 {
+        for &i in candidates {
+            if self.is_race_partner(kind, actor, actor_clock, i, nested) {
+                buf.push(i);
+            }
+        }
+        candidates.len() as u64
+    }
+
     /// Registers a backtrack point for the race between the event at depth
-    /// `i` and the pending transition of thread `p` (causal past `cp`).
+    /// `i` and the pending transition of thread `p`.
     ///
     /// Conservative insertion: schedule `p` at the pre-state of depth `i`
     /// when it is runnable there; when it is not — or when it is parked in
@@ -428,18 +556,21 @@ impl<'p> DporEngine<'p> {
     /// runnable thread. The lazy modes additionally *redirect* a `p`
     /// blocked on a mutex to the acquisition of the blocking mutex, where
     /// reversing the race is actually possible.
-    fn handle_race(&mut self, i: usize, p: ThreadId, cp: &lazylocks_clock::VectorClock) {
-        let _ = cp;
+    fn handle_race(&mut self, i: usize, p: ThreadId) {
         let mut target = i;
         if self.dependence != DependenceMode::Regular && !self.stack[i].exec.is_enabled(p) {
             if let Some(VisibleKind::Lock(mb)) = self.stack[i].exec.next_visible(p) {
                 if let Some(owner) = self.stack[i].exec.mutex_owner(mb) {
                     // The owner's most recent acquisition of `mb` at or
-                    // before depth i is the blocking one (held ever since).
-                    if let Some(j) = (0..i).rev().find(|&j| {
-                        let e = self.trace[j];
-                        e.thread() == owner && e.kind == VisibleKind::Lock(mb)
-                    }) {
+                    // before depth i is the blocking one (held ever since):
+                    // the last indexed Lock(mb) below i, no trace scan.
+                    let locks = &self.mutex_locks[mb.index()];
+                    let below = locks.partition_point(|&j| j < i);
+                    if let Some(&j) = locks[..below]
+                        .iter()
+                        .rev()
+                        .find(|&&j| self.trace[j].thread() == owner)
+                    {
                         target = j;
                     }
                 }
@@ -452,9 +583,7 @@ impl<'p> DporEngine<'p> {
             // this state were already explored in an equivalent context.
             pre.backtrack.insert(p);
         } else {
-            for t in pre.exec.enabled_threads() {
-                pre.backtrack.insert(t);
-            }
+            pre.backtrack |= pre.exec.enabled_set();
         }
     }
 
@@ -462,6 +591,7 @@ impl<'p> DporEngine<'p> {
     /// a frame.
     fn unwind_step(&mut self, pushed_event: bool) {
         if pushed_event {
+            self.unindex_tail(self.trace.len() - 1);
             self.trace.pop();
         }
         self.schedule.pop();
@@ -736,6 +866,42 @@ mod tests {
         assert_eq!(dfs.unique_states, 3);
         assert_eq!(dpor.unique_states, 3);
         assert!(dpor.deadlocks > 0);
+    }
+
+    #[test]
+    fn race_detection_examines_only_dependence_candidates() {
+        // Four threads, each writing its private variable twice. A
+        // full-trace race scan would compare every new event against every
+        // earlier one — 0+1+…+7 = 28 candidate pairs over the single
+        // schedule. The indexed detector only consults the per-variable
+        // access lists: one candidate per second write (the thread's own
+        // first write, then discarded by the program-order check), four in
+        // total. The program is mutex-free, so the blocked-acquisition
+        // pass contributes nothing (it is skipped outright).
+        let mut b = ProgramBuilder::new("disjoint");
+        let vars: Vec<_> = (0..4).map(|i| b.var(format!("v{i}"), 0)).collect();
+        for (i, &v) in vars.iter().enumerate() {
+            b.thread(format!("T{i}"), move |t| {
+                t.store(v, 1);
+                t.store(v, 2);
+            });
+        }
+        let p = b.build();
+        let stats = Dpor::default().explore(&p, &config(10_000));
+        assert_eq!(stats.schedules, 1, "independent writes need no reversal");
+        assert_eq!(stats.events, 8);
+        assert_eq!(
+            stats.events_compared, 4,
+            "only per-variable candidates may be examined (full scan: 28)"
+        );
+
+        // With genuine conflicts the counter must be live.
+        let mut b = ProgramBuilder::new("shared");
+        let x = b.var("x", 0);
+        b.thread("T1", |t| t.store(x, 1));
+        b.thread("T2", |t| t.store(x, 2));
+        let stats = Dpor::default().explore(&b.build(), &config(10_000));
+        assert!(stats.events_compared > 0);
     }
 
     #[test]

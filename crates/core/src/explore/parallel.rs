@@ -93,7 +93,7 @@ impl Explorer for ParallelDfs {
                 continue;
             }
             let mut expanded = false;
-            for t in item.exec.enabled_threads() {
+            for t in item.exec.enabled_iter() {
                 let preempt = item.last.is_some_and(|l| l != t && item.exec.is_enabled(l));
                 let p = item.preemptions + u32::from(preempt);
                 if let Some(bound) = config.preemption_bound {
@@ -237,7 +237,7 @@ impl<'p> WorkerCtx<'_, 'p> {
             self.collector.record_truncated();
             return Continue::Yes;
         }
-        for t in exec.enabled_threads() {
+        for t in exec.enabled_iter() {
             let preempt = last.is_some_and(|l| l != t && exec.is_enabled(l));
             let p = preemptions + u32::from(preempt);
             if let Some(bound) = self.config.preemption_bound {

@@ -9,7 +9,7 @@ use crate::config::ExploreConfig;
 use crate::explore::Explorer;
 use crate::rng::SplitMix64;
 use crate::stats::{Collector, Continue, ExploreStats};
-use lazylocks_model::{Program, ThreadId};
+use lazylocks_model::{Program, ThreadId, ThreadSet};
 use lazylocks_runtime::{Event, ExecPhase, Executor};
 use std::time::Instant;
 
@@ -51,13 +51,12 @@ impl Explorer for RandomWalk {
                     break;
                 }
 
-                let enabled = exec.enabled_threads();
+                let enabled = exec.enabled_set();
                 // Respect the preemption bound by restricting the choice
                 // set once the budget is spent.
-                let choices: Vec<ThreadId> = match config.preemption_bound {
+                let choices: ThreadSet = match config.preemption_bound {
                     Some(bound) if preemptions >= bound => enabled
                         .iter()
-                        .copied()
                         .filter(|&t| !last.is_some_and(|l| l != t && exec.is_enabled(l)))
                         .collect(),
                     _ => enabled,
@@ -66,7 +65,9 @@ impl Explorer for RandomWalk {
                     !choices.is_empty(),
                     "continuing the running thread is never a preemption"
                 );
-                let t = choices[rng.gen_range(choices.len())];
+                let t = choices
+                    .nth(rng.gen_range(choices.len()))
+                    .expect("choice index in range");
                 if last.is_some_and(|l| l != t && exec.is_enabled(l)) {
                     preemptions += 1;
                 }

@@ -2,7 +2,7 @@
 
 use crate::bug::{BugKind, BugReport};
 use crate::config::ExploreConfig;
-use lazylocks_hbr::{HbBuilder, HbMode};
+use lazylocks_hbr::{ClockEngine, HbMode};
 use lazylocks_model::{Program, ThreadId};
 use lazylocks_runtime::{Event, ExecPhase, Executor};
 use std::collections::HashSet;
@@ -51,6 +51,12 @@ pub struct ExploreStats {
     pub bound_prunes: usize,
     /// Runs abandoned for exceeding `max_run_length`.
     pub truncated_runs: usize,
+    /// Earlier events examined as race-partner candidates by DPOR's race
+    /// detection (other strategies leave it 0). With the indexed detector
+    /// this counts only actual dependence candidates — per-variable
+    /// accesses and per-mutex acquisitions — rather than the full trace
+    /// per step, so it grows with conflict density, not depth².
+    pub events_compared: u64,
     /// The first bug found, with a replayable schedule.
     pub first_bug: Option<BugReport>,
     /// One witness schedule per distinct terminal state, populated only
@@ -92,6 +98,28 @@ impl ExploreStats {
     pub fn found_bug(&self) -> bool {
         self.first_bug.is_some()
     }
+
+    /// Complete schedules per wall-clock second — the headline throughput
+    /// of an exploration (0.0 when no time was measured).
+    pub fn execs_per_sec(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs > 0.0 {
+            self.schedules as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Visible events executed per wall-clock second (0.0 when no time
+    /// was measured).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Shared leaf-processing for all strategies: counts schedules, classifies
@@ -102,6 +130,11 @@ pub(crate) struct Collector {
     states: HashSet<u128>,
     hbrs: HashSet<u128>,
     lazy_hbrs: HashSet<u128>,
+    /// Reusable clock engines for terminal-trace fingerprints (one per
+    /// relation mode), allocated on first use and reset per trace — leaf
+    /// processing stays off the allocator.
+    hbr_engine: Option<ClockEngine>,
+    lazy_engine: Option<ClockEngine>,
     pub(crate) stats: ExploreStats,
 }
 
@@ -120,6 +153,8 @@ impl Collector {
             states: HashSet::new(),
             hbrs: HashSet::new(),
             lazy_hbrs: HashSet::new(),
+            hbr_engine: None,
+            lazy_engine: None,
             stats: ExploreStats::default(),
         }
     }
@@ -161,22 +196,28 @@ impl Collector {
         self.stats.max_depth = self.stats.max_depth.max(trace.len());
 
         if self.config.collect_states {
-            let fp = exec.snapshot().fingerprint();
+            let fp = exec.state_fingerprint();
             if self.states.insert(fp) && self.config.collect_state_witnesses {
                 self.stats.state_witnesses.push((fp, schedule.to_vec()));
             }
             self.stats.unique_states = self.states.len();
         }
         if self.config.collect_hbrs {
-            let fp = HbBuilder::from_trace(HbMode::Regular, program, trace).fingerprint();
+            let fp = self
+                .hbr_engine
+                .get_or_insert_with(|| ClockEngine::for_program(HbMode::Regular, program))
+                .trace_fingerprint(trace);
             if self.hbrs.insert(fp) && self.config.collect_state_witnesses {
                 self.stats.hbr_witnesses.push((fp, schedule.to_vec()));
             }
             self.stats.unique_hbrs = self.hbrs.len();
         }
         if self.config.collect_lazy_hbrs {
-            self.lazy_hbrs
-                .insert(HbBuilder::from_trace(HbMode::Lazy, program, trace).fingerprint());
+            let fp = self
+                .lazy_engine
+                .get_or_insert_with(|| ClockEngine::for_program(HbMode::Lazy, program))
+                .trace_fingerprint(trace);
+            self.lazy_hbrs.insert(fp);
             self.stats.unique_lazy_hbrs = self.lazy_hbrs.len();
         }
 
@@ -244,6 +285,7 @@ impl Collector {
         self.stats.sleep_prunes += other.stats.sleep_prunes;
         self.stats.bound_prunes += other.stats.bound_prunes;
         self.stats.truncated_runs += other.stats.truncated_runs;
+        self.stats.events_compared += other.stats.events_compared;
         if self.stats.first_bug.is_none() {
             self.stats.first_bug = other.stats.first_bug;
         }

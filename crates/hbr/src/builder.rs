@@ -95,7 +95,7 @@ impl HbBuilder {
 
     /// Records the next event of the schedule and returns its record.
     pub fn push(&mut self, event: Event) -> &EventRecord {
-        let clock = self.engine.apply(&event);
+        let clock = self.engine.apply(&event).clone();
         let record = EventRecord::new(event, clock);
         self.acc.absorb(record.hash);
         self.records.push(record);

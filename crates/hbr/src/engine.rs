@@ -59,8 +59,13 @@ impl ClockEngine {
     }
 
     /// Applies the next event of the schedule and returns its clock (the
-    /// event's causal past, inclusive).
-    pub fn apply(&mut self, event: &Event) -> VectorClock {
+    /// event's causal past, inclusive) — a borrow of the thread's live
+    /// clock; clone it only if it must outlive the next `apply`.
+    ///
+    /// Allocation-free: the thread clock is ticked and joined in place, and
+    /// the per-site clocks are updated with in-place copies
+    /// ([`VectorClock::assign`]) rather than clone round-trips.
+    pub fn apply(&mut self, event: &Event) -> &VectorClock {
         let t = event.thread().index();
         debug_assert!(t < self.n_threads, "event from undeclared thread");
         debug_assert_eq!(
@@ -69,47 +74,30 @@ impl ClockEngine {
             "events of a thread must be applied in ordinal order"
         );
 
-        let mut clock = self.thread_clock[t].clone();
-        clock.tick(t);
+        self.thread_clock[t].tick(t);
         match event.kind {
             VisibleKind::Read(x) => {
                 if self.mode != HbMode::SyncOnly {
-                    clock.join(&self.var_write[x.index()]);
+                    self.thread_clock[t].join(&self.var_write[x.index()]);
+                    self.var_reads[x.index()].join(&self.thread_clock[t]);
                 }
             }
             VisibleKind::Write(x) => {
                 if self.mode != HbMode::SyncOnly {
-                    clock.join(&self.var_write[x.index()]);
-                    clock.join(&self.var_reads[x.index()]);
-                }
-            }
-            VisibleKind::Lock(m) | VisibleKind::Unlock(m) => {
-                if self.mode != HbMode::Lazy {
-                    clock.join(&self.mutex_clock[m.index()]);
-                }
-            }
-        }
-
-        self.thread_clock[t] = clock.clone();
-        match event.kind {
-            VisibleKind::Read(x) => {
-                if self.mode != HbMode::SyncOnly {
-                    self.var_reads[x.index()].join(&clock);
-                }
-            }
-            VisibleKind::Write(x) => {
-                if self.mode != HbMode::SyncOnly {
-                    self.var_write[x.index()] = clock.clone();
+                    self.thread_clock[t].join(&self.var_write[x.index()]);
+                    self.thread_clock[t].join(&self.var_reads[x.index()]);
+                    self.var_write[x.index()].assign(&self.thread_clock[t]);
                     self.var_reads[x.index()].clear();
                 }
             }
             VisibleKind::Lock(m) | VisibleKind::Unlock(m) => {
                 if self.mode != HbMode::Lazy {
-                    self.mutex_clock[m.index()] = clock.clone();
+                    self.thread_clock[t].join(&self.mutex_clock[m.index()]);
+                    self.mutex_clock[m.index()].assign(&self.thread_clock[t]);
                 }
             }
         }
-        clock
+        &self.thread_clock[t]
     }
 
     /// Clock of `thread`'s latest event (zero clock if none) — the causal
@@ -117,6 +105,39 @@ impl ClockEngine {
     /// "already-ordered" check.
     pub fn thread_clock(&self, thread: lazylocks_model::ThreadId) -> &VectorClock {
         &self.thread_clock[thread.index()]
+    }
+
+    /// Resets every clock to zero, keeping the shape — so one engine can
+    /// fingerprint many traces without reallocating.
+    pub fn reset(&mut self) {
+        for c in self
+            .thread_clock
+            .iter_mut()
+            .chain(self.var_write.iter_mut())
+            .chain(self.var_reads.iter_mut())
+            .chain(self.mutex_clock.iter_mut())
+        {
+            c.clear();
+        }
+    }
+
+    /// Fingerprints the relation of a complete `trace` in one pass,
+    /// resetting the engine first. Produces exactly the digest of
+    /// [`HbBuilder::from_trace(mode, program, trace).fingerprint()`]
+    /// (asserted by the test suite) without materialising any event
+    /// records — the allocation-free leaf-processing path of the
+    /// exploration engines.
+    ///
+    /// [`HbBuilder::from_trace(mode, program, trace).fingerprint()`]:
+    ///     crate::HbBuilder::from_trace
+    pub fn trace_fingerprint(&mut self, trace: &[Event]) -> u128 {
+        self.reset();
+        let mut acc = PrefixAccumulator::new();
+        for e in trace {
+            let clock = self.apply(e);
+            acc.absorb(event_record_hash(e, clock));
+        }
+        acc.fingerprint()
     }
 }
 
@@ -214,7 +235,7 @@ mod tests {
             let mut engine = ClockEngine::new(mode, 2, 2, 0);
             let mut builder = HbBuilder::new(mode, 2, 2, 0);
             for &e in &trace {
-                let clock = engine.apply(&e);
+                let clock = engine.apply(&e).clone();
                 let record = builder.push(e).clone();
                 assert_eq!(clock, record.clock, "{mode:?}");
                 assert_eq!(event_record_hash(&e, &clock), record.hash, "{mode:?}");
@@ -234,7 +255,7 @@ mod tests {
         let mut builder = HbBuilder::new(HbMode::Regular, 2, 2, 0);
         assert_eq!(acc.fingerprint(), builder.prefix_fingerprint());
         for &e in &trace {
-            let clock = engine.apply(&e);
+            let clock = engine.apply(&e).clone();
             acc.absorb(event_record_hash(&e, &clock));
             builder.push(e);
             assert_eq!(acc.fingerprint(), builder.prefix_fingerprint());
@@ -254,6 +275,32 @@ mod tests {
         b.absorb(h1);
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert_ne!(a.fingerprint(), PrefixAccumulator::new().fingerprint());
+    }
+
+    #[test]
+    fn trace_fingerprint_matches_builder_and_resets() {
+        use crate::builder::HbBuilder;
+        let trace = vec![
+            ev(0, 0, VisibleKind::Write(VarId(0))),
+            ev(1, 0, VisibleKind::Read(VarId(0))),
+            ev(1, 1, VisibleKind::Write(VarId(1))),
+            ev(0, 1, VisibleKind::Read(VarId(1))),
+        ];
+        for mode in HbMode::ALL {
+            let mut engine = ClockEngine::new(mode, 2, 2, 0);
+            let expected = {
+                let mut b = HbBuilder::new(mode, 2, 2, 0);
+                for &e in &trace {
+                    b.push(e);
+                }
+                b.finish().fingerprint()
+            };
+            assert_eq!(engine.trace_fingerprint(&trace), expected, "{mode:?}");
+            // A second run on the same engine must reset cleanly.
+            assert_eq!(engine.trace_fingerprint(&trace), expected, "{mode:?}");
+            // And a different trace digests differently.
+            assert_ne!(engine.trace_fingerprint(&trace[..2]), expected);
+        }
     }
 
     #[test]

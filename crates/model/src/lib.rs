@@ -51,9 +51,11 @@ mod instr;
 pub mod parse;
 mod pretty;
 mod program;
+mod thread_set;
 
 pub use builder::{Label, ProgramBuilder, ThreadBuilder};
 pub use error::{ParseError, ValidateError};
 pub use ids::{MutexId, Reg, ThreadId, Value, VarId};
 pub use instr::{BinOp, Instr, Operand, UnOp, VisibleKind};
 pub use program::{MutexDecl, Program, ThreadDef, VarDecl, MAX_REGS};
+pub use thread_set::ThreadSet;

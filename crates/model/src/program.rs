@@ -10,8 +10,11 @@ use std::fmt;
 pub const MAX_REGS: usize = 32;
 
 /// Maximum number of threads a program may declare. Exploration cost is
-/// exponential in practice, so this is generous.
-pub const MAX_THREADS: usize = 64;
+/// exponential in practice, so this is generous. Tied to the
+/// [`ThreadSet`](crate::ThreadSet) bitmask capacity: validation at this
+/// bound is what lets every runtime thread-set operation stay a single
+/// `u64` with no overflow path.
+pub const MAX_THREADS: usize = crate::ThreadSet::MAX_THREADS;
 
 /// Declaration of a shared variable.
 #[derive(Debug, Clone, PartialEq, Eq)]

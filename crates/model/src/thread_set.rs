@@ -1,0 +1,293 @@
+//! [`ThreadSet`]: a `u64`-bitmask set of [`ThreadId`]s.
+//!
+//! Exploration engines keep several small thread sets per search-stack
+//! frame (backtrack, done and sleep sets) and consult them on every step.
+//! A `BTreeSet<ThreadId>` pays a heap allocation per inserted element and
+//! pointer chasing per query; a bitmask is one register. Guest programs
+//! are bounded to [`ThreadSet::MAX_THREADS`] threads — far beyond what any
+//! systematic exploration can cover — so a single `u64` always suffices.
+
+use crate::ids::ThreadId;
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign, Not, Sub};
+
+/// An allocation-free set of threads, stored as a `u64` bitmask.
+///
+/// Iteration order is ascending thread id, matching the ordered-set
+/// semantics the exploration engines rely on (deterministic picks).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct ThreadSet(u64);
+
+impl ThreadSet {
+    /// Capacity of the bitmask: thread ids must be below this.
+    pub const MAX_THREADS: usize = 64;
+
+    /// The empty set.
+    #[inline]
+    pub const fn new() -> Self {
+        ThreadSet(0)
+    }
+
+    /// The set `{0, 1, …, n-1}` of the first `n` thread ids.
+    ///
+    /// # Panics
+    /// Panics if `n > MAX_THREADS`.
+    pub fn first_n(n: usize) -> Self {
+        assert!(
+            n <= Self::MAX_THREADS,
+            "ThreadSet supports at most {} threads",
+            Self::MAX_THREADS
+        );
+        if n == Self::MAX_THREADS {
+            ThreadSet(u64::MAX)
+        } else {
+            ThreadSet((1u64 << n) - 1)
+        }
+    }
+
+    #[inline]
+    fn bit(thread: ThreadId) -> u64 {
+        assert!(
+            thread.index() < Self::MAX_THREADS,
+            "ThreadSet supports at most {} threads, got {thread}",
+            Self::MAX_THREADS
+        );
+        1u64 << thread.index()
+    }
+
+    /// Adds `thread`; returns `true` if it was not yet present.
+    #[inline]
+    pub fn insert(&mut self, thread: ThreadId) -> bool {
+        let bit = Self::bit(thread);
+        let fresh = self.0 & bit == 0;
+        self.0 |= bit;
+        fresh
+    }
+
+    /// Removes `thread`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, thread: ThreadId) -> bool {
+        let bit = Self::bit(thread);
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// `true` if `thread` is in the set.
+    #[inline]
+    pub fn contains(&self, thread: ThreadId) -> bool {
+        thread.index() < Self::MAX_THREADS && self.0 & Self::bit(thread) != 0
+    }
+
+    /// `true` if no thread is in the set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of threads in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// The smallest thread id in the set, if any.
+    #[inline]
+    pub fn first(&self) -> Option<ThreadId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(ThreadId(self.0.trailing_zeros() as u16))
+        }
+    }
+
+    /// The `n`-th smallest thread id in the set (0-based), if any.
+    pub fn nth(&self, n: usize) -> Option<ThreadId> {
+        self.iter().nth(n)
+    }
+
+    /// Iterates the set in ascending thread-id order.
+    #[inline]
+    pub fn iter(&self) -> Iter {
+        Iter(self.0)
+    }
+
+    /// The union of both sets.
+    #[inline]
+    pub fn union(self, other: ThreadSet) -> ThreadSet {
+        ThreadSet(self.0 | other.0)
+    }
+
+    /// The intersection of both sets.
+    #[inline]
+    pub fn intersection(self, other: ThreadSet) -> ThreadSet {
+        ThreadSet(self.0 & other.0)
+    }
+
+    /// The threads of `self` not in `other`.
+    #[inline]
+    pub fn difference(self, other: ThreadSet) -> ThreadSet {
+        ThreadSet(self.0 & !other.0)
+    }
+}
+
+/// Ascending-order iterator over a [`ThreadSet`].
+#[derive(Clone, Copy, Debug)]
+pub struct Iter(u64);
+
+impl Iterator for Iter {
+    type Item = ThreadId;
+
+    #[inline]
+    fn next(&mut self) -> Option<ThreadId> {
+        if self.0 == 0 {
+            return None;
+        }
+        let idx = self.0.trailing_zeros();
+        self.0 &= self.0 - 1; // clear the lowest set bit
+        Some(ThreadId(idx as u16))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl IntoIterator for ThreadSet {
+    type Item = ThreadId;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+impl FromIterator<ThreadId> for ThreadSet {
+    fn from_iter<I: IntoIterator<Item = ThreadId>>(iter: I) -> Self {
+        let mut set = ThreadSet::new();
+        for t in iter {
+            set.insert(t);
+        }
+        set
+    }
+}
+
+impl Extend<ThreadId> for ThreadSet {
+    fn extend<I: IntoIterator<Item = ThreadId>>(&mut self, iter: I) {
+        for t in iter {
+            self.insert(t);
+        }
+    }
+}
+
+impl BitOr for ThreadSet {
+    type Output = ThreadSet;
+    fn bitor(self, rhs: ThreadSet) -> ThreadSet {
+        self.union(rhs)
+    }
+}
+
+impl BitOrAssign for ThreadSet {
+    fn bitor_assign(&mut self, rhs: ThreadSet) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for ThreadSet {
+    type Output = ThreadSet;
+    fn bitand(self, rhs: ThreadSet) -> ThreadSet {
+        self.intersection(rhs)
+    }
+}
+
+impl Sub for ThreadSet {
+    type Output = ThreadSet;
+    fn sub(self, rhs: ThreadSet) -> ThreadSet {
+        self.difference(rhs)
+    }
+}
+
+impl Not for ThreadSet {
+    type Output = ThreadSet;
+    /// Complement within the full `MAX_THREADS` universe; intersect with an
+    /// enabled/declared set before iterating.
+    fn not(self) -> ThreadSet {
+        ThreadSet(!self.0)
+    }
+}
+
+impl fmt::Debug for ThreadSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u16) -> ThreadId {
+        ThreadId(i)
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = ThreadSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(t(3)));
+        assert!(!s.insert(t(3)), "second insert reports existing");
+        assert!(s.contains(t(3)));
+        assert!(!s.contains(t(4)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(t(3)));
+        assert!(!s.remove(t(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let s: ThreadSet = [t(9), t(0), t(63), t(4)].into_iter().collect();
+        let order: Vec<ThreadId> = s.iter().collect();
+        assert_eq!(order, vec![t(0), t(4), t(9), t(63)]);
+        assert_eq!(s.first(), Some(t(0)));
+        assert_eq!(s.nth(2), Some(t(9)));
+        assert_eq!(s.nth(4), None);
+        assert_eq!(s.iter().len(), 4);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: ThreadSet = [t(0), t(1), t(2)].into_iter().collect();
+        let b: ThreadSet = [t(1), t(2), t(3)].into_iter().collect();
+        assert_eq!((a | b).len(), 4);
+        assert_eq!((a & b).len(), 2);
+        assert_eq!(a - b, [t(0)].into_iter().collect());
+        let mut c = a;
+        c |= b;
+        assert_eq!(c, a | b);
+        assert_eq!((!a & b), [t(3)].into_iter().collect());
+    }
+
+    #[test]
+    fn first_n_builds_prefix_sets() {
+        assert!(ThreadSet::first_n(0).is_empty());
+        assert_eq!(ThreadSet::first_n(3).len(), 3);
+        assert_eq!(ThreadSet::first_n(64).len(), 64);
+        assert_eq!(ThreadSet::first_n(3).iter().last(), Some(t(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 threads")]
+    fn inserting_beyond_capacity_panics() {
+        ThreadSet::new().insert(t(64));
+    }
+
+    #[test]
+    fn debug_renders_as_set() {
+        let s: ThreadSet = [t(1), t(5)].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{t1, t5}");
+    }
+}

@@ -2,7 +2,9 @@
 
 use crate::event::{Event, EventId};
 use crate::state::StateSnapshot;
-use lazylocks_model::{Instr, MutexId, Operand, Program, Reg, ThreadId, Value, VisibleKind};
+use lazylocks_model::{
+    Instr, MutexId, Operand, Program, Reg, ThreadId, ThreadSet, Value, VisibleKind,
+};
 use std::fmt;
 
 /// Safety valve: maximum local (invisible) instructions executed in one
@@ -109,11 +111,17 @@ pub enum ExecPhase {
     },
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Per-thread control state. Registers live in the executor's flat
+/// register file (`Executor::regs`), located by `reg_base`/`reg_len`, so
+/// cloning an executor copies a fixed number of flat vectors instead of
+/// one heap allocation per thread — the executor clone is the single most
+/// frequent operation of snapshot-based exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Frame {
     pc: usize,
-    regs: Vec<Value>,
     status: ThreadStatus,
+    reg_base: u32,
+    reg_len: u32,
 }
 
 /// Stepwise interpreter for one execution of a program.
@@ -132,6 +140,9 @@ pub struct Executor<'p> {
     shared: Vec<Value>,
     mutex_owner: Vec<Option<ThreadId>>,
     frames: Vec<Frame>,
+    /// Flat register file of every thread, located by the frames'
+    /// `reg_base`/`reg_len`.
+    regs: Vec<Value>,
     /// Number of visible events each thread has performed.
     event_counts: Vec<u32>,
     /// Total visible events performed.
@@ -144,29 +155,32 @@ impl<'p> Executor<'p> {
     /// Starts a fresh execution: shared variables at their initial values,
     /// registers zeroed, every thread at its first visible instruction.
     pub fn new(program: &'p Program) -> Self {
-        let reg_counts: Vec<usize> = program
+        let mut reg_total = 0u32;
+        let frames: Vec<Frame> = program
             .threads()
             .iter()
-            .map(|t| thread_reg_count(&t.code))
-            .collect();
-        let mut exec = Executor {
-            program,
-            shared: program.vars().iter().map(|v| v.init).collect(),
-            mutex_owner: vec![None; program.mutexes().len()],
-            frames: program
-                .threads()
-                .iter()
-                .zip(reg_counts)
-                .map(|(t, regs)| Frame {
+            .map(|t| {
+                let reg_len = thread_reg_count(&t.code) as u32;
+                let reg_base = reg_total;
+                reg_total += reg_len;
+                Frame {
                     pc: 0,
-                    regs: vec![0; regs],
                     status: if t.code.is_empty() {
                         ThreadStatus::Finished
                     } else {
                         ThreadStatus::Runnable
                     },
-                })
-                .collect(),
+                    reg_base,
+                    reg_len,
+                }
+            })
+            .collect();
+        let mut exec = Executor {
+            program,
+            shared: program.vars().iter().map(|v| v.init).collect(),
+            mutex_owner: vec![None; program.mutexes().len()],
+            frames,
+            regs: vec![0; reg_total as usize],
             event_counts: vec![0; program.thread_count()],
             events_total: 0,
             faults: Vec::new(),
@@ -175,6 +189,21 @@ impl<'p> Executor<'p> {
             exec.advance_locals(ThreadId::from_index(t));
         }
         exec
+    }
+
+    /// The register slice of thread `tix`.
+    #[inline]
+    fn thread_regs(&self, tix: usize) -> &[Value] {
+        let f = &self.frames[tix];
+        &self.regs[f.reg_base as usize..(f.reg_base + f.reg_len) as usize]
+    }
+
+    /// One register of thread `tix`, writable.
+    #[inline]
+    fn reg_mut(&mut self, tix: usize, reg: usize) -> &mut Value {
+        let f = &self.frames[tix];
+        debug_assert!(reg < f.reg_len as usize);
+        &mut self.regs[f.reg_base as usize + reg]
     }
 
     /// The program being executed.
@@ -213,19 +242,33 @@ impl<'p> Executor<'p> {
     }
 
     /// The enabled threads, in thread-id order.
+    ///
+    /// Allocates; exploration hot loops should prefer
+    /// [`enabled_iter`](Self::enabled_iter) or
+    /// [`enabled_set`](Self::enabled_set).
     pub fn enabled_threads(&self) -> Vec<ThreadId> {
-        self.program
-            .thread_ids()
-            .filter(|&t| self.is_enabled(t))
-            .collect()
+        self.enabled_iter().collect()
+    }
+
+    /// Iterates the enabled threads in thread-id order without allocating.
+    #[inline]
+    pub fn enabled_iter(&self) -> impl Iterator<Item = ThreadId> + '_ {
+        self.program.thread_ids().filter(|&t| self.is_enabled(t))
+    }
+
+    /// The enabled threads as an allocation-free bitmask set.
+    ///
+    /// # Panics
+    /// Panics if the program declares more than
+    /// [`ThreadSet::MAX_THREADS`] threads (no such program is explorable
+    /// in practice).
+    pub fn enabled_set(&self) -> ThreadSet {
+        self.enabled_iter().collect()
     }
 
     /// Number of enabled threads.
     pub fn enabled_count(&self) -> usize {
-        self.program
-            .thread_ids()
-            .filter(|&t| self.is_enabled(t))
-            .count()
+        self.enabled_iter().count()
     }
 
     /// Overall phase: running, done, or deadlocked.
@@ -304,7 +347,7 @@ impl<'p> Executor<'p> {
         let kind = match *instr {
             Instr::Load { dst, var } => {
                 let v = self.shared[var.index()];
-                self.frames[tix].regs[dst.index()] = v;
+                *self.reg_mut(tix, dst.index()) = v;
                 VisibleKind::Read(var)
             }
             Instr::Store { var, src } => {
@@ -351,7 +394,9 @@ impl<'p> Executor<'p> {
     pub fn snapshot(&self) -> StateSnapshot {
         StateSnapshot {
             shared: self.shared.clone(),
-            regs: self.frames.iter().map(|f| f.regs.clone()).collect(),
+            regs: (0..self.frames.len())
+                .map(|t| self.thread_regs(t).to_vec())
+                .collect(),
             pcs: self.frames.iter().map(|f| f.pc as u32).collect(),
             statuses: self
                 .frames
@@ -362,10 +407,47 @@ impl<'p> Executor<'p> {
         }
     }
 
+    /// The fingerprint of [`snapshot`](Self::snapshot), computed directly
+    /// from the live machine state — no intermediate snapshot allocation.
+    /// Identical to `self.snapshot().fingerprint()` byte for byte
+    /// (asserted by the test suite); this is the per-terminal path of the
+    /// exploration engines.
+    pub fn state_fingerprint(&self) -> u128 {
+        let mut h = crate::fingerprint::Fnv128::new();
+        h.write_usize(self.shared.len());
+        for &v in &self.shared {
+            h.write_i64(v);
+        }
+        h.write_usize(self.frames.len());
+        for t in 0..self.frames.len() {
+            let regs = self.thread_regs(t);
+            h.write_usize(regs.len());
+            for &v in regs {
+                h.write_i64(v);
+            }
+        }
+        for f in &self.frames {
+            h.write_u32(f.pc as u32);
+        }
+        for f in &self.frames {
+            h.write(&[f.status.discriminant()]);
+        }
+        for owner in &self.mutex_owner {
+            match owner {
+                None => h.write(&[0xff, 0xff, 0xfe]),
+                Some(t) => {
+                    h.write(&[0x01]);
+                    h.write(&t.0.to_le_bytes());
+                }
+            }
+        }
+        h.finish()
+    }
+
     fn eval(&self, thread: ThreadId, op: Operand) -> Value {
         match op {
             Operand::Const(v) => v,
-            Operand::Reg(r) => self.frames[thread.index()].regs[r.index()],
+            Operand::Reg(r) => self.thread_regs(thread.index())[r.index()],
         }
     }
 
@@ -406,17 +488,17 @@ impl<'p> Executor<'p> {
             match *instr {
                 Instr::Set { dst, src } => {
                     let v = self.eval(thread, src);
-                    self.frames[tix].regs[dst.index()] = v;
+                    *self.reg_mut(tix, dst.index()) = v;
                     self.frames[tix].pc += 1;
                 }
                 Instr::Bin { dst, op, lhs, rhs } => {
                     let v = op.apply(self.eval(thread, lhs), self.eval(thread, rhs));
-                    self.frames[tix].regs[dst.index()] = v;
+                    *self.reg_mut(tix, dst.index()) = v;
                     self.frames[tix].pc += 1;
                 }
                 Instr::Un { dst, op, src } => {
                     let v = op.apply(self.eval(thread, src));
-                    self.frames[tix].regs[dst.index()] = v;
+                    *self.reg_mut(tix, dst.index()) = v;
                     self.frames[tix].pc += 1;
                 }
                 Instr::Jump { target } => {
@@ -734,6 +816,35 @@ mod tests {
         let mut resumed = saved;
         resumed.step(t(0));
         assert_eq!(resumed.snapshot(), exec.snapshot());
+    }
+
+    #[test]
+    fn state_fingerprint_matches_snapshot_fingerprint() {
+        let mut b = ProgramBuilder::new("p");
+        let x = b.var("x", 3);
+        let m = b.mutex("m");
+        b.thread("T1", |tb| {
+            tb.lock(m);
+            tb.load(Reg(0), x);
+            tb.add(Reg(0), Reg(0), 1);
+            tb.store(x, Reg(0));
+            tb.unlock(m);
+        });
+        b.thread("T2", |tb| {
+            tb.lock(m);
+            tb.store(x, 9);
+            tb.unlock(m);
+        });
+        b.thread("E", |_| {});
+        let p = b.build();
+        let mut exec = Executor::new(&p);
+        assert_eq!(exec.state_fingerprint(), exec.snapshot().fingerprint());
+        // Check at every step of one full schedule, including mid-critical
+        // section (held mutex) and post-fault/finished states.
+        while let Some(t) = exec.enabled_set().first() {
+            exec.step(t);
+            assert_eq!(exec.state_fingerprint(), exec.snapshot().fingerprint());
+        }
     }
 
     #[test]

@@ -100,7 +100,7 @@ pub fn run_schedule(
             // Feasibility is checked below via `ScheduleViolation`.
             return Some(choice);
         }
-        exec.enabled_threads().first().copied()
+        exec.enabled_iter().next()
     });
     match result {
         Ok(r) => Ok(r),

@@ -394,6 +394,10 @@ pub fn stats_to_json(stats: &ExploreStats) -> Json {
         ("bound_prunes", Json::Int(stats.bound_prunes as i128)),
         ("truncated_runs", Json::Int(stats.truncated_runs as i128)),
         (
+            "events_compared",
+            Json::Int(i128::from(stats.events_compared)),
+        ),
+        (
             "wall_time_us",
             Json::Int(stats.wall_time.as_micros().min(u64::MAX as u128) as i128),
         ),
@@ -416,6 +420,13 @@ fn stats_from_json(v: &Json) -> Result<ExploreStats, ArtifactError> {
         sleep_prunes: require(v, "sleep_prunes", Json::as_usize)?,
         bound_prunes: require(v, "bound_prunes", Json::as_usize)?,
         truncated_runs: require(v, "truncated_runs", Json::as_usize)?,
+        // Added after format_version 1 shipped: default only when the key
+        // is *absent* (an older artifact); a present-but-malformed value
+        // is an error like any other field.
+        events_compared: match v.get("events_compared") {
+            None => 0,
+            Some(_) => require(v, "events_compared", Json::as_u64)?,
+        },
         wall_time: Duration::from_micros(require(v, "wall_time_us", Json::as_u64)?),
         ..ExploreStats::default()
     })
