@@ -18,6 +18,8 @@ USAGE:
   lazylocks explore ...            alias of `run`
   lazylocks replay PATH [--bench NAME | --id N | --file PATH] [--json]
   lazylocks corpus (list | prune | seed) [--dir DIR] [--limit N] [--json]
+  lazylocks fuzz  [--profile NAME] [--cases N] [--seed X] [--budget N]
+                  [--size N] [--save DIR] [--quick] [--json]
   lazylocks compare (--bench NAME | --id N | --file PATH) [--limit N]
   lazylocks races (--bench NAME | --id N | --file PATH) [--walks N] [--seed X]
   lazylocks help
@@ -32,6 +34,15 @@ TRACE ARTIFACTS:
   or a whole directory and classifies each as reproduced / diverged /
   program-changed; `corpus seed` explores every bug-bearing benchmark
   into a regression corpus (default dir: .lazylocks/corpus).
+
+FUZZING:
+  `fuzz` generates adversarial guest programs (shape profiles:
+  lock-heavy, data-race-rich, deadlock-prone, branchy, wide-fan-out; or
+  a single one via --profile) and differentially checks every registered
+  strategy against exhaustive DFS. Disagreements are shrunk to minimal
+  `.llk` repros and, with --save DIR, persisted as replayable artifacts.
+  Exit status is non-zero on any disagreement. Output is deterministic
+  per --seed. --quick is the bounded CI preset.
 ";
 
 /// Which program to operate on.
@@ -88,6 +99,23 @@ pub enum Command {
         /// Corpus directory (default: `.lazylocks/corpus`).
         dir: Option<String>,
         /// Emit the result as a JSON document on stdout.
+        json: bool,
+    },
+    Fuzz {
+        /// A single shape profile, or `None` for all of them. Parsed
+        /// (and validated) here so execution never re-interprets it.
+        profile: Option<lazylocks_fuzz::ShapeProfile>,
+        /// Total generated cases.
+        cases: usize,
+        /// Master seed (corpus and report are deterministic per seed).
+        seed: u64,
+        /// Schedule budget per strategy run.
+        budget: usize,
+        /// Largest size-dial value (cases cycle `1..=size`).
+        size: usize,
+        /// Persist shrunk disagreement repros into this directory.
+        save: Option<String>,
+        /// Emit the report as a JSON document on stdout.
         json: bool,
     },
     Compare {
@@ -283,6 +311,76 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             })?;
             Ok(Command::Corpus { action, dir, json })
         }
+        "fuzz" => {
+            let mut profile = None;
+            let mut cases: Option<usize> = None;
+            let mut seed = 7u64;
+            let mut budget: Option<usize> = None;
+            let mut size = 3usize;
+            let mut save = None;
+            let mut json = false;
+            let mut quick = false;
+            parse_flags(&rest, |flag, value| match flag {
+                "--profile" => {
+                    let name = value.ok_or("--profile needs a value")?;
+                    let parsed =
+                        lazylocks_fuzz::ShapeProfile::from_name(name).ok_or_else(|| {
+                            let known: Vec<&str> = lazylocks_fuzz::ShapeProfile::ALL
+                                .iter()
+                                .map(|p| p.name())
+                                .collect();
+                            format!("unknown profile {name:?}; known: {}", known.join(", "))
+                        })?;
+                    profile = Some(parsed);
+                    Ok(())
+                }
+                "--cases" => {
+                    cases = Some(parse_num(value, "--cases")?);
+                    Ok(())
+                }
+                "--seed" => {
+                    seed = parse_num(value, "--seed")? as u64;
+                    Ok(())
+                }
+                "--budget" => {
+                    budget = Some(parse_num(value, "--budget")?);
+                    Ok(())
+                }
+                "--size" => {
+                    size = parse_num(value, "--size")?;
+                    // Reject out-of-range dials here rather than letting
+                    // the generator clamp them silently.
+                    if !(1..=lazylocks_fuzz::MAX_SIZE).contains(&size) {
+                        return Err(format!("--size must be 1..={}", lazylocks_fuzz::MAX_SIZE));
+                    }
+                    Ok(())
+                }
+                "--save" => {
+                    save = Some(value.ok_or("--save needs a directory")?.to_string());
+                    Ok(())
+                }
+                "--json" => {
+                    json = true;
+                    Ok(())
+                }
+                "--quick" => {
+                    quick = true;
+                    Ok(())
+                }
+                _ => Err(format!("unknown flag {flag} for fuzz")),
+            })?;
+            // --quick is the bounded CI preset; explicit flags still win.
+            let (default_cases, default_budget) = if quick { (30, 8_000) } else { (100, 20_000) };
+            Ok(Command::Fuzz {
+                profile,
+                cases: cases.unwrap_or(default_cases),
+                seed,
+                budget: budget.unwrap_or(default_budget),
+                size,
+                save,
+                json,
+            })
+        }
         "compare" => {
             let mut target = None;
             let mut limit = 10_000usize;
@@ -375,7 +473,7 @@ fn parse_flags(
             return Err(format!("unexpected argument {flag:?}"));
         }
         // Boolean flags take no value; everything else consumes one.
-        let boolean = matches!(flag, "--stop-on-bug" | "--minimize" | "--json");
+        let boolean = matches!(flag, "--stop-on-bug" | "--minimize" | "--json" | "--quick");
         let value = if boolean {
             None
         } else {
@@ -530,6 +628,63 @@ mod tests {
             Command::Run { strategy, .. } => assert_eq!(strategy, "parallel(workers=2)"),
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_fuzz() {
+        assert_eq!(
+            parse(&argv("fuzz")).unwrap(),
+            Command::Fuzz {
+                profile: None,
+                cases: 100,
+                seed: 7,
+                budget: 20_000,
+                size: 3,
+                save: None,
+                json: false,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "fuzz --profile deadlock-prone --cases 50 --seed 9 --budget 500 \
+                 --size 2 --save repros --json"
+            ))
+            .unwrap(),
+            Command::Fuzz {
+                profile: Some(lazylocks_fuzz::ShapeProfile::DeadlockProne),
+                cases: 50,
+                seed: 9,
+                budget: 500,
+                size: 2,
+                save: Some("repros".to_string()),
+                json: true,
+            }
+        );
+        // --quick bounds the defaults but explicit flags win.
+        assert_eq!(
+            parse(&argv("fuzz --quick")).unwrap(),
+            Command::Fuzz {
+                profile: None,
+                cases: 30,
+                seed: 7,
+                budget: 8_000,
+                size: 3,
+                save: None,
+                json: false,
+            }
+        );
+        match parse(&argv("fuzz --quick --cases 5")).unwrap() {
+            Command::Fuzz { cases, budget, .. } => {
+                assert_eq!(cases, 5);
+                assert_eq!(budget, 8_000);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&argv("fuzz --profile nope")).is_err());
+        assert!(parse(&argv("fuzz --size 0")).is_err());
+        assert!(parse(&argv("fuzz --size 10")).is_err());
+        assert!(parse(&argv("fuzz --cases many")).is_err());
+        assert!(parse(&argv("fuzz --walks 3")).is_err());
     }
 
     #[test]

@@ -111,6 +111,15 @@ pub fn run(cmd: Command) -> Result<(), String> {
         }
         Command::Replay { path, target, json } => replay(&path, target.as_ref(), json),
         Command::Corpus { action, dir, json } => corpus(action, dir.as_deref(), json),
+        Command::Fuzz {
+            profile,
+            cases,
+            seed,
+            budget,
+            size,
+            save,
+            json,
+        } => fuzz(profile, cases, seed, budget, size, save.as_deref(), json),
         Command::Compare { target, limit } => compare(&resolve(&target)?, limit),
         Command::Races {
             target,
@@ -524,6 +533,215 @@ fn corpus_seed(store: &CorpusStore, limit: usize, json: bool) -> Result<(), Stri
     if missing > 0 {
         return Err(format!(
             "{missing} expected-buggy benchmark(s) produced no bug within {limit} schedules"
+        ));
+    }
+    Ok(())
+}
+
+/// `lazylocks fuzz`: generate adversarial programs and differentially
+/// check every registered strategy against exhaustive DFS. Deterministic
+/// per seed (no wall-clock data in the output); exit status is non-zero
+/// on any disagreement.
+#[allow(clippy::too_many_arguments)]
+fn fuzz(
+    profile: Option<lazylocks_fuzz::ShapeProfile>,
+    cases: usize,
+    seed: u64,
+    budget: usize,
+    size: usize,
+    save: Option<&str>,
+    json: bool,
+) -> Result<(), String> {
+    use lazylocks::CancelToken;
+    use lazylocks_fuzz::{default_oracle_specs, run_fuzz, CaseStatus, FuzzConfig, ShapeProfile};
+
+    let profiles = match profile {
+        None => ShapeProfile::ALL.to_vec(),
+        Some(profile) => vec![profile],
+    };
+    let store = save
+        .map(|dir| CorpusStore::open(dir).map_err(|e| format!("cannot open {dir}: {e}")))
+        .transpose()?;
+    let config = FuzzConfig {
+        profiles,
+        cases,
+        seed,
+        budget,
+        max_size: size,
+        shrink: true,
+    };
+    let registry = StrategyRegistry::default();
+    let oracle = default_oracle_specs();
+    let report = run_fuzz(
+        &config,
+        &registry,
+        &oracle,
+        store.as_ref(),
+        &CancelToken::new(),
+        |case| {
+            for repro in &case.repros {
+                if let Some(e) = &repro.save_error {
+                    eprintln!("warning: {e}");
+                }
+            }
+            if json {
+                return;
+            }
+            let outcome = match case.status {
+                CaseStatus::Agreed => format!(
+                    "agreed        ({} schedules, {} states)",
+                    case.dfs.schedules, case.dfs.states
+                ),
+                CaseStatus::AgreedBuggy => format!(
+                    "agreed        ({} schedules, {} states, {} deadlocking, {} faulting)",
+                    case.dfs.schedules,
+                    case.dfs.states,
+                    case.dfs.deadlocks,
+                    case.dfs.faulted_schedules
+                ),
+                CaseStatus::Unexhausted => {
+                    format!("skipped       (ground truth exceeds budget {budget})")
+                }
+                CaseStatus::Disagreed => format!(
+                    "DISAGREED     ({} broken promise(s))",
+                    case.disagreements.len()
+                ),
+                CaseStatus::Cancelled => "cancelled".to_string(),
+            };
+            println!("{:<28} {outcome}", case.program_name);
+            for d in &case.disagreements {
+                println!("    {d}");
+            }
+            for repro in &case.repros {
+                match &repro.path {
+                    Some(path) => println!(
+                        "    repro: {} instruction(s), schedule of {} -> {}",
+                        repro.instructions,
+                        repro.schedule_len,
+                        path.display()
+                    ),
+                    None => println!(
+                        "    repro: {} instruction(s), schedule of {} (not saved; use --save DIR)",
+                        repro.instructions, repro.schedule_len
+                    ),
+                }
+            }
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    let summary = [
+        ("agreed", report.count(CaseStatus::Agreed)),
+        ("agreed_buggy", report.count(CaseStatus::AgreedBuggy)),
+        ("unexhausted", report.count(CaseStatus::Unexhausted)),
+        ("disagreed", report.count(CaseStatus::Disagreed)),
+    ];
+    if json {
+        let cases_json: Vec<Json> = report
+            .cases
+            .iter()
+            .map(|case| {
+                Json::obj([
+                    ("case", Json::Int(case.index as i128)),
+                    ("profile", Json::Str(case.profile.name().to_string())),
+                    ("size", Json::Int(case.size as i128)),
+                    ("program", Json::Str(case.program_name.clone())),
+                    ("fingerprint", Json::u128_hex(case.fingerprint)),
+                    ("status", Json::Str(case.status.label().to_string())),
+                    (
+                        "dfs",
+                        Json::obj([
+                            ("schedules", Json::Int(case.dfs.schedules as i128)),
+                            ("states", Json::Int(case.dfs.states as i128)),
+                            ("hbrs", Json::Int(case.dfs.hbrs as i128)),
+                            ("lazy_hbrs", Json::Int(case.dfs.lazy_hbrs as i128)),
+                            ("deadlocks", Json::Int(case.dfs.deadlocks as i128)),
+                            (
+                                "faulted_schedules",
+                                Json::Int(case.dfs.faulted_schedules as i128),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "disagreements",
+                        Json::Arr(
+                            case.disagreements
+                                .iter()
+                                .map(|d| {
+                                    Json::obj([
+                                        ("spec", Json::Str(d.spec.clone())),
+                                        ("strategy", Json::Str(d.strategy_id.clone())),
+                                        ("promised", Json::Str(d.agreement.name().to_string())),
+                                        ("kind", Json::Str(d.kind.label().to_string())),
+                                        ("details", Json::Str(d.kind.to_string())),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "repros",
+                        Json::Arr(
+                            case.repros
+                                .iter()
+                                .map(|r| {
+                                    Json::obj([
+                                        ("spec", Json::Str(r.spec.clone())),
+                                        ("kind", Json::Str(r.kind.clone())),
+                                        ("instructions", Json::Int(r.instructions as i128)),
+                                        ("schedule_len", Json::Int(r.schedule_len as i128)),
+                                        (
+                                            "path",
+                                            match &r.path {
+                                                Some(p) => Json::Str(p.display().to_string()),
+                                                None => Json::Null,
+                                            },
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = Json::obj([
+            ("format", Json::Str("lazylocks-fuzz".to_string())),
+            ("version", Json::Int(1)),
+            ("seed", Json::Int(i128::from(seed))),
+            ("budget", Json::Int(budget as i128)),
+            ("cases", Json::Int(cases as i128)),
+            (
+                "profiles",
+                Json::Arr(
+                    config
+                        .profiles
+                        .iter()
+                        .map(|p| Json::Str(p.name().to_string()))
+                        .collect(),
+                ),
+            ),
+            ("results", Json::Arr(cases_json)),
+            (
+                "summary",
+                Json::obj(
+                    summary
+                        .iter()
+                        .map(|(k, v)| (*k, Json::Int(*v as i128)))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ]);
+        println!("{}", doc.pretty());
+    } else {
+        let line: Vec<String> = summary.iter().map(|(k, v)| format!("{v} {k}")).collect();
+        println!("\n{} case(s): {}", report.cases.len(), line.join(", "));
+    }
+    let disagreements = report.total_disagreements();
+    if disagreements > 0 {
+        return Err(format!(
+            "{disagreements} disagreement(s) across {} case(s)",
+            report.count(CaseStatus::Disagreed)
         ));
     }
     Ok(())

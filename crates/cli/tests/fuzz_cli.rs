@@ -1,0 +1,109 @@
+//! End-to-end checks of the `fuzz` subcommand: deterministic JSON across
+//! two fresh processes, zero disagreements on the shipped oracle, and a
+//! usable repro directory wiring.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn lazylocks(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_lazylocks"))
+        .args(args)
+        .output()
+        .expect("spawning the lazylocks binary")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn fuzz_json_is_deterministic_across_processes_and_agrees() {
+    let args = [
+        "fuzz",
+        "--profile",
+        "deadlock-prone",
+        "--cases",
+        "20",
+        "--seed",
+        "7",
+        "--budget",
+        "10000",
+        "--json",
+    ];
+    let a = lazylocks(&args);
+    assert!(
+        a.status.success(),
+        "fuzz must exit zero without disagreements: {}",
+        String::from_utf8_lossy(&a.stderr)
+    );
+    let b = lazylocks(&args);
+    assert!(b.status.success());
+    assert_eq!(stdout(&a), stdout(&b), "two runs must emit identical JSON");
+
+    let text = stdout(&a);
+    let doc = lazylocks_trace::Json::parse(&text).expect("fuzz --json emits valid JSON");
+    assert_eq!(
+        doc.get("format").and_then(lazylocks_trace::Json::as_str),
+        Some("lazylocks-fuzz")
+    );
+    let results = doc
+        .get("results")
+        .and_then(lazylocks_trace::Json::as_arr)
+        .expect("results array");
+    assert_eq!(results.len(), 20);
+    for case in results {
+        let status = case
+            .get("status")
+            .and_then(lazylocks_trace::Json::as_str)
+            .unwrap();
+        assert!(
+            status != "disagreed",
+            "no shipped strategy may disagree: {text}"
+        );
+    }
+    let summary = doc.get("summary").expect("summary object");
+    assert_eq!(
+        summary
+            .get("disagreed")
+            .and_then(lazylocks_trace::Json::as_u64),
+        Some(0)
+    );
+}
+
+#[test]
+fn fuzz_save_directory_is_created_and_left_empty_on_agreement() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("lazylocks-fuzz-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = lazylocks(&[
+        "fuzz",
+        "--profile",
+        "branchy",
+        "--cases",
+        "5",
+        "--seed",
+        "11",
+        "--save",
+        dir.to_string_lossy().as_ref(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(dir.is_dir(), "--save creates the corpus directory");
+    let artifacts = std::fs::read_dir(&dir).unwrap().count();
+    assert_eq!(artifacts, 0, "agreement leaves no repro artifacts behind");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fuzz_rejects_unknown_profiles() {
+    let out = lazylocks(&["fuzz", "--profile", "zen-garden"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("zen-garden") && err.contains("deadlock-prone"),
+        "{err}"
+    );
+}

@@ -1,0 +1,452 @@
+//! Grammar-directed guest-program generation.
+//!
+//! Programs are emitted through [`lazylocks_model::ProgramBuilder`] from a
+//! deterministic [`SplitMix64`] stream, so a `(profile, size, seed)` triple
+//! always yields the same program. Generation is organised around
+//! **shape profiles** — each profile biases the grammar toward a distinct
+//! stress pattern so the corpus exercises different explorer code paths
+//! instead of uniform noise:
+//!
+//! | Profile | Stresses |
+//! |---------|----------|
+//! | [`ShapeProfile::LockHeavy`] | mutex blocking, critical-section serialisation, the lazy relation's dropped mutex edges |
+//! | [`ShapeProfile::DataRaceRich`] | variable dependence, racy read-modify-write, assertion faults |
+//! | [`ShapeProfile::DeadlockProne`] | inconsistent lock orders, deadlock detection, blocked-acquisition backtracking |
+//! | [`ShapeProfile::Branchy`] | schedule-dependent control flow, bounded loops, branch targets |
+//! | [`ShapeProfile::WideFanOut`] | wide enabled sets, thread-set bitmask paths, shallow trees |
+//!
+//! Every generated program is **finite** (loops are statically bounded),
+//! **lock-disciplined inside a thread** (no self-lock, every acquired mutex
+//! is released on every path — deadlocks arise only from cross-thread
+//! order inversions), and uses identifier names that survive the `.llk`
+//! print → parse round trip (several deliberately collide with format
+//! keywords to keep that guarantee honest).
+
+use lazylocks::rng::SplitMix64;
+use lazylocks_model::{MutexId, Program, ProgramBuilder, Reg, Value, VarId};
+
+/// The generation profiles; see the module docs for what each stresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShapeProfile {
+    /// Well-ordered critical sections over several mutexes.
+    LockHeavy,
+    /// Few variables, many unsynchronised conflicting accesses, asserts.
+    DataRaceRich,
+    /// Nested acquisitions in inconsistent orders.
+    DeadlockProne,
+    /// Value-dependent branches and statically bounded loops.
+    Branchy,
+    /// Many threads with one or two operations each.
+    WideFanOut,
+}
+
+impl ShapeProfile {
+    /// Every profile, in the canonical corpus order.
+    pub const ALL: [ShapeProfile; 5] = [
+        ShapeProfile::LockHeavy,
+        ShapeProfile::DataRaceRich,
+        ShapeProfile::DeadlockProne,
+        ShapeProfile::Branchy,
+        ShapeProfile::WideFanOut,
+    ];
+
+    /// The profile's stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShapeProfile::LockHeavy => "lock-heavy",
+            ShapeProfile::DataRaceRich => "data-race-rich",
+            ShapeProfile::DeadlockProne => "deadlock-prone",
+            ShapeProfile::Branchy => "branchy",
+            ShapeProfile::WideFanOut => "wide-fan-out",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<ShapeProfile> {
+        ShapeProfile::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+impl std::fmt::Display for ShapeProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The size dial's largest setting (`1..=MAX_SIZE`). Size scales thread
+/// counts and per-thread operation counts while keeping the full schedule
+/// space small enough for exhaustive ground truth under a modest budget.
+pub const MAX_SIZE: usize = 3;
+
+/// Identifier stems for generated declarations. Several collide with text
+/// format keywords on purpose: the corpus continuously re-proves that the
+/// printer/parser round trip is keyword-proof.
+const VAR_STEMS: &[&str] = &["v", "ctr", "flag", "slot", "load", "r0"];
+const MUTEX_STEMS: &[&str] = &["m", "lk", "gate", "store"];
+
+/// Generates one program. Equal `(profile, size, name)` with an equally
+/// positioned `rng` always produce the same program.
+///
+/// `size` is clamped to `1..=MAX_SIZE`; `name` must be a valid program
+/// name (the builder panics otherwise, as for any invalid program).
+pub fn generate(profile: ShapeProfile, size: usize, name: &str, rng: &mut SplitMix64) -> Program {
+    let size = size.clamp(1, MAX_SIZE);
+    let mut b = ProgramBuilder::new(name);
+    match profile {
+        ShapeProfile::LockHeavy => lock_heavy(&mut b, size, rng),
+        ShapeProfile::DataRaceRich => data_race_rich(&mut b, size, rng),
+        ShapeProfile::DeadlockProne => deadlock_prone(&mut b, size, rng),
+        ShapeProfile::Branchy => branchy(&mut b, size, rng),
+        ShapeProfile::WideFanOut => wide_fan_out(&mut b, size, rng),
+    }
+    b.build()
+}
+
+/// One entry of a deterministic fuzz corpus, as derived by [`corpus`].
+#[derive(Debug, Clone)]
+pub struct CorpusCase {
+    /// Dense 0-based case index.
+    pub index: usize,
+    /// The shape profile the case was drawn from.
+    pub profile: ShapeProfile,
+    /// Size-dial value used.
+    pub size: usize,
+    /// The per-case seed (also used to seed the oracle's strategy runs).
+    pub seed: u64,
+    /// The generated program, named `fuzz-<profile>-<index>`.
+    pub program: Program,
+}
+
+/// Derives **the** deterministic corpus for `cases` indices: profiles
+/// round-robin (all of them when `profiles` is empty), the size dial
+/// cycling `1..=max_size`, and a per-case seed drawn *up front* from one
+/// master stream — so one case's generation never shifts the programs of
+/// later cases. The fuzz harness and the integration-test corpus share
+/// this single definition.
+pub fn corpus(
+    profiles: &[ShapeProfile],
+    max_size: usize,
+    cases: usize,
+    seed: u64,
+) -> Vec<CorpusCase> {
+    let profiles = if profiles.is_empty() {
+        &ShapeProfile::ALL
+    } else {
+        profiles
+    };
+    let max_size = max_size.clamp(1, MAX_SIZE);
+    let mut master = SplitMix64::new(seed);
+    (0..cases)
+        .map(|index| {
+            let case_seed = master.next_u64();
+            let profile = profiles[index % profiles.len()];
+            let size = 1 + (index / profiles.len()) % max_size;
+            let mut rng = SplitMix64::new(case_seed);
+            let name = format!("fuzz-{}-{index}", profile.name());
+            let program = generate(profile, size, &name, &mut rng);
+            CorpusCase {
+                index,
+                profile,
+                size,
+                seed: case_seed,
+                program,
+            }
+        })
+        .collect()
+}
+
+fn decl_vars(b: &mut ProgramBuilder, n: usize, rng: &mut SplitMix64) -> Vec<VarId> {
+    (0..n)
+        .map(|i| {
+            let stem = VAR_STEMS[rng.gen_range(VAR_STEMS.len())];
+            b.var(format!("{stem}{i}"), (rng.gen_range(3)) as Value)
+        })
+        .collect()
+}
+
+fn decl_mutexes(b: &mut ProgramBuilder, n: usize, rng: &mut SplitMix64) -> Vec<MutexId> {
+    (0..n)
+        .map(|i| {
+            let stem = MUTEX_STEMS[rng.gen_range(MUTEX_STEMS.len())];
+            b.mutex(format!("{stem}{i}"))
+        })
+        .collect()
+}
+
+/// `lock-heavy`: 2–3 threads over `size + 1` mutexes; almost every access
+/// sits in a critical section and nested sections always acquire in
+/// ascending mutex order, so the profile is deadlock-free by construction
+/// — pure serialisation pressure plus the occasional bare store to keep a
+/// race in play.
+fn lock_heavy(b: &mut ProgramBuilder, size: usize, rng: &mut SplitMix64) {
+    let vars = decl_vars(b, size + 1, rng);
+    let mutexes = decl_mutexes(b, size + 1, rng);
+    let threads = 2 + usize::from(size >= 3);
+    for tix in 0..threads {
+        let vars = vars.clone();
+        let mutexes = mutexes.clone();
+        let sections = 1 + rng.gen_range(size.min(2) + 1);
+        let mut plan: Vec<(usize, Option<usize>, u64)> = Vec::new();
+        for _ in 0..sections {
+            let lo = rng.gen_range(mutexes.len());
+            // One section in three nests a second, higher-indexed mutex —
+            // ascending order keeps the profile deadlock-free.
+            let hi = if rng.gen_range(3) == 0 && lo + 1 < mutexes.len() {
+                Some(lo + 1 + rng.gen_range(mutexes.len() - lo - 1))
+            } else {
+                None
+            };
+            plan.push((lo, hi, rng.next_u64()));
+        }
+        let bare_store = rng.gen_range(4) == 0;
+        let bare_var = rng.gen_range(vars.len());
+        b.thread(format!("T{tix}"), move |t| {
+            for (lo, hi, salt) in &plan {
+                let var = vars[*salt as usize % vars.len()];
+                t.lock(mutexes[*lo]);
+                if let Some(hi) = hi {
+                    t.lock(mutexes[*hi]);
+                }
+                match salt % 3 {
+                    0 => t.store(var, (salt % 5) as Value),
+                    1 => t.load(Reg(0), var),
+                    _ => {
+                        t.load(Reg(0), var);
+                        t.add(Reg(0), Reg(0), 1);
+                        t.store(var, Reg(0));
+                    }
+                }
+                if let Some(hi) = hi {
+                    t.unlock(mutexes[*hi]);
+                }
+                t.unlock(mutexes[*lo]);
+            }
+            if bare_store {
+                t.store(vars[bare_var], 7);
+            }
+            t.set(Reg(0), 0);
+        });
+    }
+}
+
+/// `data-race-rich`: 2–3 threads hammering 1–2 shared variables with
+/// unsynchronised loads, stores and read-modify-writes, plus occasional
+/// assertions over loaded values — the profile that exercises variable
+/// dependence, lost updates and fault reporting.
+fn data_race_rich(b: &mut ProgramBuilder, size: usize, rng: &mut SplitMix64) {
+    let vars = decl_vars(b, 1 + size / 2, rng);
+    let threads = 2 + usize::from(size >= 3);
+    let ops_per_thread = if threads == 3 { 2 } else { 1 + size.min(2) };
+    for tix in 0..threads {
+        let vars = vars.clone();
+        let ops: Vec<u64> = (0..ops_per_thread).map(|_| rng.next_u64()).collect();
+        b.thread(format!("T{tix}"), move |t| {
+            for salt in &ops {
+                let var = vars[(salt >> 8) as usize % vars.len()];
+                match salt % 5 {
+                    0 => t.store(var, (salt % 4) as Value),
+                    1 => t.load(Reg(0), var),
+                    2 => t.fetch_add_racy(var, 1),
+                    3 => {
+                        t.load(Reg(0), var);
+                        t.assert_true(Reg(0), format!("saw zero in {}", var.index()));
+                    }
+                    _ => {
+                        t.load(Reg(0), var);
+                        t.mul(Reg(0), Reg(0), 2);
+                        t.store(var, Reg(0));
+                    }
+                }
+            }
+            t.set(Reg(0), 0);
+        });
+    }
+}
+
+/// `deadlock-prone`: 2–3 threads, each taking two distinct mutexes in a
+/// randomly chosen order with a store in the doubly-locked region. Order
+/// inversions between threads create real AB-BA deadlocks; the occasional
+/// single-lock thread keeps the space from being all-deadlock.
+fn deadlock_prone(b: &mut ProgramBuilder, size: usize, rng: &mut SplitMix64) {
+    let vars = decl_vars(b, 2, rng);
+    let mutexes = decl_mutexes(b, 2 + usize::from(size >= 2), rng);
+    let threads = 2 + usize::from(size >= 2);
+    for tix in 0..threads {
+        let vars = vars.clone();
+        let mutexes = mutexes.clone();
+        let first = rng.gen_range(mutexes.len());
+        let mut second = rng.gen_range(mutexes.len());
+        if second == first {
+            second = (second + 1) % mutexes.len();
+        }
+        let single = rng.gen_range(4) == 0;
+        let var = rng.gen_range(vars.len());
+        let val = (tix + 1) as Value;
+        b.thread(format!("T{tix}"), move |t| {
+            if single {
+                t.with_lock(mutexes[first], |t| t.store(vars[var], val));
+            } else {
+                t.lock(mutexes[first]);
+                t.lock(mutexes[second]);
+                t.store(vars[var], val);
+                t.unlock(mutexes[second]);
+                t.unlock(mutexes[first]);
+            }
+        });
+    }
+}
+
+/// `branchy`: two threads whose control flow depends on the values other
+/// threads wrote — forward branches over stores plus a statically bounded
+/// re-read loop, so different schedules execute different code paths.
+fn branchy(b: &mut ProgramBuilder, size: usize, rng: &mut SplitMix64) {
+    let vars = decl_vars(b, 2, rng);
+    let flag = vars[0];
+    let data = vars[1];
+    for tix in 0..2 {
+        let salt = rng.next_u64();
+        let loops = 1 + rng.gen_range(size);
+        b.thread(format!("T{tix}"), move |t| {
+            if tix == 0 {
+                // Writer: publish data, then the flag (or inverted, per
+                // salt, so the "safe" publication order is not fixed).
+                if salt.is_multiple_of(2) {
+                    t.store(data, 41 + salt as Value % 3);
+                    t.store(flag, 1);
+                } else {
+                    t.store(flag, 1);
+                    t.store(data, 41 + salt as Value % 3);
+                }
+            } else {
+                // Reader: bounded spin on the flag, then branch on data.
+                // The spin runs before any other register reference, so
+                // its `alloc_reg` scratch is Reg(0) — the same register
+                // every later instruction reuses; the single trailing
+                // `set` clears all spin residue out of the terminal state.
+                let give_up = t.label();
+                t.spin_until_eq_bounded(flag, 1, loops, give_up);
+                t.load(Reg(0), data);
+                let skip = t.label();
+                t.branch_if_zero(Reg(0), skip);
+                t.store(data, 0);
+                t.bind(skip);
+                t.bind(give_up);
+            }
+            t.set(Reg(0), 0);
+        });
+    }
+}
+
+/// `wide-fan-out`: `3 + size` threads with a single visible operation each
+/// (two for the first thread at size 1), most of them hitting one hot
+/// variable — maximal enabled-set width with a shallow tree.
+fn wide_fan_out(b: &mut ProgramBuilder, size: usize, rng: &mut SplitMix64) {
+    let vars = decl_vars(b, 2 + size, rng);
+    let hot = vars[0];
+    let threads = 3 + size;
+    for tix in 0..threads {
+        let vars = vars.clone();
+        let salt = rng.next_u64();
+        let extra = size == 1 && tix == 0;
+        b.thread(format!("T{tix}"), move |t| {
+            let var = if salt.is_multiple_of(3) {
+                vars[1 + (salt >> 8) as usize % (vars.len() - 1)]
+            } else {
+                hot
+            };
+            match salt % 2 {
+                0 => t.store(var, (salt % 4) as Value),
+                _ => {
+                    t.load(Reg(0), var);
+                    t.set(Reg(0), 0);
+                }
+            }
+            if extra {
+                t.store(hot, 9);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for profile in ShapeProfile::ALL {
+            for size in 1..=MAX_SIZE {
+                let a = generate(profile, size, "p", &mut SplitMix64::new(42));
+                let b = generate(profile, size, "p", &mut SplitMix64::new(42));
+                assert_eq!(a, b, "{profile} size {size}");
+                let c = generate(profile, size, "p", &mut SplitMix64::new(43));
+                // Different seeds *usually* differ; at minimum they stay
+                // valid. (No assertion of inequality: small shapes can
+                // coincide.)
+                c.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn generated_programs_validate_and_round_trip() {
+        let mut rng = SplitMix64::new(7);
+        for i in 0..60 {
+            let profile = ShapeProfile::ALL[i % ShapeProfile::ALL.len()];
+            let size = 1 + i % MAX_SIZE;
+            let p = generate(profile, size, &format!("gen-{i}"), &mut rng);
+            p.validate().unwrap();
+            let reparsed = Program::parse(&p.to_source()).expect("printed source parses");
+            assert_eq!(p, reparsed, "{}", p.to_source());
+        }
+    }
+
+    #[test]
+    fn profiles_have_distinct_shapes() {
+        let mut rng = SplitMix64::new(1);
+        let wide = generate(ShapeProfile::WideFanOut, 3, "w", &mut rng);
+        assert!(wide.thread_count() >= 5, "wide fan-out is wide");
+        let mut rng = SplitMix64::new(1);
+        let locky = generate(ShapeProfile::LockHeavy, 2, "l", &mut rng);
+        assert!(!locky.mutexes().is_empty());
+        let lock_ops = locky
+            .threads()
+            .iter()
+            .flat_map(|t| &t.code)
+            .filter(|i| matches!(i, lazylocks_model::Instr::Lock(_)))
+            .count();
+        assert!(lock_ops >= 2, "lock-heavy programs lock");
+        let mut rng = SplitMix64::new(1);
+        let branchy = generate(ShapeProfile::Branchy, 2, "b", &mut rng);
+        assert!(
+            branchy
+                .threads()
+                .iter()
+                .flat_map(|t| &t.code)
+                .any(|i| matches!(i, lazylocks_model::Instr::Branch { .. })),
+            "branchy programs branch"
+        );
+    }
+
+    #[test]
+    fn deadlock_prone_profile_actually_deadlocks_somewhere() {
+        use lazylocks::{DfsEnumeration, ExploreConfig, Explorer};
+        let mut rng = SplitMix64::new(0xfee1);
+        let mut deadlocks = 0;
+        for i in 0..10 {
+            let p = generate(ShapeProfile::DeadlockProne, 2, &format!("d{i}"), &mut rng);
+            let stats = DfsEnumeration.explore(&p, &ExploreConfig::with_limit(50_000));
+            assert!(!stats.limit_hit, "deadlock-prone stays exhaustible");
+            deadlocks += stats.deadlocks.min(1);
+        }
+        assert!(deadlocks >= 3, "several of 10 cases deadlock: {deadlocks}");
+    }
+
+    #[test]
+    fn profile_names_round_trip() {
+        for p in ShapeProfile::ALL {
+            assert_eq!(ShapeProfile::from_name(p.name()), Some(p));
+        }
+        assert_eq!(ShapeProfile::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,524 @@
+//! Program-level shrinking by delta debugging.
+//!
+//! Given a program and a predicate ("this disagreement / bug still
+//! reproduces"), [`shrink_program`] deletes as much of the program as it
+//! can while the predicate keeps holding, in three passes:
+//!
+//! 1. **threads** — drop whole threads;
+//! 2. **instructions** — ddmin-style chunk removal inside each thread,
+//!    with jump targets remapped across the removed range;
+//! 3. **operands** — replace register operands and non-zero constants
+//!    (including variable initial values) with `0`, and shrink assert
+//!    messages to a canonical short form.
+//!
+//! A final cleanup drops declarations no instruction references. The
+//! result is a near-minimal `.llk` repro; *schedule*-level minimisation is
+//! deliberately left to the existing [`minimize_schedule`] — the two
+//! compose: first shrink the program, then minimise the witnessing
+//! schedule on the shrunk program.
+//!
+//! [`minimize_schedule`]: lazylocks::minimize_schedule
+
+use lazylocks_model::{Instr, MutexDecl, MutexId, Operand, Program, ThreadDef, VarDecl, VarId};
+
+/// Shrinks `program` while `keeps_failing` holds. `keeps_failing` must be
+/// `true` for `program` itself (debug-asserted); the returned program
+/// satisfies it and is structurally valid.
+pub fn shrink_program(
+    program: &Program,
+    mut keeps_failing: impl FnMut(&Program) -> bool,
+) -> Program {
+    debug_assert!(
+        keeps_failing(program),
+        "the input program must satisfy the shrink predicate"
+    );
+    let mut current = program.clone();
+
+    // Pass 1: whole threads, to a fixpoint.
+    loop {
+        let mut removed = false;
+        let mut tix = 0;
+        while tix < current.threads().len() {
+            if current.threads().len() == 1 {
+                break; // programs need at least one thread
+            }
+            let mut threads = current.threads().to_vec();
+            threads.remove(tix);
+            if let Some(next) = rebuild(&current, None, None, Some(threads)) {
+                if keeps_failing(&next) {
+                    current = next;
+                    removed = true;
+                    continue; // same index now holds the next thread
+                }
+            }
+            tix += 1;
+        }
+        if !removed {
+            break;
+        }
+    }
+
+    // Pass 2: instruction ranges per thread, ddmin-style granularity.
+    for tix in 0..current.threads().len() {
+        let mut chunk = (current.threads()[tix].code.len() / 2).max(1);
+        loop {
+            let mut removed_any = false;
+            let mut start = 0;
+            while start < current.threads()[tix].code.len() {
+                let len = current.threads()[tix].code.len();
+                let end = (start + chunk).min(len);
+                if let Some(thread) = remove_instr_range(&current.threads()[tix], start, end) {
+                    let mut threads = current.threads().to_vec();
+                    threads[tix] = thread;
+                    if let Some(next) = rebuild(&current, None, None, Some(threads)) {
+                        if keeps_failing(&next) {
+                            current = next;
+                            removed_any = true;
+                            continue; // retry the same window
+                        }
+                    }
+                }
+                start = end;
+            }
+            if chunk == 1 {
+                if !removed_any {
+                    break;
+                }
+            } else if !removed_any {
+                chunk /= 2;
+            }
+        }
+    }
+
+    // Pass 3: operand and initial-value simplification (single sweep each;
+    // simplifications are independent).
+    for tix in 0..current.threads().len() {
+        for pc in 0..current.threads()[tix].code.len() {
+            // Candidates are regenerated from the *current* instruction
+            // after each acceptance, so one simplification never reverts
+            // another; every candidate strictly simplifies, so this
+            // terminates.
+            loop {
+                let mut accepted = false;
+                for candidate in simplify_instr(&current.threads()[tix].code[pc]) {
+                    let mut threads = current.threads().to_vec();
+                    threads[tix].code[pc] = candidate;
+                    if let Some(next) = rebuild(&current, None, None, Some(threads)) {
+                        if keeps_failing(&next) {
+                            current = next;
+                            accepted = true;
+                            break;
+                        }
+                    }
+                }
+                if !accepted {
+                    break;
+                }
+            }
+        }
+    }
+    for vix in 0..current.vars().len() {
+        if current.vars()[vix].init != 0 {
+            let mut vars = current.vars().to_vec();
+            vars[vix].init = 0;
+            if let Some(next) = rebuild(&current, Some(vars), None, None) {
+                if keeps_failing(&next) {
+                    current = next;
+                }
+            }
+        }
+    }
+
+    // Cleanup: drop unreferenced declarations (ids renumbered).
+    let stripped = strip_unused_decls(&current);
+    if keeps_failing(&stripped) {
+        current = stripped;
+    }
+    current
+}
+
+/// Rebuilds a program with some parts replaced; `None` on validation
+/// failure (the candidate is then simply skipped).
+fn rebuild(
+    base: &Program,
+    vars: Option<Vec<VarDecl>>,
+    mutexes: Option<Vec<MutexDecl>>,
+    threads: Option<Vec<ThreadDef>>,
+) -> Option<Program> {
+    Program::new(
+        base.name(),
+        vars.unwrap_or_else(|| base.vars().to_vec()),
+        mutexes.unwrap_or_else(|| base.mutexes().to_vec()),
+        threads.unwrap_or_else(|| base.threads().to_vec()),
+    )
+    .ok()
+}
+
+/// Removes `code[start..end]`, remapping every jump target across the gap:
+/// targets beyond the range shift left, targets inside collapse onto the
+/// cut point. Returns `None` for empty ranges.
+fn remove_instr_range(thread: &ThreadDef, start: usize, end: usize) -> Option<ThreadDef> {
+    if start >= end || end > thread.code.len() {
+        return None;
+    }
+    let width = end - start;
+    let remap = |target: usize| {
+        if target >= end {
+            target - width
+        } else if target > start {
+            start
+        } else {
+            target
+        }
+    };
+    let code: Vec<Instr> = thread
+        .code
+        .iter()
+        .enumerate()
+        .filter(|(pc, _)| *pc < start || *pc >= end)
+        .map(|(_, instr)| match instr {
+            Instr::Jump { target } => Instr::Jump {
+                target: remap(*target),
+            },
+            Instr::Branch {
+                cond,
+                target,
+                when_zero,
+            } => Instr::Branch {
+                cond: *cond,
+                target: remap(*target),
+                when_zero: *when_zero,
+            },
+            other => other.clone(),
+        })
+        .collect();
+    Some(ThreadDef {
+        name: thread.name.clone(),
+        code,
+    })
+}
+
+/// Candidate simplifications of one instruction, cheapest-first.
+fn simplify_instr(instr: &Instr) -> Vec<Instr> {
+    let zero = Operand::Const(0);
+    let simpler = |op: &Operand| match op {
+        Operand::Reg(_) => Some(zero),
+        Operand::Const(v) if *v != 0 => Some(zero),
+        _ => None,
+    };
+    match instr {
+        Instr::Store { var, src } => simpler(src)
+            .map(|src| Instr::Store { var: *var, src })
+            .into_iter()
+            .collect(),
+        Instr::Set { dst, src } => simpler(src)
+            .map(|src| Instr::Set { dst: *dst, src })
+            .into_iter()
+            .collect(),
+        Instr::Bin { dst, op, lhs, rhs } => {
+            let mut out = vec![Instr::Set {
+                dst: *dst,
+                src: zero,
+            }];
+            if let Some(lhs) = simpler(lhs) {
+                out.push(Instr::Bin {
+                    dst: *dst,
+                    op: *op,
+                    lhs,
+                    rhs: *rhs,
+                });
+            }
+            if let Some(rhs) = simpler(rhs) {
+                out.push(Instr::Bin {
+                    dst: *dst,
+                    op: *op,
+                    lhs: *lhs,
+                    rhs,
+                });
+            }
+            out
+        }
+        Instr::Un { dst, .. } => vec![Instr::Set {
+            dst: *dst,
+            src: zero,
+        }],
+        Instr::Branch {
+            cond,
+            target,
+            when_zero,
+        } => simpler(cond)
+            .map(|cond| Instr::Branch {
+                cond,
+                target: *target,
+                when_zero: *when_zero,
+            })
+            .into_iter()
+            .collect(),
+        Instr::Assert { cond, msg } => {
+            let mut out = Vec::new();
+            if msg != "shrunk" {
+                out.push(Instr::Assert {
+                    cond: *cond,
+                    msg: "shrunk".to_string(),
+                });
+            }
+            if let Some(cond) = simpler(cond) {
+                out.push(Instr::Assert {
+                    cond,
+                    msg: msg.clone(),
+                });
+            }
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Drops variables and mutexes no instruction references, renumbering the
+/// remaining ids.
+fn strip_unused_decls(program: &Program) -> Program {
+    let mut var_used = vec![false; program.vars().len()];
+    let mut mutex_used = vec![false; program.mutexes().len()];
+    for thread in program.threads() {
+        for instr in &thread.code {
+            match instr {
+                Instr::Load { var, .. } | Instr::Store { var, .. } => {
+                    var_used[var.index()] = true;
+                }
+                Instr::Lock(m) | Instr::Unlock(m) => mutex_used[m.index()] = true,
+                _ => {}
+            }
+        }
+    }
+    let var_map: Vec<Option<VarId>> = {
+        let mut next = 0u16;
+        var_used
+            .iter()
+            .map(|used| {
+                used.then(|| {
+                    let id = VarId(next);
+                    next += 1;
+                    id
+                })
+            })
+            .collect()
+    };
+    let mutex_map: Vec<Option<MutexId>> = {
+        let mut next = 0u16;
+        mutex_used
+            .iter()
+            .map(|used| {
+                used.then(|| {
+                    let id = MutexId(next);
+                    next += 1;
+                    id
+                })
+            })
+            .collect()
+    };
+    let vars: Vec<VarDecl> = program
+        .vars()
+        .iter()
+        .zip(&var_used)
+        .filter(|(_, used)| **used)
+        .map(|(v, _)| v.clone())
+        .collect();
+    let mutexes: Vec<MutexDecl> = program
+        .mutexes()
+        .iter()
+        .zip(&mutex_used)
+        .filter(|(_, used)| **used)
+        .map(|(m, _)| m.clone())
+        .collect();
+    let threads: Vec<ThreadDef> = program
+        .threads()
+        .iter()
+        .map(|t| ThreadDef {
+            name: t.name.clone(),
+            code: t
+                .code
+                .iter()
+                .map(|instr| match instr {
+                    Instr::Load { dst, var } => Instr::Load {
+                        dst: *dst,
+                        var: var_map[var.index()].expect("referenced var kept"),
+                    },
+                    Instr::Store { var, src } => Instr::Store {
+                        var: var_map[var.index()].expect("referenced var kept"),
+                        src: *src,
+                    },
+                    Instr::Lock(m) => Instr::Lock(mutex_map[m.index()].expect("kept")),
+                    Instr::Unlock(m) => Instr::Unlock(mutex_map[m.index()].expect("kept")),
+                    other => other.clone(),
+                })
+                .collect(),
+        })
+        .collect();
+    Program::new(program.name(), vars, mutexes, threads)
+        .expect("stripping unused declarations preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazylocks::{DfsEnumeration, ExploreConfig, Explorer};
+    use lazylocks_model::{ProgramBuilder, Reg};
+
+    /// AB-BA deadlock buried in noise: extra threads, extra instructions,
+    /// decorative operands.
+    fn noisy_deadlock() -> Program {
+        let mut b = ProgramBuilder::new("noisy");
+        let x = b.var("x", 3);
+        let y = b.var("y", 9);
+        let l0 = b.mutex("l0");
+        let l1 = b.mutex("l1");
+        let unused = b.mutex("unused");
+        let _ = unused;
+        b.thread("T1", |t| {
+            t.store(x, 41);
+            t.lock(l0);
+            t.lock(l1);
+            t.store(y, Reg(0));
+            t.unlock(l1);
+            t.unlock(l0);
+        });
+        b.thread("T2", |t| {
+            t.load(Reg(0), y);
+            t.lock(l1);
+            t.lock(l0);
+            t.unlock(l0);
+            t.unlock(l1);
+        });
+        b.thread("Noise", |t| {
+            t.store(x, 1);
+            t.store(y, 2);
+            t.set(Reg(0), 5);
+        });
+        b.build()
+    }
+
+    fn deadlocks(p: &Program) -> bool {
+        DfsEnumeration
+            .explore(p, &ExploreConfig::with_limit(50_000))
+            .deadlocks
+            > 0
+    }
+
+    #[test]
+    fn shrinks_deadlock_to_the_lock_skeleton() {
+        let p = noisy_deadlock();
+        assert!(deadlocks(&p));
+        let small = shrink_program(&p, deadlocks);
+        assert!(deadlocks(&small), "shrunk program still deadlocks");
+        // The minimal blocked shape is two threads racing for one lock
+        // with no release: the winner finishes holding it, the loser
+        // blocks forever. Everything else goes.
+        assert_eq!(small.thread_count(), 2, "{}", small.to_source());
+        assert!(
+            small.instruction_count() <= 2,
+            "near-minimal: {}",
+            small.to_source()
+        );
+        assert!(small.vars().is_empty(), "unused vars dropped");
+        assert_eq!(small.mutexes().len(), 1, "one mutex suffices");
+        // And the result is still a valid, printable program.
+        let reparsed = Program::parse(&small.to_source()).unwrap();
+        assert_eq!(small, reparsed);
+    }
+
+    #[test]
+    fn shrinks_assertion_fault_and_simplifies_operands() {
+        let mut b = ProgramBuilder::new("assertive");
+        let x = b.var("x", 0);
+        let noise = b.var("noise", 44);
+        b.thread("T1", |t| {
+            t.store(noise, 17);
+            t.store(x, 1);
+        });
+        b.thread("T2", |t| {
+            t.load(Reg(0), noise);
+            t.load(Reg(1), x);
+            t.assert_true(Reg(1), "x must already be set by T1");
+        });
+        let p = b.build();
+        let faults = |p: &Program| {
+            DfsEnumeration
+                .explore(p, &ExploreConfig::with_limit(50_000))
+                .faulted_schedules
+                > 0
+        };
+        assert!(faults(&p));
+        let small = shrink_program(&p, faults);
+        assert!(faults(&small));
+        // The fault needs only the assert itself (condition shrunk to 0).
+        assert!(small.instruction_count() <= 2, "{}", small.to_source());
+        let has_shrunk_msg = small
+            .threads()
+            .iter()
+            .flat_map(|t| &t.code)
+            .any(|i| matches!(i, Instr::Assert { msg, .. } if msg == "shrunk"));
+        assert!(has_shrunk_msg, "{}", small.to_source());
+    }
+
+    #[test]
+    fn jump_targets_survive_instruction_removal() {
+        let mut b = ProgramBuilder::new("jumpy");
+        let x = b.var("x", 0);
+        b.thread("T", |t| {
+            let out = t.label();
+            t.load(Reg(0), x);
+            t.branch_if(Reg(0), out);
+            t.store(x, 1);
+            t.store(x, 2);
+            t.bind(out);
+            t.store(x, 3);
+        });
+        let p = b.build();
+        let thread = &p.threads()[0];
+        // Remove the two middle stores; the branch target (4) crosses the
+        // gap and must shift to 2.
+        let shrunk = remove_instr_range(thread, 2, 4).unwrap();
+        let rebuilt = Program::new("jumpy", p.vars().to_vec(), vec![], vec![shrunk]).unwrap();
+        match rebuilt.threads()[0].code[1] {
+            Instr::Branch { target, .. } => assert_eq!(target, 2),
+            ref other => panic!("{other:?}"),
+        }
+        // Removing the range containing the target collapses it in-range.
+        let shrunk = remove_instr_range(thread, 3, 5).unwrap();
+        let rebuilt = Program::new("jumpy", p.vars().to_vec(), vec![], vec![shrunk]).unwrap();
+        match rebuilt.threads()[0].code[1] {
+            Instr::Branch { target, .. } => assert_eq!(target, 3),
+            ref other => panic!("{other:?}"),
+        }
+        // Out-of-range and empty windows are rejected.
+        assert!(remove_instr_range(thread, 3, 6).is_none());
+        assert!(remove_instr_range(thread, 2, 2).is_none());
+    }
+
+    #[test]
+    fn strip_unused_renumbers_references() {
+        let mut b = ProgramBuilder::new("strip");
+        let _dead = b.var("dead", 0);
+        let live = b.var("live", 0);
+        let _ghost = b.mutex("ghost");
+        let m = b.mutex("m");
+        b.thread("T", |t| {
+            t.with_lock(m, |t| t.store(live, 1));
+        });
+        let p = b.build();
+        let stripped = strip_unused_decls(&p);
+        assert_eq!(stripped.vars().len(), 1);
+        assert_eq!(stripped.vars()[0].name, "live");
+        assert_eq!(stripped.mutexes().len(), 1);
+        assert_eq!(stripped.mutexes()[0].name, "m");
+        assert_eq!(
+            stripped.threads()[0].code[1],
+            Instr::Store {
+                var: VarId(0),
+                src: Operand::Const(1)
+            }
+        );
+        assert_eq!(stripped.threads()[0].code[0], Instr::Lock(MutexId(0)));
+        stripped.validate().unwrap();
+    }
+}

@@ -15,14 +15,19 @@ use lazylocks_model::VisibleKind;
 use lazylocks_runtime::{Event, Fnv128};
 
 /// Mode-aware happens-before clock state, updated event by event.
+///
+/// All clocks live in **one contiguous buffer**, laid out as
+/// `[thread clocks | variable write clocks | variable read clocks | mutex
+/// clocks]`. Exploration engines snapshot the engine once per DFS node, so
+/// the clone cost is a single allocation over one cache-friendly slab
+/// instead of four separate vectors.
 #[derive(Debug, Clone)]
 pub struct ClockEngine {
     mode: HbMode,
     n_threads: usize,
-    thread_clock: Vec<VectorClock>,
-    var_write: Vec<VectorClock>,
-    var_reads: Vec<VectorClock>,
-    mutex_clock: Vec<VectorClock>,
+    n_vars: usize,
+    /// `n_threads + 2 * n_vars + n_mutexes` clocks; see the layout above.
+    clocks: Vec<VectorClock>,
 }
 
 impl ClockEngine {
@@ -31,10 +36,8 @@ impl ClockEngine {
         ClockEngine {
             mode,
             n_threads,
-            thread_clock: vec![VectorClock::new(n_threads); n_threads],
-            var_write: vec![VectorClock::new(n_threads); n_vars],
-            var_reads: vec![VectorClock::new(n_threads); n_vars],
-            mutex_clock: vec![VectorClock::new(n_threads); n_mutexes],
+            n_vars,
+            clocks: vec![VectorClock::new(n_threads); n_threads + 2 * n_vars + n_mutexes],
         }
     }
 
@@ -70,53 +73,56 @@ impl ClockEngine {
         debug_assert!(t < self.n_threads, "event from undeclared thread");
         debug_assert_eq!(
             event.id.ordinal as usize,
-            self.thread_clock[t].get(t) as usize,
+            self.clocks[t].get(t) as usize,
             "events of a thread must be applied in ordinal order"
         );
 
-        self.thread_clock[t].tick(t);
+        // Thread clocks occupy the buffer's prefix, per-site clocks the
+        // rest; splitting there hands out the two disjoint mutable views
+        // the join/assign pairs below need.
+        let (threads, sites) = self.clocks.split_at_mut(self.n_threads);
+        let thread_clock = &mut threads[t];
+        let write_at = |x: usize| x;
+        let reads_at = |x: usize| self.n_vars + x;
+        let mutex_at = |m: usize| 2 * self.n_vars + m;
+
+        thread_clock.tick(t);
         match event.kind {
             VisibleKind::Read(x) => {
                 if self.mode != HbMode::SyncOnly {
-                    self.thread_clock[t].join(&self.var_write[x.index()]);
-                    self.var_reads[x.index()].join(&self.thread_clock[t]);
+                    thread_clock.join(&sites[write_at(x.index())]);
+                    sites[reads_at(x.index())].join(thread_clock);
                 }
             }
             VisibleKind::Write(x) => {
                 if self.mode != HbMode::SyncOnly {
-                    self.thread_clock[t].join(&self.var_write[x.index()]);
-                    self.thread_clock[t].join(&self.var_reads[x.index()]);
-                    self.var_write[x.index()].assign(&self.thread_clock[t]);
-                    self.var_reads[x.index()].clear();
+                    thread_clock.join(&sites[write_at(x.index())]);
+                    thread_clock.join(&sites[reads_at(x.index())]);
+                    sites[write_at(x.index())].assign(thread_clock);
+                    sites[reads_at(x.index())].clear();
                 }
             }
             VisibleKind::Lock(m) | VisibleKind::Unlock(m) => {
                 if self.mode != HbMode::Lazy {
-                    self.thread_clock[t].join(&self.mutex_clock[m.index()]);
-                    self.mutex_clock[m.index()].assign(&self.thread_clock[t]);
+                    thread_clock.join(&sites[mutex_at(m.index())]);
+                    sites[mutex_at(m.index())].assign(thread_clock);
                 }
             }
         }
-        &self.thread_clock[t]
+        &self.clocks[t]
     }
 
     /// Clock of `thread`'s latest event (zero clock if none) — the causal
     /// past of whatever `thread` does next, as used by DPOR's
     /// "already-ordered" check.
     pub fn thread_clock(&self, thread: lazylocks_model::ThreadId) -> &VectorClock {
-        &self.thread_clock[thread.index()]
+        &self.clocks[thread.index()]
     }
 
     /// Resets every clock to zero, keeping the shape — so one engine can
     /// fingerprint many traces without reallocating.
     pub fn reset(&mut self) {
-        for c in self
-            .thread_clock
-            .iter_mut()
-            .chain(self.var_write.iter_mut())
-            .chain(self.var_reads.iter_mut())
-            .chain(self.mutex_clock.iter_mut())
-        {
+        for c in self.clocks.iter_mut() {
             c.clear();
         }
     }

@@ -27,6 +27,19 @@ pub enum ValidateError {
     },
     /// Two declarations share a name.
     DuplicateName { name: String },
+    /// A declaration name the text format cannot represent: variable,
+    /// mutex and thread names must be identifiers
+    /// (`[A-Za-z_][A-Za-z0-9_]*`), and the program name a non-empty run of
+    /// printable ASCII without `#` or `"`. Rejecting these at validation
+    /// keeps `to_source` canonical: every valid program's printed form
+    /// re-parses to the same program, byte for byte.
+    BadName {
+        /// Which namespace the name belongs to (`"program"`, `"var"`,
+        /// `"mutex"` or `"thread"`).
+        kind: &'static str,
+        /// The offending name.
+        name: String,
+    },
     /// Too many threads (vector clocks and ids use dense small indices).
     TooManyThreads { count: usize, max: usize },
 }
@@ -53,6 +66,12 @@ impl fmt::Display for ValidateError {
             ),
             ValidateError::DuplicateName { name } => {
                 write!(f, "duplicate declaration name {name:?}")
+            }
+            ValidateError::BadName { kind, name } => {
+                write!(
+                    f,
+                    "{kind} name {name:?} is not representable in the text format"
+                )
             }
             ValidateError::TooManyThreads { count, max } => {
                 write!(f, "program has {count} threads; the maximum is {max}")

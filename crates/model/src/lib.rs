@@ -57,5 +57,7 @@ pub use builder::{Label, ProgramBuilder, ThreadBuilder};
 pub use error::{ParseError, ValidateError};
 pub use ids::{MutexId, Reg, ThreadId, Value, VarId};
 pub use instr::{BinOp, Instr, Operand, UnOp, VisibleKind};
-pub use program::{MutexDecl, Program, ThreadDef, VarDecl, MAX_REGS};
+pub use program::{
+    is_valid_ident, is_valid_program_name, MutexDecl, Program, ThreadDef, VarDecl, MAX_REGS,
+};
 pub use thread_set::ThreadSet;

@@ -436,14 +436,9 @@ fn unescape_msg(line_no: usize, s: &str) -> Result<String, ParseError> {
 }
 
 fn check_ident(line_no: usize, s: &str) -> Result<(), ParseError> {
-    let mut chars = s.chars();
-    let ok = match chars.next() {
-        Some(c) if c.is_ascii_alphabetic() || c == '_' => {
-            chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
-        }
-        _ => false,
-    };
-    if ok {
+    // One rule, shared with `Program::validate`: names the validator
+    // accepts are exactly the names the parser reads back.
+    if crate::is_valid_ident(s) {
         Ok(())
     } else {
         Err(ParseError::new(

@@ -179,7 +179,7 @@ impl Program {
 
     /// Checks structural well-formedness: jump targets in range, registers
     /// within [`MAX_REGS`], variable/mutex references declared, names
-    /// unique, at least one thread.
+    /// unique and representable in the text format, at least one thread.
     pub fn validate(&self) -> Result<(), ValidateError> {
         if self.threads.is_empty() {
             return Err(ValidateError::NoThreads);
@@ -191,14 +191,29 @@ impl Program {
             });
         }
 
+        // Name discipline mirrors the parser exactly: what validates here
+        // is what `to_source` can print and `parse` will read back — the
+        // round trip trace artifacts and the fuzz generator rely on.
+        if !is_valid_program_name(&self.name) {
+            return Err(ValidateError::BadName {
+                kind: "program",
+                name: self.name.clone(),
+            });
+        }
         let mut names = HashSet::new();
-        for name in self
+        for (kind, name) in self
             .vars
             .iter()
-            .map(|v| &v.name)
-            .chain(self.mutexes.iter().map(|m| &m.name))
-            .chain(self.threads.iter().map(|t| &t.name))
+            .map(|v| ("var", &v.name))
+            .chain(self.mutexes.iter().map(|m| ("mutex", &m.name)))
+            .chain(self.threads.iter().map(|t| ("thread", &t.name)))
         {
+            if !is_valid_ident(name) {
+                return Err(ValidateError::BadName {
+                    kind,
+                    name: name.clone(),
+                });
+            }
             if !names.insert(name.as_str()) {
                 return Err(ValidateError::DuplicateName { name: name.clone() });
             }
@@ -300,6 +315,29 @@ impl Program {
             Instr::Nop => Ok(()),
         }
     }
+}
+
+/// Is `s` an identifier the text format accepts for variable, mutex and
+/// thread names? The rule is the parser's: `[A-Za-z_][A-Za-z0-9_]*`.
+pub fn is_valid_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {
+            chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+        }
+        _ => false,
+    }
+}
+
+/// Is `s` a program name the text format can carry? Program names are a
+/// single token on the `program` line, so any non-empty run of printable
+/// ASCII works as long as it contains no whitespace, no `#` (the comment
+/// marker) and no `"` (the string-literal delimiter the comment stripper
+/// honours). Benchmark names such as `paper-figure1` remain valid.
+pub fn is_valid_program_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_graphic() && c != '#' && c != '"')
 }
 
 impl fmt::Display for Program {

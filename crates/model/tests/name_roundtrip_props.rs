@@ -1,0 +1,254 @@
+//! Property tests for the identifier discipline of the `.llk` text format:
+//! any program that validates must survive print → parse → print
+//! **byte-identically**, whatever names its declarations carry — including
+//! names that collide with instruction keywords, register spellings or the
+//! pretty-printer's synthetic labels. The fuzz generator
+//! (`lazylocks-fuzz`) leans on exactly this guarantee when it embeds
+//! generated programs in trace artifacts.
+//!
+//! The corpus is drawn from a fixed-seed SplitMix64 stream (inlined here —
+//! the model crate has no dependency on the core crate's `rng` module), so
+//! every run checks the same programs.
+
+use lazylocks_model::{
+    is_valid_ident, is_valid_program_name, Instr, MutexDecl, Operand, Program, ProgramBuilder, Reg,
+    ThreadDef, VarDecl,
+};
+
+/// Minimal SplitMix64 (same constants as `lazylocks::rng::SplitMix64`).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        ((self.next() as u128 * n as u128) >> 64) as usize
+    }
+}
+
+/// Identifier stems chosen to collide with every keyword and token class
+/// the parser knows: instruction keywords, operator mnemonics, register
+/// spellings, synthetic label names, and declaration keywords.
+const HOSTILE_STEMS: &[&str] = &[
+    "load", "store", "lock", "unlock", "jump", "goto", "if", "ifz", "assert", "nop", "min", "max",
+    "neg", "not", "bnot", "r0", "r31", "L0", "L1", "program", "var", "mutex", "thread", "_", "_0",
+    "x",
+];
+
+/// A unique, parser-valid identifier built from a hostile stem.
+fn ident(rng: &mut Rng, serial: usize) -> String {
+    let stem = HOSTILE_STEMS[rng.below(HOSTILE_STEMS.len())];
+    // The serial suffix guarantees uniqueness across namespaces; a bare
+    // stem is used for serial 0 in each program so raw keyword names are
+    // exercised too.
+    if serial == 0 {
+        stem.to_string()
+    } else {
+        format!("{stem}_{serial}")
+    }
+}
+
+fn random_program(rng: &mut Rng, case: usize) -> Program {
+    let mut b = ProgramBuilder::new(format!("name-props.case-{case}"));
+    let n_vars = 1 + rng.below(3);
+    let n_mutexes = 1 + rng.below(2);
+    let mut serial = 0;
+    let vars: Vec<_> = (0..n_vars)
+        .map(|_| {
+            let name = ident(rng, serial);
+            serial += 1;
+            b.var(name, rng.next() as i64 % 100)
+        })
+        .collect();
+    let mutexes: Vec<_> = (0..n_mutexes)
+        .map(|_| {
+            let name = ident(rng, serial);
+            serial += 1;
+            b.mutex(name)
+        })
+        .collect();
+    for _ in 0..1 + rng.below(3) {
+        let name = ident(rng, serial);
+        serial += 1;
+        let ops = 1 + rng.below(6);
+        let vars = vars.clone();
+        let mutexes = mutexes.clone();
+        let mut draws: Vec<u64> = Vec::new();
+        for _ in 0..ops * 5 {
+            draws.push(rng.next());
+        }
+        b.thread(name, move |t| {
+            let mut d = draws.into_iter();
+            let mut next = move || d.next().unwrap();
+            for _ in 0..ops {
+                let v = vars[next() as usize % vars.len()];
+                let m = mutexes[next() as usize % mutexes.len()];
+                match next() % 7 {
+                    0 => t.load(Reg(0), v),
+                    1 => t.store(v, (next() % 9) as i64),
+                    2 => t.with_lock(m, |t| t.store(v, 1)),
+                    3 => t.assert_true(Reg(0), format!("msg #{} \"q\"\n", next() % 5)),
+                    4 => {
+                        let out = t.label();
+                        t.load(Reg(1), v);
+                        t.branch_if_zero(Reg(1), out);
+                        t.store(v, 2);
+                        t.bind(out);
+                    }
+                    5 => t.un(Reg(2), lazylocks_model::UnOp::Neg, Reg(0)),
+                    _ => t.nop(),
+                }
+            }
+        });
+    }
+    b.build()
+}
+
+#[test]
+fn hostile_identifier_corpus_round_trips_byte_identically() {
+    let mut rng = Rng(0x1de9_7f00_d5ee_d001);
+    for case in 0..200 {
+        let program = random_program(&mut rng, case);
+        let printed = program.to_source();
+        let reparsed = Program::parse(&printed)
+            .unwrap_or_else(|e| panic!("case {case}: printed source must parse: {e}\n{printed}"));
+        assert_eq!(
+            program, reparsed,
+            "case {case}: round trip changed the program\n{printed}"
+        );
+        let reprinted = reparsed.to_source();
+        assert_eq!(
+            printed, reprinted,
+            "case {case}: print → parse → print is not byte-identical"
+        );
+        assert_eq!(program.canonical_bytes(), reparsed.canonical_bytes());
+    }
+}
+
+#[test]
+fn ident_predicates_match_the_parser() {
+    for good in ["x", "_", "_9", "load", "r0", "L0", "thread", "A_b_3"] {
+        assert!(is_valid_ident(good), "{good:?} must be a valid identifier");
+    }
+    for bad in ["", "9x", "a-b", "a b", "a.b", "é", "a#", "a\"b", "r0!"] {
+        assert!(!is_valid_ident(bad), "{bad:?} must be rejected");
+    }
+    for good in ["p", "paper-figure1", "fuzz-lock-heavy-3", "a.b.c", "{x}"] {
+        assert!(
+            is_valid_program_name(good),
+            "{good:?} must be a valid program name"
+        );
+    }
+    for bad in ["", "a b", "a#b", "a\"b", "é", "a\tb", "a\nb"] {
+        assert!(
+            !is_valid_program_name(bad),
+            "{bad:?} must be rejected as a program name"
+        );
+    }
+}
+
+#[test]
+fn unrepresentable_names_fail_validation_in_every_namespace() {
+    use lazylocks_model::ValidateError;
+
+    let thread = |name: &str| ThreadDef {
+        name: name.to_string(),
+        code: vec![Instr::Nop],
+    };
+    // Program name with whitespace: the `program` line cannot carry it.
+    let err = Program::new("two words", vec![], vec![], vec![thread("T")]).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ValidateError::BadName {
+                kind: "program",
+                ..
+            }
+        ),
+        "{err}"
+    );
+
+    // Hyphenated variable name: `check_ident` in the parser rejects it.
+    let err = Program::new(
+        "p",
+        vec![VarDecl {
+            name: "a-b".to_string(),
+            init: 0,
+        }],
+        vec![],
+        vec![thread("T")],
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, ValidateError::BadName { kind: "var", .. }),
+        "{err}"
+    );
+
+    let err = Program::new(
+        "p",
+        vec![],
+        vec![MutexDecl {
+            name: "9m".to_string(),
+        }],
+        vec![thread("T")],
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, ValidateError::BadName { kind: "mutex", .. }),
+        "{err}"
+    );
+
+    let err = Program::new("p", vec![], vec![], vec![thread("T 1")]).unwrap_err();
+    assert!(
+        matches!(err, ValidateError::BadName { kind: "thread", .. }),
+        "{err}"
+    );
+
+    // The builder surfaces the same failure through `try_build`.
+    let mut b = ProgramBuilder::new("p");
+    b.var("bad name", 0);
+    b.thread("T", |t| t.nop());
+    let err = b.try_build().unwrap_err();
+    assert!(
+        matches!(err, ValidateError::BadName { kind: "var", .. }),
+        "{err}"
+    );
+    assert!(err.to_string().contains("not representable"));
+}
+
+#[test]
+fn store_into_keyword_named_variables_parses_unambiguously() {
+    // The sharpest corner: a variable literally named `load` used in both
+    // load and store positions, plus a register-spelled variable name.
+    let mut b = ProgramBuilder::new("keywords");
+    let load = b.var("load", 0);
+    let r0 = b.var("r0", 1);
+    b.thread("store", |t| {
+        t.load(Reg(0), load);
+        t.store(load, Reg(0));
+        t.load(Reg(1), r0);
+        t.store(r0, 3);
+    });
+    let p = b.build();
+    let printed = p.to_source();
+    let reparsed = Program::parse(&printed).unwrap();
+    assert_eq!(p, reparsed, "{printed}");
+    assert_eq!(printed, reparsed.to_source());
+    assert!(matches!(
+        reparsed.threads()[0].code[0],
+        Instr::Load { dst: Reg(0), .. }
+    ));
+    assert!(matches!(
+        reparsed.threads()[0].code[3],
+        Instr::Store {
+            src: Operand::Const(3),
+            ..
+        }
+    ));
+}

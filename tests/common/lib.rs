@@ -1,7 +1,7 @@
 //! Shared helpers for the cross-crate integration tests.
 
 use lazylocks::{DfsEnumeration, ExploreConfig, ExploreStats, Explorer};
-use lazylocks_model::{Program, ProgramBuilder, Reg, Value};
+use lazylocks_model::Program;
 use lazylocks_runtime::{Event, ExecPhase, Executor, StateSnapshot};
 
 /// Exhaustive ground truth for `program`: `None` if the schedule space
@@ -54,73 +54,16 @@ fn dfs_runs(
     true
 }
 
-/// A deterministic family of small random-ish programs for property tests.
-/// `spec` bytes select threads, per-thread operation sequences, and
-/// locking; every program is loop-free, hence finite.
-pub fn program_from_spec(spec: &[u8]) -> Program {
-    let mut b = ProgramBuilder::new("generated");
-    let n_vars = 2 + (spec.first().copied().unwrap_or(0) as usize % 2); // 2..=3
-    let vars = b.var_array("v", n_vars, 0);
-    let m0 = b.mutex("m0");
-    let m1 = b.mutex("m1");
-    let n_threads = 2 + (spec.get(1).copied().unwrap_or(0) as usize % 2); // 2..=3
-
-    for tix in 0..n_threads {
-        let vars = vars.clone();
-        let slice: Vec<u8> = spec.iter().copied().skip(2 + tix * 4).take(4).collect();
-        b.thread(format!("T{tix}"), move |t| {
-            let r = Reg(0);
-            let mut held0 = false;
-            let mut held1 = false;
-            for &op in &slice {
-                let var = vars[op as usize % vars.len()];
-                match op % 7 {
-                    0 => t.load(r, var),
-                    1 => t.store(var, (op as Value) % 5),
-                    2 => {
-                        t.load(r, var);
-                        t.add(r, r, 1);
-                        t.store(var, r);
-                    }
-                    3 => {
-                        if !held0 {
-                            t.lock(m0);
-                            held0 = true;
-                        }
-                    }
-                    4 => {
-                        if held0 {
-                            t.unlock(m0);
-                            held0 = false;
-                        }
-                    }
-                    5 => {
-                        if !held1 && !held0 {
-                            // Only lock m1 when not holding m0: keeps the
-                            // generated corpus deadlock-free so state
-                            // comparisons stay meaningful.
-                            t.lock(m1);
-                            held1 = true;
-                        }
-                    }
-                    _ => {
-                        if held1 {
-                            t.unlock(m1);
-                            held1 = false;
-                        }
-                    }
-                }
-            }
-            if held0 {
-                t.unlock(m0);
-            }
-            if held1 {
-                t.unlock(m1);
-            }
-            t.set(r, 0);
-        });
-    }
-    b.build()
+/// The deterministic generated-program corpus for property tests: `cases`
+/// programs drawn through `lazylocks_fuzz::corpus` — the *same* derivation
+/// the fuzz harness uses (all shape profiles round-robin, size dial
+/// cycling, per-case seeds drawn up front). Equal `(cases, seed)` always
+/// yield the same corpus — a failure always reproduces.
+pub fn generated_corpus(cases: usize, seed: u64) -> Vec<Program> {
+    lazylocks_fuzz::corpus(&[], lazylocks_fuzz::MAX_SIZE, cases, seed)
+        .into_iter()
+        .map(|case| case.program)
+        .collect()
 }
 
 /// The exhaustible subset of the benchmark corpus: programs whose full

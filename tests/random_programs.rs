@@ -1,54 +1,46 @@
-//! Property-based cross-checks on randomly generated programs: the
-//! strategies must agree with exhaustive enumeration on arbitrary small
-//! loop-free guest programs, not just on the curated corpus.
+//! Property-based cross-checks on generated programs: the strategies must
+//! agree with exhaustive enumeration on arbitrary small guest programs,
+//! not just on the curated corpus.
 //!
-//! Specs are drawn from the workspace's deterministic [`SplitMix64`]
-//! generator (fixed seed, fixed case count), so every run checks exactly
-//! the same corpus of generated programs — a failure always reproduces.
+//! The corpus comes from the `lazylocks-fuzz` shape-profile generator
+//! (fixed seed, fixed case count, all five profiles, size dial cycling),
+//! so every run checks exactly the same programs — a failure always
+//! reproduces. Cases whose schedule space exceeds the enumeration budget
+//! are skipped, with a floor asserting the corpus stays mostly
+//! exhaustible.
 
-use lazylocks::rng::SplitMix64;
 use lazylocks::{DfsEnumeration, Dpor, ExploreConfig, Explorer, HbrCaching};
 use lazylocks_hbr::{HbBuilder, HbMode};
-use lazylocks_integration::{all_runs, program_from_spec};
+use lazylocks_integration::{all_runs, generated_corpus};
 use std::collections::{HashMap, HashSet};
 
-const CASES: usize = 48;
-
-/// The deterministic spec corpus: `CASES` byte vectors of length 8..16.
-fn spec_corpus() -> Vec<Vec<u8>> {
-    let mut rng = SplitMix64::new(0x5eed_1e55_u64);
-    (0..CASES)
-        .map(|_| {
-            let len = 8 + rng.gen_range(8);
-            let mut spec = vec![0u8; len];
-            rng.fill_bytes(&mut spec);
-            spec
-        })
-        .collect()
-}
+const CASES: usize = 200;
+const SEED: u64 = 0x5eed_1e55;
 
 #[test]
 fn dpor_and_caching_agree_with_dfs() {
-    for spec in spec_corpus() {
-        let program = program_from_spec(&spec);
-        let config = ExploreConfig::with_limit(30_000);
+    let mut compared = 0;
+    for program in generated_corpus(CASES, SEED) {
+        let name = program.name().to_string();
+        let config = ExploreConfig::with_limit(20_000);
         let dfs = DfsEnumeration.explore(&program, &config);
         if dfs.limit_hit {
             continue; // too big to serve as ground truth
         }
+        compared += 1;
 
         // Default DPOR: exact agreement on states and classes.
         let dpor = Dpor::default().explore(&program, &config);
-        assert!(!dpor.limit_hit);
+        assert!(!dpor.limit_hit, "{name}");
         assert_eq!(
             dpor.unique_states, dfs.unique_states,
-            "default DPOR missed states on {spec:?}"
+            "default DPOR missed states on {name}"
         );
         assert_eq!(
             dpor.unique_hbrs, dfs.unique_hbrs,
-            "default DPOR missed HBR classes on {spec:?}"
+            "default DPOR missed HBR classes on {name}"
         );
-        assert!(dpor.schedules <= dfs.schedules);
+        assert!(dpor.schedules <= dfs.schedules, "{name}");
         // Sleep-set mode: bug parity (its documented contract).
         let sleepy = Dpor {
             sleep_sets: true,
@@ -58,40 +50,44 @@ fn dpor_and_caching_agree_with_dfs() {
         assert_eq!(
             sleepy.deadlocks > 0,
             dfs.deadlocks > 0,
-            "sleep-set DPOR lost deadlock parity on {spec:?}"
+            "sleep-set DPOR lost deadlock parity on {name}"
         );
         assert_eq!(
             sleepy.faulted_schedules > 0,
             dfs.faulted_schedules > 0,
-            "sleep-set DPOR lost fault parity on {spec:?}"
+            "sleep-set DPOR lost fault parity on {name}"
         );
         assert!(
             sleepy.schedules <= dpor.schedules,
-            "sleep sets must prune, not add"
+            "{name}: sleep sets must prune, not add"
         );
         for caching in [HbrCaching::regular(), HbrCaching::lazy()] {
             let stats = caching.explore(&program, &config);
-            assert!(!stats.limit_hit);
+            assert!(!stats.limit_hit, "{name}");
             assert_eq!(
                 stats.unique_states,
                 dfs.unique_states,
-                "{} missed states on {:?}",
+                "{} missed states on {name}",
                 caching.name(),
-                spec
             );
-            assert!(stats.schedules <= dfs.schedules);
+            assert!(stats.schedules <= dfs.schedules, "{name}");
         }
     }
+    assert!(
+        compared >= CASES / 2,
+        "the generated corpus must stay mostly exhaustible; compared only {compared}/{CASES}"
+    );
 }
 
 #[test]
 fn theorems_hold_on_random_programs() {
-    for spec in spec_corpus() {
-        let program = program_from_spec(&spec);
+    let mut compared = 0;
+    for program in generated_corpus(CASES, SEED) {
         let Some(runs) = all_runs(&program, 8_000) else {
             // Too many schedules; skip this instance.
             continue;
         };
+        compared += 1;
         // Theorem 2.1 + 2.2 as class→state functions.
         for mode in [HbMode::Regular, HbMode::Lazy] {
             let mut state_of: HashMap<u128, &lazylocks_runtime::StateSnapshot> = HashMap::new();
@@ -99,8 +95,10 @@ fn theorems_hold_on_random_programs() {
                 let fp = HbBuilder::from_trace(mode, &program, trace).fingerprint();
                 if let Some(prev) = state_of.insert(fp, state) {
                     assert_eq!(
-                        prev, state,
-                        "{mode:?}: same class, different states (spec {spec:?})"
+                        prev,
+                        state,
+                        "{mode:?}: same class, different states ({})",
+                        program.name()
                     );
                 }
             }
@@ -119,22 +117,24 @@ fn theorems_hold_on_random_programs() {
         assert!(lazy.len() <= regular.len());
         assert!(regular.len() <= runs.len());
     }
+    assert!(compared >= CASES / 2, "compared only {compared}/{CASES}");
 }
 
 #[test]
 fn generated_programs_round_trip_the_text_format() {
-    for spec in spec_corpus() {
-        let program = program_from_spec(&spec);
+    for program in generated_corpus(CASES, SEED) {
         let source = program.to_source();
         let reparsed = lazylocks_model::Program::parse(&source).expect("pretty output must parse");
         assert_eq!(program, reparsed);
+        // Canonical bytes — and with them program fingerprints — survive
+        // the trip byte-for-byte.
+        assert_eq!(source, reparsed.to_source());
     }
 }
 
 #[test]
 fn replay_reproduces_every_terminal_state() {
-    for spec in spec_corpus() {
-        let program = program_from_spec(&spec);
+    for program in generated_corpus(CASES, SEED) {
         let Some(runs) = all_runs(&program, 2_000) else {
             continue;
         };
@@ -145,4 +145,32 @@ fn replay_reproduces_every_terminal_state() {
             assert_eq!(&replay.state, state);
         }
     }
+}
+
+#[test]
+fn corpus_is_deterministic_and_profile_diverse() {
+    let a = generated_corpus(CASES, SEED);
+    let b = generated_corpus(CASES, SEED);
+    assert_eq!(a, b, "equal (cases, seed) must yield the equal corpus");
+    for profile in lazylocks_fuzz::ShapeProfile::ALL {
+        let count = a
+            .iter()
+            .filter(|p| p.name().contains(profile.name()))
+            .count();
+        assert_eq!(count, CASES / 5, "{profile} is evenly represented");
+    }
+    // Deadlocks and faults both occur somewhere in the corpus — the
+    // cross-checks above exercise real bug classes, not only clean runs.
+    let mut deadlocks = 0;
+    let mut faults = 0;
+    for program in &a {
+        let stats = DfsEnumeration.explore(program, &ExploreConfig::with_limit(20_000));
+        if stats.limit_hit {
+            continue;
+        }
+        deadlocks += stats.deadlocks.min(1);
+        faults += stats.faulted_schedules.min(1);
+    }
+    assert!(deadlocks >= 5, "corpus has deadlocking cases: {deadlocks}");
+    assert!(faults >= 5, "corpus has faulting cases: {faults}");
 }
