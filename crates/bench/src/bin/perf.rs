@@ -1,7 +1,8 @@
 //! **perf** — the tracked end-to-end exploration throughput baseline.
 //!
 //! Runs every registered exploration strategy (plus the named parameter
-//! variants the paper's evaluation leans on) over a fixed slice of the
+//! variants the paper's evaluation leans on, and the work-stealing
+//! parallel DPOR grid at 1/2/4/8 workers) over a fixed slice of the
 //! benchmark corpus — weighted toward the deepest families (philosophers,
 //! workqueue) where per-step costs dominate — and emits a machine-readable
 //! `BENCH_perf.json` next to a human-readable table. CI smoke-runs this
@@ -10,17 +11,28 @@
 //!
 //! ```text
 //! cargo run --release -p lazylocks-bench --bin perf [-- --quick]
-//!     [--limit N] [--out PATH]
+//!     [--limit N] [--out PATH] [--compare BASELINE.json] [--tolerance X]
 //! ```
+//!
+//! With `--compare`, each `(bench, strategy)` cell's executions/sec is
+//! checked against the named baseline file and the run fails (exit ≠ 0)
+//! when any cell regressed by more than the tolerance factor (default 3 —
+//! generous on purpose: CI machines differ wildly from the machines that
+//! bless baselines; only catastrophic regressions should trip it).
 //!
 //! The JSON schema (integer-only, see `lazylocks_trace::json`):
 //!
 //! ```text
-//! { "format": "lazylocks-perf", "version": 1, "schedule_limit": N,
+//! { "format": "lazylocks-perf", "version": 2, "schedule_limit": N,
 //!   "results": [ { "bench", "strategy", "schedules", "events",
 //!                  "wall_time_us", "execs_per_sec", "events_per_sec",
-//!                  "events_compared", "limit_hit" } ] }
+//!                  "events_compared", "limit_hit",
+//!                  "speedup_vs_1w_pct"? } ] }
 //! ```
+//!
+//! `speedup_vs_1w_pct` appears only on `parallel(...)` cells: the cell's
+//! executions/sec as a percentage of the same bench + reduction at
+//! `workers=1` (100 = parity, 250 = 2.5×).
 
 use lazylocks::{ExploreConfig, ExploreSession, StrategyRegistry};
 use lazylocks_bench::timing::quick_mode;
@@ -48,6 +60,26 @@ const EXTRA_SPECS: &[&str] = &[
     "caching(mode=lazy)",
 ];
 
+/// The parallel-DPOR scaling grid: reduction × worker count. Every cell
+/// carries `speedup_vs_1w_pct` against its own `workers=1` row.
+const PARALLEL_REDUCTIONS: &[&str] = &["dpor", "lazy"];
+const PARALLEL_WORKERS: &[usize] = &[1, 2, 4, 8];
+
+struct Cell {
+    bench: &'static str,
+    spec: String,
+    schedules: usize,
+    events: u64,
+    events_compared: u64,
+    limit_hit: bool,
+    runs: u32,
+    mean_us: i128,
+    execs_per_sec: f64,
+    events_per_sec: f64,
+    /// `Some((bench, reduction))` key when this is a parallel grid cell.
+    parallel_key: Option<(&'static str, &'static str, usize)>,
+}
+
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
@@ -62,10 +94,23 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(if quick { 150 } else { 3000 });
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_perf.json".to_string());
+    let compare_path = arg_value("--compare");
+    let tolerance: f64 = arg_value("--tolerance")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
 
     let registry = StrategyRegistry::default();
-    let mut specs: Vec<String> = registry.names();
-    specs.extend(EXTRA_SPECS.iter().map(|s| s.to_string()));
+    let mut specs: Vec<(String, Option<(&'static str, usize)>)> =
+        registry.names().into_iter().map(|n| (n, None)).collect();
+    specs.extend(EXTRA_SPECS.iter().map(|s| (s.to_string(), None)));
+    for &reduction in PARALLEL_REDUCTIONS {
+        for &workers in PARALLEL_WORKERS {
+            specs.push((
+                format!("parallel(reduction={reduction}, workers={workers})"),
+                Some((reduction, workers)),
+            ));
+        }
+    }
 
     // Each cell is re-explored until the aggregate wall time reaches this
     // window: single explorations of the reduced strategies finish in
@@ -79,15 +124,15 @@ fn main() {
 
     println!("== perf: exploration throughput (schedule limit {limit}) ==\n");
     println!(
-        "{:<26} {:<24} {:>8} {:>9} {:>6} {:>11} {:>11} {:>11}",
+        "{:<26} {:<38} {:>8} {:>9} {:>6} {:>11} {:>11} {:>11}",
         "bench", "strategy", "scheds", "events", "runs", "wall_us", "execs/s", "events/s"
     );
 
-    let mut results = Vec::new();
+    let mut cells: Vec<Cell> = Vec::new();
     for name in BENCHES {
         let bench = lazylocks_suite::by_name(name)
             .unwrap_or_else(|| panic!("benchmark {name} missing from the corpus"));
-        for spec in &specs {
+        for (spec, parallel) in &specs {
             let explore = || {
                 ExploreSession::new(&bench.program)
                     .with_config(ExploreConfig::with_limit(limit))
@@ -97,7 +142,7 @@ fn main() {
             };
             // Warm-up run; `s` is its counter snapshot. Rates aggregate the
             // *per-run* schedule/event counts rather than assuming every
-            // repeat matches the snapshot: the parallel strategy's split
+            // repeat matches the snapshot: the parallel strategies' split
             // of a limit-capped budget across workers is not run-to-run
             // deterministic.
             let s = explore();
@@ -114,31 +159,82 @@ fn main() {
                 runs += 1;
             }
             let secs = total.as_secs_f64().max(1e-9);
-            let execs_per_sec = (total_schedules as f64 / secs).round() as i128;
-            let events_per_sec = (total_events as f64 / secs).round() as i128;
+            let execs_per_sec = total_schedules as f64 / secs;
+            let events_per_sec = total_events as f64 / secs;
             let mean_us = (total.as_micros() / u128::from(runs)).min(u64::MAX as u128) as i128;
             println!(
-                "{:<26} {:<24} {:>8} {:>9} {:>6} {:>11} {:>11} {:>11}",
-                name, spec, s.schedules, s.events, runs, mean_us, execs_per_sec, events_per_sec
+                "{:<26} {:<38} {:>8} {:>9} {:>6} {:>11} {:>11} {:>11}",
+                name,
+                spec,
+                s.schedules,
+                s.events,
+                runs,
+                mean_us,
+                execs_per_sec.round() as i128,
+                events_per_sec.round() as i128
             );
-            results.push(Json::obj([
-                ("bench", Json::Str(name.to_string())),
-                ("strategy", Json::Str(spec.clone())),
-                ("schedules", Json::Int(s.schedules as i128)),
-                ("events", Json::Int(i128::from(s.events))),
-                ("runs", Json::Int(i128::from(runs))),
-                ("wall_time_us", Json::Int(mean_us)),
-                ("execs_per_sec", Json::Int(execs_per_sec)),
-                ("events_per_sec", Json::Int(events_per_sec)),
-                ("events_compared", Json::Int(i128::from(s.events_compared))),
-                ("limit_hit", Json::Bool(s.limit_hit)),
-            ]));
+            cells.push(Cell {
+                bench: name,
+                spec: spec.clone(),
+                schedules: s.schedules,
+                events: s.events,
+                events_compared: s.events_compared,
+                limit_hit: s.limit_hit,
+                runs,
+                mean_us,
+                execs_per_sec,
+                events_per_sec,
+                parallel_key: parallel.map(|(r, w)| (*name, r, w)),
+            });
         }
+    }
+
+    // --- per-cell speedup vs the workers=1 row of the same grid line ---
+    let one_worker: Vec<((&str, &str), f64)> = cells
+        .iter()
+        .filter_map(|c| match c.parallel_key {
+            Some((bench, reduction, 1)) => Some(((bench, reduction), c.execs_per_sec)),
+            _ => None,
+        })
+        .collect();
+    let speedup_pct = |c: &Cell| -> Option<i128> {
+        let (bench, reduction, _) = c.parallel_key?;
+        let base = one_worker
+            .iter()
+            .find(|((b, r), _)| *b == bench && *r == reduction)?
+            .1;
+        if base <= 0.0 {
+            return None;
+        }
+        Some((c.execs_per_sec / base * 100.0).round() as i128)
+    };
+
+    let mut results = Vec::new();
+    for c in &cells {
+        let mut fields = vec![
+            ("bench", Json::Str(c.bench.to_string())),
+            ("strategy", Json::Str(c.spec.clone())),
+            ("schedules", Json::Int(c.schedules as i128)),
+            ("events", Json::Int(i128::from(c.events))),
+            ("runs", Json::Int(i128::from(c.runs))),
+            ("wall_time_us", Json::Int(c.mean_us)),
+            ("execs_per_sec", Json::Int(c.execs_per_sec.round() as i128)),
+            (
+                "events_per_sec",
+                Json::Int(c.events_per_sec.round() as i128),
+            ),
+            ("events_compared", Json::Int(i128::from(c.events_compared))),
+            ("limit_hit", Json::Bool(c.limit_hit)),
+        ];
+        if let Some(pct) = speedup_pct(c) {
+            fields.push(("speedup_vs_1w_pct", Json::Int(pct)));
+        }
+        results.push(Json::obj(fields));
     }
 
     let doc = Json::obj([
         ("format", Json::Str("lazylocks-perf".to_string())),
-        ("version", Json::Int(1)),
+        ("version", Json::Int(2)),
         ("schedule_limit", Json::Int(limit as i128)),
         ("quick", Json::Bool(quick)),
         ("results", Json::Arr(results)),
@@ -146,4 +242,92 @@ fn main() {
     std::fs::write(&out_path, doc.pretty() + "\n")
         .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     println!("\nwrote {out_path}");
+
+    if let Some(baseline_path) = compare_path {
+        let regressions = compare_against_baseline(&cells, &baseline_path, tolerance);
+        if regressions > 0 {
+            eprintln!(
+                "perf: {regressions} cell(s) regressed by more than {tolerance}x \
+                 against {baseline_path}"
+            );
+            std::process::exit(1);
+        }
+        println!("perf: no cell regressed more than {tolerance}x vs {baseline_path}");
+    }
+}
+
+/// Checks every current cell against the matching `(bench, strategy)` cell
+/// of a baseline file; returns the number of cells whose executions/sec
+/// fell by more than `tolerance`×.
+///
+/// Only **same-work** cells are compared: a quick run (`--limit 150`)
+/// and the committed full-limit baseline explore different trees for
+/// limit-capped cells, so their rates are not commensurable — a cell
+/// participates only when both sides report the same schedule and event
+/// counts. Cells missing from the baseline (new strategies) are skipped
+/// too — the gate guards against regressions, not schema drift — but a
+/// run where *no* cell matches (renamed strategies, emptied results,
+/// wrong file) is a broken gate, not a pass, and panics so CI fails
+/// loudly instead of vacuously.
+fn compare_against_baseline(cells: &[Cell], baseline_path: &str, tolerance: f64) -> usize {
+    let raw = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("reading baseline {baseline_path}: {e}"));
+    let doc = Json::parse(&raw).unwrap_or_else(|e| panic!("parsing {baseline_path}: {e}"));
+    struct BaseCell<'a> {
+        bench: &'a str,
+        spec: &'a str,
+        schedules: u64,
+        events: u64,
+        execs_per_sec: f64,
+    }
+    let baseline: Vec<BaseCell> = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|r| {
+                    Some(BaseCell {
+                        bench: r.get("bench")?.as_str()?,
+                        spec: r.get("strategy")?.as_str()?,
+                        schedules: r.get("schedules")?.as_u64()?,
+                        events: r.get("events")?.as_u64()?,
+                        execs_per_sec: r.get("execs_per_sec")?.as_u64()? as f64,
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut regressions = 0;
+    let mut matched = 0usize;
+    let mut skipped_work = 0usize;
+    for c in cells {
+        let Some(base) = baseline
+            .iter()
+            .find(|b| b.bench == c.bench && b.spec == c.spec)
+        else {
+            continue;
+        };
+        if base.schedules != c.schedules as u64 || base.events != c.events {
+            skipped_work += 1; // different tree explored: rates incomparable
+            continue;
+        }
+        matched += 1;
+        if base.execs_per_sec > 0.0 && c.execs_per_sec * tolerance < base.execs_per_sec {
+            eprintln!(
+                "perf regression: {} / {} — {:.0} execs/s vs baseline {:.0} (>{tolerance}x)",
+                c.bench, c.spec, c.execs_per_sec, base.execs_per_sec
+            );
+            regressions += 1;
+        }
+    }
+    assert!(
+        matched > 0,
+        "no current cell is comparable to the baseline in {baseline_path} — \
+         the regression gate would pass vacuously; re-bless the baseline"
+    );
+    println!(
+        "perf: compared {matched} same-work cell(s) against {baseline_path} \
+         ({skipped_work} skipped for differing work)"
+    );
+    regressions
 }

@@ -26,7 +26,8 @@ USAGE:
 
 STRATEGY SPECS (see `lazylocks strategies` for the full registry):
   dfs | dpor | dpor(sleep=true) | caching(mode=lazy) | lazy-dpor |
-  random | parallel(workers=8) | bounded(start=0,step=1) | ...
+  random | parallel(workers=8) | parallel(reduction=lazy,workers=8) |
+  bounded(start=0,step=1) | ...
 
 TRACE ARTIFACTS:
   `run --save-traces DIR` persists one replayable JSON artifact per

@@ -1,0 +1,108 @@
+//! Pooled frame checkpoints for snapshot-based exploration.
+//!
+//! Snapshot-cloning DPOR pays for its O(1) backtracking with two heap
+//! clones per step: the child frame's [`Executor`] and [`ClockEngine`].
+//! Both have a size that depends only on the program shape, so a frame
+//! body retired on unwind is a perfect allocation for the next frame
+//! pushed — the [`FramePool`] keeps a free list of retired bodies and
+//! *clones into* them ([`Executor::assign_from`],
+//! [`ClockEngine::assign_from`]) instead of cloning afresh. In the steady
+//! state (pool warmed to the maximum stack depth) a DPOR step performs
+//! **zero** frame-body allocations; the pool is shared by the sequential
+//! engines and, via `Arc::try_unwrap` reclamation, by the parallel
+//! work-stealing engine.
+
+use lazylocks_hbr::ClockEngine;
+use lazylocks_runtime::Executor;
+
+/// The heap-backed parts of one exploration stack frame: the machine
+/// snapshot and the happens-before clock state *before* the frame's
+/// transition.
+#[derive(Clone)]
+pub(crate) struct FrameBody<'p> {
+    /// The executor snapshot (pre-state of the frame).
+    pub exec: Executor<'p>,
+    /// The clock-engine snapshot (pre-state of the frame).
+    pub clocks: ClockEngine,
+}
+
+/// A free list of retired [`FrameBody`]s.
+///
+/// The pool never shrinks and never caps: frames are pushed and popped in
+/// stack discipline, so the live + pooled body count is bounded by the
+/// maximum exploration depth reached, not by the number of schedules.
+pub(crate) struct FramePool<'p> {
+    free: Vec<FrameBody<'p>>,
+    hits: u64,
+}
+
+impl<'p> FramePool<'p> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        FramePool {
+            free: Vec::new(),
+            hits: 0,
+        }
+    }
+
+    /// A frame body equal to `(exec, clocks)` — recycled from the free
+    /// list when possible (no allocation), cloned afresh otherwise.
+    pub fn take_from(&mut self, exec: &Executor<'p>, clocks: &ClockEngine) -> FrameBody<'p> {
+        match self.free.pop() {
+            Some(mut body) => {
+                body.exec.assign_from(exec);
+                body.clocks.assign_from(clocks);
+                self.hits += 1;
+                body
+            }
+            None => FrameBody {
+                exec: exec.clone(),
+                clocks: clocks.clone(),
+            },
+        }
+    }
+
+    /// Returns a no-longer-needed body to the free list.
+    pub fn retire(&mut self, body: FrameBody<'p>) {
+        self.free.push(body);
+    }
+
+    /// How many takes were served from the free list (the
+    /// [`ExploreStats::frames_pooled`](crate::ExploreStats::frames_pooled)
+    /// contribution).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazylocks_hbr::HbMode;
+    use lazylocks_model::{ProgramBuilder, ThreadId};
+
+    #[test]
+    fn pool_recycles_and_counts_hits() {
+        let mut b = ProgramBuilder::new("p");
+        let x = b.var("x", 0);
+        b.thread("T1", |t| t.store(x, 1));
+        b.thread("T2", |t| t.store(x, 2));
+        let p = b.build();
+
+        let exec = Executor::new(&p);
+        let clocks = ClockEngine::for_program(HbMode::Regular, &p);
+        let mut pool = FramePool::new();
+
+        let first = pool.take_from(&exec, &clocks);
+        assert_eq!(pool.hits(), 0, "empty pool must clone afresh");
+
+        // Mutate a copy, retire it, and take again: the recycled body must
+        // be reset to the requested state.
+        let mut advanced = first;
+        advanced.exec.step(ThreadId(0));
+        pool.retire(advanced);
+        let second = pool.take_from(&exec, &clocks);
+        assert_eq!(pool.hits(), 1, "retired body must be reused");
+        assert_eq!(second.exec.state_fingerprint(), exec.state_fingerprint());
+    }
+}

@@ -106,7 +106,7 @@ pub use bug::{BugKind, BugReport};
 pub use config::ExploreConfig;
 pub use explore::{
     BoundedRun, DependenceMode, DfsEnumeration, Dpor, Explorer, HbrCaching, IterativeBounding,
-    LazyDpor, LazyDporStyle, ParallelDfs, RandomWalk,
+    LazyDpor, LazyDporStyle, ParallelDfs, ParallelDpor, RandomWalk,
 };
 pub use minimize::minimize_schedule;
 pub use race::{detect_races, is_race_free, RaceReport};

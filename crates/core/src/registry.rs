@@ -26,7 +26,7 @@
 
 use crate::explore::{
     DependenceMode, DfsEnumeration, Dpor, Explorer, HbrCaching, IterativeBounding, LazyDpor,
-    LazyDporStyle, ParallelDfs, RandomWalk,
+    LazyDporStyle, ParallelDfs, ParallelDpor, RandomWalk,
 };
 use lazylocks_hbr::HbMode;
 use std::collections::BTreeMap;
@@ -316,10 +316,33 @@ impl Default for StrategyRegistry {
         );
         r.register(
             "parallel",
-            "parallel DFS across OS threads [workers=N, 0=auto]",
+            "work-stealing exploration across OS threads \
+             [workers=N (0=auto), reduction=none/dpor/lazy, sleep=bool]",
             |p| {
                 let workers = p.take_usize("workers", 0)?;
-                Ok(Box::new(ParallelDfs { workers }))
+                match p
+                    .take_choice("reduction", &["none", "dpor", "lazy"], "none")?
+                    .as_str()
+                {
+                    "dpor" => {
+                        let sleep_sets = p.take_bool("sleep", false)?;
+                        Ok(Box::new(ParallelDpor {
+                            workers,
+                            sleep_sets,
+                            dependence: DependenceMode::Regular,
+                        }))
+                    }
+                    // Sleep sets stay off for the lazy reduction, exactly
+                    // as in the sequential `lazy-dpor` (the open problem
+                    // the paper's §4 states); `sleep=` is rejected as an
+                    // unknown parameter.
+                    "lazy" => Ok(Box::new(ParallelDpor {
+                        workers,
+                        sleep_sets: false,
+                        dependence: DependenceMode::LazyLockAcquisitions,
+                    })),
+                    _ => Ok(Box::new(ParallelDfs { workers })),
+                }
             },
         );
         r.register(
@@ -363,6 +386,8 @@ impl Default for StrategyRegistry {
         r.alias("sync-caching", "caching(mode=sync)");
         r.alias("lazy-dpor-vars", "lazy-dpor(style=vars)");
         r.alias("parallel-dfs", "parallel");
+        r.alias("parallel-dpor", "parallel(reduction=dpor)");
+        r.alias("parallel-lazy-dpor", "parallel(reduction=lazy)");
         r.alias("chess", "bounded");
         r
     }
@@ -526,6 +551,37 @@ mod tests {
             r.create("parallel(workers=2)").unwrap().name(),
             "parallel-dfs"
         );
+        assert_eq!(
+            r.create("parallel(reduction=dpor, workers=2)")
+                .unwrap()
+                .name(),
+            "parallel-dpor"
+        );
+        assert_eq!(
+            r.create("parallel(reduction=dpor, sleep=true)")
+                .unwrap()
+                .name(),
+            "parallel-dpor-sleep"
+        );
+        assert_eq!(
+            r.create("parallel(reduction=lazy)").unwrap().name(),
+            "parallel-lazy-dpor"
+        );
+        assert_eq!(r.create("parallel-dpor").unwrap().name(), "parallel-dpor");
+        assert_eq!(
+            r.create("parallel-lazy-dpor(workers=4)").unwrap().name(),
+            "parallel-lazy-dpor"
+        );
+        // Sleep sets do not compose with the lazy reduction (nor with the
+        // unreduced parallel DFS): the parameter is rejected.
+        assert!(matches!(
+            r.create("parallel(reduction=lazy, sleep=true)"),
+            Err(SpecError::UnknownParam { .. })
+        ));
+        assert!(matches!(
+            r.create("parallel(sleep=true)"),
+            Err(SpecError::UnknownParam { .. })
+        ));
         assert_eq!(
             r.create("bounded(start=1, max=2)").unwrap().name(),
             "bounded"

@@ -57,6 +57,18 @@ pub struct ExploreStats {
     /// accesses and per-mutex acquisitions — rather than the full trace
     /// per step, so it grows with conflict density, not depth².
     pub events_compared: u64,
+    /// Subtree roots taken off the shared work deque by the parallel DPOR
+    /// engine (including the initial root item, so a single-worker run
+    /// reports 1). Other strategies leave it 0.
+    pub subtrees_stolen: u64,
+    /// Frame bodies served from the frame pool's free list instead of
+    /// being heap-cloned (DPOR-family strategies; other strategies leave
+    /// it 0). In the steady state this tracks the step count: every push
+    /// beyond the first full-depth descent is a pool hit.
+    pub frames_pooled: u64,
+    /// Worker threads the strategy ran with (0 for single-threaded
+    /// strategies).
+    pub workers: u32,
     /// The first bug found, with a replayable schedule.
     pub first_bug: Option<BugReport>,
     /// One witness schedule per distinct terminal state, populated only
@@ -286,6 +298,9 @@ impl Collector {
         self.stats.bound_prunes += other.stats.bound_prunes;
         self.stats.truncated_runs += other.stats.truncated_runs;
         self.stats.events_compared += other.stats.events_compared;
+        self.stats.subtrees_stolen += other.stats.subtrees_stolen;
+        self.stats.frames_pooled += other.stats.frames_pooled;
+        self.stats.workers = self.stats.workers.max(other.stats.workers);
         if self.stats.first_bug.is_none() {
             self.stats.first_bug = other.stats.first_bug;
         }

@@ -119,6 +119,25 @@ impl ClockEngine {
         &self.clocks[thread.index()]
     }
 
+    /// Makes `self` an exact copy of `other` **in place**, reusing the
+    /// clock buffer (and, for inline-width clocks — the whole corpus —
+    /// performing zero allocations). Semantically identical to
+    /// `*self = other.clone()`; the frame-pool path of the exploration
+    /// engines.
+    ///
+    /// # Panics
+    /// Panics (debug) when the two engines have different shapes; pools
+    /// only ever recycle engines of the same program.
+    pub fn assign_from(&mut self, other: &ClockEngine) {
+        debug_assert_eq!(self.clocks.len(), other.clocks.len(), "shape mismatch");
+        self.mode = other.mode;
+        self.n_threads = other.n_threads;
+        self.n_vars = other.n_vars;
+        for (dst, src) in self.clocks.iter_mut().zip(&other.clocks) {
+            dst.assign(src);
+        }
+    }
+
     /// Resets every clock to zero, keeping the shape — so one engine can
     /// fingerprint many traces without reallocating.
     pub fn reset(&mut self) {
@@ -307,6 +326,23 @@ mod tests {
             // And a different trace digests differently.
             assert_ne!(engine.trace_fingerprint(&trace[..2]), expected);
         }
+    }
+
+    #[test]
+    fn assign_from_matches_clone() {
+        let mut src = ClockEngine::new(HbMode::Regular, 2, 2, 1);
+        src.apply(&ev(0, 0, VisibleKind::Write(VarId(0))));
+        src.apply(&ev(1, 0, VisibleKind::Read(VarId(0))));
+        let mut dst = ClockEngine::new(HbMode::Regular, 2, 2, 1);
+        dst.apply(&ev(1, 0, VisibleKind::Write(VarId(1))));
+        dst.assign_from(&src);
+        for t in 0..2 {
+            assert_eq!(dst.thread_clock(ThreadId(t)), src.thread_clock(ThreadId(t)));
+        }
+        // The copy is independent: advancing it leaves the source alone.
+        dst.apply(&ev(0, 1, VisibleKind::Write(VarId(1))));
+        assert_eq!(src.thread_clock(ThreadId(0)).total(), 1);
+        assert_eq!(dst.thread_clock(ThreadId(0)).total(), 2);
     }
 
     #[test]

@@ -398,6 +398,12 @@ pub fn stats_to_json(stats: &ExploreStats) -> Json {
             Json::Int(i128::from(stats.events_compared)),
         ),
         (
+            "subtrees_stolen",
+            Json::Int(i128::from(stats.subtrees_stolen)),
+        ),
+        ("frames_pooled", Json::Int(i128::from(stats.frames_pooled))),
+        ("workers", Json::Int(i128::from(stats.workers))),
+        (
             "wall_time_us",
             Json::Int(stats.wall_time.as_micros().min(u64::MAX as u128) as i128),
         ),
@@ -426,6 +432,18 @@ fn stats_from_json(v: &Json) -> Result<ExploreStats, ArtifactError> {
         events_compared: match v.get("events_compared") {
             None => 0,
             Some(_) => require(v, "events_compared", Json::as_u64)?,
+        },
+        subtrees_stolen: match v.get("subtrees_stolen") {
+            None => 0,
+            Some(_) => require(v, "subtrees_stolen", Json::as_u64)?,
+        },
+        frames_pooled: match v.get("frames_pooled") {
+            None => 0,
+            Some(_) => require(v, "frames_pooled", Json::as_u64)?,
+        },
+        workers: match v.get("workers") {
+            None => 0,
+            Some(_) => require(v, "workers", Json::as_u64)? as u32,
         },
         wall_time: Duration::from_micros(require(v, "wall_time_us", Json::as_u64)?),
         ..ExploreStats::default()
@@ -545,6 +563,9 @@ mod tests {
             schedules: 3,
             events: 9,
             unique_states: 2,
+            subtrees_stolen: 5,
+            frames_pooled: 7,
+            workers: 2,
             wall_time: Duration::from_micros(1234),
             ..ExploreStats::default()
         })
@@ -567,6 +588,9 @@ mod tests {
         assert!(back.outcome_label().starts_with("fault("));
         let stats = back.stats.unwrap();
         assert_eq!(stats.schedules, 3);
+        assert_eq!(stats.subtrees_stolen, 5);
+        assert_eq!(stats.frames_pooled, 7);
+        assert_eq!(stats.workers, 2);
         assert_eq!(stats.wall_time, Duration::from_micros(1234));
     }
 

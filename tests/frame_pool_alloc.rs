@@ -1,0 +1,95 @@
+//! Steady-state allocation accounting for the pooled DPOR engines.
+//!
+//! The frame pool's contract: once the free list has warmed up along the
+//! first full-depth descent, a DPOR step allocates **zero** frame bodies —
+//! `Executor::assign_from` / `ClockEngine::assign_from` recycle retired
+//! buffers instead of cloning afresh. This binary installs a counting
+//! global allocator and proves the contract end-to-end: exploring
+//! thousands of tree edges must cost a near-constant number of
+//! allocations (engine setup, index/trace growth, collector-set resizes),
+//! not the ~7 heap clones per step the unpooled engine paid.
+//!
+//! The whole check lives in one `#[test]` so no concurrently running test
+//! can pollute the counter (this is the only test in this binary).
+
+use lazylocks::{Dpor, ExploreConfig, Explorer, LazyDpor};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_during(
+    f: impl FnOnce() -> lazylocks::ExploreStats,
+) -> (u64, lazylocks::ExploreStats) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let stats = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, stats)
+}
+
+#[test]
+fn steady_state_steps_allocate_zero_frame_bodies() {
+    // Five racy counters: every pair of operations conflicts, so DPOR
+    // cannot reduce the tree and the budget below yields tens of
+    // thousands of steps. The program is bug-free (buggy leaves allocate
+    // a BugReport, which would obscure the frame-body accounting).
+    let program = {
+        let mut b = lazylocks_model::ProgramBuilder::new("racy-counters");
+        let x = b.var("x", 0);
+        for i in 0..5 {
+            b.thread(format!("T{i}"), |t| {
+                t.load(lazylocks_model::Reg(0), x);
+                t.add(lazylocks_model::Reg(0), lazylocks_model::Reg(0), 1);
+                t.store(x, lazylocks_model::Reg(0));
+                t.set(lazylocks_model::Reg(0), 0);
+            });
+        }
+        b.build()
+    };
+    let config = ExploreConfig::with_limit(3_000);
+
+    for (label, explorer) in [
+        ("dpor", Box::new(Dpor::default()) as Box<dyn Explorer>),
+        ("lazy-dpor", Box::new(LazyDpor::default())),
+    ] {
+        let (allocs, stats) = allocations_during(|| explorer.explore(&program, &config));
+        // Enough steady-state work that per-step allocations would
+        // dominate: each pool hit is one recycled frame body (one
+        // executor + one clock engine that were NOT heap-cloned).
+        assert!(
+            stats.frames_pooled > 5_000,
+            "{label}: expected a deep run, got {} pool hits",
+            stats.frames_pooled
+        );
+        // The unpooled engine paid ~7 allocations per edge (executor
+        // buffers + clock slab); the pooled engine's total must stay far
+        // below one allocation per edge — setup plus amortised growth
+        // only.
+        assert!(
+            allocs < stats.frames_pooled / 4,
+            "{label}: {allocs} allocations for {} pooled frames — \
+             steady-state steps must not allocate frame bodies",
+            stats.frames_pooled
+        );
+    }
+}
