@@ -22,6 +22,10 @@ USAGE:
                   [--size N] [--save DIR] [--quick] [--json]
   lazylocks compare (--bench NAME | --id N | --file PATH) [--limit N]
   lazylocks races (--bench NAME | --id N | --file PATH) [--walks N] [--seed X]
+  lazylocks serve [--addr HOST:PORT] [--workers N] [--corpus DIR]
+                  [--max-job-budget N]
+  lazylocks client (submit | status [ID] | cancel ID | events ID | shutdown)
+                  [--addr HOST:PORT] ... (see SERVER below)
   lazylocks help
 
 STRATEGY SPECS (see `lazylocks strategies` for the full registry):
@@ -44,6 +48,20 @@ FUZZING:
   `.llk` repros and, with --save DIR, persisted as replayable artifacts.
   Exit status is non-zero on any disagreement. Output is deterministic
   per --seed. --quick is the bounded CI preset.
+
+SERVER:
+  `serve` runs the exploration daemon: a JSON-over-HTTP job queue with a
+  bounded worker pool, per-job cancellation, pollable event logs and
+  corpus persistence (--corpus DIR). `client` talks to it:
+    client submit (--bench NAME | --id N | --file PATH) [--strategy SPEC]
+           [--limit N] [--seed X] [--preemptions K] [--stop-on-bug]
+           [--minimize] [--deadline-ms T] [--priority P] [--wait]
+    client status [ID]       one job (or all jobs) as JSON
+    client cancel ID         cooperative cancellation
+    client events ID [--since N]   poll the job's event log
+    client shutdown          drain the queue and exit the daemon
+  Both default to --addr 127.0.0.1:7077. `submit --wait` polls until the
+  job finishes and exits non-zero unless it completed cleanly.
 ";
 
 /// Which program to operate on.
@@ -128,7 +146,51 @@ pub enum Command {
         walks: usize,
         seed: u64,
     },
+    Serve {
+        /// Bind address; port 0 picks an ephemeral port (printed).
+        addr: String,
+        /// Job runner threads.
+        workers: usize,
+        /// Corpus directory for bug persistence (None disables it).
+        corpus: Option<String>,
+        /// Reject submissions with a larger schedule budget.
+        max_job_budget: usize,
+    },
+    Client {
+        addr: String,
+        action: ClientAction,
+    },
     Help,
+}
+
+/// What `lazylocks client <action>` should do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientAction {
+    Submit {
+        target: Target,
+        strategy: String,
+        limit: usize,
+        seed: u64,
+        preemptions: Option<u32>,
+        stop_on_bug: bool,
+        minimize: bool,
+        deadline_ms: Option<u64>,
+        priority: i64,
+        /// Poll until the job finishes and print its result document.
+        wait: bool,
+    },
+    /// One job's detail, or the full job list without an id.
+    Status {
+        id: Option<u64>,
+    },
+    Cancel {
+        id: u64,
+    },
+    Events {
+        id: u64,
+        since: u64,
+    },
+    Shutdown,
 }
 
 /// What `lazylocks corpus <action>` should do.
@@ -428,6 +490,207 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 seed,
             })
         }
+        "serve" => {
+            let mut addr = "127.0.0.1:7077".to_string();
+            let mut workers = 2usize;
+            let mut corpus = None;
+            let mut max_job_budget = 1_000_000usize;
+            parse_flags(&rest, |flag, value| match flag {
+                "--addr" => {
+                    addr = value.ok_or("--addr needs HOST:PORT")?.to_string();
+                    Ok(())
+                }
+                "--workers" => {
+                    workers = parse_num(value, "--workers")?;
+                    if workers == 0 {
+                        return Err("--workers must be at least 1".to_string());
+                    }
+                    Ok(())
+                }
+                "--corpus" => {
+                    corpus = Some(value.ok_or("--corpus needs a directory")?.to_string());
+                    Ok(())
+                }
+                "--max-job-budget" => {
+                    max_job_budget = parse_num(value, "--max-job-budget")?;
+                    Ok(())
+                }
+                _ => Err(format!("unknown flag {flag} for serve")),
+            })?;
+            Ok(Command::Serve {
+                addr,
+                workers,
+                corpus,
+                max_job_budget,
+            })
+        }
+        "client" => {
+            let (verb, rest) = match rest.split_first() {
+                Some((&verb, rest)) if !verb.starts_with("--") => (verb, rest),
+                _ => {
+                    return Err(
+                        "client needs an action: submit, status, cancel, events or shutdown"
+                            .to_string(),
+                    )
+                }
+            };
+            // `status [ID]`, `cancel ID`, `events ID` take a positional
+            // job id before any flags.
+            let (id, flags): (Option<u64>, &[&str]) = match rest.split_first() {
+                Some((&first, tail)) if !first.starts_with("--") => {
+                    let id = first.parse().map_err(|_| format!("bad job id {first:?}"))?;
+                    (Some(id), tail)
+                }
+                _ => (None, rest),
+            };
+            let mut addr = "127.0.0.1:7077".to_string();
+            let grab_addr = |flag: &str, value: Option<&str>, addr: &mut String| {
+                if flag == "--addr" {
+                    match value {
+                        Some(v) => {
+                            *addr = v.to_string();
+                            Some(Ok(()))
+                        }
+                        None => Some(Err("--addr needs HOST:PORT".to_string())),
+                    }
+                } else {
+                    None
+                }
+            };
+            let action = match verb {
+                "submit" => {
+                    if id.is_some() {
+                        return Err("client submit takes no job id".to_string());
+                    }
+                    let mut target = None;
+                    let mut strategy = "dpor(sleep=true)".to_string();
+                    let mut limit = 100_000usize;
+                    let mut seed = 0u64;
+                    let mut preemptions = None;
+                    let mut stop_on_bug = false;
+                    let mut minimize = false;
+                    let mut deadline_ms = None;
+                    let mut priority = 0i64;
+                    let mut wait = false;
+                    parse_flags(flags, |flag, value| {
+                        if let Some(done) = grab_addr(flag, value, &mut addr) {
+                            return done;
+                        }
+                        if parse_target_flag(flag, value, &mut target).is_some() {
+                            return Ok(());
+                        }
+                        match flag {
+                            "--strategy" => {
+                                let spec = value.ok_or("--strategy needs a value")?;
+                                StrategyRegistry::default()
+                                    .create(spec)
+                                    .map_err(|e| e.to_string())?;
+                                strategy = spec.to_string();
+                                Ok(())
+                            }
+                            "--limit" => {
+                                limit = parse_num(value, "--limit")?;
+                                Ok(())
+                            }
+                            "--seed" => {
+                                seed = parse_num(value, "--seed")? as u64;
+                                Ok(())
+                            }
+                            "--preemptions" => {
+                                preemptions = Some(parse_num(value, "--preemptions")? as u32);
+                                Ok(())
+                            }
+                            "--stop-on-bug" => {
+                                stop_on_bug = true;
+                                Ok(())
+                            }
+                            "--minimize" => {
+                                minimize = true;
+                                Ok(())
+                            }
+                            "--deadline-ms" => {
+                                deadline_ms = Some(parse_num(value, "--deadline-ms")? as u64);
+                                Ok(())
+                            }
+                            "--priority" => {
+                                priority = value
+                                    .ok_or("--priority needs a value")?
+                                    .parse()
+                                    .map_err(|_| "--priority needs an integer".to_string())?;
+                                Ok(())
+                            }
+                            "--wait" => {
+                                wait = true;
+                                Ok(())
+                            }
+                            _ => Err(format!("unknown flag {flag} for client submit")),
+                        }
+                    })?;
+                    ClientAction::Submit {
+                        target: target.ok_or("client submit needs --bench, --id or --file")?,
+                        strategy,
+                        limit,
+                        seed,
+                        preemptions,
+                        stop_on_bug,
+                        minimize,
+                        deadline_ms,
+                        priority,
+                        wait,
+                    }
+                }
+                "status" => {
+                    parse_flags(flags, |flag, value| {
+                        grab_addr(flag, value, &mut addr).unwrap_or_else(|| {
+                            Err(format!("unknown flag {flag} for client status"))
+                        })
+                    })?;
+                    ClientAction::Status { id }
+                }
+                "cancel" => {
+                    parse_flags(flags, |flag, value| {
+                        grab_addr(flag, value, &mut addr).unwrap_or_else(|| {
+                            Err(format!("unknown flag {flag} for client cancel"))
+                        })
+                    })?;
+                    ClientAction::Cancel {
+                        id: id.ok_or("client cancel needs a job id")?,
+                    }
+                }
+                "events" => {
+                    let mut since = 0u64;
+                    parse_flags(flags, |flag, value| {
+                        if let Some(done) = grab_addr(flag, value, &mut addr) {
+                            return done;
+                        }
+                        match flag {
+                            "--since" => {
+                                since = parse_num(value, "--since")? as u64;
+                                Ok(())
+                            }
+                            _ => Err(format!("unknown flag {flag} for client events")),
+                        }
+                    })?;
+                    ClientAction::Events {
+                        id: id.ok_or("client events needs a job id")?,
+                        since,
+                    }
+                }
+                "shutdown" => {
+                    if id.is_some() {
+                        return Err("client shutdown takes no job id".to_string());
+                    }
+                    parse_flags(flags, |flag, value| {
+                        grab_addr(flag, value, &mut addr).unwrap_or_else(|| {
+                            Err(format!("unknown flag {flag} for client shutdown"))
+                        })
+                    })?;
+                    ClientAction::Shutdown
+                }
+                other => return Err(format!("unknown client action {other:?}")),
+            };
+            Ok(Command::Client { addr, action })
+        }
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -474,7 +737,10 @@ fn parse_flags(
             return Err(format!("unexpected argument {flag:?}"));
         }
         // Boolean flags take no value; everything else consumes one.
-        let boolean = matches!(flag, "--stop-on-bug" | "--minimize" | "--json" | "--quick");
+        let boolean = matches!(
+            flag,
+            "--stop-on-bug" | "--minimize" | "--json" | "--quick" | "--wait"
+        );
         let value = if boolean {
             None
         } else {
@@ -715,6 +981,119 @@ mod tests {
         assert!(parse(&argv("run --bench x --limit abc")).is_err());
         assert!(parse(&argv("list --bogus 1")).is_err());
         assert!(parse(&argv("strategies --bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        assert_eq!(
+            parse(&argv("serve")).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7077".to_string(),
+                workers: 2,
+                corpus: None,
+                max_job_budget: 1_000_000,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "serve --addr 127.0.0.1:0 --workers 4 --corpus c --max-job-budget 5000"
+            ))
+            .unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 4,
+                corpus: Some("c".to_string()),
+                max_job_budget: 5000,
+            }
+        );
+        assert!(parse(&argv("serve --workers 0")).is_err());
+        assert!(parse(&argv("serve --bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_client_actions() {
+        match parse(&argv(
+            "client submit --addr 127.0.0.1:9 --bench deadlock --strategy dfs \
+             --limit 50 --seed 3 --stop-on-bug --minimize --deadline-ms 100 \
+             --priority -2 --wait",
+        ))
+        .unwrap()
+        {
+            Command::Client { addr, action } => {
+                assert_eq!(addr, "127.0.0.1:9");
+                match action {
+                    ClientAction::Submit {
+                        target,
+                        strategy,
+                        limit,
+                        seed,
+                        stop_on_bug,
+                        minimize,
+                        deadline_ms,
+                        priority,
+                        wait,
+                        ..
+                    } => {
+                        assert_eq!(target, Target::Bench("deadlock".to_string()));
+                        assert_eq!(strategy, "dfs");
+                        assert_eq!(limit, 50);
+                        assert_eq!(seed, 3);
+                        assert!(stop_on_bug);
+                        assert!(minimize);
+                        assert_eq!(deadline_ms, Some(100));
+                        assert_eq!(priority, -2);
+                        assert!(wait);
+                    }
+                    other => panic!("wrong action: {other:?}"),
+                }
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert_eq!(
+            parse(&argv("client status")).unwrap(),
+            Command::Client {
+                addr: "127.0.0.1:7077".to_string(),
+                action: ClientAction::Status { id: None },
+            }
+        );
+        assert_eq!(
+            parse(&argv("client status 7")).unwrap(),
+            Command::Client {
+                addr: "127.0.0.1:7077".to_string(),
+                action: ClientAction::Status { id: Some(7) },
+            }
+        );
+        assert_eq!(
+            parse(&argv("client cancel 3 --addr h:1")).unwrap(),
+            Command::Client {
+                addr: "h:1".to_string(),
+                action: ClientAction::Cancel { id: 3 },
+            }
+        );
+        assert_eq!(
+            parse(&argv("client events 3 --since 5")).unwrap(),
+            Command::Client {
+                addr: "127.0.0.1:7077".to_string(),
+                action: ClientAction::Events { id: 3, since: 5 },
+            }
+        );
+        assert_eq!(
+            parse(&argv("client shutdown")).unwrap(),
+            Command::Client {
+                addr: "127.0.0.1:7077".to_string(),
+                action: ClientAction::Shutdown,
+            }
+        );
+        assert!(parse(&argv("client")).is_err());
+        assert!(parse(&argv("client frob")).is_err());
+        assert!(parse(&argv("client submit")).is_err());
+        assert!(parse(&argv("client submit 4 --bench x")).is_err());
+        assert!(parse(&argv("client submit --bench x --strategy nope")).is_err());
+        assert!(parse(&argv("client cancel")).is_err());
+        assert!(parse(&argv("client cancel x")).is_err());
+        assert!(parse(&argv("client events")).is_err());
+        assert!(parse(&argv("client shutdown 3")).is_err());
+        assert!(parse(&argv("client status --walks 2")).is_err());
     }
 
     #[test]

@@ -1,14 +1,14 @@
 //! Command implementations.
 
-use crate::args::{Command, CorpusAction, Target, USAGE};
+use crate::args::{ClientAction, Command, CorpusAction, Target, USAGE};
 use lazylocks::{
-    detect_races, minimize_schedule, BugReport, ExploreConfig, ExploreOutcome, ExploreSession,
-    Observer, Progress, StrategyRegistry,
+    detect_races, BugReport, ExploreConfig, ExploreOutcome, ExploreSession, Observer, Progress,
+    StrategyRegistry,
 };
 use lazylocks_model::Program;
 use lazylocks_runtime::run_with_scheduler;
 use lazylocks_trace::{
-    bug_kind_to_json, replay_against, replay_embedded, stats_to_json, CorpusStore, Json,
+    drive, outcome_json, replay_against, replay_embedded, CorpusStore, DriveRequest, Json,
     ReplayReport, TraceArtifact, TraceRecorder,
 };
 use std::collections::HashMap;
@@ -25,6 +25,19 @@ pub fn run(cmd: Command) -> Result<(), String> {
         }
         Command::List { family } => list(family.as_deref()),
         Command::Strategies => strategies(),
+        Command::Serve {
+            addr,
+            workers,
+            corpus,
+            max_job_budget,
+        } => lazylocks_server::serve(lazylocks_server::ServerConfig {
+            addr,
+            workers,
+            corpus_dir: corpus.map(PathBuf::from),
+            max_job_budget,
+            limits: lazylocks_server::Limits::default(),
+        }),
+        Command::Client { addr, action } => client(&addr, action),
         Command::Show { target } => {
             let program = resolve(&target)?;
             print!("{}", program.to_source());
@@ -48,63 +61,46 @@ pub fn run(cmd: Command) -> Result<(), String> {
             config.preemption_bound = preemptions;
             config.stop_on_bug = stop_on_bug;
 
-            let mut session = ExploreSession::new(&program)
+            let mut request = DriveRequest::new(&program, &strategy)
                 .with_config(config)
-                .progress_every(progress);
+                .progress_every(progress)
+                .minimizing(minimize);
             if progress > 0 && !json {
-                session = session.observe(PrintProgress);
+                request = request.observe(Arc::new(PrintProgress));
             }
             if let Some(ms) = deadline_ms {
-                session = session.deadline(Duration::from_millis(ms));
+                request = request.deadline(Duration::from_millis(ms));
             }
-            let recorder = match &save_traces {
-                Some(dir) => {
-                    let store = CorpusStore::open(dir)
-                        .map_err(|e| format!("cannot open trace directory {dir}: {e}"))?;
-                    let recorder = Arc::new(TraceRecorder::new(store, &program, &strategy, seed));
-                    session = session.observe_arc(recorder.clone());
-                    Some(recorder)
-                }
-                None => None,
-            };
-            let outcome = session.run_spec(&strategy).map_err(|e| e.to_string())?;
-            // Saved artifacts are minimised by default; --minimize also
-            // minimises the schedules reported below (reusing the
-            // recorder's already-minimised reports when there is one).
-            let (finalized, trace_errors) = match &recorder {
-                Some(recorder) => recorder.finalize(&outcome.stats),
-                None => (Vec::new(), Vec::new()),
-            };
-            let traces: Vec<PathBuf> = finalized.iter().map(|f| f.path.clone()).collect();
-            let bugs: Vec<BugReport> = match (&recorder, minimize) {
-                (_, false) => outcome.bugs.clone(),
-                (Some(_), true) => finalized.iter().map(|f| f.bug.clone()).collect(),
-                (None, true) => outcome
-                    .bugs
-                    .iter()
-                    .map(|b| minimize_schedule(&program, b))
-                    .collect(),
-            };
+            if let Some(dir) = &save_traces {
+                let store = CorpusStore::open(dir)
+                    .map_err(|e| format!("cannot open trace directory {dir}: {e}"))?;
+                request = request.saving_into(store);
+            }
+            // Saved artifacts are minimised per --minimize, which also
+            // minimises the schedules reported below (the driver reuses
+            // the recorder's already-minimised reports when saving).
+            let result = drive(request).map_err(|e| e.to_string())?;
+            let traces = result.trace_paths();
             if json {
                 println!(
                     "{}",
                     outcome_json(
                         program.name(),
                         &strategy,
-                        &outcome,
-                        &bugs,
+                        &result.outcome,
+                        &result.bugs,
                         minimize,
                         &traces
                     )
                     .pretty()
                 );
             } else {
-                print_outcome(program.name(), &outcome, &bugs, minimize);
+                print_outcome(program.name(), &result.outcome, &result.bugs, minimize);
                 for path in &traces {
                     println!("trace saved  : {}", path.display());
                 }
             }
-            for e in &trace_errors {
+            for e in &result.trace_errors {
                 eprintln!("warning: {e}");
             }
             Ok(())
@@ -202,54 +198,104 @@ fn strategies() -> Result<(), String> {
     Ok(())
 }
 
-/// The machine-readable form of a `run --json` outcome.
-fn outcome_json(
-    program: &str,
-    spec: &str,
-    outcome: &ExploreOutcome,
-    bugs: &[BugReport],
-    minimized: bool,
-    traces: &[PathBuf],
-) -> Json {
-    Json::obj([
-        ("program", Json::Str(program.to_string())),
-        ("strategy", Json::Str(outcome.strategy_id.clone())),
-        ("spec", Json::Str(spec.to_string())),
-        ("verdict", Json::Str(outcome.verdict.to_string())),
-        ("stats", stats_to_json(&outcome.stats)),
-        (
-            "bugs",
-            Json::Arr(
-                bugs.iter()
-                    .map(|b| {
-                        Json::obj([
-                            ("kind", bug_kind_to_json(&b.kind)),
-                            (
-                                "schedule",
-                                Json::Arr(
-                                    b.schedule
-                                        .iter()
-                                        .map(|t| Json::Int(i128::from(t.0)))
-                                        .collect(),
-                                ),
-                            ),
-                            ("trace_len", Json::Int(b.trace_len as i128)),
-                            ("minimized", Json::Bool(minimized)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-        (
-            "traces",
-            Json::Arr(
-                traces
-                    .iter()
-                    .map(|p| Json::Str(p.display().to_string()))
-                    .collect(),
-            ),
-        ),
-    ])
+/// The `client` subcommand: a thin veneer over
+/// [`lazylocks_server::Client`]. Every action prints the daemon's JSON
+/// response; `submit --wait` additionally polls the job to completion
+/// and fails unless it ended `done`.
+fn client(addr: &str, action: ClientAction) -> Result<(), String> {
+    let client = lazylocks_server::Client::new(addr);
+    match action {
+        ClientAction::Submit {
+            target,
+            strategy,
+            limit,
+            seed,
+            preemptions,
+            stop_on_bug,
+            minimize,
+            deadline_ms,
+            priority,
+            wait,
+        } => {
+            // Programs travel as source text: the daemon re-parses and
+            // validates, so benchmarks and files submit identically.
+            let program = resolve(&target)?;
+            let job = Json::obj([
+                ("program", Json::Str(program.to_source())),
+                ("spec", Json::Str(strategy)),
+                ("limit", Json::Int(limit as i128)),
+                ("seed", Json::Int(i128::from(seed))),
+                (
+                    "preemptions",
+                    preemptions
+                        .map(|p| Json::Int(i128::from(p)))
+                        .unwrap_or(Json::Null),
+                ),
+                ("stop_on_bug", Json::Bool(stop_on_bug)),
+                ("minimize", Json::Bool(minimize)),
+                (
+                    "deadline_ms",
+                    deadline_ms
+                        .map(|ms| Json::Int(i128::from(ms)))
+                        .unwrap_or(Json::Null),
+                ),
+                ("priority", Json::Int(i128::from(priority))),
+            ]);
+            let id = client.submit(&job)?;
+            if !wait {
+                println!(
+                    "{}",
+                    Json::obj([
+                        ("id", Json::Int(id as i128)),
+                        ("state", Json::Str("queued".to_string())),
+                    ])
+                    .pretty()
+                );
+                return Ok(());
+            }
+            let detail = client.wait(id, Duration::from_millis(50))?;
+            println!("{}", detail.pretty());
+            match detail.get("state").and_then(Json::as_str) {
+                Some("done") => Ok(()),
+                Some(state) => Err(format!("job {id} ended {state}")),
+                None => Err(format!("job {id} detail carried no state")),
+            }
+        }
+        ClientAction::Status { id } => {
+            let (status, body) = match id {
+                Some(id) => client.job(id)?,
+                None => client.jobs()?,
+            };
+            println!("{}", body.pretty());
+            expect_ok(status, &body)
+        }
+        ClientAction::Cancel { id } => {
+            let (status, body) = client.cancel(id)?;
+            println!("{}", body.pretty());
+            expect_ok(status, &body)
+        }
+        ClientAction::Events { id, since } => {
+            let (status, body) = client.events(id, since)?;
+            println!("{}", body.pretty());
+            expect_ok(status, &body)
+        }
+        ClientAction::Shutdown => {
+            let (status, body) = client.shutdown()?;
+            println!("{}", body.pretty());
+            expect_ok(status, &body)
+        }
+    }
+}
+
+fn expect_ok(status: u16, body: &Json) -> Result<(), String> {
+    if (200..300).contains(&status) {
+        Ok(())
+    } else {
+        Err(format!(
+            "daemon answered {status}: {}",
+            body.get("error").and_then(Json::as_str).unwrap_or("?")
+        ))
+    }
 }
 
 fn print_outcome(program: &str, outcome: &ExploreOutcome, bugs: &[BugReport], minimized: bool) {

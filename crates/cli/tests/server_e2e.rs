@@ -1,0 +1,381 @@
+//! End-to-end tests against a real `lazylocks serve` daemon in a fresh
+//! process: full job lifecycle with corpus persistence and replay,
+//! mid-run cancellation, result determinism, more submissions than
+//! workers, and drain-then-exit shutdown.
+//!
+//! Each test spawns its own daemon on an ephemeral port (parsed from the
+//! `listening on <addr>` line) and shuts it down — or kills it on a
+//! panic path via the [`Daemon`] drop guard — so no test leaves an
+//! orphaned process.
+
+use lazylocks_server::Client;
+use lazylocks_trace::{replay_embedded, Json, TraceArtifact};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// The AB-BA deadlock, as wire-format `.llk` source.
+const DEADLOCK: &str = "\
+program abba
+mutex a
+mutex b
+thread T1 {
+  lock a
+  lock b
+  unlock b
+  unlock a
+}
+thread T2 {
+  lock b
+  lock a
+  unlock a
+  unlock b
+}
+";
+
+/// Bug-free but with a state space far too large to finish in a test's
+/// lifetime under DFS — the cancellation target.
+const WIDE: &str = "\
+program wide
+var x = 0
+mutex a
+thread T1 {
+  lock a
+  store x = 1
+  unlock a
+  lock a
+  store x = 1
+  unlock a
+  lock a
+  store x = 1
+  unlock a
+}
+thread T2 {
+  lock a
+  store x = 2
+  unlock a
+  lock a
+  store x = 2
+  unlock a
+  lock a
+  store x = 2
+  unlock a
+}
+thread T3 {
+  lock a
+  store x = 3
+  unlock a
+  lock a
+  store x = 3
+  unlock a
+  lock a
+  store x = 3
+  unlock a
+}
+thread T4 {
+  lock a
+  store x = 4
+  unlock a
+  lock a
+  store x = 4
+  unlock a
+  lock a
+  store x = 4
+  unlock a
+}
+";
+
+/// A running daemon plus the kill-on-drop guard.
+struct Daemon {
+    child: Child,
+    addr: String,
+    /// Cleared once the test has shut the daemon down itself.
+    armed: bool,
+}
+
+impl Daemon {
+    /// Spawns `lazylocks serve` on an ephemeral port and waits for the
+    /// listening line.
+    fn spawn(workers: usize, corpus: Option<&std::path::Path>) -> Daemon {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_lazylocks"));
+        cmd.arg("serve")
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--workers")
+            .arg(workers.to_string())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        if let Some(dir) = corpus {
+            cmd.arg("--corpus").arg(dir);
+        }
+        let mut child = cmd.spawn().expect("spawn lazylocks serve");
+        let stdout = child.stdout.take().expect("captured stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let first = lines
+            .next()
+            .expect("daemon printed a line")
+            .expect("readable stdout");
+        let addr = first
+            .rsplit(' ')
+            .next()
+            .expect("listening line ends with the address")
+            .to_string();
+        assert!(
+            first.contains("listening on"),
+            "unexpected first line: {first}"
+        );
+        // Keep draining stdout so the daemon never blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines.map_while(Result::ok) {});
+        Daemon {
+            child,
+            addr,
+            armed: true,
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::new(self.addr.clone())
+    }
+
+    /// `POST /shutdown`, then requires the process to exit cleanly.
+    fn shutdown_and_join(mut self) {
+        let (status, _) = self.client().shutdown().expect("shutdown call");
+        assert_eq!(status, 200);
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            match self.child.try_wait().expect("try_wait") {
+                Some(exit) => {
+                    assert!(exit.success(), "daemon exited with {exit}");
+                    break;
+                }
+                None if Instant::now() > deadline => {
+                    self.child.kill().ok();
+                    panic!("daemon did not drain and exit within 60s of shutdown");
+                }
+                None => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+        self.armed = false;
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if self.armed {
+            self.child.kill().ok();
+            self.child.wait().ok();
+        }
+    }
+}
+
+fn job_body(program: &str, spec: &str, limit: usize, stop_on_bug: bool) -> Json {
+    Json::obj([
+        ("program", Json::Str(program.to_string())),
+        ("spec", Json::Str(spec.to_string())),
+        ("limit", Json::Int(limit as i128)),
+        ("seed", Json::Int(7)),
+        ("stop_on_bug", Json::Bool(stop_on_bug)),
+        ("minimize", Json::Bool(true)),
+    ])
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("lazylocks-e2e-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn lifecycle_events_artifact_and_replay() {
+    let corpus = temp_dir("lifecycle");
+    let daemon = Daemon::spawn(2, Some(&corpus));
+    let client = daemon.client();
+
+    let (status, health) = client.health().expect("healthz");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+
+    let (status, strategies) = client.strategies().expect("strategies");
+    assert_eq!(status, 200);
+    assert!(!strategies
+        .get("strategies")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .is_empty());
+
+    let id = client
+        .submit(&job_body(DEADLOCK, "dpor", 10_000, false))
+        .expect("submit");
+
+    // Poll the event log to completion with the cursor protocol; the
+    // stream must include the bug and terminate with a done event.
+    let mut since = 0u64;
+    let mut kinds: Vec<String> = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(Instant::now() < deadline, "job never finished: {kinds:?}");
+        let (status, page) = client.events(id, since).expect("events");
+        assert_eq!(status, 200);
+        for event in page.get("events").unwrap().as_arr().unwrap() {
+            kinds.push(event.get("type").unwrap().as_str().unwrap().to_string());
+        }
+        since = page.get("next").unwrap().as_u64().unwrap();
+        if kinds.last().map(String::as_str) == Some("done") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(kinds.starts_with(&["queued".to_string(), "running".to_string()]));
+    assert!(kinds.contains(&"bug".to_string()), "{kinds:?}");
+
+    let (status, detail) = client.job(id).expect("job detail");
+    assert_eq!(status, 200);
+    assert_eq!(detail.get("state").unwrap().as_str(), Some("done"));
+    let result = detail.get("result").unwrap();
+    assert_eq!(result.get("verdict").unwrap().as_str(), Some("bug-found"));
+
+    // The bug was persisted into the corpus and replays in-process.
+    let traces = result.get("traces").unwrap().as_arr().unwrap();
+    assert_eq!(traces.len(), 1, "one distinct bug, one artifact");
+    let path = std::path::PathBuf::from(traces[0].as_str().unwrap());
+    assert!(path.starts_with(&corpus), "{path:?} not under {corpus:?}");
+    let text = std::fs::read_to_string(&path).expect("artifact readable");
+    let artifact = TraceArtifact::parse(&text).expect("artifact parses");
+    assert!(artifact.minimized);
+    assert!(
+        replay_embedded(&artifact)
+            .expect("replay runs")
+            .reproduced(),
+        "persisted artifact must reproduce the deadlock"
+    );
+
+    // Unknown ids and routes answer structured errors, not hangups.
+    let (status, _) = client.job(999).expect("missing job");
+    assert_eq!(status, 404);
+    let (status, _) = client.call("GET", "/nope", None).expect("bad route");
+    assert_eq!(status, 404);
+    let (status, _) = client.call("PUT", "/jobs", None).expect("bad method");
+    assert_eq!(status, 405);
+
+    daemon.shutdown_and_join();
+    std::fs::remove_dir_all(&corpus).ok();
+}
+
+#[test]
+fn mid_run_cancellation_reports_partial_stats() {
+    let daemon = Daemon::spawn(1, None);
+    let client = daemon.client();
+
+    // The daemon rejects budgets above --max-job-budget outright.
+    let err = client
+        .submit(&job_body(WIDE, "dfs", 100_000_000, false))
+        .expect_err("over-budget submission must be rejected");
+    assert!(err.contains("400"), "{err}");
+
+    let id = client
+        .submit(&job_body(WIDE, "dfs", 1_000_000, false))
+        .expect("submit");
+
+    // Wait until the job is actually running, then cancel it.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        assert!(Instant::now() < deadline, "job never started");
+        let (_, detail) = client.job(id).expect("job detail");
+        if detail.get("state").unwrap().as_str() == Some("running") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (status, reply) = client.cancel(id).expect("cancel");
+    assert_eq!(status, 200);
+    assert_eq!(reply.get("state").unwrap().as_str(), Some("running"));
+
+    let detail = client
+        .wait(id, Duration::from_millis(25))
+        .expect("wait for terminal state");
+    assert_eq!(detail.get("state").unwrap().as_str(), Some("cancelled"));
+    let result = detail.get("result").unwrap();
+    assert_eq!(result.get("verdict").unwrap().as_str(), Some("cancelled"));
+    let stats = result.get("stats").unwrap();
+    assert_eq!(stats.get("cancelled").unwrap().as_bool(), Some(true));
+    // Partial: it stopped well short of the budget.
+    assert!(stats.get("schedules").unwrap().as_u64().unwrap() < 1_000_000);
+
+    // Cancelling a finished job is a no-op that reports the final state.
+    let (status, reply) = client.cancel(id).expect("re-cancel");
+    assert_eq!(status, 200);
+    assert_eq!(reply.get("state").unwrap().as_str(), Some("cancelled"));
+
+    daemon.shutdown_and_join();
+}
+
+#[test]
+fn identical_submissions_produce_identical_results() {
+    let corpus = temp_dir("determinism");
+    let daemon = Daemon::spawn(2, Some(&corpus));
+    let client = daemon.client();
+
+    let body = job_body(DEADLOCK, "dpor(sleep=true)", 10_000, false);
+    let first = client.submit(&body).expect("submit #1");
+    let second = client.submit(&body).expect("submit #2");
+    assert_ne!(first, second, "distinct jobs get distinct ids");
+
+    let a = client
+        .wait(first, Duration::from_millis(25))
+        .expect("job 1");
+    let b = client
+        .wait(second, Duration::from_millis(25))
+        .expect("job 2");
+    assert_eq!(a.get("state").unwrap().as_str(), Some("done"));
+    // Same program, spec, seed and budget — the result documents must be
+    // byte-identical: wall time is scrubbed server-side and the corpus
+    // dedups the artifact to one fingerprint-keyed path.
+    assert_eq!(
+        a.get("result").unwrap().encode(),
+        b.get("result").unwrap().encode()
+    );
+
+    daemon.shutdown_and_join();
+    std::fs::remove_dir_all(&corpus).ok();
+}
+
+#[test]
+fn more_jobs_than_workers_all_complete_and_drain_on_shutdown() {
+    let daemon = Daemon::spawn(2, None);
+    let client = daemon.client();
+
+    let ids: Vec<u64> = (0..6)
+        .map(|_| {
+            client
+                .submit(&job_body(DEADLOCK, "dpor", 10_000, true))
+                .expect("submit")
+        })
+        .collect();
+    for id in &ids {
+        let detail = client.wait(*id, Duration::from_millis(25)).expect("wait");
+        assert_eq!(detail.get("state").unwrap().as_str(), Some("done"));
+    }
+
+    // After shutdown the daemon refuses new work while draining.
+    let (status, reply) = client.shutdown().expect("shutdown");
+    assert_eq!(status, 200);
+    assert_eq!(reply.get("status").unwrap().as_str(), Some("draining"));
+
+    let mut daemon = daemon;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match daemon.child.try_wait().expect("try_wait") {
+            Some(exit) => {
+                assert!(exit.success(), "daemon exited with {exit}");
+                daemon.armed = false;
+                break;
+            }
+            None if Instant::now() > deadline => {
+                panic!("daemon did not exit after shutdown");
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}

@@ -240,6 +240,13 @@ pub(crate) struct DporCore<'p> {
     pub dependence: DependenceMode,
     pub trace: Vec<Event>,
     pub schedule: Vec<ThreadId>,
+    /// For each trace position, the depth of the frame the event was
+    /// executed from. Identical to the position itself while every step
+    /// appends an event; a no-event step (an unlock-without-hold fault)
+    /// pushes a frame without a trace entry and shifts every later event
+    /// one frame past its index. Race handling must target *frames*, so
+    /// every trace index crossing into frame space maps through here.
+    pub trace_depths: Vec<usize>,
     /// Per-variable trace indices of writes, in trace order. Maintained
     /// incrementally: pushed when an event is appended, popped when the
     /// trace is truncated on unwind — so race detection enumerates only
@@ -276,6 +283,7 @@ impl<'p> DporCore<'p> {
             dependence,
             trace: Vec::new(),
             schedule: Vec::new(),
+            trace_depths: Vec::new(),
             var_writes: vec![Vec::new(); program.vars().len()],
             var_reads: vec![Vec::new(); program.vars().len()],
             mutex_locks: vec![Vec::new(); program.mutexes().len()],
@@ -300,6 +308,7 @@ impl<'p> DporCore<'p> {
         self.unindex_tail(0);
         self.trace.clear();
         self.schedule.clear();
+        self.trace_depths.clear();
     }
 
     /// Appends `event` (about to sit at trace position `i`) to its
@@ -333,6 +342,7 @@ impl<'p> DporCore<'p> {
     pub fn truncate_to(&mut self, trace_mark: usize, sched_mark: usize) {
         self.unindex_tail(trace_mark);
         self.trace.truncate(trace_mark);
+        self.trace_depths.truncate(trace_mark);
         self.schedule.truncate(sched_mark);
     }
 
@@ -387,16 +397,12 @@ impl<'p> DporCore<'p> {
             // writes for a read; writes and reads for a write) or
             // acquisitions of the conflicting mutex can be dependent.
             //
-            // KNOWN LIMITATION (pre-existing, preserved for golden-stats
-            // byte parity): race handling treats a trace index as a frame
-            // depth (`frames.exec_at(i)`), which is exact only while every
-            // step appends an event. A no-event step — an
-            // unlock-without-hold fault — pushes a frame without a trace
-            // entry, after which later events' backtrack insertions land
-            // one frame early and can miss reversals. The curated corpus
-            // and the fuzz generator are lock-disciplined, so only
-            // hostile `.llk` input reaches that path (and the program is
-            // already faulted when it does); tracked in the ROADMAP.
+            // Partner indices are *trace* positions; everything that
+            // touches a frame maps them through `trace_depths`, so
+            // no-event fault steps (which push a frame without a trace
+            // entry) cannot shift backtrack insertions one frame early.
+            // `tests/hostile_input.rs` pins DFS parity on exactly those
+            // programs.
             let p_nested = frames.exec_at(top).holds_any_mutex(p);
             let mut race_buf = std::mem::take(&mut self.race_buf);
             debug_assert!(race_buf.is_empty());
@@ -455,6 +461,7 @@ impl<'p> DporCore<'p> {
             child.clocks.apply(&event);
             self.index_event(self.trace.len(), &event);
             self.trace.push(event);
+            self.trace_depths.push(top);
             for &i in &race_buf {
                 self.handle_race(frames, i, p);
             }
@@ -499,9 +506,7 @@ impl<'p> DporCore<'p> {
                 if !self.is_race_partner(frames, VisibleKind::Lock(m), q, cq, j, q_nested) {
                     continue;
                 }
-                if j < frames.depth() {
-                    self.handle_race(frames, j, q);
-                }
+                self.handle_race(frames, j, q);
             }
             self.events_compared += compared;
         }
@@ -571,12 +576,13 @@ impl<'p> DporCore<'p> {
         if pushed_event {
             self.unindex_tail(self.trace.len() - 1);
             self.trace.pop();
+            self.trace_depths.pop();
         }
         self.schedule.pop();
         self.pool.retire(body);
     }
 
-    /// Is the earlier event `f` (executed at depth `d`) a backtracking
+    /// Is the earlier event `f` (at trace position `i`) a backtracking
     /// dependence for a new event of kind `kind`?
     ///
     /// Variable conflicts count in every mode. Mutex conflicts are
@@ -590,7 +596,7 @@ impl<'p> DporCore<'p> {
         frames: &S,
         kind: VisibleKind,
         f: &Event,
-        d: usize,
+        i: usize,
         p_nested: bool,
     ) -> bool {
         if kind.dependent_lazy(f.kind) {
@@ -601,7 +607,10 @@ impl<'p> DporCore<'p> {
                 DependenceMode::Regular => true,
                 DependenceMode::LazyVarsOnly => false,
                 DependenceMode::LazyLockAcquisitions => {
-                    p_nested || frames.exec_at(d).holds_any_mutex(f.thread())
+                    p_nested
+                        || frames
+                            .exec_at(self.trace_depths[i])
+                            .holds_any_mutex(f.thread())
                 }
             },
             _ => false,
@@ -650,24 +659,25 @@ impl<'p> DporCore<'p> {
         candidates.len() as u64
     }
 
-    /// Registers a backtrack point for the race between the event at depth
-    /// `i` and the pending transition of thread `p`.
+    /// Registers a backtrack point for the race between the event at trace
+    /// position `i` and the pending transition of thread `p`.
     ///
-    /// Conservative insertion: schedule `p` at the pre-state of depth `i`
-    /// when it is runnable there; when it is not — or when it is parked in
-    /// that frame's sleep set, which would silently skip it (the
-    /// "sleep-set blocking" problem) — wake the frame up by adding every
-    /// runnable thread. The lazy modes additionally *redirect* a `p`
-    /// blocked on a mutex to the acquisition of the blocking mutex, where
-    /// reversing the race is actually possible.
+    /// Conservative insertion: schedule `p` at the event's pre-state frame
+    /// (`trace_depths[i]`) when it is runnable there; when it is not — or
+    /// when it is parked in that frame's sleep set, which would silently
+    /// skip it (the "sleep-set blocking" problem) — wake the frame up by
+    /// adding every runnable thread. The lazy modes additionally
+    /// *redirect* a `p` blocked on a mutex to the acquisition of the
+    /// blocking mutex, where reversing the race is actually possible.
     fn handle_race<S: FrameStack<'p>>(&self, frames: &mut S, i: usize, p: ThreadId) {
-        let mut target = i;
-        if self.dependence != DependenceMode::Regular && !frames.exec_at(i).is_enabled(p) {
-            if let Some(VisibleKind::Lock(mb)) = frames.exec_at(i).next_visible(p) {
-                if let Some(owner) = frames.exec_at(i).mutex_owner(mb) {
+        let mut target = self.trace_depths[i];
+        if self.dependence != DependenceMode::Regular && !frames.exec_at(target).is_enabled(p) {
+            if let Some(VisibleKind::Lock(mb)) = frames.exec_at(target).next_visible(p) {
+                if let Some(owner) = frames.exec_at(target).mutex_owner(mb) {
                     // The owner's most recent acquisition of `mb` at or
-                    // before depth i is the blocking one (held ever since):
-                    // the last indexed Lock(mb) below i, no trace scan.
+                    // before position i is the blocking one (held ever
+                    // since): the last indexed Lock(mb) below i, no trace
+                    // scan.
                     let locks = &self.mutex_locks[mb.index()];
                     let below = locks.partition_point(|&j| j < i);
                     if let Some(&j) = locks[..below]
@@ -675,7 +685,7 @@ impl<'p> DporCore<'p> {
                         .rev()
                         .find(|&&j| self.trace[j].thread() == owner)
                     {
-                        target = j;
+                        target = self.trace_depths[j];
                     }
                 }
             }

@@ -437,6 +437,10 @@ fn process<'p>(
                 let i = core.trace.len();
                 core.index_event(i, &e);
                 core.trace.push(e);
+                // The event was executed from this node's parent — the
+                // current top of the rebuilt stack (fault entries carry no
+                // event, so frame depth can run ahead of trace position).
+                core.trace_depths.push(frames.stack.len() - 1);
             }
             core.schedule.push(choice);
         }

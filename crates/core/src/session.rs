@@ -335,6 +335,15 @@ impl<'p> ExploreSession<'p> {
         self.cancel.clone()
     }
 
+    /// Replaces the session's cancellation token with an externally owned
+    /// one, so a caller holding `token` can cancel a run it did not build
+    /// — a job runner cancelling from another thread, say — without
+    /// threading an observer through.
+    pub fn cancel_with(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
     /// Runs `explorer` under this session's config and observation.
     pub fn run(&self, explorer: &dyn Explorer) -> ExploreOutcome {
         let sink = Arc::new(BugSink {

@@ -34,8 +34,7 @@
 //! on the strategy's own counters.
 
 use lazylocks::{
-    CancelToken, ExploreConfig, ExploreOutcome, ExploreSession, Observer, SpecError,
-    StrategyRegistry,
+    CancelToken, ExploreConfig, ExploreOutcome, ExploreSession, SpecError, StrategyRegistry,
 };
 use lazylocks_model::{Program, ThreadId};
 use std::collections::BTreeMap;
@@ -272,17 +271,6 @@ pub struct DifferentialCase {
     pub truth: Option<GroundTruth>,
 }
 
-/// Bridges a shared [`CancelToken`] into every strategy's cooperative
-/// cancellation poll, so a fuzzing session stops mid-strategy rather than
-/// mid-corpus.
-struct CancelBridge(CancelToken);
-
-impl Observer for CancelBridge {
-    fn should_stop(&self) -> bool {
-        self.0.is_cancelled()
-    }
-}
-
 fn witness_config(budget: usize, seed: u64) -> ExploreConfig {
     let mut config = ExploreConfig::with_limit(budget).seeded(seed);
     config.collect_state_witnesses = true;
@@ -297,10 +285,12 @@ fn run_spec(
     seed: u64,
     cancel: &CancelToken,
 ) -> Result<ExploreOutcome, SpecError> {
+    // Sharing the token (rather than bridging it through an observer)
+    // stops a fuzzing session mid-strategy rather than mid-corpus.
     ExploreSession::new(program)
         .with_config(witness_config(budget, seed))
         .progress_every(0)
-        .observe(CancelBridge(cancel.clone()))
+        .cancel_with(cancel.clone())
         .run_with(registry, spec)
 }
 

@@ -1,0 +1,121 @@
+//! A thin blocking HTTP client for the daemon's API — used by the
+//! `lazylocks client` subcommand, the CI smoke test and the e2e tests.
+//! One request per connection, mirroring the server's `Connection:
+//! close` discipline.
+
+use crate::http::{read_response, Limits};
+use lazylocks_trace::Json;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+
+/// A handle on one daemon.
+pub struct Client {
+    addr: String,
+    limits: Limits,
+}
+
+impl Client {
+    /// A client for the daemon at `addr` (e.g. `127.0.0.1:7077`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        Client {
+            addr: addr.into(),
+            limits: Limits::default(),
+        }
+    }
+
+    /// One round trip: connect, send, read `(status, body)`.
+    pub fn call(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> Result<(u16, Json), String> {
+        let stream = TcpStream::connect(&self.addr)
+            .map_err(|e| format!("cannot connect to {}: {e}", self.addr))?;
+        stream.set_read_timeout(Some(self.limits.read_timeout)).ok();
+        stream
+            .set_write_timeout(Some(self.limits.read_timeout))
+            .ok();
+        let mut writer = stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone socket: {e}"))?;
+        let payload = body.map(Json::encode).unwrap_or_default();
+        write!(
+            writer,
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+            self.addr,
+            payload.len(),
+        )
+        .map_err(|e| format!("request write failed: {e}"))?;
+        writer
+            .flush()
+            .map_err(|e| format!("request flush failed: {e}"))?;
+        let mut reader = BufReader::new(stream);
+        read_response(&mut reader, &self.limits)
+            .map_err(|e| format!("bad response from {}: {}", self.addr, e.message()))
+    }
+
+    /// `GET /healthz`.
+    pub fn health(&self) -> Result<(u16, Json), String> {
+        self.call("GET", "/healthz", None)
+    }
+
+    /// `GET /strategies`.
+    pub fn strategies(&self) -> Result<(u16, Json), String> {
+        self.call("GET", "/strategies", None)
+    }
+
+    /// `POST /jobs`; on 201 returns the new job id.
+    pub fn submit(&self, job: &Json) -> Result<u64, String> {
+        let (status, body) = self.call("POST", "/jobs", Some(job))?;
+        if status != 201 {
+            return Err(format!(
+                "submit rejected ({status}): {}",
+                body.get("error").and_then(Json::as_str).unwrap_or("?")
+            ));
+        }
+        body.get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "submit response carried no id".to_string())
+    }
+
+    /// `GET /jobs`.
+    pub fn jobs(&self) -> Result<(u16, Json), String> {
+        self.call("GET", "/jobs", None)
+    }
+
+    /// `GET /jobs/<id>`.
+    pub fn job(&self, id: u64) -> Result<(u16, Json), String> {
+        self.call("GET", &format!("/jobs/{id}"), None)
+    }
+
+    /// `DELETE /jobs/<id>`.
+    pub fn cancel(&self, id: u64) -> Result<(u16, Json), String> {
+        self.call("DELETE", &format!("/jobs/{id}"), None)
+    }
+
+    /// `GET /jobs/<id>/events?since=N`.
+    pub fn events(&self, id: u64, since: u64) -> Result<(u16, Json), String> {
+        self.call("GET", &format!("/jobs/{id}/events?since={since}"), None)
+    }
+
+    /// `POST /shutdown`.
+    pub fn shutdown(&self) -> Result<(u16, Json), String> {
+        self.call("POST", "/shutdown", None)
+    }
+
+    /// Polls `GET /jobs/<id>` until the job reaches a terminal state,
+    /// returning its detail document. `poll` is the sleep between polls.
+    pub fn wait(&self, id: u64, poll: std::time::Duration) -> Result<Json, String> {
+        loop {
+            let (status, detail) = self.job(id)?;
+            if status != 200 {
+                return Err(format!("job {id} lookup failed ({status})"));
+            }
+            match detail.get("state").and_then(Json::as_str) {
+                Some("done") | Some("cancelled") | Some("failed") => return Ok(detail),
+                _ => std::thread::sleep(poll),
+            }
+        }
+    }
+}

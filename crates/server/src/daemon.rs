@@ -1,0 +1,349 @@
+//! The daemon: TCP accept loop, bounded connection-handler pool, REST
+//! routing, and drain-then-exit shutdown.
+//!
+//! ## Surface
+//!
+//! | method & path               | action                                   |
+//! |-----------------------------|------------------------------------------|
+//! | `GET /healthz`              | liveness + queue/worker load             |
+//! | `GET /strategies`           | the strategy registry with help + aliases|
+//! | `POST /jobs`                | submit a job (JSON body) → 201 `{id}`    |
+//! | `GET /jobs`                 | summaries of every job                   |
+//! | `GET /jobs/<id>`            | one job, result document included        |
+//! | `DELETE /jobs/<id>`         | cooperative cancel                       |
+//! | `GET /jobs/<id>/events?since=N` | poll the seq-numbered event log      |
+//! | `POST /shutdown`            | stop accepting, drain, exit              |
+//!
+//! ## Threads
+//!
+//! One nonblocking accept loop (polling so it can observe the shutdown
+//! flag), a small fixed pool of connection handlers fed over a *bounded*
+//! channel (backpressure instead of a thread per connection), and
+//! `workers` job runners consuming the [`JobTable`] queue. Shutdown
+//! reverses that: the accept loop stops, the channel closes, handlers
+//! drain in-flight connections and exit, job workers drain the queue and
+//! exit, `serve` returns. Nothing is detached, so a clean exit proves a
+//! clean drain.
+
+use crate::http::{read_request, write_response, HttpError, Limits, Request};
+use crate::job::{run_worker, JobRequest, JobTable};
+use lazylocks::StrategyRegistry;
+use lazylocks_model::Program;
+use lazylocks_trace::Json;
+use std::io::{BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Daemon configuration (the `serve` subcommand's flags).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7077`; port `0` picks an ephemeral
+    /// port (printed on stdout as `listening on <addr>`).
+    pub addr: String,
+    /// Job runner threads.
+    pub workers: usize,
+    /// Corpus directory every job persists its bugs into; `None`
+    /// disables persistence.
+    pub corpus_dir: Option<PathBuf>,
+    /// Upper bound on a job's schedule budget; bigger submissions are
+    /// rejected with 400 rather than silently clamped.
+    pub max_job_budget: usize,
+    /// HTTP hardening limits.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7077".to_string(),
+            workers: 2,
+            corpus_dir: None,
+            max_job_budget: 1_000_000,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Everything a connection handler needs.
+struct ServerCtx {
+    table: Arc<JobTable>,
+    registry: StrategyRegistry,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+}
+
+/// Runs the daemon until `POST /shutdown`; returns once every
+/// connection handler and job worker has been joined (the drain
+/// barrier). The resolved listen address is printed on stdout before the
+/// first accept, so callers binding port `0` can discover the port.
+pub fn serve(config: ServerConfig) -> Result<(), String> {
+    let listener =
+        TcpListener::bind(&config.addr).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve local address: {e}"))?;
+    println!("lazylocks-server listening on {local}");
+    std::io::stdout().flush().ok();
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot set nonblocking accept: {e}"))?;
+
+    let table = Arc::new(JobTable::default());
+    let ctx = Arc::new(ServerCtx {
+        table: table.clone(),
+        registry: StrategyRegistry::default(),
+        config: config.clone(),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let job_workers: Vec<_> = (0..config.workers.max(1))
+        .map(|i| {
+            let table = table.clone();
+            let corpus = config.corpus_dir.clone();
+            thread::Builder::new()
+                .name(format!("job-worker-{i}"))
+                .spawn(move || run_worker(table, corpus))
+                .map_err(|e| format!("cannot spawn job worker: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Bounded handoff: when every handler is busy and the buffer is
+    // full, the accept loop itself blocks — backpressure, not an
+    // unbounded thread spawn per connection.
+    let (conn_tx, conn_rx) = sync_channel::<TcpStream>(32);
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+    let handlers: Vec<_> = (0..4)
+        .map(|i| {
+            let rx = conn_rx.clone();
+            let ctx = ctx.clone();
+            thread::Builder::new()
+                .name(format!("http-handler-{i}"))
+                .spawn(move || handler_loop(rx, ctx))
+                .map_err(|e| format!("cannot spawn connection handler: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    while !ctx.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if conn_tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                eprintln!("accept failed: {e}");
+                thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+
+    // Drain: close the connection channel, let handlers finish in-flight
+    // requests, then let job workers empty the queue.
+    drop(conn_tx);
+    for h in handlers {
+        h.join().map_err(|_| "connection handler panicked")?;
+    }
+    table.begin_shutdown();
+    for w in job_workers {
+        w.join().map_err(|_| "job worker panicked")?;
+    }
+    println!("lazylocks-server drained, exiting");
+    Ok(())
+}
+
+fn handler_loop(rx: Arc<Mutex<Receiver<TcpStream>>>, ctx: Arc<ServerCtx>) {
+    loop {
+        // Hold the lock only for the receive so handlers stay parallel.
+        let stream = match rx.lock().unwrap().recv() {
+            Ok(stream) => stream,
+            Err(_) => return,
+        };
+        handle_connection(stream, &ctx);
+    }
+}
+
+/// One request per connection, `Connection: close` — and every failure
+/// path answers with structured JSON rather than dropping or panicking.
+fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
+    stream
+        .set_read_timeout(Some(ctx.config.limits.read_timeout))
+        .ok();
+    stream
+        .set_write_timeout(Some(ctx.config.limits.read_timeout))
+        .ok();
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let (status, body) = match read_request(&mut reader, &ctx.config.limits) {
+        Ok(request) => route(&request, ctx),
+        Err(HttpError::Closed) => return,
+        Err(e) => {
+            let (status, _) = e.status();
+            (status, error_body(&e.message()))
+        }
+    };
+    write_response(&mut writer, status, &body).ok();
+}
+
+fn error_body(message: &str) -> Json {
+    Json::obj([("error", Json::Str(message.to_string()))])
+}
+
+/// Maps a parsed request to a `(status, body)` pair.
+fn route(request: &Request, ctx: &ServerCtx) -> (u16, Json) {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let (queued, running) = ctx.table.load();
+            (
+                200,
+                Json::obj([
+                    ("status", Json::Str("ok".to_string())),
+                    ("queued", Json::Int(queued as i128)),
+                    ("running", Json::Int(running as i128)),
+                    ("draining", Json::Bool(ctx.shutdown.load(Ordering::SeqCst))),
+                ]),
+            )
+        }
+        ("GET", ["strategies"]) => (
+            200,
+            Json::obj([
+                (
+                    "strategies",
+                    Json::Arr(
+                        ctx.registry
+                            .entries()
+                            .into_iter()
+                            .map(|(name, help)| {
+                                Json::obj([
+                                    ("name", Json::Str(name)),
+                                    ("help", Json::Str(help.to_string())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "aliases",
+                    Json::Arr(
+                        ctx.registry
+                            .alias_table()
+                            .into_iter()
+                            .map(|(alias, target)| {
+                                Json::obj([
+                                    ("alias", Json::Str(alias)),
+                                    ("target", Json::Str(target)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        ("POST", ["jobs"]) => submit_job(request, ctx),
+        ("GET", ["jobs"]) => (200, ctx.table.list()),
+        ("GET", ["jobs", id]) => match parse_id(id) {
+            Some(id) => match ctx.table.detail(id) {
+                Some(detail) => (200, detail),
+                None => (404, error_body(&format!("no job {id}"))),
+            },
+            None => (400, error_body(&format!("bad job id {id:?}"))),
+        },
+        ("DELETE", ["jobs", id]) => match parse_id(id) {
+            Some(id) => match ctx.table.cancel(id) {
+                Some(state) => (
+                    200,
+                    Json::obj([
+                        ("id", Json::Int(id as i128)),
+                        ("state", Json::Str(state.as_str().to_string())),
+                    ]),
+                ),
+                None => (404, error_body(&format!("no job {id}"))),
+            },
+            None => (400, error_body(&format!("bad job id {id:?}"))),
+        },
+        ("GET", ["jobs", id, "events"]) => match parse_id(id) {
+            Some(id) => {
+                let since = request.query_u64("since").unwrap_or(0);
+                match ctx.table.events_since(id, since) {
+                    Some(events) => (200, events),
+                    None => (404, error_body(&format!("no job {id}"))),
+                }
+            }
+            None => (400, error_body(&format!("bad job id {id:?}"))),
+        },
+        ("POST", ["shutdown"]) => {
+            let (queued, running) = ctx.table.load();
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            (
+                200,
+                Json::obj([
+                    ("status", Json::Str("draining".to_string())),
+                    ("queued", Json::Int(queued as i128)),
+                    ("running", Json::Int(running as i128)),
+                ]),
+            )
+        }
+        (_, ["healthz" | "strategies" | "shutdown"]) | (_, ["jobs", ..]) => {
+            (405, error_body("method not allowed"))
+        }
+        _ => (404, error_body(&format!("no route for {}", request.path))),
+    }
+}
+
+fn parse_id(s: &str) -> Option<u64> {
+    s.parse().ok()
+}
+
+/// `POST /jobs`: decode, validate, bound, enqueue.
+fn submit_job(request: &Request, ctx: &ServerCtx) -> (u16, Json) {
+    if ctx.shutdown.load(Ordering::SeqCst) {
+        return (503, error_body("shutting down"));
+    }
+    let body = match request.body_json() {
+        Ok(body) => body,
+        Err(e) => return (e.status().0, error_body(&e.message())),
+    };
+    let job = match JobRequest::from_json(&body) {
+        Ok(job) => job,
+        Err(e) => return (400, error_body(&e)),
+    };
+    if job.limit > ctx.config.max_job_budget {
+        return (
+            400,
+            error_body(&format!(
+                "limit {} exceeds the server's --max-job-budget {}",
+                job.limit, ctx.config.max_job_budget
+            )),
+        );
+    }
+    // Validate the spec and the program at the door, so every accepted
+    // job can actually run.
+    if let Err(e) = ctx.registry.create(&job.spec) {
+        return (400, error_body(&format!("spec: {e}")));
+    }
+    let program = match Program::parse(&job.program_source) {
+        Ok(program) => program,
+        Err(e) => return (400, error_body(&format!("program: {e}"))),
+    };
+    match ctx.table.submit(job, program.name().to_string()) {
+        Some(id) => (
+            201,
+            Json::obj([
+                ("id", Json::Int(id as i128)),
+                ("state", Json::Str("queued".to_string())),
+            ]),
+        ),
+        None => (503, error_body("shutting down")),
+    }
+}

@@ -19,7 +19,11 @@
 //!   [`ProgramChanged`](ReplayVerdict::ProgramChanged) with a
 //!   human-readable diagnosis;
 //! * [`TraceRecorder`] — a session [`Observer`](lazylocks::Observer) that
-//!   auto-saves (by default minimised) artifacts for every bug found.
+//!   auto-saves (by default minimised) artifacts for every bug found;
+//! * [`drive`] — the one exploration entry point shared by the CLI `run`
+//!   command, the fuzz repro paths and the `lazylocks-server` job runner:
+//!   session build, observer/cancellation wiring, recording, spec
+//!   resolution and minimisation in a single call.
 //!
 //! ```
 //! use lazylocks::{Dpor, ExploreConfig, Explorer};
@@ -48,6 +52,7 @@
 //! ```
 
 pub mod artifact;
+pub mod drive;
 pub mod json;
 pub mod recorder;
 pub mod replay;
@@ -57,6 +62,7 @@ pub use artifact::{
     bug_class, bug_kind_to_json, stats_to_json, ArtifactError, TraceArtifact, FORMAT_NAME,
     FORMAT_VERSION,
 };
+pub use drive::{drive, outcome_json, DriveRequest, DriveResult};
 pub use json::{Json, JsonError};
 pub use recorder::{FinalizedTrace, TraceRecorder};
 pub use replay::{bug_matches, replay_against, replay_embedded, ReplayReport, ReplayVerdict};
