@@ -23,18 +23,26 @@
 //! The JSON schema (integer-only, see `lazylocks_trace::json`):
 //!
 //! ```text
-//! { "format": "lazylocks-perf", "version": 2, "schedule_limit": N,
+//! { "format": "lazylocks-perf", "version": 3, "schedule_limit": N,
 //!   "results": [ { "bench", "strategy", "schedules", "events",
 //!                  "wall_time_us", "execs_per_sec", "events_per_sec",
-//!                  "events_compared", "limit_hit",
+//!                  "execs_per_sec_instrumented", "events_compared",
+//!                  "limit_hit", "metrics": { name: count, ... },
 //!                  "speedup_vs_1w_pct"? } ] }
 //! ```
 //!
 //! `speedup_vs_1w_pct` appears only on `parallel(...)` cells: the cell's
 //! executions/sec as a percentage of the same bench + reduction at
 //! `workers=1` (100 = parity, 250 = 2.5×).
+//!
+//! Version 3 additions: every cell is timed a second time with the
+//! metrics registry enabled — `execs_per_sec_instrumented` against
+//! `execs_per_sec` is the measured observability tax (the `obs%` table
+//! column, 100 = parity) — and `metrics` embeds the non-zero scalar
+//! series of one instrumented run's wall-clock-scrubbed snapshot
+//! (histograms contribute `<name>` = sample count and `<name>_sum`).
 
-use lazylocks::{ExploreConfig, ExploreSession, StrategyRegistry};
+use lazylocks::{ExploreConfig, ExploreSession, MetricsHandle, MetricsSnapshot, StrategyRegistry};
 use lazylocks_bench::timing::quick_mode;
 use lazylocks_trace::json::Json;
 use std::time::{Duration, Instant};
@@ -76,6 +84,10 @@ struct Cell {
     mean_us: i128,
     execs_per_sec: f64,
     events_per_sec: f64,
+    /// Executions/sec with the metrics registry enabled (same window).
+    execs_per_sec_instrumented: f64,
+    /// Scrubbed snapshot of one instrumented run.
+    metrics: Option<MetricsSnapshot>,
     /// `Some((bench, reduction))` key when this is a parallel grid cell.
     parallel_key: Option<(&'static str, &'static str, usize)>,
 }
@@ -124,8 +136,8 @@ fn main() {
 
     println!("== perf: exploration throughput (schedule limit {limit}) ==\n");
     println!(
-        "{:<26} {:<38} {:>8} {:>9} {:>6} {:>11} {:>11} {:>11}",
-        "bench", "strategy", "scheds", "events", "runs", "wall_us", "execs/s", "events/s"
+        "{:<26} {:<38} {:>8} {:>9} {:>6} {:>11} {:>11} {:>11} {:>6}",
+        "bench", "strategy", "scheds", "events", "runs", "wall_us", "execs/s", "events/s", "obs%"
     );
 
     let mut cells: Vec<Cell> = Vec::new();
@@ -162,8 +174,39 @@ fn main() {
             let execs_per_sec = total_schedules as f64 / secs;
             let events_per_sec = total_events as f64 / secs;
             let mean_us = (total.as_micros() / u128::from(runs)).min(u64::MAX as u128) as i128;
+
+            // Second pass, same window, metrics registry enabled: the
+            // rate delta is the measured observability tax. A fresh
+            // handle per run keeps registry allocation inside the tax.
+            let explore_instrumented = |handle: &MetricsHandle| {
+                ExploreSession::new(&bench.program)
+                    .with_config(ExploreConfig::with_limit(limit).with_metrics(handle.clone()))
+                    .run_spec(spec)
+                    .unwrap_or_else(|e| panic!("{name}/{spec}: {e}"))
+                    .stats
+            };
+            let mut m_total = Duration::ZERO;
+            let mut m_schedules = 0u64;
+            let mut m_runs = 0u32;
+            let mut snapshot = None;
+            let m_started = Instant::now();
+            while m_runs == 0 || (m_started.elapsed() < window && m_runs < max_runs) {
+                let handle = MetricsHandle::enabled();
+                let r = explore_instrumented(&handle);
+                m_total += r.wall_time;
+                m_schedules += r.schedules as u64;
+                m_runs += 1;
+                snapshot = handle.snapshot();
+            }
+            let execs_per_sec_instrumented = m_schedules as f64 / m_total.as_secs_f64().max(1e-9);
+            let obs_pct = if execs_per_sec > 0.0 {
+                (execs_per_sec_instrumented / execs_per_sec * 100.0).round() as i128
+            } else {
+                100
+            };
+
             println!(
-                "{:<26} {:<38} {:>8} {:>9} {:>6} {:>11} {:>11} {:>11}",
+                "{:<26} {:<38} {:>8} {:>9} {:>6} {:>11} {:>11} {:>11} {:>6}",
                 name,
                 spec,
                 s.schedules,
@@ -171,7 +214,8 @@ fn main() {
                 runs,
                 mean_us,
                 execs_per_sec.round() as i128,
-                events_per_sec.round() as i128
+                events_per_sec.round() as i128,
+                obs_pct
             );
             cells.push(Cell {
                 bench: name,
@@ -184,6 +228,8 @@ fn main() {
                 mean_us,
                 execs_per_sec,
                 events_per_sec,
+                execs_per_sec_instrumented,
+                metrics: snapshot.map(|s: MetricsSnapshot| s.scrubbed()),
                 parallel_key: parallel.map(|(r, w)| (*name, r, w)),
             });
         }
@@ -223,18 +269,59 @@ fn main() {
                 "events_per_sec",
                 Json::Int(c.events_per_sec.round() as i128),
             ),
+            (
+                "execs_per_sec_instrumented",
+                Json::Int(c.execs_per_sec_instrumented.round() as i128),
+            ),
             ("events_compared", Json::Int(i128::from(c.events_compared))),
             ("limit_hit", Json::Bool(c.limit_hit)),
         ];
+        if let Some(snap) = &c.metrics {
+            let mut series: Vec<(String, Json)> = Vec::new();
+            for m in &snap.metrics {
+                let count = m.total.count();
+                if count == 0 {
+                    continue;
+                }
+                series.push((m.name.to_string(), Json::Int(i128::from(count))));
+                let sum = m.total.sum();
+                if sum > 0 {
+                    series.push((format!("{}_sum", m.name), Json::Int(i128::from(sum))));
+                }
+            }
+            fields.push(("metrics", Json::Obj(series)));
+        }
         if let Some(pct) = speedup_pct(c) {
             fields.push(("speedup_vs_1w_pct", Json::Int(pct)));
         }
         results.push(Json::obj(fields));
     }
 
+    // The headline overhead number for the acceptance gate: the deepest
+    // sequential DPOR cells, where per-step instrumentation costs would
+    // show up first.
+    let deep: Vec<&Cell> = cells
+        .iter()
+        .filter(|c| {
+            c.spec == "dpor(sleep=true)"
+                && (c.bench.starts_with("philosophers") || c.bench.starts_with("workqueue"))
+        })
+        .collect();
+    if !deep.is_empty() {
+        let mean_pct = deep
+            .iter()
+            .map(|c| c.execs_per_sec_instrumented / c.execs_per_sec.max(1e-9) * 100.0)
+            .sum::<f64>()
+            / deep.len() as f64;
+        println!(
+            "\nmetrics overhead (dpor(sleep=true), deep families): instrumented \
+             throughput is {mean_pct:.1}% of uninstrumented"
+        );
+    }
+
     let doc = Json::obj([
         ("format", Json::Str("lazylocks-perf".to_string())),
-        ("version", Json::Int(2)),
+        ("version", Json::Int(3)),
         ("schedule_limit", Json::Int(limit as i128)),
         ("quick", Json::Bool(quick)),
         ("results", Json::Arr(results)),

@@ -15,6 +15,7 @@ USAGE:
                   [--strategy SPEC] [--limit N] [--preemptions K]
                   [--stop-on-bug] [--seed X] [--deadline-ms T]
                   [--progress N] [--minimize] [--save-traces DIR] [--json]
+                  [--metrics] [--metrics-json FILE] [--log-level LEVEL]
   lazylocks explore ...            alias of `run`
   lazylocks replay PATH [--bench NAME | --id N | --file PATH] [--json]
   lazylocks corpus (list | prune | seed) [--dir DIR] [--limit N] [--json]
@@ -39,6 +40,13 @@ TRACE ARTIFACTS:
   or a whole directory and classifies each as reproduced / diverged /
   program-changed; `corpus seed` explores every bug-bearing benchmark
   into a regression corpus (default dir: .lazylocks/corpus).
+
+OBSERVABILITY:
+  `run --metrics` prints a metrics summary (counters, histograms, phase
+  timers) to stderr after the exploration; `--metrics-json FILE` writes
+  the raw snapshot as JSON (`-` for stdout is not supported — the JSON
+  outcome owns stdout). `--log-level error|warn|info|debug` switches
+  progress reporting to structured JSON event lines on stderr.
 
 FUZZING:
   `fuzz` generates adversarial guest programs (shape profiles:
@@ -104,6 +112,13 @@ pub enum Command {
         save_traces: Option<String>,
         /// Emit the outcome as a JSON document on stdout.
         json: bool,
+        /// Record metrics and print the summary table to stderr.
+        metrics: bool,
+        /// Record metrics and write the raw snapshot JSON to this file.
+        metrics_json: Option<String>,
+        /// Structured JSON event logging on stderr at this level
+        /// (replaces the plain-text progress lines).
+        log_level: Option<lazylocks::obs::LogLevel>,
     },
     Replay {
         /// An artifact file, or a directory of artifacts.
@@ -255,6 +270,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut minimize = false;
             let mut save_traces = None;
             let mut json = false;
+            let mut metrics = false;
+            let mut metrics_json = None;
+            let mut log_level = None;
             parse_flags(&rest, |flag, value| {
                 if parse_target_flag(flag, value, &mut target).is_some() {
                     return Ok(());
@@ -306,6 +324,22 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         json = true;
                         Ok(())
                     }
+                    "--metrics" => {
+                        metrics = true;
+                        Ok(())
+                    }
+                    "--metrics-json" => {
+                        metrics_json =
+                            Some(value.ok_or("--metrics-json needs a file path")?.to_string());
+                        Ok(())
+                    }
+                    "--log-level" => {
+                        let name = value.ok_or("--log-level needs a value")?;
+                        log_level = Some(lazylocks::obs::LogLevel::parse(name).ok_or(format!(
+                            "unknown log level {name:?}; known: error, warn, info, debug"
+                        ))?);
+                        Ok(())
+                    }
                     _ => Err(format!("unknown flag {flag} for {sub}")),
                 }
             })?;
@@ -321,6 +355,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 minimize,
                 save_traces,
                 json,
+                metrics,
+                metrics_json,
+                log_level,
             })
         }
         "replay" => {
@@ -739,7 +776,7 @@ fn parse_flags(
         // Boolean flags take no value; everything else consumes one.
         let boolean = matches!(
             flag,
-            "--stop-on-bug" | "--minimize" | "--json" | "--quick" | "--wait"
+            "--stop-on-bug" | "--minimize" | "--json" | "--quick" | "--wait" | "--metrics"
         );
         let value = if boolean {
             None
@@ -788,7 +825,8 @@ mod tests {
         let cmd = parse(&argv(
             "run --bench peterson --strategy lazy-caching --limit 500 \
              --preemptions 2 --stop-on-bug --seed 9 --deadline-ms 2000 \
-             --progress 100 --minimize --save-traces traces --json",
+             --progress 100 --minimize --save-traces traces --json \
+             --metrics --metrics-json m.json --log-level debug",
         ))
         .unwrap();
         match cmd {
@@ -804,6 +842,9 @@ mod tests {
                 minimize,
                 save_traces,
                 json,
+                metrics,
+                metrics_json,
+                log_level,
             } => {
                 assert_eq!(target, Target::Bench("peterson".to_string()));
                 assert_eq!(strategy, "lazy-caching");
@@ -816,9 +857,13 @@ mod tests {
                 assert!(minimize);
                 assert_eq!(save_traces.as_deref(), Some("traces"));
                 assert!(json);
+                assert!(metrics);
+                assert_eq!(metrics_json.as_deref(), Some("m.json"));
+                assert_eq!(log_level, Some(lazylocks::obs::LogLevel::Debug));
             }
             other => panic!("wrong parse: {other:?}"),
         }
+        assert!(parse(&argv("run --bench x --log-level loud")).is_err());
     }
 
     #[test]

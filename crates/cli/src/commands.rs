@@ -1,9 +1,10 @@
 //! Command implementations.
 
 use crate::args::{ClientAction, Command, CorpusAction, Target, USAGE};
+use lazylocks::obs::{EventLog, LogLevel, TraceEvent};
 use lazylocks::{
-    detect_races, BugReport, ExploreConfig, ExploreOutcome, ExploreSession, Observer, Progress,
-    StrategyRegistry,
+    detect_races, BugReport, ExploreConfig, ExploreOutcome, ExploreSession, MetricsHandle,
+    Observer, Progress, StrategyRegistry,
 };
 use lazylocks_model::Program;
 use lazylocks_runtime::run_with_scheduler;
@@ -55,17 +56,34 @@ pub fn run(cmd: Command) -> Result<(), String> {
             minimize,
             save_traces,
             json,
+            metrics,
+            metrics_json,
+            log_level,
         } => {
             let program = resolve(&target)?;
             let mut config = ExploreConfig::with_limit(limit).seeded(seed);
             config.preemption_bound = preemptions;
             config.stop_on_bug = stop_on_bug;
+            // Either metrics sink turns recording on; both consume the
+            // same snapshot afterwards.
+            let handle = if metrics || metrics_json.is_some() {
+                MetricsHandle::enabled()
+            } else {
+                MetricsHandle::disabled()
+            };
+            config = config.with_metrics(handle.clone());
 
             let mut request = DriveRequest::new(&program, &strategy)
                 .with_config(config)
                 .progress_every(progress)
                 .minimizing(minimize);
-            if progress > 0 && !json {
+            if let Some(level) = log_level {
+                // Structured event lines on stderr replace the plain-text
+                // progress prints.
+                request = request.observe(Arc::new(JsonEventProgress {
+                    log: EventLog::new(level),
+                }));
+            } else if progress > 0 && !json {
                 request = request.observe(Arc::new(PrintProgress));
             }
             if let Some(ms) = deadline_ms {
@@ -103,6 +121,25 @@ pub fn run(cmd: Command) -> Result<(), String> {
             for e in &result.trace_errors {
                 eprintln!("warning: {e}");
             }
+            if let Some(level) = log_level {
+                let log = EventLog::new(level);
+                log.emit(
+                    &TraceEvent::new(LogLevel::Info, "run_complete")
+                        .field("program", program.name())
+                        .field("verdict", result.outcome.verdict.to_string())
+                        .field("schedules", result.outcome.stats.schedules as u64)
+                        .field("bugs", result.bugs.len()),
+                );
+            }
+            if let Some(snapshot) = handle.snapshot() {
+                if metrics {
+                    eprint!("{}", snapshot.render_table());
+                }
+                if let Some(path) = &metrics_json {
+                    std::fs::write(path, snapshot.to_json_string())
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                }
+            }
             Ok(())
         }
         Command::Replay { path, target, json } => replay(&path, target.as_ref(), json),
@@ -133,6 +170,33 @@ impl Observer for PrintProgress {
         eprintln!(
             "... {} schedules, {} events, {} states, {} bugs",
             p.schedules, p.events, p.unique_states, p.bugs
+        );
+    }
+}
+
+/// Progress observer for `run --log-level LEVEL`: structured JSON event
+/// lines on stderr instead of the ad-hoc prints.
+struct JsonEventProgress {
+    log: EventLog,
+}
+
+impl Observer for JsonEventProgress {
+    fn on_progress(&self, p: &Progress) {
+        self.log.emit(
+            &TraceEvent::new(LogLevel::Info, "progress")
+                .field("schedules", p.schedules as u64)
+                .field("events", p.events)
+                .field("unique_states", p.unique_states as u64)
+                .field("bugs", p.bugs as u64),
+        );
+    }
+
+    fn on_bug(&self, bug: &BugReport) {
+        self.log.emit(
+            &TraceEvent::new(LogLevel::Warn, "bug")
+                .field("kind", bug.to_string())
+                .field("trace_len", bug.trace_len as u64)
+                .field("schedule_len", bug.schedule.len() as u64),
         );
     }
 }
@@ -909,6 +973,9 @@ mod tests {
             minimize: false,
             save_traces: None,
             json: false,
+            metrics: false,
+            metrics_json: None,
+            log_level: None,
         }
     }
 
@@ -958,6 +1025,9 @@ mod tests {
             minimize: false,
             save_traces: None,
             json: false,
+            metrics: false,
+            metrics_json: None,
+            log_level: None,
         })
         .unwrap();
     }
@@ -984,6 +1054,9 @@ mod tests {
             minimize: true,
             save_traces: Some(dir.to_string_lossy().into_owned()),
             json: false,
+            metrics: false,
+            metrics_json: None,
+            log_level: None,
         })
         .unwrap();
         let store = CorpusStore::open(&dir).unwrap();
@@ -1034,6 +1107,9 @@ mod tests {
             minimize: false,
             save_traces: Some(dir.to_string_lossy().into_owned()),
             json: true,
+            metrics: false,
+            metrics_json: None,
+            log_level: None,
         })
         .unwrap();
         for json in [false, true] {

@@ -1,6 +1,7 @@
 //! Exploration configuration.
 
 use crate::session::ExploreControl;
+use lazylocks_obs::MetricsHandle;
 
 /// Budget and feature knobs shared by every exploration strategy.
 #[derive(Debug, Clone)]
@@ -36,6 +37,10 @@ pub struct ExploreConfig {
     /// installs a live control for the duration of a run. Checked
     /// cooperatively by every strategy's main loop.
     pub control: ExploreControl,
+    /// Metrics sink: counters, histograms and phase timers recorded by
+    /// every strategy through per-worker shards. Disabled by default —
+    /// each instrumentation point then costs a single branch.
+    pub metrics: MetricsHandle,
 }
 
 impl Default for ExploreConfig {
@@ -51,6 +56,7 @@ impl Default for ExploreConfig {
             collect_lazy_hbrs: true,
             collect_state_witnesses: false,
             control: ExploreControl::default(),
+            metrics: MetricsHandle::disabled(),
         }
     }
 }
@@ -86,6 +92,12 @@ impl ExploreConfig {
     /// should go through [`ExploreSession`](crate::ExploreSession) instead.
     pub fn controlled(mut self, control: ExploreControl) -> Self {
         self.control = control;
+        self
+    }
+
+    /// Installs a metrics sink, returning `self` for chaining.
+    pub fn with_metrics(mut self, metrics: MetricsHandle) -> Self {
+        self.metrics = metrics;
         self
     }
 }

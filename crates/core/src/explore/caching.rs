@@ -18,6 +18,7 @@ use crate::explore::Explorer;
 use crate::stats::{Collector, Continue, ExploreStats};
 use lazylocks_hbr::{event_record_hash, ClockEngine, HbMode, PrefixAccumulator};
 use lazylocks_model::{Program, ThreadId};
+use lazylocks_obs::ids;
 use lazylocks_runtime::{Event, ExecPhase, Executor};
 use std::collections::HashSet;
 use std::time::Instant;
@@ -115,11 +116,19 @@ impl<'p> CachingCtx<'p> {
             }
 
             let mut child = exec.clone();
+            let step_timer = self.collector.shard().timer_start(ids::PHASE_EXECUTOR_STEP);
             let out = child.step(t);
+            self.collector
+                .shard()
+                .timer_stop(ids::PHASE_EXECUTOR_STEP, step_timer);
             let mut child_clocks = clocks.clone();
             let mut child_acc = acc;
             if let Some(event) = out.event {
+                let hbr_timer = self.collector.shard().timer_start(ids::PHASE_HBR_APPLY);
                 let clock = child_clocks.apply(&event);
+                self.collector
+                    .shard()
+                    .timer_stop(ids::PHASE_HBR_APPLY, hbr_timer);
                 child_acc.absorb(event_record_hash(&event, clock));
                 // Prefix cache: an equivalent prefix reaches the same state
                 // (Theorems 2.1/2.2) and was already fully explored.

@@ -10,6 +10,7 @@ use crate::config::ExploreConfig;
 use crate::explore::Explorer;
 use crate::stats::{Collector, Continue, ExploreStats};
 use lazylocks_model::{Program, ThreadId};
+use lazylocks_obs::ids;
 use lazylocks_runtime::{Event, ExecPhase, Executor};
 use std::time::Instant;
 
@@ -80,7 +81,11 @@ impl<'p> DfsCtx<'p> {
                 }
             }
             let mut child = exec.clone();
+            let step_timer = self.collector.shard().timer_start(ids::PHASE_EXECUTOR_STEP);
             let out = child.step(t);
+            self.collector
+                .shard()
+                .timer_stop(ids::PHASE_EXECUTOR_STEP, step_timer);
             self.schedule.push(t);
             let pushed_event = out.event.is_some();
             if let Some(e) = out.event {

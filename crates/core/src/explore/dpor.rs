@@ -47,6 +47,7 @@ use crate::stats::{Collector, Continue, ExploreStats};
 use lazylocks_clock::VectorClock;
 use lazylocks_hbr::{ClockEngine, HbMode};
 use lazylocks_model::{Program, ThreadId, ThreadSet, VisibleKind};
+use lazylocks_obs::{ids, MetricsShard};
 use lazylocks_runtime::{Event, ExecPhase, Executor};
 use std::time::Instant;
 
@@ -151,7 +152,12 @@ impl Explorer for Dpor {
     fn explore(&self, program: &Program, config: &ExploreConfig) -> ExploreStats {
         let start = Instant::now();
         let mut collector = Collector::new(config);
-        let mut core = DporCore::new(program, self.sleep_sets, self.dependence);
+        let mut core = DporCore::new(
+            program,
+            self.sleep_sets,
+            self.dependence,
+            collector.shard().clone(),
+        );
         run_sequential(&mut core, &mut collector);
         core.flush_counters(&mut collector);
         let mut stats = collector.into_stats();
@@ -268,6 +274,9 @@ pub(crate) struct DporCore<'p> {
     pub events_compared: u64,
     /// Subtrees pruned because every enabled thread was asleep.
     pub sleep_prunes: usize,
+    /// Phase-timer sink for the hot loop (inert when metrics are off:
+    /// each timed phase then costs one branch per step).
+    pub shard: MetricsShard,
 }
 
 /// `clock` summarises (at least) event `f`'s causal past.
@@ -276,7 +285,12 @@ fn covers(clock: &VectorClock, f: &Event) -> bool {
 }
 
 impl<'p> DporCore<'p> {
-    pub fn new(program: &'p Program, sleep_sets: bool, dependence: DependenceMode) -> Self {
+    pub fn new(
+        program: &'p Program,
+        sleep_sets: bool,
+        dependence: DependenceMode,
+        shard: MetricsShard,
+    ) -> Self {
         DporCore {
             program,
             sleep_sets,
@@ -291,6 +305,7 @@ impl<'p> DporCore<'p> {
             pool: FramePool::new(),
             events_compared: 0,
             sleep_prunes: 0,
+            shard,
         }
     }
 
@@ -377,12 +392,18 @@ impl<'p> DporCore<'p> {
         let entry_trace_mark = self.trace.len();
         let entry_sched_mark = self.schedule.len();
         let mut child = {
+            let timer = self.shard.timer_start(ids::PHASE_FRAME_CHECKPOINT);
             let parent = frames.top_body();
-            self.pool.take_from(&parent.exec, &parent.clocks)
+            let child = self.pool.take_from(&parent.exec, &parent.clocks);
+            self.shard.timer_stop(ids::PHASE_FRAME_CHECKPOINT, timer);
+            child
         };
+        let timer = self.shard.timer_start(ids::PHASE_EXECUTOR_STEP);
         let out = child.exec.step(p);
+        self.shard.timer_stop(ids::PHASE_EXECUTOR_STEP, timer);
 
         if let Some(event) = out.event {
+            let race_timer = self.shard.timer_start(ids::PHASE_RACE_DETECTION);
             // --- race detection (source-DPOR style, Abdulla et al. 2014) ---
             // A *reversible race* partner of `event` is an earlier event f
             // that is dependent-and-may-be-co-enabled with it, not already
@@ -458,7 +479,10 @@ impl<'p> DporCore<'p> {
                 }
             }
             self.events_compared += compared;
+            self.shard.timer_stop(ids::PHASE_RACE_DETECTION, race_timer);
+            let timer = self.shard.timer_start(ids::PHASE_HBR_APPLY);
             child.clocks.apply(&event);
+            self.shard.timer_stop(ids::PHASE_HBR_APPLY, timer);
             self.index_event(self.trace.len(), &event);
             self.trace.push(event);
             self.trace_depths.push(top);

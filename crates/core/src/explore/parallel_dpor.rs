@@ -47,6 +47,7 @@ use crate::explore::Explorer;
 use crate::stats::{Collector, Continue, ExploreStats};
 use lazylocks_hbr::ClockEngine;
 use lazylocks_model::{Program, ThreadId, ThreadSet};
+use lazylocks_obs::{ids, MetricsShard};
 use lazylocks_runtime::{Event, ExecPhase, Executor};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -140,14 +141,16 @@ impl Explorer for ParallelDpor {
             limit: config.schedule_limit,
         };
 
+        config.metrics.shard().set(ids::WORKERS, workers as u64);
         let sleep_sets = self.sleep_sets;
         let dependence = self.dependence;
         let worker_results: Vec<Collector> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|w| {
                     let shared = &shared;
-                    scope
-                        .spawn(move || worker_loop(shared, program, config, sleep_sets, dependence))
+                    scope.spawn(move || {
+                        worker_loop(shared, program, config, sleep_sets, dependence, w as u32)
+                    })
                 })
                 .collect();
             handles
@@ -243,6 +246,8 @@ struct ParEntry<'p> {
 struct ParFrames<'p, 'a> {
     stack: Vec<ParEntry<'p>>,
     shared: &'a Shared<'p>,
+    /// This worker's metrics shard (publish/mailbox counters).
+    shard: MetricsShard,
 }
 
 impl<'p> ParFrames<'p, '_> {
@@ -265,6 +270,7 @@ impl<'p> ParFrames<'p, '_> {
             p
         };
         if publish {
+            self.shard.inc(ids::FRAMES_PUBLISHED);
             self.shared.enqueue(node.clone());
         }
         Some(p)
@@ -312,6 +318,7 @@ impl<'p> FrameStack<'p> for ParFrames<'p, '_> {
             }
         }
         if publish {
+            self.shard.inc(ids::BACKTRACK_MAILBOX);
             self.shared.enqueue(node.clone());
         }
     }
@@ -350,12 +357,15 @@ fn worker_loop<'p>(
     config: &ExploreConfig,
     sleep_sets: bool,
     dependence: DependenceMode,
+    worker: u32,
 ) -> Collector {
-    let mut core = DporCore::new(program, sleep_sets, dependence);
-    let mut collector = Collector::new(config);
+    let mut collector = Collector::new_for_worker(config, worker);
+    let shard = collector.shard().clone();
+    let mut core = DporCore::new(program, sleep_sets, dependence, shard.clone());
     let mut frames = ParFrames {
         stack: Vec::new(),
         shared,
+        shard: shard.clone(),
     };
     loop {
         let node = {
@@ -373,10 +383,12 @@ fn worker_loop<'p>(
                 }
                 // The timeout is belt-and-braces against a lost wakeup;
                 // stop/cancel arrive via notify from active workers.
+                let wait = shard.timer_start(ids::PHASE_STEAL_WAIT);
                 let (guard, _) = shared
                     .cv
                     .wait_timeout(st, Duration::from_millis(50))
                     .expect("queue poisoned");
+                shard.timer_stop(ids::PHASE_STEAL_WAIT, wait);
                 st = guard;
             }
         };
@@ -478,6 +490,7 @@ fn process<'p>(
             // and the first claim, and such pops stole no work.
             claimed_any = true;
             shared.stolen.fetch_add(1, Ordering::Relaxed);
+            core.shard.inc(ids::SUBTREES_STOLEN);
         }
         match core.take_step(frames, p, run_cap) {
             Stepped::Pushed => {}

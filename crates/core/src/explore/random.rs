@@ -10,6 +10,7 @@ use crate::explore::Explorer;
 use crate::rng::SplitMix64;
 use crate::stats::{Collector, Continue, ExploreStats};
 use lazylocks_model::{Program, ThreadId, ThreadSet};
+use lazylocks_obs::ids;
 use lazylocks_runtime::{Event, ExecPhase, Executor};
 use std::time::Instant;
 
@@ -71,7 +72,11 @@ impl Explorer for RandomWalk {
                 if last.is_some_and(|l| l != t && exec.is_enabled(l)) {
                     preemptions += 1;
                 }
+                let step_timer = collector.shard().timer_start(ids::PHASE_EXECUTOR_STEP);
                 let out = exec.step(t);
+                collector
+                    .shard()
+                    .timer_stop(ids::PHASE_EXECUTOR_STEP, step_timer);
                 schedule.push(t);
                 if let Some(e) = out.event {
                     trace.push(e);

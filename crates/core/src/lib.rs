@@ -121,4 +121,9 @@ pub use stats::ExploreStats;
 pub use lazylocks_clock as clock;
 pub use lazylocks_hbr as hbr;
 pub use lazylocks_model as model;
+pub use lazylocks_obs as obs;
 pub use lazylocks_runtime as runtime;
+
+// The metrics switch appears directly on [`ExploreConfig`], so surface
+// its types at the crate root too.
+pub use lazylocks_obs::{MetricsHandle, MetricsSnapshot};

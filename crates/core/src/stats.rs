@@ -4,6 +4,7 @@ use crate::bug::{BugKind, BugReport};
 use crate::config::ExploreConfig;
 use lazylocks_hbr::{ClockEngine, HbMode};
 use lazylocks_model::{Program, ThreadId};
+use lazylocks_obs::{ids, MetricsShard};
 use lazylocks_runtime::{Event, ExecPhase, Executor};
 use std::collections::HashSet;
 use std::time::Duration;
@@ -148,6 +149,26 @@ pub(crate) struct Collector {
     hbr_engine: Option<ClockEngine>,
     lazy_engine: Option<ClockEngine>,
     pub(crate) stats: ExploreStats,
+    /// This collector's metrics shard (inert when the config's handle is
+    /// disabled). Per-schedule counters mirror live in
+    /// [`Collector::record_terminal`]; counters that strategies write
+    /// straight into [`Collector::stats`] mirror as deltas in
+    /// [`Collector::sync_metrics`].
+    shard: MetricsShard,
+    /// Stats values already mirrored to the shard, so repeated syncs (and
+    /// merged-in collectors that synced themselves) are not re-counted.
+    mirrored: MirroredCounters,
+}
+
+/// The stats fields mirrored to metrics lazily rather than at the point
+/// of increment (strategies bump them directly on [`Collector::stats`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct MirroredCounters {
+    sleep_prunes: usize,
+    cache_prunes: usize,
+    bound_prunes: usize,
+    events_compared: u64,
+    frames_pooled: u64,
 }
 
 /// Whether exploration should continue after a leaf.
@@ -160,6 +181,18 @@ pub(crate) enum Continue {
 
 impl Collector {
     pub(crate) fn new(config: &ExploreConfig) -> Self {
+        let shard = config.metrics.shard();
+        Collector::with_shard(config, shard)
+    }
+
+    /// A collector recording into a worker-labelled shard — the parallel
+    /// explorer's per-worker breakdowns.
+    pub(crate) fn new_for_worker(config: &ExploreConfig, worker: u32) -> Self {
+        let shard = config.metrics.worker_shard(worker);
+        Collector::with_shard(config, shard)
+    }
+
+    fn with_shard(config: &ExploreConfig, shard: MetricsShard) -> Self {
         Collector {
             config: config.clone(),
             states: HashSet::new(),
@@ -168,11 +201,19 @@ impl Collector {
             hbr_engine: None,
             lazy_engine: None,
             stats: ExploreStats::default(),
+            shard,
+            mirrored: MirroredCounters::default(),
         }
     }
 
     pub(crate) fn config(&self) -> &ExploreConfig {
         &self.config
+    }
+
+    /// The collector's metrics shard — strategies clone it to time their
+    /// own phases on the same series.
+    pub(crate) fn shard(&self) -> &MetricsShard {
+        &self.shard
     }
 
     /// `true` once the schedule budget is used up.
@@ -206,6 +247,9 @@ impl Collector {
         self.stats.schedules += 1;
         self.stats.events += trace.len() as u64;
         self.stats.max_depth = self.stats.max_depth.max(trace.len());
+        self.shard.inc(ids::SCHEDULES);
+        self.shard.add(ids::EVENTS, trace.len() as u64);
+        self.shard.observe(ids::SCHEDULE_DEPTH, trace.len() as u64);
 
         if self.config.collect_states {
             let fp = exec.state_fingerprint();
@@ -236,15 +280,18 @@ impl Collector {
         let mut bug: Option<BugKind> = None;
         if let ExecPhase::Deadlock { waiting } = exec.phase() {
             self.stats.deadlocks += 1;
+            self.shard.inc(ids::DEADLOCKS);
             bug = Some(BugKind::Deadlock { waiting });
         }
         if !exec.faults().is_empty() {
             self.stats.faulted_schedules += 1;
+            self.shard.inc(ids::FAULTS);
             if bug.is_none() {
                 bug = Some(BugKind::Fault(exec.faults()[0].clone()));
             }
         }
         if let Some(kind) = bug {
+            self.shard.inc(ids::BUGS);
             let report = BugReport {
                 kind,
                 schedule: schedule.to_vec(),
@@ -273,16 +320,68 @@ impl Collector {
     /// Records a run abandoned for exceeding the run-length cap.
     pub(crate) fn record_truncated(&mut self) {
         self.stats.truncated_runs += 1;
+        self.shard.inc(ids::TRUNCATED_RUNS);
+    }
+
+    /// Mirrors the stats counters that strategies bump directly (prune
+    /// counts, race-detection comparisons, pool hits) to the metrics
+    /// shard, as deltas since the previous sync — idempotent, and safe
+    /// around [`Collector::merge`].
+    fn sync_metrics(&mut self) {
+        let deltas: [(lazylocks_obs::MetricId, u64); 5] = [
+            (
+                ids::SLEEP_PRUNES,
+                (self.stats.sleep_prunes - self.mirrored.sleep_prunes) as u64,
+            ),
+            (
+                ids::CACHE_PRUNES,
+                (self.stats.cache_prunes - self.mirrored.cache_prunes) as u64,
+            ),
+            (
+                ids::BOUND_PRUNES,
+                (self.stats.bound_prunes - self.mirrored.bound_prunes) as u64,
+            ),
+            (
+                ids::EVENTS_COMPARED,
+                self.stats.events_compared - self.mirrored.events_compared,
+            ),
+            (
+                ids::FRAMES_POOLED,
+                self.stats.frames_pooled - self.mirrored.frames_pooled,
+            ),
+        ];
+        for (id, delta) in deltas {
+            if delta > 0 {
+                self.shard.add(id, delta);
+            }
+        }
+        self.mirrored = MirroredCounters {
+            sleep_prunes: self.stats.sleep_prunes,
+            cache_prunes: self.stats.cache_prunes,
+            bound_prunes: self.stats.bound_prunes,
+            events_compared: self.stats.events_compared,
+            frames_pooled: self.stats.frames_pooled,
+        };
     }
 
     /// Finalises the stats (strategies add their wall time themselves).
-    pub(crate) fn into_stats(self) -> ExploreStats {
+    pub(crate) fn into_stats(mut self) -> ExploreStats {
+        self.sync_metrics();
         self.stats
     }
 
     /// Merges another collector's raw sets and counters into this one
     /// (used by the parallel explorer).
-    pub(crate) fn merge(&mut self, other: Collector) {
+    pub(crate) fn merge(&mut self, mut other: Collector) {
+        // The other collector flushes its own shard first; its
+        // contribution then counts as already mirrored here, so a later
+        // sync on `self` adds only `self`'s own increments.
+        other.sync_metrics();
+        self.mirrored.sleep_prunes += other.stats.sleep_prunes;
+        self.mirrored.cache_prunes += other.stats.cache_prunes;
+        self.mirrored.bound_prunes += other.stats.bound_prunes;
+        self.mirrored.events_compared += other.stats.events_compared;
+        self.mirrored.frames_pooled += other.stats.frames_pooled;
         self.states.extend(other.states);
         self.hbrs.extend(other.hbrs);
         self.lazy_hbrs.extend(other.lazy_hbrs);

@@ -20,7 +20,10 @@ use crate::oracle::{
     differential_check, DifferentialVerdict, Disagreement, DisagreementKind, OracleSpec,
 };
 use crate::shrink::shrink_program;
-use lazylocks::{minimize_schedule, BugReport, CancelToken, SpecError, StrategyRegistry};
+use lazylocks::obs::ids;
+use lazylocks::{
+    minimize_schedule, BugReport, CancelToken, MetricsHandle, SpecError, StrategyRegistry,
+};
 use lazylocks_model::Program;
 use lazylocks_trace::{CorpusStore, TraceArtifact};
 use std::path::PathBuf;
@@ -171,8 +174,33 @@ pub fn run_fuzz(
     oracle: &[OracleSpec],
     store: Option<&CorpusStore>,
     cancel: &CancelToken,
+    progress: impl FnMut(&CaseReport),
+) -> Result<FuzzReport, SpecError> {
+    run_fuzz_with(
+        config,
+        registry,
+        oracle,
+        store,
+        cancel,
+        &MetricsHandle::disabled(),
+        progress,
+    )
+}
+
+/// [`run_fuzz`] with session counters recorded into `metrics`
+/// (`lazylocks_fuzz_cases_total` / `lazylocks_fuzz_disagreements_total`).
+/// The metrics sit outside the [`FuzzReport`], so the determinism
+/// contract — equal configs give byte-identical reports — is unaffected.
+pub fn run_fuzz_with(
+    config: &FuzzConfig,
+    registry: &StrategyRegistry,
+    oracle: &[OracleSpec],
+    store: Option<&CorpusStore>,
+    cancel: &CancelToken,
+    metrics: &MetricsHandle,
     mut progress: impl FnMut(&CaseReport),
 ) -> Result<FuzzReport, SpecError> {
+    let shard = metrics.shard();
     let mut cases = Vec::with_capacity(config.cases);
     let mut cancelled = false;
 
@@ -206,6 +234,7 @@ pub fn run_fuzz(
             break;
         }
 
+        shard.inc(ids::FUZZ_CASES);
         let case =
             differential_check(&program, registry, oracle, config.budget, case_seed, cancel)?;
         if let Some(truth) = &case.truth {
@@ -232,6 +261,7 @@ pub fn run_fuzz(
                 report.status = CaseStatus::Cancelled;
             }
             DifferentialVerdict::Disagreements(disagreements) => {
+                shard.add(ids::FUZZ_DISAGREEMENTS, disagreements.len() as u64);
                 report.status = CaseStatus::Disagreed;
                 report.repros = build_repros(
                     &program,

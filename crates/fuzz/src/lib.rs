@@ -57,7 +57,9 @@ pub mod oracle;
 pub mod shrink;
 
 pub use gen::{corpus, generate, CorpusCase, ShapeProfile, MAX_SIZE};
-pub use harness::{run_fuzz, CaseReport, CaseStatus, DfsSummary, FuzzConfig, FuzzReport, Repro};
+pub use harness::{
+    run_fuzz, run_fuzz_with, CaseReport, CaseStatus, DfsSummary, FuzzConfig, FuzzReport, Repro,
+};
 pub use oracle::{
     check_strategy, default_oracle_specs, differential_check, ground_truth, Agreement,
     DifferentialCase, DifferentialVerdict, Disagreement, DisagreementKind, GroundTruth, OracleSpec,

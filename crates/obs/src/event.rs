@@ -1,0 +1,220 @@
+//! Structured, leveled event logging.
+//!
+//! A [`TraceEvent`] is one machine-readable line: a level, an event kind
+//! and typed fields, serialized as a single-line JSON object. Frontends
+//! emit these instead of ad-hoc `eprintln!` progress prints, so the same
+//! stream is greppable by humans and parseable by tools (the codec is
+//! the integer-only JSON dialect `lazylocks-trace` parses).
+
+use crate::metrics::json_escape;
+use std::io::Write;
+
+/// Event severity, ordered: `Error < Warn < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    Error,
+    Warn,
+    Info,
+    Debug,
+}
+
+impl LogLevel {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+        }
+    }
+
+    /// Parses a wire name (the CLI `--log-level` values).
+    pub fn parse(s: &str) -> Option<LogLevel> {
+        match s {
+            "error" => Some(LogLevel::Error),
+            "warn" => Some(LogLevel::Warn),
+            "info" => Some(LogLevel::Info),
+            "debug" => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// A typed event field value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldValue {
+    Int(i128),
+    Str(String),
+    Bool(bool),
+}
+
+impl From<i128> for FieldValue {
+    fn from(v: i128) -> Self {
+        FieldValue::Int(v)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::Int(v as i128)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::Int(v as i128)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::Int(v as i128)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::Int(i128::from(v))
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One structured log event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub level: LogLevel,
+    /// The event kind, serialized as the `"event"` field.
+    pub kind: String,
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl TraceEvent {
+    /// A new event with no fields yet.
+    pub fn new(level: LogLevel, kind: impl Into<String>) -> TraceEvent {
+        TraceEvent {
+            level,
+            kind: kind.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field, returning `self` for chaining.
+    pub fn field(mut self, key: impl Into<String>, value: impl Into<FieldValue>) -> TraceEvent {
+        self.fields.push((key.into(), value.into()));
+        self
+    }
+
+    /// The single-line JSON form: `{"level":...,"event":...,<fields>}`.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::from("{\"level\":\"");
+        out.push_str(self.level.as_str());
+        out.push_str("\",\"event\":\"");
+        out.push_str(&json_escape(&self.kind));
+        out.push('"');
+        for (key, value) in &self.fields {
+            out.push_str(",\"");
+            out.push_str(&json_escape(key));
+            out.push_str("\":");
+            match value {
+                FieldValue::Int(v) => out.push_str(&v.to_string()),
+                FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+                FieldValue::Str(s) => {
+                    out.push('"');
+                    out.push_str(&json_escape(s));
+                    out.push('"');
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A level-filtered sink writing one JSON line per event to stderr —
+/// stdout stays reserved for result documents (`--json`).
+#[derive(Debug, Clone, Copy)]
+pub struct EventLog {
+    min_level: LogLevel,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::new(LogLevel::Info)
+    }
+}
+
+impl EventLog {
+    /// A log emitting events at or above `min_level`.
+    pub fn new(min_level: LogLevel) -> EventLog {
+        EventLog { min_level }
+    }
+
+    /// Would an event at `level` be emitted?
+    pub fn enabled(&self, level: LogLevel) -> bool {
+        level <= self.min_level
+    }
+
+    /// Writes the event as one stderr line if its level passes the filter.
+    pub fn emit(&self, event: &TraceEvent) {
+        if !self.enabled(event.level) {
+            return;
+        }
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "{}", event.to_json_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(LogLevel::Error < LogLevel::Debug);
+        assert_eq!(LogLevel::parse("warn"), Some(LogLevel::Warn));
+        assert_eq!(LogLevel::parse("chatty"), None);
+        for level in [
+            LogLevel::Error,
+            LogLevel::Warn,
+            LogLevel::Info,
+            LogLevel::Debug,
+        ] {
+            assert_eq!(LogLevel::parse(level.as_str()), Some(level));
+        }
+    }
+
+    #[test]
+    fn events_serialize_as_single_json_lines() {
+        let event = TraceEvent::new(LogLevel::Info, "progress")
+            .field("schedules", 1024u64)
+            .field("strategy", "dpor(sleep=true)")
+            .field("limit_hit", false);
+        let line = event.to_json_string();
+        assert_eq!(
+            line,
+            "{\"level\":\"info\",\"event\":\"progress\",\"schedules\":1024,\
+             \"strategy\":\"dpor(sleep=true)\",\"limit_hit\":false}"
+        );
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn log_filters_by_level() {
+        let log = EventLog::new(LogLevel::Warn);
+        assert!(log.enabled(LogLevel::Error));
+        assert!(log.enabled(LogLevel::Warn));
+        assert!(!log.enabled(LogLevel::Info));
+        assert!(!log.enabled(LogLevel::Debug));
+    }
+}

@@ -1,0 +1,49 @@
+//! # lazylocks-obs — metrics and structured events for the exploration stack
+//!
+//! The paper's evaluation counts *schedules*; the engineering work around
+//! it needs to know *where the time goes and why*. This crate is the
+//! shared observability substrate: a [`MetricsRegistry`] of counters,
+//! gauges and fixed-bucket histograms backed by lock-free per-thread
+//! shards, lightweight sampled phase timers for the exploration hot
+//! loops, and a leveled structured event log ([`TraceEvent`]) that
+//! replaces ad-hoc progress prints.
+//!
+//! ## Design constraints
+//!
+//! * **Zero dependencies, std only.** This crate sits *below*
+//!   `lazylocks` (core) in the dependency graph so the exploration
+//!   engines themselves can be instrumented; it therefore renders its own
+//!   JSON and Prometheus text rather than borrowing the codec from
+//!   `lazylocks-trace`.
+//! * **Disabled cost is a branch.** Every handle is an
+//!   `Option<Arc<...>>`; with metrics off (the default) each
+//!   instrumentation point is one `is_none` check. No allocation, no
+//!   atomics, no time syscalls.
+//! * **Enabled cost stays off the allocator.** Shards are fixed
+//!   `AtomicU64` slabs acquired once per worker; recording is relaxed
+//!   atomic adds. The frame-pool allocation test runs with metrics
+//!   enabled to pin this.
+//! * **Deterministic snapshots.** [`MetricsSnapshot::scrubbed`] zeroes
+//!   every time-derived series so identical explorations serialize to
+//!   byte-identical JSON — the same determinism contract the server's
+//!   result documents already keep for `wall_time_us`.
+//!
+//! ## Sampling
+//!
+//! The hot phases (`executor_step`, `hbr_apply`, `race_detection`) run in
+//! tens-to-hundreds of nanoseconds, so timing every call would dwarf the
+//! work. Their histograms are *sampled*: one call in `2^sample_shift` is
+//! timed, and each sampled observation is recorded with weight
+//! `2^sample_shift`, keeping the histogram an unbiased estimate whose
+//! bucket counts, `count` and `sum` stay mutually consistent (the
+//! Prometheus invariant `sum(buckets) + inf == count` holds). Cold phases
+//! (`steal_wait`, `frame_checkpoint`) are timed exactly.
+
+mod event;
+mod metrics;
+
+pub use event::{EventLog, FieldValue, LogLevel, TraceEvent};
+pub use metrics::{
+    builtin_defs, ids, json_escape, MetricDef, MetricId, MetricKind, MetricSnap, MetricValue,
+    MetricsHandle, MetricsRegistry, MetricsShard, MetricsSnapshot,
+};

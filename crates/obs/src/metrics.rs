@@ -1,0 +1,1114 @@
+//! The metrics registry: static catalogue, per-thread shards, snapshots.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// What a metric measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Last-write-wins level.
+    Gauge,
+    /// Fixed-bucket distribution with `count` and `sum`.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One entry of a metric catalogue. Catalogues are `'static` so shards
+/// can be fixed slabs sized at registry construction.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricDef {
+    /// Prometheus-style family name (`lazylocks_..._total`, `..._ns`).
+    pub name: &'static str,
+    /// One-line help text, rendered as `# HELP`.
+    pub help: &'static str,
+    pub kind: MetricKind,
+    /// Upper bucket bounds for histograms (ascending; `+Inf` is implicit).
+    /// Empty for counters and gauges.
+    pub buckets: &'static [u64],
+    /// Timer sampling: time one call in `2^sample_shift`, record it with
+    /// weight `2^sample_shift`. `0` times every call.
+    pub sample_shift: u32,
+    /// Values derive from wall-clock time, so snapshots of identical
+    /// explorations differ; [`MetricsSnapshot::scrubbed`] zeroes these.
+    pub time_based: bool,
+    /// Worker-labelled series are kept per shard in the snapshot (the
+    /// parallel explorer's steal/publish/pool distributions).
+    pub per_worker: bool,
+}
+
+impl MetricDef {
+    const fn counter(name: &'static str, help: &'static str) -> MetricDef {
+        MetricDef {
+            name,
+            help,
+            kind: MetricKind::Counter,
+            buckets: &[],
+            sample_shift: 0,
+            time_based: false,
+            per_worker: false,
+        }
+    }
+
+    const fn per_worker_counter(name: &'static str, help: &'static str) -> MetricDef {
+        MetricDef {
+            per_worker: true,
+            ..MetricDef::counter(name, help)
+        }
+    }
+
+    const fn gauge(name: &'static str, help: &'static str) -> MetricDef {
+        MetricDef {
+            kind: MetricKind::Gauge,
+            ..MetricDef::counter(name, help)
+        }
+    }
+
+    const fn histogram(
+        name: &'static str,
+        help: &'static str,
+        buckets: &'static [u64],
+    ) -> MetricDef {
+        MetricDef {
+            name,
+            help,
+            kind: MetricKind::Histogram,
+            buckets,
+            sample_shift: 0,
+            time_based: false,
+            per_worker: false,
+        }
+    }
+
+    const fn phase_timer(
+        name: &'static str,
+        help: &'static str,
+        buckets: &'static [u64],
+        sample_shift: u32,
+    ) -> MetricDef {
+        MetricDef {
+            sample_shift,
+            time_based: true,
+            ..MetricDef::histogram(name, help, buckets)
+        }
+    }
+
+    /// Snapshot slots this metric occupies: one for a scalar, one per
+    /// bucket plus `count` and `sum` for a histogram.
+    fn slot_count(&self) -> usize {
+        match self.kind {
+            MetricKind::Counter | MetricKind::Gauge => 1,
+            MetricKind::Histogram => self.buckets.len() + 2,
+        }
+    }
+}
+
+/// Schedule depth in events per complete schedule.
+const DEPTH_BUCKETS: &[u64] = &[4, 8, 16, 32, 64, 128, 256, 512];
+/// Nanosecond buckets for the sub-microsecond hot phases.
+const HOT_NS_BUCKETS: &[u64] = &[
+    250, 1_000, 4_000, 16_000, 64_000, 250_000, 1_000_000, 4_000_000,
+];
+/// Nanosecond buckets for idle waits (the condvar timeout is 50 ms).
+const WAIT_NS_BUCKETS: &[u64] = &[
+    100_000,
+    1_000_000,
+    5_000_000,
+    25_000_000,
+    50_000_000,
+    100_000_000,
+    500_000_000,
+    1_000_000_000,
+];
+
+/// Ids into [`builtin_defs`], in catalogue order. Instrumentation sites
+/// name their metric through these; the ids are indices, so a custom
+/// catalogue (tests) simply defines its own.
+pub mod ids {
+    use super::MetricId;
+
+    pub const SCHEDULES: MetricId = MetricId(0);
+    pub const EVENTS: MetricId = MetricId(1);
+    pub const BUGS: MetricId = MetricId(2);
+    pub const DEADLOCKS: MetricId = MetricId(3);
+    pub const FAULTS: MetricId = MetricId(4);
+    pub const TRUNCATED_RUNS: MetricId = MetricId(5);
+    pub const SLEEP_PRUNES: MetricId = MetricId(6);
+    pub const CACHE_PRUNES: MetricId = MetricId(7);
+    pub const BOUND_PRUNES: MetricId = MetricId(8);
+    pub const EVENTS_COMPARED: MetricId = MetricId(9);
+    pub const FRAMES_POOLED: MetricId = MetricId(10);
+    pub const SUBTREES_STOLEN: MetricId = MetricId(11);
+    pub const FRAMES_PUBLISHED: MetricId = MetricId(12);
+    pub const BACKTRACK_MAILBOX: MetricId = MetricId(13);
+    pub const REPLAYS: MetricId = MetricId(14);
+    pub const REPLAY_EVENTS: MetricId = MetricId(15);
+    pub const FUZZ_CASES: MetricId = MetricId(16);
+    pub const FUZZ_DISAGREEMENTS: MetricId = MetricId(17);
+    pub const WORKERS: MetricId = MetricId(18);
+    pub const SCHEDULE_DEPTH: MetricId = MetricId(19);
+    pub const PHASE_EXECUTOR_STEP: MetricId = MetricId(20);
+    pub const PHASE_HBR_APPLY: MetricId = MetricId(21);
+    pub const PHASE_RACE_DETECTION: MetricId = MetricId(22);
+    pub const PHASE_FRAME_CHECKPOINT: MetricId = MetricId(23);
+    pub const PHASE_STEAL_WAIT: MetricId = MetricId(24);
+}
+
+/// The built-in catalogue every exploration shares. Order is the id
+/// order in [`ids`]; snapshots render in this order, which is what makes
+/// two identical runs serialize byte-identically.
+pub fn builtin_defs() -> &'static [MetricDef] {
+    const DEFS: &[MetricDef] = &[
+        MetricDef::per_worker_counter("lazylocks_schedules_total", "Complete schedules executed"),
+        MetricDef::counter(
+            "lazylocks_events_total",
+            "Visible events executed across all schedules",
+        ),
+        MetricDef::counter("lazylocks_bugs_total", "Buggy terminal executions observed"),
+        MetricDef::counter(
+            "lazylocks_deadlocks_total",
+            "Terminal executions that deadlocked",
+        ),
+        MetricDef::counter(
+            "lazylocks_faults_total",
+            "Terminal executions with at least one fault",
+        ),
+        MetricDef::counter(
+            "lazylocks_truncated_runs_total",
+            "Runs abandoned for exceeding max_run_length",
+        ),
+        MetricDef::counter(
+            "lazylocks_sleep_prunes_total",
+            "Subtrees pruned by sleep sets (DPOR)",
+        ),
+        MetricDef::counter(
+            "lazylocks_cache_prunes_total",
+            "Subtrees pruned by the prefix-HBR cache",
+        ),
+        MetricDef::counter(
+            "lazylocks_bound_prunes_total",
+            "Choices skipped by the preemption bound",
+        ),
+        MetricDef::counter(
+            "lazylocks_events_compared_total",
+            "Race-partner candidates examined by DPOR race detection",
+        ),
+        MetricDef::per_worker_counter(
+            "lazylocks_frames_pooled_total",
+            "Frame bodies served from the pool free list instead of heap clones",
+        ),
+        MetricDef::per_worker_counter(
+            "lazylocks_subtrees_stolen_total",
+            "Subtree roots claimed off the shared work deque",
+        ),
+        MetricDef::per_worker_counter(
+            "lazylocks_frames_published_total",
+            "Frames published to the shared deque for other workers",
+        ),
+        MetricDef::per_worker_counter(
+            "lazylocks_backtrack_mailbox_total",
+            "Backtrack points delivered through the pending mailbox",
+        ),
+        MetricDef::counter("lazylocks_replays_total", "Trace artifacts replayed"),
+        MetricDef::counter(
+            "lazylocks_replay_events_total",
+            "Events executed while replaying artifacts",
+        ),
+        MetricDef::counter("lazylocks_fuzz_cases_total", "Fuzz cases executed"),
+        MetricDef::counter(
+            "lazylocks_fuzz_disagreements_total",
+            "Fuzz cases with a broken strategy-agreement contract",
+        ),
+        MetricDef::gauge(
+            "lazylocks_workers",
+            "Worker threads of the most recent parallel exploration",
+        ),
+        MetricDef::histogram(
+            "lazylocks_schedule_depth",
+            "Events per complete schedule",
+            DEPTH_BUCKETS,
+        ),
+        MetricDef::phase_timer(
+            "lazylocks_phase_executor_step_ns",
+            "Guest executor step latency (sampled 1/64, weight-scaled)",
+            HOT_NS_BUCKETS,
+            6,
+        ),
+        MetricDef::phase_timer(
+            "lazylocks_phase_hbr_apply_ns",
+            "Happens-before clock apply latency (sampled 1/64, weight-scaled)",
+            HOT_NS_BUCKETS,
+            6,
+        ),
+        MetricDef::phase_timer(
+            "lazylocks_phase_race_detection_ns",
+            "DPOR reversible-race detection latency per step (sampled 1/64, weight-scaled)",
+            HOT_NS_BUCKETS,
+            6,
+        ),
+        MetricDef::phase_timer(
+            "lazylocks_phase_frame_checkpoint_ns",
+            "Frame checkpoint (pool take + state clone) latency (sampled 1/16, weight-scaled)",
+            HOT_NS_BUCKETS,
+            4,
+        ),
+        MetricDef::phase_timer(
+            "lazylocks_phase_steal_wait_ns",
+            "Idle wait on the shared work deque (exact)",
+            WAIT_NS_BUCKETS,
+            0,
+        ),
+    ];
+    DEFS
+}
+
+/// An index into a registry's catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricId(pub usize);
+
+/// Catalogue plus the derived slot layout, shared by registry and shards.
+#[derive(Debug)]
+struct Layout {
+    defs: &'static [MetricDef],
+    /// First slot of each metric in a shard's slab.
+    offsets: Vec<usize>,
+    slots: usize,
+}
+
+impl Layout {
+    fn new(defs: &'static [MetricDef]) -> Layout {
+        let mut offsets = Vec::with_capacity(defs.len());
+        let mut slots = 0;
+        for def in defs {
+            offsets.push(slots);
+            slots += def.slot_count();
+        }
+        Layout {
+            defs,
+            offsets,
+            slots,
+        }
+    }
+}
+
+/// One thread's slab of relaxed atomics. Written by its owning worker,
+/// read concurrently by snapshots — which is why the slots are atomic at
+/// all; a shard is never shared between writers.
+#[derive(Debug)]
+struct ShardInner {
+    layout: Arc<Layout>,
+    /// `Some(i)` labels this shard's series with `worker="i"`.
+    worker: Option<u32>,
+    slots: Box<[AtomicU64]>,
+    /// Per-metric call ticker driving timer sampling (not snapshotted).
+    ticks: Box<[AtomicU64]>,
+}
+
+fn atomic_slab(len: usize) -> Box<[AtomicU64]> {
+    (0..len).map(|_| AtomicU64::new(0)).collect()
+}
+
+/// Shared metric store for one exploration (or one server job): hands out
+/// per-worker shards and merges them on [`MetricsRegistry::snapshot`].
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    layout: Arc<Layout>,
+    shards: Mutex<Vec<Arc<ShardInner>>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new(builtin_defs())
+    }
+}
+
+impl MetricsRegistry {
+    /// A registry over an explicit catalogue (tests); use
+    /// [`MetricsRegistry::default`] for the built-in one.
+    pub fn new(defs: &'static [MetricDef]) -> MetricsRegistry {
+        MetricsRegistry {
+            layout: Arc::new(Layout::new(defs)),
+            shards: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn acquire(&self, worker: Option<u32>) -> Arc<ShardInner> {
+        let inner = Arc::new(ShardInner {
+            layout: self.layout.clone(),
+            worker,
+            slots: atomic_slab(self.layout.slots),
+            ticks: atomic_slab(self.layout.defs.len()),
+        });
+        self.shards.lock().unwrap().push(inner.clone());
+        inner
+    }
+
+    /// Merges every shard into one consistent-enough snapshot. Safe to
+    /// call while workers are still recording (relaxed reads; the scrape
+    /// path of a running job).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let shards = self.shards.lock().unwrap();
+        let layout = &self.layout;
+        let mut metrics = Vec::with_capacity(layout.defs.len());
+        for (idx, def) in layout.defs.iter().enumerate() {
+            let off = layout.offsets[idx];
+            let read = |shard: &ShardInner| -> MetricValue {
+                match def.kind {
+                    MetricKind::Counter | MetricKind::Gauge => {
+                        MetricValue::Scalar(shard.slots[off].load(Ordering::Relaxed))
+                    }
+                    MetricKind::Histogram => {
+                        let n = def.buckets.len();
+                        MetricValue::Histogram {
+                            counts: (0..n)
+                                .map(|b| shard.slots[off + b].load(Ordering::Relaxed))
+                                .collect(),
+                            count: shard.slots[off + n].load(Ordering::Relaxed),
+                            sum: shard.slots[off + n + 1].load(Ordering::Relaxed),
+                        }
+                    }
+                }
+            };
+            let mut total = MetricValue::zero(def);
+            let mut per_worker: Vec<(u32, MetricValue)> = Vec::new();
+            for shard in shards.iter() {
+                let value = read(shard);
+                total.merge(&value, def.kind);
+                if def.per_worker {
+                    if let Some(w) = shard.worker {
+                        match per_worker.iter_mut().find(|(pw, _)| *pw == w) {
+                            Some((_, existing)) => existing.merge(&value, def.kind),
+                            None => per_worker.push((w, value)),
+                        }
+                    }
+                }
+            }
+            per_worker.sort_by_key(|(w, _)| *w);
+            metrics.push(MetricSnap {
+                name: def.name.to_string(),
+                help: def.help.to_string(),
+                kind: def.kind,
+                buckets: def.buckets.to_vec(),
+                time_based: def.time_based,
+                total,
+                per_worker,
+            });
+        }
+        MetricsSnapshot { metrics }
+    }
+}
+
+/// The cloneable on/off switch threaded through `ExploreConfig`: `None`
+/// (the default) costs one branch per instrumentation point; `Some`
+/// shares one [`MetricsRegistry`] between every shard of a run.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsHandle(Option<Arc<MetricsRegistry>>);
+
+impl MetricsHandle {
+    /// The inert default: every operation is a no-op.
+    pub fn disabled() -> MetricsHandle {
+        MetricsHandle(None)
+    }
+
+    /// A live handle over a fresh built-in registry.
+    pub fn enabled() -> MetricsHandle {
+        MetricsHandle(Some(Arc::new(MetricsRegistry::default())))
+    }
+
+    /// A live handle over a caller-built registry (custom catalogues).
+    pub fn with_registry(registry: Arc<MetricsRegistry>) -> MetricsHandle {
+        MetricsHandle(Some(registry))
+    }
+
+    /// `true` when recording is live.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Acquires an unlabelled shard (single-threaded strategies, shared
+    /// leaf collectors). Inert when disabled.
+    pub fn shard(&self) -> MetricsShard {
+        MetricsShard(self.0.as_ref().map(|r| r.acquire(None)))
+    }
+
+    /// Acquires a shard whose `per_worker` metrics are labelled
+    /// `worker="index"` in snapshots.
+    pub fn worker_shard(&self, index: u32) -> MetricsShard {
+        MetricsShard(self.0.as_ref().map(|r| r.acquire(Some(index))))
+    }
+
+    /// Snapshot of the whole registry; `None` when disabled.
+    pub fn snapshot(&self) -> Option<MetricsSnapshot> {
+        self.0.as_ref().map(|r| r.snapshot())
+    }
+}
+
+/// One worker's recording handle. All operations are relaxed atomic adds
+/// on a fixed slab — no locks, no allocation — and no-ops when the
+/// handle was acquired from a disabled [`MetricsHandle`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsShard(Option<Arc<ShardInner>>);
+
+impl MetricsShard {
+    /// An inert shard (what a disabled handle returns).
+    pub fn disabled() -> MetricsShard {
+        MetricsShard(None)
+    }
+
+    /// `true` when recording is live.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds 1 to a counter.
+    #[inline]
+    pub fn inc(&self, id: MetricId) {
+        self.add(id, 1);
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(&self, id: MetricId, n: u64) {
+        if let Some(inner) = &self.0 {
+            inner.slots[inner.layout.offsets[id.0]].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Sets a gauge.
+    #[inline]
+    pub fn set(&self, id: MetricId, value: u64) {
+        if let Some(inner) = &self.0 {
+            inner.slots[inner.layout.offsets[id.0]].store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one histogram observation.
+    #[inline]
+    pub fn observe(&self, id: MetricId, value: u64) {
+        self.observe_weighted(id, value, 1);
+    }
+
+    /// Records a histogram observation with a weight (the timer sampling
+    /// path: one timed call stands for `2^shift` untimed ones).
+    pub fn observe_weighted(&self, id: MetricId, value: u64, weight: u64) {
+        let Some(inner) = &self.0 else { return };
+        let def = &inner.layout.defs[id.0];
+        let off = inner.layout.offsets[id.0];
+        let bucket = def.buckets.iter().position(|&le| value <= le);
+        if let Some(b) = bucket {
+            inner.slots[off + b].fetch_add(weight, Ordering::Relaxed);
+        }
+        let n = def.buckets.len();
+        inner.slots[off + n].fetch_add(weight, Ordering::Relaxed);
+        inner.slots[off + n + 1].fetch_add(value.saturating_mul(weight), Ordering::Relaxed);
+    }
+
+    /// Starts a (possibly sampled) phase timing; `None` means "this call
+    /// is not being timed" — including the disabled case, so the hot-path
+    /// cost with metrics off is exactly this early return.
+    #[inline]
+    pub fn timer_start(&self, id: MetricId) -> Option<Instant> {
+        let inner = self.0.as_ref()?;
+        let def = &inner.layout.defs[id.0];
+        if def.sample_shift > 0 {
+            let tick = inner.ticks[id.0].fetch_add(1, Ordering::Relaxed);
+            if tick & ((1u64 << def.sample_shift) - 1) != 0 {
+                return None;
+            }
+        }
+        Some(Instant::now())
+    }
+
+    /// Ends a phase timing started by [`MetricsShard::timer_start`],
+    /// recording the elapsed nanoseconds with the sampling weight.
+    #[inline]
+    pub fn timer_stop(&self, id: MetricId, started: Option<Instant>) {
+        let Some(started) = started else { return };
+        let Some(inner) = &self.0 else { return };
+        let def = &inner.layout.defs[id.0];
+        let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.observe_weighted(id, ns, 1u64 << def.sample_shift);
+    }
+}
+
+/// A merged point-in-time value of one metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    Scalar(u64),
+    Histogram {
+        counts: Vec<u64>,
+        count: u64,
+        sum: u64,
+    },
+}
+
+impl MetricValue {
+    fn zero(def: &MetricDef) -> MetricValue {
+        match def.kind {
+            MetricKind::Counter | MetricKind::Gauge => MetricValue::Scalar(0),
+            MetricKind::Histogram => MetricValue::Histogram {
+                counts: vec![0; def.buckets.len()],
+                count: 0,
+                sum: 0,
+            },
+        }
+    }
+
+    fn merge(&mut self, other: &MetricValue, kind: MetricKind) {
+        match (self, other) {
+            (MetricValue::Scalar(a), MetricValue::Scalar(b)) => match kind {
+                // Gauges merge by max: "the widest worker pool seen".
+                MetricKind::Gauge => *a = (*a).max(*b),
+                _ => *a += *b,
+            },
+            (
+                MetricValue::Histogram { counts, count, sum },
+                MetricValue::Histogram {
+                    counts: oc,
+                    count: on,
+                    sum: os,
+                },
+            ) => {
+                for (a, b) in counts.iter_mut().zip(oc) {
+                    *a += *b;
+                }
+                *count += *on;
+                *sum += *os;
+            }
+            _ => unreachable!("metric kinds diverged between shards of one registry"),
+        }
+    }
+
+    fn zeroed(&self) -> MetricValue {
+        match self {
+            MetricValue::Scalar(_) => MetricValue::Scalar(0),
+            MetricValue::Histogram { counts, .. } => MetricValue::Histogram {
+                counts: vec![0; counts.len()],
+                count: 0,
+                sum: 0,
+            },
+        }
+    }
+
+    /// The scalar value, or a histogram's `count`.
+    pub fn count(&self) -> u64 {
+        match self {
+            MetricValue::Scalar(v) => *v,
+            MetricValue::Histogram { count, .. } => *count,
+        }
+    }
+
+    /// A histogram's `sum` (0 for scalars).
+    pub fn sum(&self) -> u64 {
+        match self {
+            MetricValue::Scalar(_) => 0,
+            MetricValue::Histogram { sum, .. } => *sum,
+        }
+    }
+}
+
+/// One metric in a snapshot: the merged total plus any worker-labelled
+/// series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSnap {
+    pub name: String,
+    pub help: String,
+    pub kind: MetricKind,
+    pub buckets: Vec<u64>,
+    pub time_based: bool,
+    pub total: MetricValue,
+    pub per_worker: Vec<(u32, MetricValue)>,
+}
+
+impl MetricSnap {
+    /// The quantile `q` (0..=1) estimated from the bucket counts by
+    /// linear interpolation inside the winning bucket; `None` when the
+    /// histogram is empty or the metric is a scalar.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let MetricValue::Histogram { counts, count, .. } = &self.total else {
+            return None;
+        };
+        if *count == 0 {
+            return None;
+        }
+        let rank = q.clamp(0.0, 1.0) * (*count as f64);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            let lower = if i == 0 { 0 } else { self.buckets[i - 1] };
+            let upper = self.buckets[i];
+            if (seen + c) as f64 >= rank && c > 0 {
+                let within = (rank - seen as f64) / c as f64;
+                return Some(lower as f64 + within * (upper - lower) as f64);
+            }
+            seen += c;
+        }
+        // The rank lands in the +Inf bucket; report the last finite bound.
+        Some(*self.buckets.last().unwrap_or(&0) as f64)
+    }
+}
+
+/// A merged, ordered point-in-time view of a registry — the unit that
+/// serializes (JSON, Prometheus text) and merges across jobs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    pub metrics: Vec<MetricSnap>,
+}
+
+impl MetricsSnapshot {
+    /// Looks a metric up by family name.
+    pub fn get(&self, name: &str) -> Option<&MetricSnap> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// The scalar / count value of a metric, 0 when absent.
+    pub fn value(&self, name: &str) -> u64 {
+        self.get(name).map(|m| m.total.count()).unwrap_or(0)
+    }
+
+    /// Element-wise merge of another snapshot of the *same catalogue*
+    /// (the server's cross-job aggregation). Metrics are matched by
+    /// position and name; a name mismatch panics — it means two different
+    /// catalogues were mixed, which is a bug, not data.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        if self.metrics.is_empty() {
+            self.metrics = other.metrics.clone();
+            return;
+        }
+        assert_eq!(
+            self.metrics.len(),
+            other.metrics.len(),
+            "merging snapshots of different catalogues"
+        );
+        for (a, b) in self.metrics.iter_mut().zip(&other.metrics) {
+            assert_eq!(a.name, b.name, "merging snapshots of different catalogues");
+            a.total.merge(&b.total, a.kind);
+            for (w, value) in &b.per_worker {
+                match a.per_worker.iter_mut().find(|(aw, _)| aw == w) {
+                    Some((_, existing)) => existing.merge(value, a.kind),
+                    None => a.per_worker.push((*w, value.clone())),
+                }
+            }
+            a.per_worker.sort_by_key(|(w, _)| *w);
+        }
+    }
+
+    /// A copy with every time-derived series zeroed — the determinism
+    /// contract: two identical explorations scrub to byte-identical JSON.
+    pub fn scrubbed(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            metrics: self
+                .metrics
+                .iter()
+                .map(|m| {
+                    if !m.time_based {
+                        return m.clone();
+                    }
+                    MetricSnap {
+                        total: m.total.zeroed(),
+                        per_worker: m.per_worker.iter().map(|(w, v)| (*w, v.zeroed())).collect(),
+                        ..m.clone()
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Integer-only JSON, stable field order (the codec contract shared
+    /// with `lazylocks-trace`'s `Json`, which parses this verbatim).
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::from("{\"format\":\"lazylocks-metrics\",\"version\":1,\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            out.push_str(&json_escape(&m.name));
+            out.push_str("\",\"kind\":\"");
+            out.push_str(m.kind.as_str());
+            out.push('"');
+            write_value_fields(&mut out, &m.total, &m.buckets);
+            if !m.per_worker.is_empty() {
+                out.push_str(",\"per_worker\":[");
+                for (j, (w, value)) in m.per_worker.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"worker\":");
+                    out.push_str(&w.to_string());
+                    write_value_fields(&mut out, value, &m.buckets);
+                    out.push('}');
+                }
+                out.push(']');
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Prometheus text exposition format (`# HELP` / `# TYPE` + series).
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            render_prometheus_family(&mut out, m);
+        }
+        out
+    }
+
+    /// A compact human-readable table (the CLI `--metrics` summary):
+    /// non-zero metrics only, histograms with count/mean/p50/p99.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            match &m.total {
+                MetricValue::Scalar(v) => {
+                    if *v > 0 {
+                        out.push_str(&format!("{:<42} {v}\n", m.name));
+                    }
+                }
+                MetricValue::Histogram { count, sum, .. } => {
+                    if *count > 0 {
+                        let mean = *sum as f64 / *count as f64;
+                        out.push_str(&format!(
+                            "{:<42} count={count} mean={mean:.0} p50={:.0} p99={:.0}\n",
+                            m.name,
+                            m.quantile(0.50).unwrap_or(0.0),
+                            m.quantile(0.99).unwrap_or(0.0),
+                        ));
+                    }
+                }
+            }
+            for (w, value) in &m.per_worker {
+                if value.count() > 0 {
+                    out.push_str(&format!(
+                        "{:<42} {}\n",
+                        format!("{}{{worker={w}}}", m.name),
+                        value.count()
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn write_value_fields(out: &mut String, value: &MetricValue, buckets: &[u64]) {
+    match value {
+        MetricValue::Scalar(v) => {
+            out.push_str(",\"value\":");
+            out.push_str(&v.to_string());
+        }
+        MetricValue::Histogram { counts, count, sum } => {
+            out.push_str(",\"buckets\":[");
+            for (i, b) in buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&b.to_string());
+            }
+            out.push_str("],\"counts\":[");
+            for (i, c) in counts.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push_str("],\"count\":");
+            out.push_str(&count.to_string());
+            out.push_str(",\"sum\":");
+            out.push_str(&sum.to_string());
+        }
+    }
+}
+
+fn render_prometheus_family(out: &mut String, m: &MetricSnap) {
+    out.push_str("# HELP ");
+    out.push_str(&m.name);
+    out.push(' ');
+    out.push_str(&m.help);
+    out.push_str("\n# TYPE ");
+    out.push_str(&m.name);
+    out.push(' ');
+    out.push_str(m.kind.as_str());
+    out.push('\n');
+    let render_one = |out: &mut String, labels: &str, value: &MetricValue| match value {
+        MetricValue::Scalar(v) => {
+            out.push_str(&m.name);
+            out.push_str(labels);
+            out.push(' ');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        MetricValue::Histogram { counts, count, sum } => {
+            let mut cumulative = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                cumulative += c;
+                out.push_str(&format!(
+                    "{}_bucket{{le=\"{}\"{}}} {cumulative}\n",
+                    m.name,
+                    m.buckets[i],
+                    labels_inner(labels),
+                ));
+            }
+            out.push_str(&format!(
+                "{}_bucket{{le=\"+Inf\"{}}} {count}\n",
+                m.name,
+                labels_inner(labels),
+            ));
+            out.push_str(&format!("{}_sum{labels} {sum}\n", m.name));
+            out.push_str(&format!("{}_count{labels} {count}\n", m.name));
+        }
+    };
+    render_one(out, "", &m.total);
+    for (w, value) in &m.per_worker {
+        render_one(out, &format!("{{worker=\"{w}\"}}"), value);
+    }
+}
+
+/// Turns an outer label set (`{worker="0"}` or ``) into the extra labels
+/// that follow `le="..."` inside a bucket line (`,worker="0"` or ``).
+fn labels_inner(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!(",{}", &labels[1..labels.len() - 1])
+    }
+}
+
+/// Minimal JSON string escaping (control characters, quotes, backslash) —
+/// mirrors the escaping rules of `lazylocks-trace`'s codec so output
+/// round-trips through it.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static TEST_DEFS: &[MetricDef] = &[
+        MetricDef::counter("t_count_total", "a counter"),
+        MetricDef::gauge("t_gauge", "a gauge"),
+        MetricDef::histogram("t_hist", "a histogram", &[10, 100, 1000]),
+    ];
+    const T_COUNT: MetricId = MetricId(0);
+    const T_GAUGE: MetricId = MetricId(1);
+    const T_HIST: MetricId = MetricId(2);
+
+    #[test]
+    fn disabled_handle_is_inert_everywhere() {
+        let handle = MetricsHandle::disabled();
+        assert!(!handle.is_enabled());
+        let shard = handle.shard();
+        shard.inc(T_COUNT);
+        shard.set(T_GAUGE, 9);
+        shard.observe(T_HIST, 5);
+        assert!(shard.timer_start(T_HIST).is_none());
+        assert!(handle.snapshot().is_none());
+    }
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper_bounds() {
+        let registry = Arc::new(MetricsRegistry::new(TEST_DEFS));
+        let handle = MetricsHandle::with_registry(registry);
+        let shard = handle.shard();
+        // One observation per boundary region: <=10, ==10, 11, ==100,
+        // 101, ==1000, and one overflow into +Inf.
+        for v in [1, 10, 11, 100, 101, 1000, 1001] {
+            shard.observe(T_HIST, v);
+        }
+        let snap = handle.snapshot().unwrap();
+        let m = snap.get("t_hist").unwrap();
+        match &m.total {
+            MetricValue::Histogram { counts, count, sum } => {
+                assert_eq!(counts, &vec![2, 2, 2]);
+                assert_eq!(*count, 7);
+                assert_eq!(*sum, 1 + 10 + 11 + 100 + 101 + 1000 + 1001);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_merge_is_associative_and_order_independent() {
+        // Three shards with distinct contents; the registry snapshot must
+        // equal the pairwise snapshot merges in any order.
+        let build = |values: &[&[u64]]| {
+            let registry = Arc::new(MetricsRegistry::new(TEST_DEFS));
+            let handle = MetricsHandle::with_registry(registry);
+            for shard_values in values {
+                let shard = handle.shard();
+                for &v in *shard_values {
+                    shard.add(T_COUNT, v);
+                    shard.observe(T_HIST, v);
+                }
+            }
+            handle.snapshot().unwrap()
+        };
+        let all = build(&[&[1, 50], &[200, 7], &[2000]]);
+        let mut ab_c = build(&[&[1, 50], &[200, 7]]);
+        ab_c.merge(&build(&[&[2000]]));
+        let mut a_bc = build(&[&[1, 50]]);
+        a_bc.merge(&build(&[&[200, 7], &[2000]]));
+        assert_eq!(all, ab_c);
+        assert_eq!(all, a_bc);
+        assert_eq!(ab_c.to_json_string(), a_bc.to_json_string());
+    }
+
+    #[test]
+    fn per_worker_series_survive_and_totals_sum() {
+        let handle = MetricsHandle::enabled();
+        let w0 = handle.worker_shard(0);
+        let w1 = handle.worker_shard(1);
+        w0.add(ids::SUBTREES_STOLEN, 3);
+        w1.add(ids::SUBTREES_STOLEN, 5);
+        let snap = handle.snapshot().unwrap();
+        let m = snap.get("lazylocks_subtrees_stolen_total").unwrap();
+        assert_eq!(m.total, MetricValue::Scalar(8));
+        assert_eq!(
+            m.per_worker,
+            vec![(0, MetricValue::Scalar(3)), (1, MetricValue::Scalar(5))]
+        );
+    }
+
+    #[test]
+    fn gauges_merge_by_max() {
+        let handle = MetricsHandle::enabled();
+        handle.shard().set(ids::WORKERS, 4);
+        handle.shard().set(ids::WORKERS, 2);
+        assert_eq!(handle.snapshot().unwrap().value("lazylocks_workers"), 4);
+    }
+
+    #[test]
+    fn sampled_timers_record_weighted_consistent_histograms() {
+        let handle = MetricsHandle::enabled();
+        let shard = handle.shard();
+        // PHASE_EXECUTOR_STEP samples 1/64: of 128 calls exactly 2 are
+        // timed, each recorded with weight 64.
+        let mut timed = 0;
+        for _ in 0..128 {
+            let t = shard.timer_start(ids::PHASE_EXECUTOR_STEP);
+            if t.is_some() {
+                timed += 1;
+            }
+            shard.timer_stop(ids::PHASE_EXECUTOR_STEP, t);
+        }
+        assert_eq!(timed, 2);
+        let snap = handle.snapshot().unwrap();
+        let m = snap.get("lazylocks_phase_executor_step_ns").unwrap();
+        match &m.total {
+            MetricValue::Histogram { counts, count, .. } => {
+                assert_eq!(*count, 128);
+                assert_eq!(counts.iter().sum::<u64>(), 128, "no +Inf overflow expected");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn scrub_zeroes_time_based_series_only() {
+        let handle = MetricsHandle::enabled();
+        let shard = handle.shard();
+        shard.inc(ids::SCHEDULES);
+        shard.observe(ids::SCHEDULE_DEPTH, 12);
+        shard.observe_weighted(ids::PHASE_STEAL_WAIT, 500_000, 1);
+        let scrubbed = handle.snapshot().unwrap().scrubbed();
+        assert_eq!(scrubbed.value("lazylocks_schedules_total"), 1);
+        assert_eq!(scrubbed.value("lazylocks_schedule_depth"), 1);
+        assert_eq!(scrubbed.value("lazylocks_phase_steal_wait_ns"), 0);
+        assert_eq!(
+            scrubbed
+                .get("lazylocks_phase_steal_wait_ns")
+                .unwrap()
+                .total
+                .sum(),
+            0
+        );
+    }
+
+    #[test]
+    fn identical_recordings_serialize_byte_identically() {
+        let run = || {
+            let handle = MetricsHandle::enabled();
+            let shard = handle.shard();
+            for d in [3, 9, 40, 700] {
+                shard.inc(ids::SCHEDULES);
+                shard.observe(ids::SCHEDULE_DEPTH, d);
+            }
+            let t = shard.timer_start(ids::PHASE_STEAL_WAIT);
+            shard.timer_stop(ids::PHASE_STEAL_WAIT, t);
+            handle.snapshot().unwrap().scrubbed().to_json_string()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn prometheus_text_has_well_formed_histograms() {
+        let handle = MetricsHandle::enabled();
+        let shard = handle.worker_shard(0);
+        shard.observe(ids::SCHEDULE_DEPTH, 6);
+        shard.observe(ids::SCHEDULE_DEPTH, 1000);
+        shard.add(ids::SUBTREES_STOLEN, 2);
+        let text = handle.snapshot().unwrap().to_prometheus_text();
+        assert!(text.contains("# TYPE lazylocks_schedule_depth histogram"));
+        assert!(text.contains("lazylocks_schedule_depth_bucket{le=\"8\"} 1"));
+        // The 1000-event schedule overflows every finite bucket.
+        assert!(text.contains("lazylocks_schedule_depth_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("lazylocks_schedule_depth_count 2"));
+        assert!(text.contains("lazylocks_subtrees_stolen_total 2"));
+        assert!(text.contains("lazylocks_subtrees_stolen_total{worker=\"0\"} 2"));
+        // Every non-comment line is `name{labels}? value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<u64>().is_ok(), "bad sample line: {line}");
+        }
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let registry = Arc::new(MetricsRegistry::new(TEST_DEFS));
+        let handle = MetricsHandle::with_registry(registry);
+        let shard = handle.shard();
+        // 10 observations in (10, 100]: p50 lands mid-bucket.
+        for _ in 0..10 {
+            shard.observe(T_HIST, 50);
+        }
+        let snap = handle.snapshot().unwrap();
+        let m = snap.get("t_hist").unwrap();
+        let p50 = m.quantile(0.5).unwrap();
+        assert!((10.0..=100.0).contains(&p50), "{p50}");
+        assert!(m.quantile(1.0).unwrap() <= 100.0);
+        assert!(snap.get("t_gauge").unwrap().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

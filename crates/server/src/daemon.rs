@@ -6,6 +6,7 @@
 //! | method & path               | action                                   |
 //! |-----------------------------|------------------------------------------|
 //! | `GET /healthz`              | liveness + queue/worker load             |
+//! | `GET /metrics`              | Prometheus text exposition               |
 //! | `GET /strategies`           | the strategy registry with help + aliases|
 //! | `POST /jobs`                | submit a job (JSON body) → 201 `{id}`    |
 //! | `GET /jobs`                 | summaries of every job                   |
@@ -25,7 +26,7 @@
 //! exit, `serve` returns. Nothing is detached, so a clean exit proves a
 //! clean drain.
 
-use crate::http::{read_request, write_response, HttpError, Limits, Request};
+use crate::http::{read_request, write_response, write_text_response, HttpError, Limits, Request};
 use crate::job::{run_worker, JobRequest, JobTable};
 use lazylocks::StrategyRegistry;
 use lazylocks_model::Program;
@@ -37,7 +38,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Daemon configuration (the `serve` subcommand's flags).
 #[derive(Debug, Clone)]
@@ -75,6 +76,8 @@ struct ServerCtx {
     registry: StrategyRegistry,
     config: ServerConfig,
     shutdown: AtomicBool,
+    /// Daemon start time, reported as whole-second uptime ticks.
+    started: Instant,
 }
 
 /// Runs the daemon until `POST /shutdown`; returns once every
@@ -99,6 +102,7 @@ pub fn serve(config: ServerConfig) -> Result<(), String> {
         registry: StrategyRegistry::default(),
         config: config.clone(),
         shutdown: AtomicBool::new(false),
+        started: Instant::now(),
     });
 
     let job_workers: Vec<_> = (0..config.workers.max(1))
@@ -185,6 +189,17 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
     });
     let mut writer = stream;
     let (status, body) = match read_request(&mut reader, &ctx.config.limits) {
+        // `/metrics` is the one non-JSON route: Prometheus text.
+        Ok(request) if request.method == "GET" && request.path == "/metrics" => {
+            write_text_response(
+                &mut writer,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &metrics_text(ctx),
+            )
+            .ok();
+            return;
+        }
         Ok(request) => route(&request, ctx),
         Err(HttpError::Closed) => return,
         Err(e) => {
@@ -193,6 +208,52 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
         }
     };
     write_response(&mut writer, status, &body).ok();
+}
+
+/// The `GET /metrics` document: daemon-level families (queue, jobs,
+/// workers, uptime) followed by the merged per-job exploration metrics.
+fn metrics_text(ctx: &ServerCtx) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let (queued, running) = ctx.table.load();
+    out.push_str("# HELP lazylocks_server_queue_depth Jobs waiting for a worker.\n");
+    out.push_str("# TYPE lazylocks_server_queue_depth gauge\n");
+    let _ = writeln!(out, "lazylocks_server_queue_depth {queued}");
+    out.push_str("# HELP lazylocks_server_running_jobs Jobs currently held by a worker.\n");
+    out.push_str("# TYPE lazylocks_server_running_jobs gauge\n");
+    let _ = writeln!(out, "lazylocks_server_running_jobs {running}");
+    out.push_str("# HELP lazylocks_server_jobs Jobs by lifecycle state.\n");
+    out.push_str("# TYPE lazylocks_server_jobs gauge\n");
+    for (state, n) in ctx.table.state_counts() {
+        let _ = writeln!(
+            out,
+            "lazylocks_server_jobs{{state=\"{}\"}} {n}",
+            state.as_str()
+        );
+    }
+    out.push_str("# HELP lazylocks_server_workers Job runner threads.\n");
+    out.push_str("# TYPE lazylocks_server_workers gauge\n");
+    let _ = writeln!(
+        out,
+        "lazylocks_server_workers {}",
+        ctx.config.workers.max(1)
+    );
+    out.push_str("# HELP lazylocks_server_uptime_ticks Whole seconds since the daemon started.\n");
+    out.push_str("# TYPE lazylocks_server_uptime_ticks counter\n");
+    let _ = writeln!(
+        out,
+        "lazylocks_server_uptime_ticks {}",
+        ctx.started.elapsed().as_secs()
+    );
+    out.push_str("# HELP lazylocks_server_draining 1 once shutdown has begun.\n");
+    out.push_str("# TYPE lazylocks_server_draining gauge\n");
+    let _ = writeln!(
+        out,
+        "lazylocks_server_draining {}",
+        u8::from(ctx.shutdown.load(Ordering::SeqCst))
+    );
+    out.push_str(&ctx.table.metrics_snapshot().to_prometheus_text());
+    out
 }
 
 fn error_body(message: &str) -> Json {
@@ -204,14 +265,35 @@ fn route(request: &Request, ctx: &ServerCtx) -> (u16, Json) {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => {
+            // Stable fields (configuration-derived, never change while the
+            // daemon runs) first; the moving parts live under "live" so
+            // scrub-style consumers can drop that one subtree.
             let (queued, running) = ctx.table.load();
+            let jobs = Json::Obj(
+                ctx.table
+                    .state_counts()
+                    .iter()
+                    .map(|(state, n)| (state.as_str().to_string(), Json::Int(*n as i128)))
+                    .collect(),
+            );
             (
                 200,
                 Json::obj([
                     ("status", Json::Str("ok".to_string())),
-                    ("queued", Json::Int(queued as i128)),
-                    ("running", Json::Int(running as i128)),
+                    ("workers", Json::Int(ctx.config.workers.max(1) as i128)),
                     ("draining", Json::Bool(ctx.shutdown.load(Ordering::SeqCst))),
+                    (
+                        "live",
+                        Json::obj([
+                            ("queue_depth", Json::Int(queued as i128)),
+                            ("running", Json::Int(running as i128)),
+                            ("jobs", jobs),
+                            (
+                                "uptime_ticks",
+                                Json::Int(ctx.started.elapsed().as_secs() as i128),
+                            ),
+                        ]),
+                    ),
                 ]),
             )
         }
@@ -294,7 +376,7 @@ fn route(request: &Request, ctx: &ServerCtx) -> (u16, Json) {
                 ]),
             )
         }
-        (_, ["healthz" | "strategies" | "shutdown"]) | (_, ["jobs", ..]) => {
+        (_, ["healthz" | "strategies" | "shutdown" | "metrics"]) | (_, ["jobs", ..]) => {
             (405, error_body("method not allowed"))
         }
         _ => (404, error_body(&format!("no route for {}", request.path))),

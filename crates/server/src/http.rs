@@ -271,6 +271,23 @@ pub fn write_response(w: &mut impl Write, status: u16, body: &Json) -> std::io::
     w.flush()
 }
 
+/// Writes a complete `Connection: close` plain-text response — used by
+/// `GET /metrics`, whose Prometheus exposition format is text, not JSON.
+pub fn write_text_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    payload: &str,
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        status_reason(status),
+        payload.len(),
+    )?;
+    w.flush()
+}
+
 /// Reads a response (status code + JSON body) — the client half of the
 /// protocol, under the same limits as the server half.
 pub fn read_response(reader: &mut impl BufRead, limits: &Limits) -> Result<(u16, Json), HttpError> {

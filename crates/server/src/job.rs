@@ -15,7 +15,7 @@
 //! drain the queue before exiting, so joining them *is* the drain
 //! barrier.
 
-use lazylocks::{BugReport, CancelToken, ExploreConfig, Observer, Progress};
+use lazylocks::{BugReport, CancelToken, ExploreConfig, MetricsHandle, Observer, Progress};
 use lazylocks_model::Program;
 use lazylocks_trace::{bug_kind_to_json, drive, outcome_json, CorpusStore, DriveRequest, Json};
 use std::collections::BTreeMap;
@@ -44,6 +44,8 @@ pub struct JobRequest {
     pub minimize: bool,
     /// Scheduling priority: higher runs first, ties run in FIFO order.
     pub priority: i64,
+    /// How often this job emits progress events, in complete schedules.
+    pub progress_interval: usize,
 }
 
 impl JobRequest {
@@ -82,6 +84,11 @@ impl JobRequest {
             None | Some(Json::Null) => 0,
             Some(other) => other.as_i64().ok_or("\"priority\" must be an integer")?,
         };
+        let progress_interval = match u64_field("progress_interval")? {
+            Some(0) => return Err("\"progress_interval\" must be at least 1".to_string()),
+            Some(n) => n as usize,
+            None => DEFAULT_PROGRESS_INTERVAL,
+        };
         Ok(JobRequest {
             program_source,
             spec: str_field("spec")?.unwrap_or_else(|| "dpor(sleep=true)".to_string()),
@@ -92,6 +99,7 @@ impl JobRequest {
             deadline_ms: u64_field("deadline_ms")?,
             minimize: bool_field("minimize")?,
             priority,
+            progress_interval,
         })
     }
 }
@@ -143,6 +151,10 @@ struct Job {
     /// Set by `DELETE` so the terminal state distinguishes an operator
     /// cancellation from a deadline (both cancel the token).
     cancel_requested: bool,
+    /// The job's live metrics sink — enabled for every job, so
+    /// `GET /metrics` can aggregate across queued, running and finished
+    /// jobs alike.
+    metrics: MetricsHandle,
     /// Append-only, seq-stamped event log.
     events: Vec<Json>,
     /// The scrubbed outcome document, present once `Done` or `Cancelled`
@@ -233,6 +245,7 @@ impl JobTable {
             state: JobState::Queued,
             cancel: CancelToken::new(),
             cancel_requested: false,
+            metrics: MetricsHandle::enabled(),
             events: Vec::new(),
             result: None,
             error: None,
@@ -246,7 +259,7 @@ impl JobTable {
 
     /// Worker side: blocks until a job is available (highest priority,
     /// then FIFO) or shutdown has drained the queue; `None` means exit.
-    pub fn next_job(&self) -> Option<(u64, JobRequest, CancelToken)> {
+    pub fn next_job(&self) -> Option<(u64, JobRequest, CancelToken, MetricsHandle)> {
         let mut t = self.inner.lock().unwrap();
         loop {
             if let Some(pos) = best_queued(&t) {
@@ -255,7 +268,12 @@ impl JobTable {
                 let job = t.jobs.get_mut(&id).expect("queued job exists");
                 job.state = JobState::Running;
                 job.push_event("running", vec![]);
-                return Some((id, job.request.clone(), job.cancel.clone()));
+                return Some((
+                    id,
+                    job.request.clone(),
+                    job.cancel.clone(),
+                    job.metrics.clone(),
+                ));
             }
             if t.shutting_down {
                 return None;
@@ -376,6 +394,40 @@ impl JobTable {
         let t = self.inner.lock().unwrap();
         (t.queue.len(), t.running)
     }
+
+    /// Job counts per lifecycle state, for `/healthz` and `/metrics`.
+    pub fn state_counts(&self) -> [(JobState, usize); 5] {
+        let t = self.inner.lock().unwrap();
+        let mut counts = [
+            (JobState::Queued, 0),
+            (JobState::Running, 0),
+            (JobState::Done, 0),
+            (JobState::Cancelled, 0),
+            (JobState::Failed, 0),
+        ];
+        for job in t.jobs.values() {
+            for (state, n) in &mut counts {
+                if job.state == *state {
+                    *n += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// The union of every job's metrics — counters and histograms summed,
+    /// gauges maxed — for the server-wide `GET /metrics` exposition.
+    /// Running jobs contribute their live (so far) values.
+    pub fn metrics_snapshot(&self) -> lazylocks::MetricsSnapshot {
+        let t = self.inner.lock().unwrap();
+        let mut merged = lazylocks::MetricsSnapshot::default();
+        for job in t.jobs.values() {
+            if let Some(snap) = job.metrics.snapshot() {
+                merged.merge(&snap);
+            }
+        }
+        merged
+    }
 }
 
 /// The queue position of the next job to run: highest priority first,
@@ -430,16 +482,17 @@ impl Observer for JobObserver {
     }
 }
 
-/// How often running jobs emit progress events, in complete schedules.
-/// Frequent enough that a few-second job streams visibly, rare enough
-/// that the event log stays small under a 100k-schedule budget.
-const PROGRESS_EVERY: usize = 1024;
+/// The default progress-event cadence, in complete schedules — frequent
+/// enough that a few-second job streams visibly, rare enough that the
+/// event log stays small under a 100k-schedule budget. Overridable per
+/// job via the `progress_interval` submission field.
+pub const DEFAULT_PROGRESS_INTERVAL: usize = 1024;
 
 /// One worker thread: claim, explore, record, repeat — until shutdown
 /// drains the queue.
 pub fn run_worker(table: Arc<JobTable>, corpus_dir: Option<PathBuf>) {
-    while let Some((id, request, cancel)) = table.next_job() {
-        let outcome = execute(&table, id, &request, cancel, corpus_dir.as_deref());
+    while let Some((id, request, cancel, metrics)) = table.next_job() {
+        let outcome = execute(&table, id, &request, cancel, metrics, corpus_dir.as_deref());
         table.finish(id, outcome);
     }
 }
@@ -450,18 +503,21 @@ fn execute(
     id: u64,
     request: &JobRequest,
     cancel: CancelToken,
+    metrics: MetricsHandle,
     corpus_dir: Option<&std::path::Path>,
 ) -> Result<Json, String> {
     // Submission already validated the source, so a failure here means
     // the daemon itself is broken — still reported, never a panic.
     let program = Program::parse(&request.program_source).map_err(|e| format!("program: {e}"))?;
-    let mut config = ExploreConfig::with_limit(request.limit).seeded(request.seed);
+    let mut config = ExploreConfig::with_limit(request.limit)
+        .seeded(request.seed)
+        .with_metrics(metrics.clone());
     config.preemption_bound = request.preemptions;
     config.stop_on_bug = request.stop_on_bug;
 
     let mut drive_request = DriveRequest::new(&program, &request.spec)
         .with_config(config)
-        .progress_every(PROGRESS_EVERY)
+        .progress_every(request.progress_interval)
         .minimizing(request.minimize)
         .cancel_with(cancel)
         .observe(Arc::new(JobObserver {
@@ -492,6 +548,19 @@ fn execute(
                 "trace_errors".to_string(),
                 Json::Arr(result.trace_errors.iter().cloned().map(Json::Str).collect()),
             ));
+        }
+    }
+    if let Some(snapshot) = metrics.snapshot() {
+        // The raw (wall-clock-bearing) snapshot goes to the event log for
+        // humans; the result document embeds the scrubbed copy so
+        // identical submissions stay byte-identical.
+        if let Ok(raw) = Json::parse(&snapshot.to_json_string()) {
+            table.push_job_event(id, "metrics", vec![("snapshot", raw)]);
+        }
+        if let Json::Obj(pairs) = &mut doc {
+            if let Ok(scrubbed) = Json::parse(&snapshot.scrubbed().to_json_string()) {
+                pairs.push(("metrics".to_string(), scrubbed));
+            }
         }
     }
     Ok(scrubbed_result(doc))
@@ -553,6 +622,7 @@ thread T2 {
             deadline_ms: None,
             minimize: false,
             priority,
+            progress_interval: DEFAULT_PROGRESS_INTERVAL,
         }
     }
 
@@ -564,6 +634,10 @@ thread T2 {
         assert_eq!(r.limit, 100_000);
         assert!(!r.stop_on_bug);
         assert_eq!(r.priority, 0);
+        assert_eq!(r.progress_interval, DEFAULT_PROGRESS_INTERVAL);
+
+        let v = Json::parse(r#"{"program": "p", "progress_interval": 16}"#).unwrap();
+        assert_eq!(JobRequest::from_json(&v).unwrap().progress_interval, 16);
 
         for bad in [
             r#"[1, 2]"#,
@@ -572,6 +646,8 @@ thread T2 {
             r#"{"program": "p", "limit": "lots"}"#,
             r#"{"program": "p", "limit": -3}"#,
             r#"{"program": "p", "stop_on_bug": "yes"}"#,
+            r#"{"program": "p", "progress_interval": 0}"#,
+            r#"{"program": "p", "progress_interval": "fast"}"#,
         ] {
             let v = Json::parse(bad).unwrap();
             assert!(JobRequest::from_json(&v).is_err(), "{bad}");
@@ -594,7 +670,7 @@ thread T2 {
         let a = table.submit(request(0), "p".into()).unwrap();
         let b = table.submit(request(0), "p".into()).unwrap();
         assert_eq!(table.cancel(b), Some(JobState::Cancelled));
-        let (claimed, _, token) = table.next_job().unwrap();
+        let (claimed, _, token, _) = table.next_job().unwrap();
         assert_eq!(claimed, a);
         assert_eq!(table.cancel(a), Some(JobState::Running));
         assert!(token.is_cancelled());
@@ -632,10 +708,23 @@ thread T2 {
         assert!(kinds.starts_with(&["queued", "running"]));
         assert_eq!(*kinds.last().unwrap(), "done");
         assert!(kinds.contains(&"bug"), "{kinds:?}");
+        // Every job embeds a scrubbed metrics snapshot in its result and
+        // streams the raw one through the event log.
+        let metrics = result.get("metrics").unwrap();
+        assert_eq!(
+            metrics.get("format").unwrap().as_str(),
+            Some("lazylocks-metrics")
+        );
+        assert!(kinds.contains(&"metrics"), "{kinds:?}");
         // The cursor protocol: polling from `next` returns nothing new.
         let next = events.get("next").unwrap().as_u64().unwrap();
         let tail = table.events_since(id, next).unwrap();
         assert!(tail.get("events").unwrap().as_arr().unwrap().is_empty());
+        // The table-wide aggregation sees the finished job's counters.
+        let agg = table.metrics_snapshot();
+        assert!(agg.value("lazylocks_schedules_total") > 0);
+        let counts = table.state_counts();
+        assert_eq!(counts[2], (JobState::Done, 1));
     }
 
     #[test]

@@ -65,5 +65,8 @@ pub use artifact::{
 pub use drive::{drive, outcome_json, DriveRequest, DriveResult};
 pub use json::{Json, JsonError};
 pub use recorder::{FinalizedTrace, TraceRecorder};
-pub use replay::{bug_matches, replay_against, replay_embedded, ReplayReport, ReplayVerdict};
+pub use replay::{
+    bug_matches, replay_against, replay_against_with, replay_embedded, replay_embedded_with,
+    ReplayReport, ReplayVerdict,
+};
 pub use store::{CorpusEntry, CorpusStore, PruneReport, SaveOutcome};

@@ -12,7 +12,8 @@
 //!   matches the artifact's fingerprint, so the schedule is meaningless.
 
 use crate::artifact::{bug_class, ArtifactError, TraceArtifact};
-use lazylocks::BugKind;
+use lazylocks::obs::ids;
+use lazylocks::{BugKind, MetricsHandle};
 use lazylocks_model::Program;
 use lazylocks_runtime::{program_fingerprint, run_schedule, RunResult, RunStatus};
 use std::fmt;
@@ -71,16 +72,38 @@ impl fmt::Display for ReplayReport {
 /// artifact); a source that parses to a *different* program than the
 /// recorded fingerprint classifies as [`ReplayVerdict::ProgramChanged`].
 pub fn replay_embedded(artifact: &TraceArtifact) -> Result<ReplayReport, ArtifactError> {
+    replay_embedded_with(artifact, &MetricsHandle::disabled())
+}
+
+/// [`replay_embedded`] with replay attempts and replayed event volumes
+/// recorded into `metrics` (`lazylocks_replays_total` /
+/// `lazylocks_replay_events_total`).
+pub fn replay_embedded_with(
+    artifact: &TraceArtifact,
+    metrics: &MetricsHandle,
+) -> Result<ReplayReport, ArtifactError> {
     let program = Program::parse(&artifact.program_source).map_err(|e| ArtifactError::Schema {
         field: "program",
         message: format!("embedded source does not parse: {e}"),
     })?;
-    Ok(replay_against(artifact, &program))
+    Ok(replay_against_with(artifact, &program, metrics))
 }
 
 /// Replays `artifact` against a caller-supplied `program` (e.g. the
 /// current version of a benchmark), classifying the result.
 pub fn replay_against(artifact: &TraceArtifact, program: &Program) -> ReplayReport {
+    replay_against_with(artifact, program, &MetricsHandle::disabled())
+}
+
+/// [`replay_against`] with replay attempts and replayed event volumes
+/// recorded into `metrics`.
+pub fn replay_against_with(
+    artifact: &TraceArtifact,
+    program: &Program,
+    metrics: &MetricsHandle,
+) -> ReplayReport {
+    let shard = metrics.shard();
+    shard.inc(ids::REPLAYS);
     let expected = artifact.outcome_label();
     let actual_fp = program_fingerprint(program);
     if actual_fp != artifact.program_fingerprint {
@@ -108,6 +131,7 @@ pub fn replay_against(artifact: &TraceArtifact, program: &Program) -> ReplayRepo
             }
         }
     };
+    shard.add(ids::REPLAY_EVENTS, run.trace.len() as u64);
     let observed = observed_label(&run);
     let (verdict, details) = match &artifact.bug {
         Some(kind) if bug_matches(kind, &run) => (

@@ -12,7 +12,7 @@
 //! The whole check lives in one `#[test]` so no concurrently running test
 //! can pollute the counter (this is the only test in this binary).
 
-use lazylocks::{Dpor, ExploreConfig, Explorer, LazyDpor};
+use lazylocks::{Dpor, ExploreConfig, Explorer, LazyDpor, MetricsHandle};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -66,30 +66,42 @@ fn steady_state_steps_allocate_zero_frame_bodies() {
         }
         b.build()
     };
-    let config = ExploreConfig::with_limit(3_000);
+    // The contract must hold with the metrics registry live too: shard
+    // operations are relaxed adds on pre-sized slabs, so instrumentation
+    // adds setup allocations (the shard slab) but nothing per step.
+    let configs = [
+        ("", ExploreConfig::with_limit(3_000)),
+        (
+            "+metrics",
+            ExploreConfig::with_limit(3_000).with_metrics(MetricsHandle::enabled()),
+        ),
+    ];
 
-    for (label, explorer) in [
-        ("dpor", Box::new(Dpor::default()) as Box<dyn Explorer>),
-        ("lazy-dpor", Box::new(LazyDpor::default())),
-    ] {
-        let (allocs, stats) = allocations_during(|| explorer.explore(&program, &config));
-        // Enough steady-state work that per-step allocations would
-        // dominate: each pool hit is one recycled frame body (one
-        // executor + one clock engine that were NOT heap-cloned).
-        assert!(
-            stats.frames_pooled > 5_000,
-            "{label}: expected a deep run, got {} pool hits",
-            stats.frames_pooled
-        );
-        // The unpooled engine paid ~7 allocations per edge (executor
-        // buffers + clock slab); the pooled engine's total must stay far
-        // below one allocation per edge — setup plus amortised growth
-        // only.
-        assert!(
-            allocs < stats.frames_pooled / 4,
-            "{label}: {allocs} allocations for {} pooled frames — \
-             steady-state steps must not allocate frame bodies",
-            stats.frames_pooled
-        );
+    for (suffix, config) in &configs {
+        for (label, explorer) in [
+            ("dpor", Box::new(Dpor::default()) as Box<dyn Explorer>),
+            ("lazy-dpor", Box::new(LazyDpor::default())),
+        ] {
+            let label = format!("{label}{suffix}");
+            let (allocs, stats) = allocations_during(|| explorer.explore(&program, config));
+            // Enough steady-state work that per-step allocations would
+            // dominate: each pool hit is one recycled frame body (one
+            // executor + one clock engine that were NOT heap-cloned).
+            assert!(
+                stats.frames_pooled > 5_000,
+                "{label}: expected a deep run, got {} pool hits",
+                stats.frames_pooled
+            );
+            // The unpooled engine paid ~7 allocations per edge (executor
+            // buffers + clock slab); the pooled engine's total must stay
+            // far below one allocation per edge — setup plus amortised
+            // growth only.
+            assert!(
+                allocs < stats.frames_pooled / 4,
+                "{label}: {allocs} allocations for {} pooled frames — \
+                 steady-state steps must not allocate frame bodies",
+                stats.frames_pooled
+            );
+        }
     }
 }

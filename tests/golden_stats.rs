@@ -14,8 +14,13 @@
 //! ```text
 //! LAZYLOCKS_BLESS=1 cargo test -p lazylocks-integration --test golden_stats
 //! ```
+//!
+//! With `LAZYLOCKS_METRICS=1` every cell additionally runs with a live
+//! metrics registry; the snapshot must still match byte-for-byte (CI runs
+//! the suite once this way — instrumentation must never perturb what is
+//! explored).
 
-use lazylocks::{ExploreConfig, ExploreSession};
+use lazylocks::{ExploreConfig, ExploreSession, MetricsHandle};
 use std::fmt::Write as _;
 
 /// Schedule budget per (benchmark, strategy) cell. Small enough to keep
@@ -56,10 +61,16 @@ fn render() -> String {
         "# bench\tstrategy\tschedules\tevents\tstates\thbrs\tlazy_hbrs\
          \tdeadlocks\tfaulted\tmax_depth\tlimit_hit\n",
     );
+    let instrument = std::env::var_os("LAZYLOCKS_METRICS").is_some();
     for bench in selected_benchmarks() {
         for spec in STRATEGIES {
+            let metrics = if instrument {
+                MetricsHandle::enabled()
+            } else {
+                MetricsHandle::disabled()
+            };
             let outcome = ExploreSession::new(&bench.program)
-                .with_config(ExploreConfig::with_limit(LIMIT))
+                .with_config(ExploreConfig::with_limit(LIMIT).with_metrics(metrics))
                 .run_spec(spec)
                 .unwrap_or_else(|e| panic!("{}/{spec}: {e}", bench.name));
             let s = outcome.stats;

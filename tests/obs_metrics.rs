@@ -1,0 +1,264 @@
+//! Observability-layer integration tests.
+//!
+//! Pins the arithmetic the `/metrics` endpoint and `--metrics-json`
+//! reports are built on — histogram bucket boundaries, quantile
+//! interpolation, shard/snapshot merge associativity — and the
+//! determinism contract: two identical explorations scrub to
+//! byte-identical snapshot JSON. The cross-crate counters (replay, fuzz,
+//! parallel per-worker attribution) are exercised end to end.
+
+use lazylocks::obs::{
+    MetricDef, MetricId, MetricKind, MetricValue, MetricsHandle, MetricsRegistry,
+};
+use lazylocks::{ExploreConfig, ExploreSession, MetricsSnapshot};
+use lazylocks_fuzz::{default_oracle_specs, run_fuzz, run_fuzz_with, FuzzConfig, ShapeProfile};
+use lazylocks_model::ProgramBuilder;
+use lazylocks_trace::{replay_embedded_with, TraceArtifact};
+use std::sync::Arc;
+
+/// A one-histogram catalogue with round bucket bounds.
+static TEST_HIST: &[MetricDef] = &[MetricDef {
+    name: "test_hist",
+    help: "test histogram",
+    kind: MetricKind::Histogram,
+    buckets: &[10, 100, 1000],
+    sample_shift: 0,
+    time_based: false,
+    per_worker: false,
+}];
+
+const HIST: MetricId = MetricId(0);
+
+#[test]
+fn histogram_buckets_are_inclusive_upper_bounds() {
+    let registry = Arc::new(MetricsRegistry::new(TEST_HIST));
+    let handle = MetricsHandle::with_registry(registry);
+    let shard = handle.shard();
+    for v in [10, 11, 100, 1000, 1001] {
+        shard.observe(HIST, v);
+    }
+    let snap = handle.snapshot().unwrap();
+    let hist = snap.get("test_hist").unwrap();
+    match &hist.total {
+        MetricValue::Histogram { counts, count, sum } => {
+            // `le` bounds are inclusive: 10 lands in le=10, 11 in le=100,
+            // 1001 only in the implicit +Inf bucket.
+            assert_eq!(counts, &[1, 2, 1]);
+            assert_eq!(*count, 5);
+            assert_eq!(*sum, 10 + 11 + 100 + 1000 + 1001);
+        }
+        other => panic!("expected a histogram, got {other:?}"),
+    }
+    // The Prometheus rendering is cumulative and ends at +Inf == count.
+    let text = snap.to_prometheus_text();
+    assert!(text.contains("test_hist_bucket{le=\"10\"} 1"), "{text}");
+    assert!(text.contains("test_hist_bucket{le=\"100\"} 3"), "{text}");
+    assert!(text.contains("test_hist_bucket{le=\"1000\"} 4"), "{text}");
+    assert!(text.contains("test_hist_bucket{le=\"+Inf\"} 5"), "{text}");
+    assert!(text.contains("test_hist_count 5"), "{text}");
+}
+
+#[test]
+fn quantiles_interpolate_within_buckets() {
+    let registry = Arc::new(MetricsRegistry::new(TEST_HIST));
+    let handle = MetricsHandle::with_registry(registry);
+    let shard = handle.shard();
+
+    // Empty histograms have no quantiles.
+    let empty = handle.snapshot().unwrap();
+    assert_eq!(empty.get("test_hist").unwrap().quantile(0.5), None);
+
+    for v in 1..=100u64 {
+        shard.observe(HIST, v);
+    }
+    let snap = handle.snapshot().unwrap();
+    let hist = snap.get("test_hist").unwrap();
+    // 90 of 100 samples are ≤ 100; the median interpolates inside the
+    // (10, 100] bucket, and every quantile is monotone and within range.
+    let q50 = hist.quantile(0.5).unwrap();
+    assert!((10.0..=100.0).contains(&q50), "median {q50}");
+    let q10 = hist.quantile(0.1).unwrap();
+    let q99 = hist.quantile(0.99).unwrap();
+    assert!(q10 <= q50 && q50 <= q99, "{q10} / {q50} / {q99}");
+    assert!(q99 <= 1000.0);
+}
+
+/// Records a fixed workload split across `shards` shards of one registry.
+fn record_split(splits: &[&[u64]]) -> MetricsSnapshot {
+    let registry = Arc::new(MetricsRegistry::new(TEST_HIST));
+    let handle = MetricsHandle::with_registry(registry);
+    for split in splits {
+        let shard = handle.shard();
+        for &v in *split {
+            shard.observe(HIST, v);
+        }
+    }
+    handle.snapshot().unwrap()
+}
+
+#[test]
+fn shard_merge_is_grouping_independent() {
+    // The same observations, grouped differently across shards, must
+    // produce identical snapshots — the per-thread slabs are a pure sum.
+    let one = record_split(&[&[5, 50, 500, 5000]]);
+    let two = record_split(&[&[5, 50], &[500, 5000]]);
+    let four = record_split(&[&[5], &[50], &[500], &[5000]]);
+    assert_eq!(one, two);
+    assert_eq!(two, four);
+}
+
+#[test]
+fn snapshot_merge_is_associative() {
+    let snap = |vals: &[u64]| record_split(&[vals]);
+    let (a, b, c) = (snap(&[1, 20]), snap(&[300]), snap(&[4000, 7]));
+
+    let mut left = MetricsSnapshot::default();
+    left.merge(&a);
+    left.merge(&b);
+    left.merge(&c);
+
+    let mut bc = MetricsSnapshot::default();
+    bc.merge(&b);
+    bc.merge(&c);
+    let mut right = a.clone();
+    right.merge(&bc);
+
+    assert_eq!(left, right);
+    assert_eq!(left.get("test_hist").unwrap().total.count(), 5);
+}
+
+#[test]
+fn identical_explorations_scrub_to_byte_identical_json() {
+    let bench = lazylocks_suite::by_name("philosophers-naive-3").expect("bench exists");
+    let explore = || {
+        let handle = MetricsHandle::enabled();
+        let outcome = ExploreSession::new(&bench.program)
+            .with_config(ExploreConfig::with_limit(500).with_metrics(handle.clone()))
+            .run_spec("dpor(sleep=true)")
+            .unwrap();
+        (outcome.stats.schedules, handle.snapshot().unwrap())
+    };
+    let (schedules_a, a) = explore();
+    let (schedules_b, b) = explore();
+    assert_eq!(schedules_a, schedules_b);
+    assert!(a.value("lazylocks_schedules_total") > 0);
+    assert_eq!(
+        a.value("lazylocks_schedules_total") as usize,
+        schedules_a,
+        "live schedules counter mirrors ExploreStats"
+    );
+    // The raw snapshots carry wall-clock phase timings and may differ;
+    // the scrubbed snapshots must not.
+    assert_eq!(a.scrubbed().to_json_string(), b.scrubbed().to_json_string());
+    // Scrubbing zeroes exactly the time-based families.
+    let scrubbed = a.scrubbed();
+    assert_eq!(scrubbed.value("lazylocks_phase_executor_step_ns"), 0);
+    assert_eq!(
+        scrubbed.value("lazylocks_schedule_depth"),
+        a.value("lazylocks_schedule_depth")
+    );
+}
+
+#[test]
+fn replay_records_attempts_and_event_volume() {
+    let mut b = ProgramBuilder::new("abba-obs");
+    let l0 = b.mutex("l0");
+    let l1 = b.mutex("l1");
+    b.thread("T1", |t| {
+        t.lock(l0);
+        t.lock(l1);
+        t.unlock(l1);
+        t.unlock(l0);
+    });
+    b.thread("T2", |t| {
+        t.lock(l1);
+        t.lock(l0);
+        t.unlock(l0);
+        t.unlock(l1);
+    });
+    let program = b.build();
+    let bug = ExploreSession::new(&program)
+        .with_config(ExploreConfig::with_limit(10_000).stopping_on_bug())
+        .run_spec("dpor")
+        .unwrap()
+        .bugs
+        .first()
+        .cloned()
+        .expect("abba deadlocks");
+    let artifact = TraceArtifact::from_bug(&program, "dpor", 1, &bug);
+
+    let handle = MetricsHandle::enabled();
+    let report = replay_embedded_with(&artifact, &handle).unwrap();
+    assert!(report.reproduced());
+    let snap = handle.snapshot().unwrap();
+    assert_eq!(snap.value("lazylocks_replays_total"), 1);
+    assert!(snap.value("lazylocks_replay_events_total") > 0);
+}
+
+#[test]
+fn fuzz_counts_cases_without_touching_the_report() {
+    let registry = lazylocks::StrategyRegistry::default();
+    let oracle = default_oracle_specs();
+    let config = FuzzConfig {
+        profiles: ShapeProfile::ALL.to_vec(),
+        cases: 5,
+        seed: 42,
+        budget: 5_000,
+        max_size: 2,
+        shrink: true,
+    };
+    let cancel = lazylocks::CancelToken::new();
+
+    let handle = MetricsHandle::enabled();
+    let instrumented =
+        run_fuzz_with(&config, &registry, &oracle, None, &cancel, &handle, |_| {}).unwrap();
+    let plain = run_fuzz(&config, &registry, &oracle, None, &cancel, |_| {}).unwrap();
+
+    let snap = handle.snapshot().unwrap();
+    assert_eq!(snap.value("lazylocks_fuzz_cases_total"), 5);
+    // Determinism contract: the report is identical with metrics on.
+    assert_eq!(instrumented.cases.len(), plain.cases.len());
+    for (x, y) in instrumented.cases.iter().zip(&plain.cases) {
+        assert_eq!(x.fingerprint, y.fingerprint);
+        assert_eq!(x.status, y.status);
+        assert_eq!(x.dfs, y.dfs);
+    }
+}
+
+#[test]
+fn parallel_workers_keep_per_worker_breakdowns() {
+    let bench = lazylocks_suite::by_name("philosophers-naive-4").expect("bench exists");
+    let handle = MetricsHandle::enabled();
+    let outcome = ExploreSession::new(&bench.program)
+        .with_config(ExploreConfig::with_limit(2_000).with_metrics(handle.clone()))
+        .run_spec("parallel(reduction=dpor, workers=4)")
+        .unwrap();
+    let snap = handle.snapshot().unwrap();
+
+    assert_eq!(snap.value("lazylocks_workers"), 4);
+    // The merged totals agree with the summed ExploreStats...
+    assert_eq!(
+        snap.value("lazylocks_subtrees_stolen_total"),
+        outcome.stats.subtrees_stolen
+    );
+    assert_eq!(
+        snap.value("lazylocks_frames_pooled_total"),
+        outcome.stats.frames_pooled
+    );
+    assert_eq!(
+        snap.value("lazylocks_schedules_total") as usize,
+        outcome.stats.schedules
+    );
+    // ...while the snapshot still attributes work to individual workers:
+    // per-worker series exist and sum back to the total.
+    let schedules = snap.get("lazylocks_schedules_total").unwrap();
+    assert!(
+        !schedules.per_worker.is_empty(),
+        "per-worker schedule series survived the merge"
+    );
+    let per_worker_sum: u64 = schedules.per_worker.iter().map(|(_, v)| v.count()).sum();
+    assert_eq!(per_worker_sum, schedules.total.count());
+    let stolen = snap.get("lazylocks_subtrees_stolen_total").unwrap();
+    let stolen_sum: u64 = stolen.per_worker.iter().map(|(_, v)| v.count()).sum();
+    assert_eq!(stolen_sum, stolen.total.count());
+}
