@@ -16,6 +16,7 @@ USAGE:
                   [--stop-on-bug] [--seed X] [--deadline-ms T]
                   [--progress N] [--minimize] [--save-traces DIR] [--json]
                   [--metrics] [--metrics-json FILE] [--log-level LEVEL]
+                  [--checkpoint-dir DIR [--checkpoint-every N] [--resume]]
   lazylocks explore ...            alias of `run`
   lazylocks replay PATH [--bench NAME | --id N | --file PATH] [--json]
   lazylocks corpus (list | prune | seed) [--dir DIR] [--limit N] [--json]
@@ -24,9 +25,10 @@ USAGE:
   lazylocks compare (--bench NAME | --id N | --file PATH) [--limit N]
   lazylocks races (--bench NAME | --id N | --file PATH) [--walks N] [--seed X]
   lazylocks serve [--addr HOST:PORT] [--workers N] [--corpus DIR]
-                  [--max-job-budget N]
+                  [--max-job-budget N] [--journal FILE]
   lazylocks client (submit | status [ID] | cancel ID | events ID | shutdown)
-                  [--addr HOST:PORT] ... (see SERVER below)
+                  [--addr HOST:PORT] [--retries N] [--retry-ms T]
+                  ... (see SERVER below)
   lazylocks help
 
 STRATEGY SPECS (see `lazylocks strategies` for the full registry):
@@ -47,6 +49,16 @@ OBSERVABILITY:
   the raw snapshot as JSON (`-` for stdout is not supported — the JSON
   outcome owns stdout). `--log-level error|warn|info|debug` switches
   progress reporting to structured JSON event lines on stderr.
+
+CRASH SAFETY:
+  `run --checkpoint-dir DIR` snapshots the DPOR frontier into
+  DIR/checkpoint.json every N complete schedules (--checkpoint-every,
+  default 1000); each write is atomic and fsynced. After a crash,
+  `run --checkpoint-dir DIR --resume` (same program, strategy and seed —
+  mismatches are refused) continues from the snapshot and reaches the
+  same final statistics as an uninterrupted run. `serve --journal FILE`
+  write-ahead-logs every job transition; a restarted daemon re-enqueues
+  the jobs that never finished.
 
 FUZZING:
   `fuzz` generates adversarial guest programs (shape profiles:
@@ -119,6 +131,13 @@ pub enum Command {
         /// Structured JSON event logging on stderr at this level
         /// (replaces the plain-text progress lines).
         log_level: Option<lazylocks::obs::LogLevel>,
+        /// Persist exploration checkpoints into this directory.
+        checkpoint_dir: Option<String>,
+        /// Checkpoint cadence in complete schedules (with
+        /// `--checkpoint-dir`; default 1000).
+        checkpoint_every: usize,
+        /// Resume from the checkpoint in `--checkpoint-dir`.
+        resume: bool,
     },
     Replay {
         /// An artifact file, or a directory of artifacts.
@@ -170,10 +189,16 @@ pub enum Command {
         corpus: Option<String>,
         /// Reject submissions with a larger schedule budget.
         max_job_budget: usize,
+        /// Durable job journal file (None keeps the queue in memory).
+        journal: Option<String>,
     },
     Client {
         addr: String,
         action: ClientAction,
+        /// Extra connection attempts on refused/timed-out connects.
+        retries: u32,
+        /// First retry backoff in milliseconds (doubles per attempt).
+        retry_ms: u64,
     },
     Help,
 }
@@ -273,6 +298,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut metrics = false;
             let mut metrics_json = None;
             let mut log_level = None;
+            let mut checkpoint_dir = None;
+            let mut checkpoint_every = 1000usize;
+            let mut resume = false;
             parse_flags(&rest, |flag, value| {
                 if parse_target_flag(flag, value, &mut target).is_some() {
                     return Ok(());
@@ -340,9 +368,31 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         ))?);
                         Ok(())
                     }
+                    "--checkpoint-dir" => {
+                        checkpoint_dir = Some(
+                            value
+                                .ok_or("--checkpoint-dir needs a directory")?
+                                .to_string(),
+                        );
+                        Ok(())
+                    }
+                    "--checkpoint-every" => {
+                        checkpoint_every = parse_num(value, "--checkpoint-every")?;
+                        if checkpoint_every == 0 {
+                            return Err("--checkpoint-every must be at least 1".to_string());
+                        }
+                        Ok(())
+                    }
+                    "--resume" => {
+                        resume = true;
+                        Ok(())
+                    }
                     _ => Err(format!("unknown flag {flag} for {sub}")),
                 }
             })?;
+            if resume && checkpoint_dir.is_none() {
+                return Err("--resume needs --checkpoint-dir".to_string());
+            }
             Ok(Command::Run {
                 target: target.ok_or(format!("{sub} needs --bench, --id or --file"))?,
                 strategy,
@@ -358,6 +408,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 metrics,
                 metrics_json,
                 log_level,
+                checkpoint_dir,
+                checkpoint_every,
+                resume,
             })
         }
         "replay" => {
@@ -532,6 +585,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut workers = 2usize;
             let mut corpus = None;
             let mut max_job_budget = 1_000_000usize;
+            let mut journal = None;
             parse_flags(&rest, |flag, value| match flag {
                 "--addr" => {
                     addr = value.ok_or("--addr needs HOST:PORT")?.to_string();
@@ -552,6 +606,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     max_job_budget = parse_num(value, "--max-job-budget")?;
                     Ok(())
                 }
+                "--journal" => {
+                    journal = Some(value.ok_or("--journal needs a file path")?.to_string());
+                    Ok(())
+                }
                 _ => Err(format!("unknown flag {flag} for serve")),
             })?;
             Ok(Command::Serve {
@@ -559,6 +617,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 workers,
                 corpus,
                 max_job_budget,
+                journal,
             })
         }
         "client" => {
@@ -581,17 +640,29 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 _ => (None, rest),
             };
             let mut addr = "127.0.0.1:7077".to_string();
-            let grab_addr = |flag: &str, value: Option<&str>, addr: &mut String| {
-                if flag == "--addr" {
-                    match value {
+            let mut retries = 0u32;
+            let mut retry_ms = 100u64;
+            // The flags every client verb shares: the daemon address and
+            // the connection-retry policy.
+            let grab_common = |flag: &str,
+                               value: Option<&str>,
+                               addr: &mut String,
+                               retries: &mut u32,
+                               retry_ms: &mut u64|
+             -> Option<Result<(), String>> {
+                match flag {
+                    "--addr" => Some(match value {
                         Some(v) => {
                             *addr = v.to_string();
-                            Some(Ok(()))
+                            Ok(())
                         }
-                        None => Some(Err("--addr needs HOST:PORT".to_string())),
+                        None => Err("--addr needs HOST:PORT".to_string()),
+                    }),
+                    "--retries" => Some(parse_num(value, "--retries").map(|n| *retries = n as u32)),
+                    "--retry-ms" => {
+                        Some(parse_num(value, "--retry-ms").map(|n| *retry_ms = n as u64))
                     }
-                } else {
-                    None
+                    _ => None,
                 }
             };
             let action = match verb {
@@ -610,7 +681,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     let mut priority = 0i64;
                     let mut wait = false;
                     parse_flags(flags, |flag, value| {
-                        if let Some(done) = grab_addr(flag, value, &mut addr) {
+                        if let Some(done) =
+                            grab_common(flag, value, &mut addr, &mut retries, &mut retry_ms)
+                        {
                             return done;
                         }
                         if parse_target_flag(flag, value, &mut target).is_some() {
@@ -678,17 +751,19 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 }
                 "status" => {
                     parse_flags(flags, |flag, value| {
-                        grab_addr(flag, value, &mut addr).unwrap_or_else(|| {
-                            Err(format!("unknown flag {flag} for client status"))
-                        })
+                        grab_common(flag, value, &mut addr, &mut retries, &mut retry_ms)
+                            .unwrap_or_else(|| {
+                                Err(format!("unknown flag {flag} for client status"))
+                            })
                     })?;
                     ClientAction::Status { id }
                 }
                 "cancel" => {
                     parse_flags(flags, |flag, value| {
-                        grab_addr(flag, value, &mut addr).unwrap_or_else(|| {
-                            Err(format!("unknown flag {flag} for client cancel"))
-                        })
+                        grab_common(flag, value, &mut addr, &mut retries, &mut retry_ms)
+                            .unwrap_or_else(|| {
+                                Err(format!("unknown flag {flag} for client cancel"))
+                            })
                     })?;
                     ClientAction::Cancel {
                         id: id.ok_or("client cancel needs a job id")?,
@@ -697,7 +772,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 "events" => {
                     let mut since = 0u64;
                     parse_flags(flags, |flag, value| {
-                        if let Some(done) = grab_addr(flag, value, &mut addr) {
+                        if let Some(done) =
+                            grab_common(flag, value, &mut addr, &mut retries, &mut retry_ms)
+                        {
                             return done;
                         }
                         match flag {
@@ -718,15 +795,21 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         return Err("client shutdown takes no job id".to_string());
                     }
                     parse_flags(flags, |flag, value| {
-                        grab_addr(flag, value, &mut addr).unwrap_or_else(|| {
-                            Err(format!("unknown flag {flag} for client shutdown"))
-                        })
+                        grab_common(flag, value, &mut addr, &mut retries, &mut retry_ms)
+                            .unwrap_or_else(|| {
+                                Err(format!("unknown flag {flag} for client shutdown"))
+                            })
                     })?;
                     ClientAction::Shutdown
                 }
                 other => return Err(format!("unknown client action {other:?}")),
             };
-            Ok(Command::Client { addr, action })
+            Ok(Command::Client {
+                addr,
+                action,
+                retries,
+                retry_ms,
+            })
         }
         other => Err(format!("unknown subcommand {other:?}")),
     }
@@ -776,7 +859,13 @@ fn parse_flags(
         // Boolean flags take no value; everything else consumes one.
         let boolean = matches!(
             flag,
-            "--stop-on-bug" | "--minimize" | "--json" | "--quick" | "--wait" | "--metrics"
+            "--stop-on-bug"
+                | "--minimize"
+                | "--json"
+                | "--quick"
+                | "--wait"
+                | "--metrics"
+                | "--resume"
         );
         let value = if boolean {
             None
@@ -826,7 +915,8 @@ mod tests {
             "run --bench peterson --strategy lazy-caching --limit 500 \
              --preemptions 2 --stop-on-bug --seed 9 --deadline-ms 2000 \
              --progress 100 --minimize --save-traces traces --json \
-             --metrics --metrics-json m.json --log-level debug",
+             --metrics --metrics-json m.json --log-level debug \
+             --checkpoint-dir cp --checkpoint-every 64 --resume",
         ))
         .unwrap();
         match cmd {
@@ -845,6 +935,9 @@ mod tests {
                 metrics,
                 metrics_json,
                 log_level,
+                checkpoint_dir,
+                checkpoint_every,
+                resume,
             } => {
                 assert_eq!(target, Target::Bench("peterson".to_string()));
                 assert_eq!(strategy, "lazy-caching");
@@ -860,10 +953,32 @@ mod tests {
                 assert!(metrics);
                 assert_eq!(metrics_json.as_deref(), Some("m.json"));
                 assert_eq!(log_level, Some(lazylocks::obs::LogLevel::Debug));
+                assert_eq!(checkpoint_dir.as_deref(), Some("cp"));
+                assert_eq!(checkpoint_every, 64);
+                assert!(resume);
             }
             other => panic!("wrong parse: {other:?}"),
         }
         assert!(parse(&argv("run --bench x --log-level loud")).is_err());
+        // Checkpointing defaults: off, cadence 1000, no resume.
+        match parse(&argv("run --bench x")).unwrap() {
+            Command::Run {
+                checkpoint_dir,
+                checkpoint_every,
+                resume,
+                ..
+            } => {
+                assert_eq!(checkpoint_dir, None);
+                assert_eq!(checkpoint_every, 1000);
+                assert!(!resume);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&argv("run --bench x --resume")).is_err());
+        assert!(parse(&argv(
+            "run --bench x --checkpoint-dir cp --checkpoint-every 0"
+        ))
+        .is_err());
     }
 
     #[test]
@@ -1037,11 +1152,12 @@ mod tests {
                 workers: 2,
                 corpus: None,
                 max_job_budget: 1_000_000,
+                journal: None,
             }
         );
         assert_eq!(
             parse(&argv(
-                "serve --addr 127.0.0.1:0 --workers 4 --corpus c --max-job-budget 5000"
+                "serve --addr 127.0.0.1:0 --workers 4 --corpus c --max-job-budget 5000 --journal j.jsonl"
             ))
             .unwrap(),
             Command::Serve {
@@ -1049,6 +1165,7 @@ mod tests {
                 workers: 4,
                 corpus: Some("c".to_string()),
                 max_job_budget: 5000,
+                journal: Some("j.jsonl".to_string()),
             }
         );
         assert!(parse(&argv("serve --workers 0")).is_err());
@@ -1064,8 +1181,15 @@ mod tests {
         ))
         .unwrap()
         {
-            Command::Client { addr, action } => {
+            Command::Client {
+                addr,
+                action,
+                retries,
+                retry_ms,
+            } => {
                 assert_eq!(addr, "127.0.0.1:9");
+                assert_eq!(retries, 0, "retries default to fail-fast");
+                assert_eq!(retry_ms, 100);
                 match action {
                     ClientAction::Submit {
                         target,
@@ -1099,6 +1223,8 @@ mod tests {
             Command::Client {
                 addr: "127.0.0.1:7077".to_string(),
                 action: ClientAction::Status { id: None },
+                retries: 0,
+                retry_ms: 100,
             }
         );
         assert_eq!(
@@ -1106,6 +1232,8 @@ mod tests {
             Command::Client {
                 addr: "127.0.0.1:7077".to_string(),
                 action: ClientAction::Status { id: Some(7) },
+                retries: 0,
+                retry_ms: 100,
             }
         );
         assert_eq!(
@@ -1113,6 +1241,8 @@ mod tests {
             Command::Client {
                 addr: "h:1".to_string(),
                 action: ClientAction::Cancel { id: 3 },
+                retries: 0,
+                retry_ms: 100,
             }
         );
         assert_eq!(
@@ -1120,6 +1250,8 @@ mod tests {
             Command::Client {
                 addr: "127.0.0.1:7077".to_string(),
                 action: ClientAction::Events { id: 3, since: 5 },
+                retries: 0,
+                retry_ms: 100,
             }
         );
         assert_eq!(
@@ -1127,8 +1259,30 @@ mod tests {
             Command::Client {
                 addr: "127.0.0.1:7077".to_string(),
                 action: ClientAction::Shutdown,
+                retries: 0,
+                retry_ms: 100,
             }
         );
+        // The retry policy is shared by every client verb.
+        assert_eq!(
+            parse(&argv("client status --retries 5 --retry-ms 250")).unwrap(),
+            Command::Client {
+                addr: "127.0.0.1:7077".to_string(),
+                action: ClientAction::Status { id: None },
+                retries: 5,
+                retry_ms: 250,
+            }
+        );
+        match parse(&argv("client submit --bench deadlock --retries 2")).unwrap() {
+            Command::Client {
+                retries, retry_ms, ..
+            } => {
+                assert_eq!(retries, 2);
+                assert_eq!(retry_ms, 100);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&argv("client status --retries many")).is_err());
         assert!(parse(&argv("client")).is_err());
         assert!(parse(&argv("client frob")).is_err());
         assert!(parse(&argv("client submit")).is_err());

@@ -9,8 +9,8 @@ use lazylocks::{
 use lazylocks_model::Program;
 use lazylocks_runtime::run_with_scheduler;
 use lazylocks_trace::{
-    drive, outcome_json, replay_against, replay_embedded, CorpusStore, DriveRequest, Json,
-    ReplayReport, TraceArtifact, TraceRecorder,
+    drive, load_checkpoint, outcome_json, replay_against, replay_embedded, CheckpointWriter,
+    CorpusStore, DriveRequest, Json, ReplayReport, TraceArtifact, TraceRecorder,
 };
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -31,14 +31,21 @@ pub fn run(cmd: Command) -> Result<(), String> {
             workers,
             corpus,
             max_job_budget,
+            journal,
         } => lazylocks_server::serve(lazylocks_server::ServerConfig {
             addr,
             workers,
             corpus_dir: corpus.map(PathBuf::from),
             max_job_budget,
             limits: lazylocks_server::Limits::default(),
+            journal: journal.map(PathBuf::from),
         }),
-        Command::Client { addr, action } => client(&addr, action),
+        Command::Client {
+            addr,
+            action,
+            retries,
+            retry_ms,
+        } => client(&addr, action, retries, retry_ms),
         Command::Show { target } => {
             let program = resolve(&target)?;
             print!("{}", program.to_source());
@@ -59,6 +66,9 @@ pub fn run(cmd: Command) -> Result<(), String> {
             metrics,
             metrics_json,
             log_level,
+            checkpoint_dir,
+            checkpoint_every,
+            resume,
         } => {
             let program = resolve(&target)?;
             let mut config = ExploreConfig::with_limit(limit).seeded(seed);
@@ -72,6 +82,27 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 MetricsHandle::disabled()
             };
             config = config.with_metrics(handle.clone());
+            let checkpointer = match &checkpoint_dir {
+                Some(dir) => {
+                    if resume {
+                        // Refuse mismatched checkpoints before any work:
+                        // resuming under a different program, strategy
+                        // or seed would silently corrupt the statistics.
+                        let doc = load_checkpoint(Path::new(dir))
+                            .map_err(|e| format!("cannot read checkpoint in {dir}: {e}"))?
+                            .map_err(|e| format!("invalid checkpoint in {dir}: {e}"))?;
+                        doc.check_matches(&program, &strategy, seed)
+                            .map_err(|e| format!("cannot resume from {dir}: {e}"))?;
+                        config = config.resuming_from(Arc::new(doc.state));
+                    }
+                    config = config.checkpointing_every(checkpoint_every);
+                    let writer = CheckpointWriter::new(dir, &program, &strategy, seed)
+                        .map_err(|e| format!("cannot open checkpoint directory {dir}: {e}"))?
+                        .with_metrics(&handle);
+                    Some(Arc::new(writer))
+                }
+                None => None,
+            };
 
             let mut request = DriveRequest::new(&program, &strategy)
                 .with_config(config)
@@ -85,6 +116,9 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 }));
             } else if progress > 0 && !json {
                 request = request.observe(Arc::new(PrintProgress));
+            }
+            if let Some(writer) = checkpointer {
+                request = request.observe(writer);
             }
             if let Some(ms) = deadline_ms {
                 request = request.deadline(Duration::from_millis(ms));
@@ -266,8 +300,9 @@ fn strategies() -> Result<(), String> {
 /// [`lazylocks_server::Client`]. Every action prints the daemon's JSON
 /// response; `submit --wait` additionally polls the job to completion
 /// and fails unless it ended `done`.
-fn client(addr: &str, action: ClientAction) -> Result<(), String> {
-    let client = lazylocks_server::Client::new(addr);
+fn client(addr: &str, action: ClientAction, retries: u32, retry_ms: u64) -> Result<(), String> {
+    let client =
+        lazylocks_server::Client::new(addr).with_retries(retries, Duration::from_millis(retry_ms));
     match action {
         ClientAction::Submit {
             target,
@@ -976,6 +1011,9 @@ mod tests {
             metrics: false,
             metrics_json: None,
             log_level: None,
+            checkpoint_dir: None,
+            checkpoint_every: 1000,
+            resume: false,
         }
     }
 
@@ -1028,6 +1066,9 @@ mod tests {
             metrics: false,
             metrics_json: None,
             log_level: None,
+            checkpoint_dir: None,
+            checkpoint_every: 1000,
+            resume: false,
         })
         .unwrap();
     }
@@ -1057,6 +1098,9 @@ mod tests {
             metrics: false,
             metrics_json: None,
             log_level: None,
+            checkpoint_dir: None,
+            checkpoint_every: 1000,
+            resume: false,
         })
         .unwrap();
         let store = CorpusStore::open(&dir).unwrap();
@@ -1092,6 +1136,38 @@ mod tests {
     }
 
     #[test]
+    fn run_checkpoints_and_resumes_from_disk() {
+        let dir = temp_dir("checkpoint");
+        let cmd = |seed: u64, resume: bool| Command::Run {
+            target: Target::Bench("paper-figure1".into()),
+            strategy: "dpor(sleep=true)".into(),
+            limit: 10_000,
+            preemptions: None,
+            stop_on_bug: false,
+            seed,
+            deadline_ms: None,
+            progress: 0,
+            minimize: false,
+            save_traces: None,
+            json: false,
+            metrics: false,
+            metrics_json: None,
+            log_level: None,
+            checkpoint_dir: Some(dir.to_string_lossy().into_owned()),
+            checkpoint_every: 1,
+            resume,
+        };
+        run(cmd(1, false)).unwrap();
+        assert!(dir.join("checkpoint.json").is_file());
+        // Resuming the finished run replays its prefix and ends cleanly...
+        run(cmd(1, true)).unwrap();
+        // ...but a different seed is refused before any exploration.
+        let err = run(cmd(2, true)).unwrap_err();
+        assert!(err.contains("cannot resume"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn corpus_list_and_prune_commands() {
         let dir = temp_dir("corpus");
         // Seed one artifact through the run path.
@@ -1110,6 +1186,9 @@ mod tests {
             metrics: false,
             metrics_json: None,
             log_level: None,
+            checkpoint_dir: None,
+            checkpoint_every: 1000,
+            resume: false,
         })
         .unwrap();
         for json in [false, true] {

@@ -97,6 +97,14 @@ impl Daemon {
     /// Spawns `lazylocks serve` on an ephemeral port and waits for the
     /// listening line.
     fn spawn(workers: usize, corpus: Option<&std::path::Path>) -> Daemon {
+        Daemon::spawn_with(workers, corpus, None)
+    }
+
+    fn spawn_with(
+        workers: usize,
+        corpus: Option<&std::path::Path>,
+        journal: Option<&std::path::Path>,
+    ) -> Daemon {
         let mut cmd = Command::new(env!("CARGO_BIN_EXE_lazylocks"));
         cmd.arg("serve")
             .arg("--addr")
@@ -107,6 +115,9 @@ impl Daemon {
             .stderr(Stdio::inherit());
         if let Some(dir) = corpus {
             cmd.arg("--corpus").arg(dir);
+        }
+        if let Some(path) = journal {
+            cmd.arg("--journal").arg(path);
         }
         let mut child = cmd.spawn().expect("spawn lazylocks serve");
         let stdout = child.stdout.take().expect("captured stdout");
@@ -339,6 +350,93 @@ fn identical_submissions_produce_identical_results() {
 
     daemon.shutdown_and_join();
     std::fs::remove_dir_all(&corpus).ok();
+}
+
+#[test]
+fn kill_nine_mid_job_recovers_and_reruns_to_the_identical_result() {
+    let dir = temp_dir("recovery");
+    let corpus = dir.join("corpus");
+    let journal = dir.join("journal.jsonl");
+    std::fs::create_dir_all(&corpus).expect("create corpus dir");
+
+    let mut daemon = Daemon::spawn_with(2, Some(&corpus), Some(&journal));
+    let client = daemon.client();
+
+    // The reference: an uninterrupted run of the body we will later crash.
+    let body = job_body(DEADLOCK, "dpor(sleep=true)", 10_000, false);
+    let reference_id = client.submit(&body).expect("reference submit");
+    let reference = client
+        .wait(reference_id, Duration::from_millis(25))
+        .expect("reference result");
+    assert_eq!(reference.get("state").unwrap().as_str(), Some("done"));
+    let reference_result = reference.get("result").unwrap().encode();
+
+    // Pin both workers on effectively-unbounded jobs and queue the victim
+    // behind them, so the kill lands with two jobs mid-run and one queued.
+    let blocker_body = job_body(WIDE, "dfs", 1_000_000, false);
+    let blockers = [
+        client.submit(&blocker_body).expect("blocker 1"),
+        client.submit(&blocker_body).expect("blocker 2"),
+    ];
+    let victim = client.submit(&body).expect("victim submit");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        assert!(Instant::now() < deadline, "blockers never started");
+        let running = blockers.iter().all(|id| {
+            let (_, detail) = client.job(*id).expect("blocker detail");
+            detail.get("state").unwrap().as_str() == Some("running")
+        });
+        if running {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (_, detail) = client.job(victim).expect("victim detail");
+    assert_eq!(detail.get("state").unwrap().as_str(), Some("queued"));
+
+    // SIGKILL: no drain, no journal finalisation, no goodbye.
+    daemon.child.kill().expect("kill -9 the daemon");
+    daemon.child.wait().expect("reap");
+    daemon.armed = false;
+    drop(daemon);
+
+    // A fresh process on the same journal re-enqueues all three
+    // unfinished jobs under their original ids...
+    let daemon = Daemon::spawn_with(2, Some(&corpus), Some(&journal));
+    let client = daemon.client();
+    for id in blockers {
+        let (status, _) = client.job(id).expect("recovered blocker");
+        assert_eq!(status, 200, "blocker {id} was not recovered");
+        let (status, _) = client.cancel(id).expect("cancel blocker");
+        assert_eq!(status, 200);
+    }
+    let (status, _) = client.job(victim).expect("recovered victim");
+    assert_eq!(status, 200, "victim was not recovered");
+    // ...while the job that completed before the crash stays completed.
+    let (status, _) = client.job(reference_id).expect("finished job lookup");
+    assert_eq!(status, 404, "a completed job must not be resurrected");
+
+    // The recovered victim re-runs to done with a byte-identical result —
+    // deterministic exploration plus server-side wall-time scrubbing.
+    let detail = client
+        .wait(victim, Duration::from_millis(25))
+        .expect("victim after recovery");
+    assert_eq!(detail.get("state").unwrap().as_str(), Some("done"));
+    assert_eq!(detail.get("result").unwrap().encode(), reference_result);
+
+    // Fresh submissions allocate ids strictly above everything journaled.
+    let fresh = client.submit(&body).expect("post-recovery submit");
+    assert!(fresh > victim, "id {fresh} collides with recovered ids");
+    let fresh_detail = client
+        .wait(fresh, Duration::from_millis(25))
+        .expect("post-recovery result");
+    assert_eq!(
+        fresh_detail.get("result").unwrap().encode(),
+        reference_result
+    );
+
+    daemon.shutdown_and_join();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

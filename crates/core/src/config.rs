@@ -1,7 +1,9 @@
 //! Exploration configuration.
 
+use crate::checkpoint::CheckpointState;
 use crate::session::ExploreControl;
 use lazylocks_obs::MetricsHandle;
+use std::sync::Arc;
 
 /// Budget and feature knobs shared by every exploration strategy.
 #[derive(Debug, Clone)]
@@ -41,6 +43,17 @@ pub struct ExploreConfig {
     /// every strategy through per-worker shards. Disabled by default —
     /// each instrumentation point then costs a single branch.
     pub metrics: MetricsHandle,
+    /// Snapshot the exploration frontier every this many complete
+    /// schedules, delivered to observers through
+    /// [`Observer::on_checkpoint`](crate::Observer::on_checkpoint).
+    /// `0` (the default) disables checkpointing entirely — the hot loop
+    /// then pays a single branch. Honoured by the sequential DPOR engine.
+    pub checkpoint_every: usize,
+    /// Resume an interrupted exploration from a previously captured
+    /// frontier instead of starting at the root. The caller is
+    /// responsible for pairing the checkpoint with the same program,
+    /// strategy and seed it was taken from.
+    pub resume_from: Option<Arc<CheckpointState>>,
 }
 
 impl Default for ExploreConfig {
@@ -57,6 +70,8 @@ impl Default for ExploreConfig {
             collect_state_witnesses: false,
             control: ExploreControl::default(),
             metrics: MetricsHandle::disabled(),
+            checkpoint_every: 0,
+            resume_from: None,
         }
     }
 }
@@ -100,6 +115,19 @@ impl ExploreConfig {
         self.metrics = metrics;
         self
     }
+
+    /// Enables periodic frontier checkpointing every `every` schedules
+    /// (`0` disables), returning `self` for chaining.
+    pub fn checkpointing_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Resumes from a captured frontier, returning `self` for chaining.
+    pub fn resuming_from(mut self, checkpoint: Arc<CheckpointState>) -> Self {
+        self.resume_from = Some(checkpoint);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -125,5 +153,14 @@ mod tests {
         assert_eq!(c.preemption_bound, Some(2));
         assert!(c.stop_on_bug);
         assert_eq!(c.seed, 42);
+    }
+
+    #[test]
+    fn checkpointing_is_inert_by_default() {
+        let c = ExploreConfig::default();
+        assert_eq!(c.checkpoint_every, 0);
+        assert!(c.resume_from.is_none());
+        let c = c.checkpointing_every(1000);
+        assert_eq!(c.checkpoint_every, 1000);
     }
 }

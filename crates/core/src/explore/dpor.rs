@@ -40,6 +40,7 @@
 //! retire their `Executor`/`ClockEngine` bodies into the pool and the next
 //! push clones *into* a recycled body instead of cloning afresh.
 
+use crate::checkpoint::{CheckpointState, FrameSets};
 use crate::config::ExploreConfig;
 use crate::explore::frame_pool::{FrameBody, FramePool};
 use crate::explore::Explorer;
@@ -795,6 +796,71 @@ impl<'p> FrameStack<'p> for SeqFrames<'p> {
     }
 }
 
+/// Snapshots the current frontier — schedule prefix, per-frame sets, and
+/// accumulated statistics (including the core's private counters, which
+/// only flush into the collector at the end of the run).
+fn capture_checkpoint(
+    core: &DporCore<'_>,
+    frames: &SeqFrames<'_>,
+    collector: &Collector,
+) -> CheckpointState {
+    let mut cp = CheckpointState {
+        schedule: core.schedule.clone(),
+        frames: frames
+            .stack
+            .iter()
+            .map(|f| FrameSets {
+                backtrack: f.backtrack.bits(),
+                done: f.done.bits(),
+                sleep: f.sleep.bits(),
+            })
+            .collect(),
+        ..CheckpointState::default()
+    };
+    collector.export_checkpoint(&mut cp);
+    cp.stats.events_compared += core.events_compared;
+    cp.stats.sleep_prunes += core.sleep_prunes;
+    cp.stats.frames_pooled += core.pool.hits();
+    cp
+}
+
+/// Rebuilds the frame stack of a checkpointed frontier by re-executing
+/// its schedule prefix, then overlays the recorded backtrack/done/sleep
+/// sets. The rebuild's own race detection and sleep prunes re-count work
+/// the checkpointed stats already include, so the core counters are
+/// zeroed afterwards — the seeded collector plus post-resume deltas then
+/// reproduce the uninterrupted totals exactly.
+fn resume_frontier<'p>(
+    core: &mut DporCore<'p>,
+    frames: &mut SeqFrames<'p>,
+    cp: &CheckpointState,
+    run_cap: usize,
+) {
+    if let Err(e) = cp.validate() {
+        panic!("cannot resume: {e}");
+    }
+    for (i, &choice) in cp.schedule.iter().enumerate() {
+        match core.take_step(frames, choice, run_cap) {
+            Stepped::Pushed => {}
+            Stepped::Leaf { .. } => panic!(
+                "cannot resume: checkpoint schedule step {i} ({choice}) left the program \
+                 in a non-running state — the checkpoint was taken from a different \
+                 program, strategy or configuration"
+            ),
+        }
+    }
+    debug_assert_eq!(frames.stack.len(), cp.frames.len());
+    for (frame, sets) in frames.stack.iter_mut().zip(&cp.frames) {
+        frame.backtrack = ThreadSet::from_bits(sets.backtrack);
+        frame.done = ThreadSet::from_bits(sets.done);
+        frame.sleep = ThreadSet::from_bits(sets.sleep);
+    }
+    core.shard
+        .add(ids::RESUME_FRAMES_RESTORED, frames.stack.len() as u64);
+    core.events_compared = 0;
+    core.sleep_prunes = 0;
+}
+
 /// The sequential driver: a depth-first pick/step/unwind loop over
 /// [`SeqFrames`].
 fn run_sequential<'p>(core: &mut DporCore<'p>, collector: &mut Collector) {
@@ -823,6 +889,11 @@ fn run_sequential<'p>(core: &mut DporCore<'p>, collector: &mut Collector) {
         sched_mark: 0,
     });
     let run_cap = collector.config().max_run_length;
+    let checkpoint_every = collector.config().checkpoint_every;
+    if let Some(cp) = collector.config().resume_from.clone() {
+        resume_frontier(core, &mut frames, &cp, run_cap);
+        collector.seed_from_checkpoint(&cp);
+    }
 
     while let Some(top) = frames.stack.len().checked_sub(1) {
         if collector.cancel_requested() {
@@ -856,6 +927,16 @@ fn run_sequential<'p>(core: &mut DporCore<'p>, collector: &mut Collector) {
                 core.finish_leaf(body, pushed_event);
                 if cont == Continue::Stop {
                     return;
+                }
+                // `finish_leaf` restored the trace/schedule to the frame
+                // stack, so the frontier is in its resumable between-leaves
+                // state — exactly what a checkpoint must capture.
+                if checkpoint_every > 0
+                    && !truncated
+                    && collector.stats.schedules.is_multiple_of(checkpoint_every)
+                {
+                    let cp = capture_checkpoint(core, &frames, collector);
+                    collector.config().control.note_checkpoint(&cp);
                 }
             }
         }
@@ -1216,6 +1297,111 @@ mod tests {
         let stats = Dpor::default().explore(&p, &config(7));
         assert_eq!(stats.schedules, 7);
         assert!(stats.limit_hit);
+    }
+
+    #[test]
+    fn checkpoint_resume_reaches_identical_stats() {
+        use crate::session::{CancelToken, ExploreControl, Observer};
+        use std::sync::{Arc, Mutex};
+
+        /// Captures checkpoints and cancels the run after `after` of them —
+        /// the in-process stand-in for a crash.
+        struct Capture {
+            cancel: CancelToken,
+            after: usize,
+            seen: Mutex<Vec<CheckpointState>>,
+        }
+        impl Observer for Capture {
+            fn on_checkpoint(&self, cp: &CheckpointState) {
+                let mut seen = self.seen.lock().unwrap();
+                seen.push(cp.clone());
+                if seen.len() >= self.after {
+                    self.cancel.cancel();
+                }
+            }
+        }
+
+        let mut b = ProgramBuilder::new("deep");
+        let x = b.var("x", 0);
+        for i in 0..4 {
+            b.thread(format!("T{i}"), |t| {
+                t.load(Reg(0), x);
+                t.add(Reg(0), Reg(0), 1);
+                t.store(x, Reg(0));
+                t.set(Reg(0), 0);
+            });
+        }
+        let p = b.build();
+
+        for sleep in [false, true] {
+            let dpor = Dpor {
+                sleep_sets: sleep,
+                dependence: DependenceMode::Regular,
+            };
+            let full = dpor.explore(&p, &config(100_000));
+            assert!(full.schedules > 40, "program too shallow for the test");
+
+            let cancel = CancelToken::new();
+            let capture = Arc::new(Capture {
+                cancel: cancel.clone(),
+                after: 3,
+                seen: Mutex::new(Vec::new()),
+            });
+            let interrupted = dpor.explore(
+                &p,
+                &config(100_000)
+                    .checkpointing_every(5)
+                    .controlled(ExploreControl::new(cancel, None, vec![capture.clone()], 0)),
+            );
+            assert!(interrupted.cancelled, "capture observer must cancel");
+            let cp = Arc::new(capture.seen.lock().unwrap().last().unwrap().clone());
+            assert!(cp.stats.schedules < full.schedules);
+            cp.validate().unwrap();
+
+            let resumed = dpor.explore(&p, &config(100_000).resuming_from(cp));
+            assert_eq!(resumed.schedules, full.schedules, "sleep={sleep}");
+            assert_eq!(resumed.events, full.events, "sleep={sleep}");
+            assert_eq!(resumed.unique_states, full.unique_states);
+            assert_eq!(resumed.unique_hbrs, full.unique_hbrs);
+            assert_eq!(resumed.unique_lazy_hbrs, full.unique_lazy_hbrs);
+            assert_eq!(resumed.max_depth, full.max_depth);
+            assert_eq!(resumed.deadlocks, full.deadlocks);
+            assert_eq!(resumed.faulted_schedules, full.faulted_schedules);
+            assert_eq!(resumed.sleep_prunes, full.sleep_prunes, "sleep={sleep}");
+            assert_eq!(
+                resumed.events_compared, full.events_compared,
+                "sleep={sleep}"
+            );
+            assert!(!resumed.limit_hit && !resumed.cancelled);
+        }
+    }
+
+    #[test]
+    fn checkpointing_disabled_produces_no_callbacks() {
+        use crate::session::{CancelToken, ExploreControl, Observer};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        struct Count(AtomicUsize);
+        impl Observer for Count {
+            fn on_checkpoint(&self, _: &CheckpointState) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut b = ProgramBuilder::new("p");
+        let x = b.var("x", 0);
+        b.thread("T1", |t| t.store(x, 1));
+        b.thread("T2", |t| t.store(x, 2));
+        let p = b.build();
+        let count = Arc::new(Count(AtomicUsize::new(0)));
+        let cfg = config(10_000).controlled(ExploreControl::new(
+            CancelToken::new(),
+            None,
+            vec![count.clone()],
+            0,
+        ));
+        Dpor::default().explore(&p, &cfg);
+        assert_eq!(count.0.load(Ordering::Relaxed), 0);
     }
 
     #[test]

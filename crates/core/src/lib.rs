@@ -91,6 +91,7 @@
 //! ```
 
 mod bug;
+pub mod checkpoint;
 mod config;
 pub mod explore;
 mod minimize;
@@ -103,6 +104,7 @@ mod session;
 mod stats;
 
 pub use bug::{BugKind, BugReport};
+pub use checkpoint::{CheckpointState, FrameSets};
 pub use config::ExploreConfig;
 pub use explore::{
     BoundedRun, DependenceMode, DfsEnumeration, Dpor, Explorer, HbrCaching, IterativeBounding,

@@ -28,6 +28,7 @@
 //! ```
 
 use crate::bug::BugReport;
+use crate::checkpoint::CheckpointState;
 use crate::config::ExploreConfig;
 use crate::explore::Explorer;
 use crate::registry::{SpecError, StrategyRegistry};
@@ -101,6 +102,16 @@ pub trait Observer: Send + Sync {
     /// token; return `true` to stop the exploration cooperatively.
     fn should_stop(&self) -> bool {
         false
+    }
+
+    /// Called with a resumable frontier snapshot every
+    /// [`ExploreConfig::checkpoint_every`] schedules (sequential DPOR
+    /// only). Persist it to survive a crash — see
+    /// `lazylocks_trace::CheckpointWriter`.
+    ///
+    /// [`ExploreConfig::checkpoint_every`]: crate::ExploreConfig::checkpoint_every
+    fn on_checkpoint(&self, checkpoint: &CheckpointState) {
+        let _ = checkpoint;
     }
 }
 
@@ -195,6 +206,16 @@ impl ExploreControl {
         };
         for o in &inner.observers {
             o.on_bug(bug);
+        }
+    }
+
+    /// Fans a frontier snapshot out to every observer.
+    pub(crate) fn note_checkpoint(&self, checkpoint: &CheckpointState) {
+        let Some(inner) = &self.0 else {
+            return;
+        };
+        for o in &inner.observers {
+            o.on_checkpoint(checkpoint);
         }
     }
 }

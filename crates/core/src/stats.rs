@@ -1,6 +1,7 @@
 //! Exploration statistics and the shared terminal-state collector.
 
 use crate::bug::{BugKind, BugReport};
+use crate::checkpoint::CheckpointState;
 use crate::config::ExploreConfig;
 use lazylocks_hbr::{ClockEngine, HbMode};
 use lazylocks_model::{Program, ThreadId};
@@ -321,6 +322,42 @@ impl Collector {
     pub(crate) fn record_truncated(&mut self) {
         self.stats.truncated_runs += 1;
         self.shard.inc(ids::TRUNCATED_RUNS);
+    }
+
+    /// Copies the accumulated statistics and fingerprint sets into `cp`
+    /// (fingerprints sorted, so the serialised checkpoint is
+    /// deterministic). Wall time is excluded — it restarts on resume.
+    pub(crate) fn export_checkpoint(&self, cp: &mut CheckpointState) {
+        fn sorted(set: &HashSet<u128>) -> Vec<u128> {
+            let mut v: Vec<u128> = set.iter().copied().collect();
+            v.sort_unstable();
+            v
+        }
+        cp.stats = self.stats.clone();
+        cp.stats.wall_time = Duration::ZERO;
+        cp.states = sorted(&self.states);
+        cp.hbrs = sorted(&self.hbrs);
+        cp.lazy_hbrs = sorted(&self.lazy_hbrs);
+    }
+
+    /// Restores statistics and fingerprint sets from a checkpoint. The
+    /// mirrored counters are aligned with the restored values so the
+    /// metrics shard reports only work done by *this* process — the
+    /// prefix's counters were already exported by the run that wrote the
+    /// checkpoint.
+    pub(crate) fn seed_from_checkpoint(&mut self, cp: &CheckpointState) {
+        self.stats = cp.stats.clone();
+        self.stats.wall_time = Duration::ZERO;
+        self.states = cp.states.iter().copied().collect();
+        self.hbrs = cp.hbrs.iter().copied().collect();
+        self.lazy_hbrs = cp.lazy_hbrs.iter().copied().collect();
+        self.mirrored = MirroredCounters {
+            sleep_prunes: self.stats.sleep_prunes,
+            cache_prunes: self.stats.cache_prunes,
+            bound_prunes: self.stats.bound_prunes,
+            events_compared: self.stats.events_compared,
+            frames_pooled: self.stats.frames_pooled,
+        };
     }
 
     /// Mirrors the stats counters that strategies bump directly (prune

@@ -129,6 +129,18 @@ impl ThreadSet {
     pub fn difference(self, other: ThreadSet) -> ThreadSet {
         ThreadSet(self.0 & !other.0)
     }
+
+    /// The raw bitmask, for serialisation.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a set from a raw bitmask produced by [`ThreadSet::bits`].
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        ThreadSet(bits)
+    }
 }
 
 /// Ascending-order iterator over a [`ThreadSet`].
@@ -283,6 +295,13 @@ mod tests {
     #[should_panic(expected = "at most 64 threads")]
     fn inserting_beyond_capacity_panics() {
         ThreadSet::new().insert(t(64));
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let s: ThreadSet = [t(0), t(2), t(63)].into_iter().collect();
+        assert_eq!(ThreadSet::from_bits(s.bits()), s);
+        assert_eq!(ThreadSet::from_bits(0), ThreadSet::new());
     }
 
     #[test]

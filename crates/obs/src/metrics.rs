@@ -164,6 +164,10 @@ pub mod ids {
     pub const PHASE_RACE_DETECTION: MetricId = MetricId(22);
     pub const PHASE_FRAME_CHECKPOINT: MetricId = MetricId(23);
     pub const PHASE_STEAL_WAIT: MetricId = MetricId(24);
+    pub const JOBS_RECOVERED: MetricId = MetricId(25);
+    pub const CHECKPOINTS_WRITTEN: MetricId = MetricId(26);
+    pub const CHECKPOINT_BYTES: MetricId = MetricId(27);
+    pub const RESUME_FRAMES_RESTORED: MetricId = MetricId(28);
 }
 
 /// The built-in catalogue every exploration shares. Order is the id
@@ -269,6 +273,22 @@ pub fn builtin_defs() -> &'static [MetricDef] {
             "Idle wait on the shared work deque (exact)",
             WAIT_NS_BUCKETS,
             0,
+        ),
+        MetricDef::counter(
+            "lazylocks_jobs_recovered_total",
+            "Jobs re-enqueued from the journal after a daemon restart",
+        ),
+        MetricDef::counter(
+            "lazylocks_checkpoints_written_total",
+            "Exploration frontier checkpoints persisted to disk",
+        ),
+        MetricDef::counter(
+            "lazylocks_checkpoint_bytes_total",
+            "Bytes of checkpoint data persisted to disk",
+        ),
+        MetricDef::counter(
+            "lazylocks_resume_frames_restored_total",
+            "Frontier frames rebuilt when resuming from a checkpoint",
         ),
     ];
     DEFS

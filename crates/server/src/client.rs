@@ -7,11 +7,16 @@ use crate::http::{read_response, Limits};
 use lazylocks_trace::Json;
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 /// A handle on one daemon.
 pub struct Client {
     addr: String,
     limits: Limits,
+    /// Extra connection attempts after the first (0 = fail fast).
+    retries: u32,
+    /// First retry backoff; doubles per attempt.
+    retry_base: Duration,
 }
 
 impl Client {
@@ -20,6 +25,41 @@ impl Client {
         Client {
             addr: addr.into(),
             limits: Limits::default(),
+            retries: 0,
+            retry_base: Duration::from_millis(100),
+        }
+    }
+
+    /// Retries refused or timed-out *connections* up to `retries` extra
+    /// times with exponential backoff starting at `base` (base, 2·base,
+    /// 4·base, …). Only the connect is retried — an established request
+    /// is never resent, so a submission can't be duplicated by a retry.
+    pub fn with_retries(mut self, retries: u32, base: Duration) -> Self {
+        self.retries = retries;
+        self.retry_base = base;
+        self
+    }
+
+    /// Connects, retrying per [`with_retries`](Client::with_retries).
+    fn connect(&self) -> Result<TcpStream, String> {
+        let mut attempt = 0u32;
+        loop {
+            match TcpStream::connect(&self.addr) {
+                Ok(stream) => return Ok(stream),
+                Err(e) => {
+                    let transient = matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionRefused
+                            | std::io::ErrorKind::ConnectionReset
+                            | std::io::ErrorKind::TimedOut
+                    );
+                    if !transient || attempt >= self.retries {
+                        return Err(format!("cannot connect to {}: {e}", self.addr));
+                    }
+                    std::thread::sleep(self.retry_base * 2u32.pow(attempt.min(16)));
+                    attempt += 1;
+                }
+            }
         }
     }
 
@@ -30,8 +70,7 @@ impl Client {
         path: &str,
         body: Option<&Json>,
     ) -> Result<(u16, Json), String> {
-        let stream = TcpStream::connect(&self.addr)
-            .map_err(|e| format!("cannot connect to {}: {e}", self.addr))?;
+        let stream = self.connect()?;
         stream.set_read_timeout(Some(self.limits.read_timeout)).ok();
         stream
             .set_write_timeout(Some(self.limits.read_timeout))

@@ -28,7 +28,9 @@
 
 use crate::http::{read_request, write_response, write_text_response, HttpError, Limits, Request};
 use crate::job::{run_worker, JobRequest, JobTable};
-use lazylocks::StrategyRegistry;
+use crate::journal::{replay_bytes, Journal};
+use lazylocks::obs::ids;
+use lazylocks::{MetricsHandle, StrategyRegistry};
 use lazylocks_model::Program;
 use lazylocks_trace::Json;
 use std::io::{BufReader, Write};
@@ -51,6 +53,11 @@ pub struct ServerConfig {
     /// Corpus directory every job persists its bugs into; `None`
     /// disables persistence.
     pub corpus_dir: Option<PathBuf>,
+    /// Durable job journal (write-ahead log). When set, every lifecycle
+    /// transition is fsynced before it is acknowledged and a restarted
+    /// daemon re-enqueues the jobs that never finished; `None` keeps the
+    /// queue in memory only.
+    pub journal: Option<PathBuf>,
     /// Upper bound on a job's schedule budget; bigger submissions are
     /// rejected with 400 rather than silently clamped.
     pub max_job_budget: usize,
@@ -64,6 +71,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7077".to_string(),
             workers: 2,
             corpus_dir: None,
+            journal: None,
             max_job_budget: 1_000_000,
             limits: Limits::default(),
         }
@@ -78,6 +86,9 @@ struct ServerCtx {
     shutdown: AtomicBool,
     /// Daemon start time, reported as whole-second uptime ticks.
     started: Instant,
+    /// Daemon-level counters (journal recovery); merged into the per-job
+    /// union on `GET /metrics`.
+    metrics: MetricsHandle,
 }
 
 /// Runs the daemon until `POST /shutdown`; returns once every
@@ -96,13 +107,42 @@ pub fn serve(config: ServerConfig) -> Result<(), String> {
         .set_nonblocking(true)
         .map_err(|e| format!("cannot set nonblocking accept: {e}"))?;
 
-    let table = Arc::new(JobTable::default());
+    // Replay the journal (if any) before workers exist, so recovered
+    // jobs are queued ahead of the first claim.
+    let metrics = MetricsHandle::enabled();
+    let table = match &config.journal {
+        Some(path) => {
+            let bytes = match std::fs::read(path) {
+                Ok(bytes) => bytes,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+                Err(e) => return Err(format!("cannot read journal {}: {e}", path.display())),
+            };
+            let replay = replay_bytes(&bytes);
+            for warning in &replay.skipped {
+                eprintln!("journal {}: {warning}", path.display());
+            }
+            let journal = Journal::open(path)
+                .map_err(|e| format!("cannot open journal {}: {e}", path.display()))?;
+            let table = Arc::new(JobTable::with_journal(Arc::new(journal)));
+            let recovered = table.restore(replay);
+            metrics.shard().add(ids::JOBS_RECOVERED, recovered as u64);
+            if recovered > 0 {
+                println!(
+                    "lazylocks-server recovered {recovered} unfinished job(s) from {}",
+                    path.display()
+                );
+            }
+            table
+        }
+        None => Arc::new(JobTable::default()),
+    };
     let ctx = Arc::new(ServerCtx {
         table: table.clone(),
         registry: StrategyRegistry::default(),
         config: config.clone(),
         shutdown: AtomicBool::new(false),
         started: Instant::now(),
+        metrics,
     });
 
     let job_workers: Vec<_> = (0..config.workers.max(1))
@@ -252,7 +292,11 @@ fn metrics_text(ctx: &ServerCtx) -> String {
         "lazylocks_server_draining {}",
         u8::from(ctx.shutdown.load(Ordering::SeqCst))
     );
-    out.push_str(&ctx.table.metrics_snapshot().to_prometheus_text());
+    let mut merged = ctx.table.metrics_snapshot();
+    if let Some(daemon) = ctx.metrics.snapshot() {
+        merged.merge(&daemon);
+    }
+    out.push_str(&merged.to_prometheus_text());
     out
 }
 

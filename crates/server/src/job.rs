@@ -15,6 +15,7 @@
 //! drain the queue before exiting, so joining them *is* the drain
 //! barrier.
 
+use crate::journal::Journal;
 use lazylocks::{BugReport, CancelToken, ExploreConfig, MetricsHandle, Observer, Progress};
 use lazylocks_model::Program;
 use lazylocks_trace::{bug_kind_to_json, drive, outcome_json, CorpusStore, DriveRequest, Json};
@@ -101,6 +102,27 @@ impl JobRequest {
             priority,
             progress_interval,
         })
+    }
+
+    /// Encodes the request so [`from_json`](JobRequest::from_json) decodes
+    /// it back exactly — the journal's `submit` payload.
+    pub fn to_json(&self) -> Json {
+        let opt_u64 = |v: Option<u64>| v.map(|v| Json::Int(i128::from(v))).unwrap_or(Json::Null);
+        Json::obj([
+            ("program", Json::Str(self.program_source.clone())),
+            ("spec", Json::Str(self.spec.clone())),
+            ("limit", Json::Int(self.limit as i128)),
+            ("seed", Json::Int(i128::from(self.seed))),
+            ("preemptions", opt_u64(self.preemptions.map(u64::from))),
+            ("stop_on_bug", Json::Bool(self.stop_on_bug)),
+            ("deadline_ms", opt_u64(self.deadline_ms)),
+            ("minimize", Json::Bool(self.minimize)),
+            ("priority", Json::Int(i128::from(self.priority))),
+            (
+                "progress_interval",
+                Json::Int(self.progress_interval as i128),
+            ),
+        ])
     }
 }
 
@@ -218,6 +240,9 @@ struct Tables {
 pub struct JobTable {
     inner: Mutex<Tables>,
     ready: Condvar,
+    /// When present, every lifecycle transition is appended (and fsynced)
+    /// before it is acknowledged, so a crashed daemon recovers its queue.
+    journal: Option<Arc<Journal>>,
 }
 
 impl Default for JobTable {
@@ -225,11 +250,68 @@ impl Default for JobTable {
         JobTable {
             inner: Mutex::new(Tables::default()),
             ready: Condvar::new(),
+            journal: None,
         }
     }
 }
 
 impl JobTable {
+    /// A table whose lifecycle transitions are journalled durably.
+    pub fn with_journal(journal: Arc<Journal>) -> JobTable {
+        JobTable {
+            journal: Some(journal),
+            ..JobTable::default()
+        }
+    }
+
+    /// Appends a journal record; append failures are reported (the job
+    /// still runs — losing durability must not lose availability).
+    fn journal_append(&self, record: &Json) {
+        if let Some(journal) = &self.journal {
+            if let Err(e) = journal.append(record) {
+                eprintln!(
+                    "warning: journal append to {} failed: {e}",
+                    journal.path().display()
+                );
+            }
+        }
+    }
+
+    /// Re-enqueues the jobs a journal replay recovered, keeping their
+    /// original ids; returns how many were restored. Call before workers
+    /// start consuming the queue.
+    pub fn restore(&self, replay: crate::journal::JournalReplay) -> usize {
+        let mut t = self.inner.lock().unwrap();
+        t.next_id = t.next_id.max(replay.next_id);
+        let mut restored = 0;
+        for recovered in replay.jobs {
+            let id = recovered.id;
+            if t.jobs.contains_key(&id) {
+                continue;
+            }
+            let mut job = Job {
+                id,
+                request: recovered.request,
+                program_name: recovered.program_name,
+                state: JobState::Queued,
+                cancel: CancelToken::new(),
+                cancel_requested: false,
+                metrics: MetricsHandle::enabled(),
+                events: Vec::new(),
+                result: None,
+                error: None,
+            };
+            job.push_event("recovered", vec![]);
+            t.jobs.insert(id, job);
+            t.queue.push(id);
+            restored += 1;
+        }
+        if restored > 0 {
+            self.ready.notify_all();
+        }
+        restored
+    }
+
     /// Accepts a new job; returns its id, or `None` when draining.
     pub fn submit(&self, request: JobRequest, program_name: String) -> Option<u64> {
         let mut t = self.inner.lock().unwrap();
@@ -238,6 +320,7 @@ impl JobTable {
         }
         t.next_id += 1;
         let id = t.next_id;
+        self.journal_append(&crate::journal::submit_record(id, &request, &program_name));
         let mut job = Job {
             id,
             request,
@@ -265,6 +348,7 @@ impl JobTable {
             if let Some(pos) = best_queued(&t) {
                 let id = t.queue.remove(pos);
                 t.running += 1;
+                self.journal_append(&crate::journal::start_record(id));
                 let job = t.jobs.get_mut(&id).expect("queued job exists");
                 job.state = JobState::Running;
                 job.push_event("running", vec![]);
@@ -313,6 +397,7 @@ impl JobTable {
             "done",
             vec![("state", Json::Str(state.as_str().to_string()))],
         );
+        self.journal_append(&crate::journal::done_record(id, state));
         // Shutdown joins workers; nothing waits on a per-job condvar.
     }
 
@@ -332,11 +417,16 @@ impl JobTable {
                 if let Some(pos) = pos {
                     t.queue.remove(pos);
                 }
+                self.journal_append(&crate::journal::cancel_record(id));
                 Some(JobState::Cancelled)
             }
             JobState::Running => {
                 job.cancel_requested = true;
                 job.cancel.cancel();
+                // Journalled now as well as at finish: if the daemon dies
+                // before the worker notices, the restart honours the
+                // cancellation instead of re-running the job.
+                self.journal_append(&crate::journal::cancel_record(id));
                 Some(JobState::Running)
             }
             terminal => Some(terminal),
@@ -725,6 +815,56 @@ thread T2 {
         assert!(agg.value("lazylocks_schedules_total") > 0);
         let counts = table.state_counts();
         assert_eq!(counts[2], (JobState::Done, 1));
+    }
+
+    #[test]
+    fn journalled_table_recovers_unfinished_jobs_across_a_restart() {
+        use crate::journal::{replay_bytes, Journal};
+        let dir =
+            std::env::temp_dir().join(format!("lazylocks-table-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("journal.jsonl");
+
+        // First daemon lifetime: two jobs, one runs to done, one queued.
+        let table = JobTable::with_journal(Arc::new(Journal::open(&path).unwrap()));
+        let finished = table.submit(request(0), "deadlock".into()).unwrap();
+        let pending = table.submit(request(0), "deadlock".into()).unwrap();
+        let (claimed, _, _, _) = table.next_job().unwrap();
+        assert_eq!(claimed, finished);
+        table.finish(finished, Ok(Json::Null));
+
+        // "Crash": drop the table, replay the journal into a fresh one.
+        drop(table);
+        let replay = replay_bytes(&std::fs::read(&path).unwrap());
+        assert!(replay.skipped.is_empty(), "{:?}", replay.skipped);
+        let table = JobTable::with_journal(Arc::new(Journal::open(&path).unwrap()));
+        assert_eq!(table.restore(replay), 1);
+        let (recovered, req, _, _) = table.next_job().unwrap();
+        assert_eq!(recovered, pending, "original id survives the restart");
+        assert_eq!(req.program_source, ABBA);
+        // Fresh submissions continue above the recovered id space.
+        let next = table.submit(request(0), "deadlock".into()).unwrap();
+        assert_eq!(next, pending + 1);
+    }
+
+    #[test]
+    fn cancelled_jobs_do_not_recover() {
+        use crate::journal::{replay_bytes, Journal};
+        let dir =
+            std::env::temp_dir().join(format!("lazylocks-cancel-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("journal.jsonl");
+        let table = JobTable::with_journal(Arc::new(Journal::open(&path).unwrap()));
+        let queued = table.submit(request(0), "p".into()).unwrap();
+        table.cancel(queued);
+        let running = table.submit(request(0), "p".into()).unwrap();
+        let (claimed, _, _, _) = table.next_job().unwrap();
+        assert_eq!(claimed, running);
+        table.cancel(running); // daemon dies before the worker notices
+
+        let replay = replay_bytes(&std::fs::read(&path).unwrap());
+        assert!(replay.jobs.is_empty(), "{:?}", replay.jobs);
+        assert_eq!(replay.next_id, running);
     }
 
     #[test]

@@ -18,8 +18,12 @@
 //!   shutdown (the `lazylocks serve` subcommand);
 //! * [`job`] — job queue, `Queued → Running → Done/Cancelled/Failed`
 //!   state machine, per-job cancellation and event logs;
+//! * [`journal`] — the durable job journal: a JSON-lines write-ahead log
+//!   of every lifecycle transition, replayed on startup so a crashed
+//!   daemon re-enqueues the jobs that never finished;
 //! * [`client`] — a thin blocking client (the `lazylocks client`
-//!   subcommand, CI smoke test and e2e tests);
+//!   subcommand, CI smoke test and e2e tests) with optional
+//!   exponential-backoff connection retries;
 //! * [`http`] — request parsing with hard caps on line length, header
 //!   count and body size; malformed input maps to structured 4xx.
 //!
@@ -29,8 +33,10 @@ pub mod client;
 pub mod daemon;
 pub mod http;
 pub mod job;
+pub mod journal;
 
 pub use client::Client;
 pub use daemon::{serve, ServerConfig};
 pub use http::{HttpError, Limits};
 pub use job::{JobRequest, JobState, JobTable};
+pub use journal::{replay_bytes, Journal, JournalReplay, RecoveredJob};

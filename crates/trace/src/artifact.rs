@@ -311,7 +311,9 @@ pub fn bug_kind_to_json(kind: &BugKind) -> Json {
     }
 }
 
-fn bug_kind_from_json(v: &Json) -> Result<BugKind, ArtifactError> {
+/// Decodes a [`BugKind`] from the JSON produced by [`bug_kind_to_json`]
+/// (shared with the checkpoint codec).
+pub fn bug_kind_from_json(v: &Json) -> Result<BugKind, ArtifactError> {
     let id16 = |field: &'static str, v: &Json| {
         v.as_u64()
             .and_then(|n| u16::try_from(n).ok())
@@ -410,7 +412,11 @@ pub fn stats_to_json(stats: &ExploreStats) -> Json {
     ])
 }
 
-fn stats_from_json(v: &Json) -> Result<ExploreStats, ArtifactError> {
+/// Decodes the scalar counters of [`ExploreStats`] from the JSON produced
+/// by [`stats_to_json`] (shared with the checkpoint codec). Witness lists
+/// and the embedded first-bug report are not part of the encoding and
+/// come back empty.
+pub fn stats_from_json(v: &Json) -> Result<ExploreStats, ArtifactError> {
     Ok(ExploreStats {
         schedules: require(v, "schedules", Json::as_usize)?,
         events: require(v, "events", Json::as_u64)?,

@@ -23,7 +23,13 @@
 //! * [`drive`] — the one exploration entry point shared by the CLI `run`
 //!   command, the fuzz repro paths and the `lazylocks-server` job runner:
 //!   session build, observer/cancellation wiring, recording, spec
-//!   resolution and minimisation in a single call.
+//!   resolution and minimisation in a single call;
+//! * [`CheckpointDoc`] / [`CheckpointWriter`] — the versioned on-disk
+//!   checkpoint format and the observer that persists exploration
+//!   frontiers durably, so an interrupted run resumes where it left off;
+//! * [`FaultPlan`] / [`write_atomic_durable`] — the shared
+//!   temp-file + fsync + rename + directory-fsync write path, with hooks
+//!   for injecting torn writes, fsync failures and short reads in tests.
 //!
 //! ```
 //! use lazylocks::{Dpor, ExploreConfig, Explorer};
@@ -52,17 +58,24 @@
 //! ```
 
 pub mod artifact;
+pub mod checkpoint;
 pub mod drive;
+pub mod fault;
 pub mod json;
 pub mod recorder;
 pub mod replay;
 pub mod store;
 
 pub use artifact::{
-    bug_class, bug_kind_to_json, stats_to_json, ArtifactError, TraceArtifact, FORMAT_NAME,
-    FORMAT_VERSION,
+    bug_class, bug_kind_from_json, bug_kind_to_json, stats_from_json, stats_to_json, ArtifactError,
+    TraceArtifact, FORMAT_NAME, FORMAT_VERSION,
+};
+pub use checkpoint::{
+    load_checkpoint, CheckpointDoc, CheckpointWriter, CHECKPOINT_FILE, CHECKPOINT_FORMAT_NAME,
+    CHECKPOINT_FORMAT_VERSION,
 };
 pub use drive::{drive, outcome_json, DriveRequest, DriveResult};
+pub use fault::{fsync_dir, read_with, write_atomic_durable, FaultPlan};
 pub use json::{Json, JsonError};
 pub use recorder::{FinalizedTrace, TraceRecorder};
 pub use replay::{

@@ -4,10 +4,13 @@
 //! `.lazylocks/corpus/` at the repository root). Artifacts are keyed by
 //! [`TraceArtifact::corpus_key`] — program fingerprint plus bug class — so
 //! re-finding a known bug along a different interleaving deduplicates
-//! instead of piling up files. All writes are atomic (temp file + rename),
-//! so a crashed or concurrent writer never leaves a torn artifact behind.
+//! instead of piling up files. All writes are atomic *and durable* (temp
+//! file + fsync + rename + parent-directory fsync), so a crashed or
+//! concurrent writer never leaves a torn artifact behind and a completed
+//! save survives a power cut.
 
 use crate::artifact::{ArtifactError, TraceArtifact};
+use crate::fault::{write_atomic_durable, FaultPlan};
 use crate::replay::replay_embedded;
 use std::fs;
 use std::io;
@@ -17,6 +20,7 @@ use std::path::{Path, PathBuf};
 #[derive(Debug, Clone)]
 pub struct CorpusStore {
     root: PathBuf,
+    faults: FaultPlan,
 }
 
 /// What [`CorpusStore::save`] did.
@@ -67,7 +71,16 @@ impl CorpusStore {
     pub fn open(root: impl Into<PathBuf>) -> io::Result<CorpusStore> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(CorpusStore { root })
+        Ok(CorpusStore {
+            root,
+            faults: FaultPlan::inert(),
+        })
+    }
+
+    /// Injects a fault plan into every subsequent write (tests).
+    pub fn with_faults(mut self, faults: FaultPlan) -> CorpusStore {
+        self.faults = faults;
+        self
     }
 
     /// The corpus directory.
@@ -118,15 +131,7 @@ impl CorpusStore {
     }
 
     fn write_atomic(&self, path: &Path, artifact: &TraceArtifact) -> io::Result<()> {
-        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        fs::write(&tmp, artifact.to_json_string())?;
-        match fs::rename(&tmp, path) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                let _ = fs::remove_file(&tmp);
-                Err(e)
-            }
-        }
+        write_atomic_durable(path, artifact.to_json_string().as_bytes(), &self.faults)
     }
 
     /// Lists the corpus in deterministic (path-sorted) order. Files that do
@@ -303,6 +308,32 @@ mod tests {
                 .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.'),
             "{file}"
         );
+    }
+
+    #[test]
+    fn torn_save_leaves_no_artifact_and_keeps_the_corpus_listable() {
+        let store = temp_store("torn");
+        let p = abba();
+        let good = deadlock_artifact(&p);
+        store.save(&good).unwrap();
+
+        let faults = crate::fault::FaultPlan::armed();
+        let store = store.with_faults(faults.clone());
+        let mut other = good.clone();
+        other.program_name = "abba-torn".to_string();
+        faults.truncate_next_write(10);
+        let err = store.save(&other).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+
+        // The torn temp file never becomes a corpus entry; the good
+        // artifact is still listed and decodes.
+        let entries = store.list().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].artifact.is_ok());
+
+        // Retrying after the "crash" succeeds.
+        assert!(matches!(store.save(&other).unwrap(), SaveOutcome::Saved(_)));
+        assert_eq!(store.list().unwrap().len(), 2);
     }
 
     #[test]

@@ -226,6 +226,72 @@ fn fuzz_counts_cases_without_touching_the_report() {
 }
 
 #[test]
+fn crash_safety_counters_flow_through_the_builtin_registry() {
+    use lazylocks::obs::ids;
+    use lazylocks_trace::{load_checkpoint, CheckpointWriter};
+    use std::path::PathBuf;
+
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("lazylocks-obs-checkpoint-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let bench = lazylocks_suite::by_name("paper-figure1").expect("bench exists");
+    let program = &bench.program;
+    const SPEC: &str = "dpor(sleep=true)";
+
+    // A checkpointing run counts every written generation and its bytes.
+    let handle = MetricsHandle::enabled();
+    let writer = CheckpointWriter::new(&dir, program, SPEC, 1)
+        .unwrap()
+        .with_metrics(&handle);
+    let outcome = ExploreSession::new(program)
+        .with_config(
+            ExploreConfig::with_limit(1_000_000)
+                .seeded(1)
+                .checkpointing_every(1)
+                .with_metrics(handle.clone()),
+        )
+        .observe_arc(Arc::new(writer))
+        .run_spec(SPEC)
+        .unwrap();
+    let snap = handle.snapshot().unwrap();
+    assert_eq!(
+        snap.value("lazylocks_checkpoints_written_total") as usize,
+        outcome.stats.schedules,
+        "one generation per schedule at cadence 1"
+    );
+    assert!(snap.value("lazylocks_checkpoint_bytes_total") > 0);
+
+    // Resuming restores frames and counts each one.
+    let doc = load_checkpoint(&dir).unwrap().unwrap();
+    let resume_handle = MetricsHandle::enabled();
+    ExploreSession::new(program)
+        .with_config(
+            ExploreConfig::with_limit(1_000_000)
+                .seeded(1)
+                .resuming_from(Arc::new(doc.state))
+                .with_metrics(resume_handle.clone()),
+        )
+        .run_spec(SPEC)
+        .unwrap();
+    let snap = resume_handle.snapshot().unwrap();
+    assert!(
+        snap.value("lazylocks_resume_frames_restored_total") > 0,
+        "the restored frontier was counted"
+    );
+
+    // The daemon-side recovery counter resolves through the same builtin
+    // catalogue, so `GET /metrics` renders it by name.
+    let recovery = MetricsHandle::enabled();
+    recovery.shard().add(ids::JOBS_RECOVERED, 2);
+    let snap = recovery.snapshot().unwrap();
+    assert_eq!(snap.value("lazylocks_jobs_recovered_total"), 2);
+    assert!(snap
+        .to_prometheus_text()
+        .contains("lazylocks_jobs_recovered_total 2"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn parallel_workers_keep_per_worker_breakdowns() {
     let bench = lazylocks_suite::by_name("philosophers-naive-4").expect("bench exists");
     let handle = MetricsHandle::enabled();
