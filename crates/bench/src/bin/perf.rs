@@ -23,11 +23,12 @@
 //! The JSON schema (integer-only, see `lazylocks_trace::json`):
 //!
 //! ```text
-//! { "format": "lazylocks-perf", "version": 3, "schedule_limit": N,
+//! { "format": "lazylocks-perf", "version": 4, "schedule_limit": N,
 //!   "results": [ { "bench", "strategy", "schedules", "events",
 //!                  "wall_time_us", "execs_per_sec", "events_per_sec",
-//!                  "execs_per_sec_instrumented", "events_compared",
-//!                  "limit_hit", "metrics": { name: count, ... },
+//!                  "execs_per_sec_instrumented", "execs_per_sec_profiled",
+//!                  "events_compared", "limit_hit",
+//!                  "metrics": { name: count, ... },
 //!                  "speedup_vs_1w_pct"? } ] }
 //! ```
 //!
@@ -41,8 +42,16 @@
 //! column, 100 = parity) — and `metrics` embeds the non-zero scalar
 //! series of one instrumented run's wall-clock-scrubbed snapshot
 //! (histograms contribute `<name>` = sample count and `<name>_sum`).
+//!
+//! Version 4 additions: a third timing pass with the exploration
+//! *profiler* enabled — `execs_per_sec_profiled` against `execs_per_sec`
+//! is the attribution tax (the `prof%` column). The acceptance budget is
+//! ≤5% overhead on the deep `dpor(sleep=true)` cells, reported as a
+//! headline line alongside the metrics one.
 
-use lazylocks::{ExploreConfig, ExploreSession, MetricsHandle, MetricsSnapshot, StrategyRegistry};
+use lazylocks::{
+    ExploreConfig, ExploreSession, MetricsHandle, MetricsSnapshot, ProfileHandle, StrategyRegistry,
+};
 use lazylocks_bench::timing::quick_mode;
 use lazylocks_trace::json::Json;
 use std::time::{Duration, Instant};
@@ -86,6 +95,8 @@ struct Cell {
     events_per_sec: f64,
     /// Executions/sec with the metrics registry enabled (same window).
     execs_per_sec_instrumented: f64,
+    /// Executions/sec with the exploration profiler enabled (same window).
+    execs_per_sec_profiled: f64,
     /// Scrubbed snapshot of one instrumented run.
     metrics: Option<MetricsSnapshot>,
     /// `Some((bench, reduction))` key when this is a parallel grid cell.
@@ -136,8 +147,17 @@ fn main() {
 
     println!("== perf: exploration throughput (schedule limit {limit}) ==\n");
     println!(
-        "{:<26} {:<38} {:>8} {:>9} {:>6} {:>11} {:>11} {:>11} {:>6}",
-        "bench", "strategy", "scheds", "events", "runs", "wall_us", "execs/s", "events/s", "obs%"
+        "{:<26} {:<38} {:>8} {:>9} {:>6} {:>11} {:>11} {:>11} {:>6} {:>6}",
+        "bench",
+        "strategy",
+        "scheds",
+        "events",
+        "runs",
+        "wall_us",
+        "execs/s",
+        "events/s",
+        "obs%",
+        "prof%"
     );
 
     let mut cells: Vec<Cell> = Vec::new();
@@ -205,8 +225,36 @@ fn main() {
                 100
             };
 
+            // Third pass, same window, exploration profiler enabled: the
+            // rate delta is the attribution tax. As with metrics, a fresh
+            // handle per run keeps slab allocation inside the tax.
+            let explore_profiled = |handle: &ProfileHandle| {
+                ExploreSession::new(&bench.program)
+                    .with_config(ExploreConfig::with_limit(limit).with_profile(handle.clone()))
+                    .run_spec(spec)
+                    .unwrap_or_else(|e| panic!("{name}/{spec}: {e}"))
+                    .stats
+            };
+            let mut p_total = Duration::ZERO;
+            let mut p_schedules = 0u64;
+            let mut p_runs = 0u32;
+            let p_started = Instant::now();
+            while p_runs == 0 || (p_started.elapsed() < window && p_runs < max_runs) {
+                let handle = ProfileHandle::enabled();
+                let r = explore_profiled(&handle);
+                p_total += r.wall_time;
+                p_schedules += r.schedules as u64;
+                p_runs += 1;
+            }
+            let execs_per_sec_profiled = p_schedules as f64 / p_total.as_secs_f64().max(1e-9);
+            let prof_pct = if execs_per_sec > 0.0 {
+                (execs_per_sec_profiled / execs_per_sec * 100.0).round() as i128
+            } else {
+                100
+            };
+
             println!(
-                "{:<26} {:<38} {:>8} {:>9} {:>6} {:>11} {:>11} {:>11} {:>6}",
+                "{:<26} {:<38} {:>8} {:>9} {:>6} {:>11} {:>11} {:>11} {:>6} {:>6}",
                 name,
                 spec,
                 s.schedules,
@@ -215,7 +263,8 @@ fn main() {
                 mean_us,
                 execs_per_sec.round() as i128,
                 events_per_sec.round() as i128,
-                obs_pct
+                obs_pct,
+                prof_pct
             );
             cells.push(Cell {
                 bench: name,
@@ -229,6 +278,7 @@ fn main() {
                 execs_per_sec,
                 events_per_sec,
                 execs_per_sec_instrumented,
+                execs_per_sec_profiled,
                 metrics: snapshot.map(|s: MetricsSnapshot| s.scrubbed()),
                 parallel_key: parallel.map(|(r, w)| (*name, r, w)),
             });
@@ -272,6 +322,10 @@ fn main() {
             (
                 "execs_per_sec_instrumented",
                 Json::Int(c.execs_per_sec_instrumented.round() as i128),
+            ),
+            (
+                "execs_per_sec_profiled",
+                Json::Int(c.execs_per_sec_profiled.round() as i128),
             ),
             ("events_compared", Json::Int(i128::from(c.events_compared))),
             ("limit_hit", Json::Bool(c.limit_hit)),
@@ -317,11 +371,20 @@ fn main() {
             "\nmetrics overhead (dpor(sleep=true), deep families): instrumented \
              throughput is {mean_pct:.1}% of uninstrumented"
         );
+        let prof_pct = deep
+            .iter()
+            .map(|c| c.execs_per_sec_profiled / c.execs_per_sec.max(1e-9) * 100.0)
+            .sum::<f64>()
+            / deep.len() as f64;
+        println!(
+            "profiler overhead (dpor(sleep=true), deep families): profiled \
+             throughput is {prof_pct:.1}% of unprofiled (budget: >= 95%)"
+        );
     }
 
     let doc = Json::obj([
         ("format", Json::Str("lazylocks-perf".to_string())),
-        ("version", Json::Int(3)),
+        ("version", Json::Int(4)),
         ("schedule_limit", Json::Int(limit as i128)),
         ("quick", Json::Bool(quick)),
         ("results", Json::Arr(results)),

@@ -15,18 +15,24 @@ USAGE:
                   [--strategy SPEC] [--limit N] [--preemptions K]
                   [--stop-on-bug] [--seed X] [--deadline-ms T]
                   [--progress N] [--minimize] [--save-traces DIR] [--json]
-                  [--metrics] [--metrics-json FILE] [--log-level LEVEL]
+                  [--metrics] [--metrics-json FILE] [--profile FILE]
+                  [--log-level LEVEL]
                   [--checkpoint-dir DIR [--checkpoint-every N] [--resume]]
   lazylocks explore ...            alias of `run`
+  lazylocks profile [DOC.json | (--bench NAME | --id N | --file PATH)]
+                  [--strategy SPEC] [--limit N] [--json]
   lazylocks replay PATH [--bench NAME | --id N | --file PATH] [--json]
+                  [--metrics] [--metrics-json FILE]
   lazylocks corpus (list | prune | seed) [--dir DIR] [--limit N] [--json]
   lazylocks fuzz  [--profile NAME] [--cases N] [--seed X] [--budget N]
                   [--size N] [--save DIR] [--quick] [--json]
+                  [--metrics] [--metrics-json FILE]
   lazylocks compare (--bench NAME | --id N | --file PATH) [--limit N]
   lazylocks races (--bench NAME | --id N | --file PATH) [--walks N] [--seed X]
   lazylocks serve [--addr HOST:PORT] [--workers N] [--corpus DIR]
                   [--max-job-budget N] [--journal FILE]
-  lazylocks client (submit | status [ID] | cancel ID | events ID | shutdown)
+  lazylocks client (submit | status [ID] | cancel ID | events ID |
+                    metrics | shutdown)
                   [--addr HOST:PORT] [--retries N] [--retry-ms T]
                   ... (see SERVER below)
   lazylocks help
@@ -44,11 +50,26 @@ TRACE ARTIFACTS:
   into a regression corpus (default dir: .lazylocks/corpus).
 
 OBSERVABILITY:
-  `run --metrics` prints a metrics summary (counters, histograms, phase
-  timers) to stderr after the exploration; `--metrics-json FILE` writes
-  the raw snapshot as JSON (`-` for stdout is not supported — the JSON
-  outcome owns stdout). `--log-level error|warn|info|debug` switches
-  progress reporting to structured JSON event lines on stderr.
+  `--metrics` (on run, replay and fuzz) prints a metrics summary
+  (counters, histograms, phase timers) to stderr after the work;
+  `--metrics-json FILE` writes the raw snapshot as JSON (`-` for stdout
+  is not supported — the JSON outcome owns stdout). `--log-level
+  error|warn|info|debug` switches progress reporting to structured JSON
+  event lines on stderr. `client metrics` fetches a running daemon's
+  GET /metrics and pretty-prints it.
+
+PROFILING:
+  `run --profile FILE` runs the exploration profiler and writes a
+  versioned profile document: per-program-point attribution (races,
+  backtracks, sleep blocks, cache prunes, re-executed schedules per
+  instruction and per variable/mutex), schedules-per-HBR-class
+  redundancy under the regular AND lazy relations (the paper's §3
+  metric), and a hot-subtree/depth span table. `lazylocks profile`
+  renders reports: pass a saved DOC.json, or a program target to run
+  `dpor(sleep=true)` and `lazy-dpor` back to back and compare their
+  redundancy profiles (--strategy overrides the pair; --json emits the
+  documents instead of text). Profiles are scrubbed (wall times zeroed)
+  wherever byte-identical output across runs is required.
 
 CRASH SAFETY:
   `run --checkpoint-dir DIR` snapshots the DPOR frontier into
@@ -128,6 +149,9 @@ pub enum Command {
         metrics: bool,
         /// Record metrics and write the raw snapshot JSON to this file.
         metrics_json: Option<String>,
+        /// Run the exploration profiler and write the (scrubbed) profile
+        /// document to this file.
+        profile: Option<String>,
         /// Structured JSON event logging on stderr at this level
         /// (replaces the plain-text progress lines).
         log_level: Option<lazylocks::obs::LogLevel>,
@@ -146,6 +170,10 @@ pub enum Command {
         target: Option<Target>,
         /// Emit the reports as a JSON document on stdout.
         json: bool,
+        /// Record metrics and print the summary table to stderr.
+        metrics: bool,
+        /// Record metrics and write the raw snapshot JSON to this file.
+        metrics_json: Option<String>,
     },
     Corpus {
         action: CorpusAction,
@@ -169,6 +197,25 @@ pub enum Command {
         /// Persist shrunk disagreement repros into this directory.
         save: Option<String>,
         /// Emit the report as a JSON document on stdout.
+        json: bool,
+        /// Record metrics and print the summary table to stderr.
+        metrics: bool,
+        /// Record metrics and write the raw snapshot JSON to this file.
+        metrics_json: Option<String>,
+    },
+    Profile {
+        /// A saved profile document to render (mutually exclusive with
+        /// a target).
+        doc: Option<String>,
+        /// A program to profile under `dpor(sleep=true)` and
+        /// `lazy-dpor` back to back (or `--strategy` alone).
+        target: Option<Target>,
+        /// Profile only this registry spec instead of the default pair.
+        strategy: Option<String>,
+        /// Schedule budget per strategy run.
+        limit: usize,
+        /// Emit the profile documents as JSON on stdout instead of the
+        /// text report.
         json: bool,
     },
     Compare {
@@ -230,6 +277,8 @@ pub enum ClientAction {
         id: u64,
         since: u64,
     },
+    /// Fetch the daemon's `GET /metrics` snapshot and pretty-print it.
+    Metrics,
     Shutdown,
 }
 
@@ -297,6 +346,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut json = false;
             let mut metrics = false;
             let mut metrics_json = None;
+            let mut profile = None;
             let mut log_level = None;
             let mut checkpoint_dir = None;
             let mut checkpoint_every = 1000usize;
@@ -361,6 +411,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                             Some(value.ok_or("--metrics-json needs a file path")?.to_string());
                         Ok(())
                     }
+                    "--profile" => {
+                        profile = Some(value.ok_or("--profile needs a file path")?.to_string());
+                        Ok(())
+                    }
                     "--log-level" => {
                         let name = value.ok_or("--log-level needs a value")?;
                         log_level = Some(lazylocks::obs::LogLevel::parse(name).ok_or(format!(
@@ -407,6 +461,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 json,
                 metrics,
                 metrics_json,
+                profile,
                 log_level,
                 checkpoint_dir,
                 checkpoint_every,
@@ -420,6 +475,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             };
             let mut target = None;
             let mut json = false;
+            let mut metrics = false;
+            let mut metrics_json = None;
             parse_flags(flags, |flag, value| {
                 if parse_target_flag(flag, value, &mut target).is_some() {
                     return Ok(());
@@ -429,10 +486,25 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         json = true;
                         Ok(())
                     }
+                    "--metrics" => {
+                        metrics = true;
+                        Ok(())
+                    }
+                    "--metrics-json" => {
+                        metrics_json =
+                            Some(value.ok_or("--metrics-json needs a file path")?.to_string());
+                        Ok(())
+                    }
                     _ => Err(format!("unknown flag {flag} for replay")),
                 }
             })?;
-            Ok(Command::Replay { path, target, json })
+            Ok(Command::Replay {
+                path,
+                target,
+                json,
+                metrics,
+                metrics_json,
+            })
         }
         "corpus" => {
             let (action, flags) = match rest.split_first() {
@@ -473,6 +545,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut save = None;
             let mut json = false;
             let mut quick = false;
+            let mut metrics = false;
+            let mut metrics_json = None;
             parse_flags(&rest, |flag, value| match flag {
                 "--profile" => {
                     let name = value.ok_or("--profile needs a value")?;
@@ -520,6 +594,15 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     quick = true;
                     Ok(())
                 }
+                "--metrics" => {
+                    metrics = true;
+                    Ok(())
+                }
+                "--metrics-json" => {
+                    metrics_json =
+                        Some(value.ok_or("--metrics-json needs a file path")?.to_string());
+                    Ok(())
+                }
                 _ => Err(format!("unknown flag {flag} for fuzz")),
             })?;
             // --quick is the bounded CI preset; explicit flags still win.
@@ -531,6 +614,62 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 budget: budget.unwrap_or(default_budget),
                 size,
                 save,
+                json,
+                metrics,
+                metrics_json,
+            })
+        }
+        "profile" => {
+            // An optional leading positional names a saved profile
+            // document; otherwise a program target must be given.
+            let (doc, flags) = match rest.split_first() {
+                Some((first, flags)) if !first.starts_with("--") => {
+                    (Some(first.to_string()), flags)
+                }
+                _ => (None, rest.as_slice()),
+            };
+            let mut target = None;
+            let mut strategy = None;
+            let mut limit = 100_000usize;
+            let mut json = false;
+            parse_flags(flags, |flag, value| {
+                if parse_target_flag(flag, value, &mut target).is_some() {
+                    return Ok(());
+                }
+                match flag {
+                    "--strategy" => {
+                        let spec = value.ok_or("--strategy needs a value")?;
+                        StrategyRegistry::default()
+                            .create(spec)
+                            .map_err(|e| e.to_string())?;
+                        strategy = Some(spec.to_string());
+                        Ok(())
+                    }
+                    "--limit" => {
+                        limit = parse_num(value, "--limit")?;
+                        Ok(())
+                    }
+                    "--json" => {
+                        json = true;
+                        Ok(())
+                    }
+                    _ => Err(format!("unknown flag {flag} for profile")),
+                }
+            })?;
+            if doc.is_some() && target.is_some() {
+                return Err("profile takes a DOC.json or a target, not both".to_string());
+            }
+            if doc.is_none() && target.is_none() {
+                return Err("profile needs a DOC.json, or --bench, --id or --file".to_string());
+            }
+            if doc.is_some() && strategy.is_some() {
+                return Err("--strategy only applies when profiling a target".to_string());
+            }
+            Ok(Command::Profile {
+                doc,
+                target,
+                strategy,
+                limit,
                 json,
             })
         }
@@ -625,7 +764,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 Some((&verb, rest)) if !verb.starts_with("--") => (verb, rest),
                 _ => {
                     return Err(
-                        "client needs an action: submit, status, cancel, events or shutdown"
+                        "client needs an action: submit, status, cancel, events, metrics \
+                         or shutdown"
                             .to_string(),
                     )
                 }
@@ -790,6 +930,18 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         since,
                     }
                 }
+                "metrics" => {
+                    if id.is_some() {
+                        return Err("client metrics takes no job id".to_string());
+                    }
+                    parse_flags(flags, |flag, value| {
+                        grab_common(flag, value, &mut addr, &mut retries, &mut retry_ms)
+                            .unwrap_or_else(|| {
+                                Err(format!("unknown flag {flag} for client metrics"))
+                            })
+                    })?;
+                    ClientAction::Metrics
+                }
                 "shutdown" => {
                     if id.is_some() {
                         return Err("client shutdown takes no job id".to_string());
@@ -915,7 +1067,7 @@ mod tests {
             "run --bench peterson --strategy lazy-caching --limit 500 \
              --preemptions 2 --stop-on-bug --seed 9 --deadline-ms 2000 \
              --progress 100 --minimize --save-traces traces --json \
-             --metrics --metrics-json m.json --log-level debug \
+             --metrics --metrics-json m.json --profile p.json --log-level debug \
              --checkpoint-dir cp --checkpoint-every 64 --resume",
         ))
         .unwrap();
@@ -934,6 +1086,7 @@ mod tests {
                 json,
                 metrics,
                 metrics_json,
+                profile,
                 log_level,
                 checkpoint_dir,
                 checkpoint_every,
@@ -952,6 +1105,7 @@ mod tests {
                 assert!(json);
                 assert!(metrics);
                 assert_eq!(metrics_json.as_deref(), Some("m.json"));
+                assert_eq!(profile.as_deref(), Some("p.json"));
                 assert_eq!(log_level, Some(lazylocks::obs::LogLevel::Debug));
                 assert_eq!(checkpoint_dir.as_deref(), Some("cp"));
                 assert_eq!(checkpoint_every, 64);
@@ -997,14 +1151,21 @@ mod tests {
                 path: "trace.json".to_string(),
                 target: None,
                 json: false,
+                metrics: false,
+                metrics_json: None,
             }
         );
         assert_eq!(
-            parse(&argv("replay corpus --bench peterson --json")).unwrap(),
+            parse(&argv(
+                "replay corpus --bench peterson --json --metrics --metrics-json m.json"
+            ))
+            .unwrap(),
             Command::Replay {
                 path: "corpus".to_string(),
                 target: Some(Target::Bench("peterson".to_string())),
                 json: true,
+                metrics: true,
+                metrics_json: Some("m.json".to_string()),
             }
         );
         assert!(parse(&argv("replay")).is_err());
@@ -1069,12 +1230,14 @@ mod tests {
                 size: 3,
                 save: None,
                 json: false,
+                metrics: false,
+                metrics_json: None,
             }
         );
         assert_eq!(
             parse(&argv(
                 "fuzz --profile deadlock-prone --cases 50 --seed 9 --budget 500 \
-                 --size 2 --save repros --json"
+                 --size 2 --save repros --json --metrics --metrics-json m.json"
             ))
             .unwrap(),
             Command::Fuzz {
@@ -1085,6 +1248,8 @@ mod tests {
                 size: 2,
                 save: Some("repros".to_string()),
                 json: true,
+                metrics: true,
+                metrics_json: Some("m.json".to_string()),
             }
         );
         // --quick bounds the defaults but explicit flags win.
@@ -1098,6 +1263,8 @@ mod tests {
                 size: 3,
                 save: None,
                 json: false,
+                metrics: false,
+                metrics_json: None,
             }
         );
         match parse(&argv("fuzz --quick --cases 5")).unwrap() {
@@ -1112,6 +1279,40 @@ mod tests {
         assert!(parse(&argv("fuzz --size 10")).is_err());
         assert!(parse(&argv("fuzz --cases many")).is_err());
         assert!(parse(&argv("fuzz --walks 3")).is_err());
+    }
+
+    #[test]
+    fn parses_profile() {
+        // A saved document renders directly.
+        assert_eq!(
+            parse(&argv("profile p.json")).unwrap(),
+            Command::Profile {
+                doc: Some("p.json".to_string()),
+                target: None,
+                strategy: None,
+                limit: 100_000,
+                json: false,
+            }
+        );
+        // A target profiles the dpor/lazy-dpor pair (or one --strategy).
+        assert_eq!(
+            parse(&argv(
+                "profile --bench peterson --strategy dpor(sleep=true) --limit 500 --json"
+            ))
+            .unwrap(),
+            Command::Profile {
+                doc: None,
+                target: Some(Target::Bench("peterson".to_string())),
+                strategy: Some("dpor(sleep=true)".to_string()),
+                limit: 500,
+                json: true,
+            }
+        );
+        assert!(parse(&argv("profile")).is_err());
+        assert!(parse(&argv("profile p.json --bench x")).is_err());
+        assert!(parse(&argv("profile p.json --strategy dpor")).is_err());
+        assert!(parse(&argv("profile --bench x --strategy nope")).is_err());
+        assert!(parse(&argv("profile --bench x --walks 3")).is_err());
     }
 
     #[test]
@@ -1254,6 +1455,16 @@ mod tests {
                 retry_ms: 100,
             }
         );
+        assert_eq!(
+            parse(&argv("client metrics --addr h:2")).unwrap(),
+            Command::Client {
+                addr: "h:2".to_string(),
+                action: ClientAction::Metrics,
+                retries: 0,
+                retry_ms: 100,
+            }
+        );
+        assert!(parse(&argv("client metrics 3")).is_err());
         assert_eq!(
             parse(&argv("client shutdown")).unwrap(),
             Command::Client {

@@ -1,16 +1,17 @@
 //! Command implementations.
 
 use crate::args::{ClientAction, Command, CorpusAction, Target, USAGE};
-use lazylocks::obs::{EventLog, LogLevel, TraceEvent};
+use lazylocks::obs::{EventLog, LogLevel, MetricKind, MetricSnap, MetricValue, TraceEvent};
 use lazylocks::{
     detect_races, BugReport, ExploreConfig, ExploreOutcome, ExploreSession, MetricsHandle,
-    Observer, Progress, StrategyRegistry,
+    MetricsSnapshot, Observer, ProfileHandle, Progress, StrategyRegistry,
 };
 use lazylocks_model::Program;
 use lazylocks_runtime::run_with_scheduler;
 use lazylocks_trace::{
-    drive, load_checkpoint, outcome_json, replay_against, replay_embedded, CheckpointWriter,
-    CorpusStore, DriveRequest, Json, ReplayReport, TraceArtifact, TraceRecorder,
+    drive, load_checkpoint, outcome_json, replay_against_with, replay_embedded_with,
+    CheckpointWriter, CorpusStore, DriveRequest, Json, ProfileDoc, ReplayReport, TraceArtifact,
+    TraceRecorder,
 };
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -65,6 +66,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             json,
             metrics,
             metrics_json,
+            profile,
             log_level,
             checkpoint_dir,
             checkpoint_every,
@@ -82,6 +84,12 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 MetricsHandle::disabled()
             };
             config = config.with_metrics(handle.clone());
+            let profiler = if profile.is_some() {
+                ProfileHandle::enabled()
+            } else {
+                ProfileHandle::disabled()
+            };
+            config = config.with_profile(profiler.clone());
             let checkpointer = match &checkpoint_dir {
                 Some(dir) => {
                     if resume {
@@ -174,9 +182,29 @@ pub fn run(cmd: Command) -> Result<(), String> {
                         .map_err(|e| format!("cannot write {path}: {e}"))?;
                 }
             }
+            if let (Some(path), Some(snapshot)) = (&profile, profiler.snapshot()) {
+                // Scrubbed so two runs of the same exploration produce
+                // byte-identical documents (the determinism contract).
+                let doc = ProfileDoc::new(&program, &strategy, &snapshot.scrubbed());
+                std::fs::write(path, doc.to_json_string())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("profile saved: {path}");
+            }
             Ok(())
         }
-        Command::Replay { path, target, json } => replay(&path, target.as_ref(), json),
+        Command::Replay {
+            path,
+            target,
+            json,
+            metrics,
+            metrics_json,
+        } => replay(
+            &path,
+            target.as_ref(),
+            json,
+            metrics,
+            metrics_json.as_deref(),
+        ),
         Command::Corpus { action, dir, json } => corpus(action, dir.as_deref(), json),
         Command::Fuzz {
             profile,
@@ -186,7 +214,32 @@ pub fn run(cmd: Command) -> Result<(), String> {
             size,
             save,
             json,
-        } => fuzz(profile, cases, seed, budget, size, save.as_deref(), json),
+            metrics,
+            metrics_json,
+        } => fuzz(
+            profile,
+            cases,
+            seed,
+            budget,
+            size,
+            save.as_deref(),
+            json,
+            metrics,
+            metrics_json.as_deref(),
+        ),
+        Command::Profile {
+            doc,
+            target,
+            strategy,
+            limit,
+            json,
+        } => profile_cmd(
+            doc.as_deref(),
+            target.as_ref(),
+            strategy.as_deref(),
+            limit,
+            json,
+        ),
         Command::Compare { target, limit } => compare(&resolve(&target)?, limit),
         Command::Races {
             target,
@@ -378,12 +431,110 @@ fn client(addr: &str, action: ClientAction, retries: u32, retry_ms: u64) -> Resu
             println!("{}", body.pretty());
             expect_ok(status, &body)
         }
+        ClientAction::Metrics => {
+            let (status, body) = client.metrics_json()?;
+            expect_ok(status, &body)?;
+            // Daemon-level gauges first, then the merged exploration
+            // metrics through the same table renderer `run --metrics`
+            // uses locally.
+            if let Some(Json::Obj(pairs)) = body.get("server") {
+                for (name, value) in pairs {
+                    match value {
+                        Json::Int(v) => println!("{name:<42} {v}"),
+                        Json::Obj(states) => {
+                            for (state, n) in states {
+                                let label = format!("{name}{{state={state}}}");
+                                println!("{label:<42} {}", n.as_i64().unwrap_or_default());
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let snapshot = metrics_snapshot_from_json(&body)?;
+            print!("{}", snapshot.render_table());
+            Ok(())
+        }
         ClientAction::Shutdown => {
             let (status, body) = client.shutdown()?;
             println!("{}", body.pretty());
             expect_ok(status, &body)
         }
     }
+}
+
+/// Rebuilds a [`MetricsSnapshot`] from the daemon's
+/// `GET /metrics?format=json` body, so the client renders the genuine
+/// table rather than imitating it. Help text and time-scrub flags are
+/// not part of the wire format; the table renderer uses neither.
+fn metrics_snapshot_from_json(body: &Json) -> Result<MetricsSnapshot, String> {
+    let value_of = |v: &Json| -> Result<MetricValue, String> {
+        if let Some(value) = v.get("value").and_then(Json::as_u64) {
+            return Ok(MetricValue::Scalar(value));
+        }
+        let counts = v
+            .get("counts")
+            .and_then(Json::as_arr)
+            .ok_or("metric entry has neither 'value' nor 'counts'")?
+            .iter()
+            .map(|c| c.as_u64().ok_or("non-integer histogram count"))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MetricValue::Histogram {
+            counts,
+            count: v.get("count").and_then(Json::as_u64).unwrap_or(0),
+            sum: v.get("sum").and_then(Json::as_u64).unwrap_or(0),
+        })
+    };
+    let metrics = body
+        .get("metrics")
+        .and_then(Json::as_arr)
+        .ok_or("daemon metrics body has no 'metrics' array")?
+        .iter()
+        .map(|m| {
+            let name = m
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("metric entry has no name")?
+                .to_string();
+            let kind = match m.get("kind").and_then(Json::as_str) {
+                Some("counter") => MetricKind::Counter,
+                Some("gauge") => MetricKind::Gauge,
+                Some("histogram") => MetricKind::Histogram,
+                other => return Err(format!("unknown metric kind {other:?}")),
+            };
+            let buckets = match m.get("buckets").and_then(Json::as_arr) {
+                Some(arr) => arr
+                    .iter()
+                    .map(|b| b.as_u64().ok_or("non-integer bucket bound".to_string()))
+                    .collect::<Result<Vec<_>, _>>()?,
+                None => Vec::new(),
+            };
+            let per_worker = match m.get("per_worker").and_then(Json::as_arr) {
+                Some(arr) => arr
+                    .iter()
+                    .map(|w| {
+                        let worker = w
+                            .get("worker")
+                            .and_then(Json::as_u64)
+                            .ok_or("per_worker entry has no worker id")?
+                            as u32;
+                        Ok::<_, String>((worker, value_of(w)?))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                None => Vec::new(),
+            };
+            Ok::<_, String>(MetricSnap {
+                name,
+                help: String::new(),
+                kind,
+                buckets,
+                time_based: false,
+                total: value_of(m)?,
+                per_worker,
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(MetricsSnapshot { metrics })
 }
 
 fn expect_ok(status: u16, body: &Json) -> Result<(), String> {
@@ -441,7 +592,18 @@ fn print_outcome(program: &str, outcome: &ExploreOutcome, bugs: &[BugReport], mi
 
 /// `lazylocks replay <file|dir>`: replay one artifact or every artifact in
 /// a directory, classify each, and fail unless everything reproduces.
-fn replay(path: &str, target: Option<&Target>, json: bool) -> Result<(), String> {
+fn replay(
+    path: &str,
+    target: Option<&Target>,
+    json: bool,
+    metrics: bool,
+    metrics_json: Option<&str>,
+) -> Result<(), String> {
+    let handle = if metrics || metrics_json.is_some() {
+        MetricsHandle::enabled()
+    } else {
+        MetricsHandle::disabled()
+    };
     let path = Path::new(path);
     let files: Vec<PathBuf> = if path.is_dir() {
         let mut files: Vec<PathBuf> = std::fs::read_dir(path)
@@ -466,8 +628,8 @@ fn replay(path: &str, target: Option<&Target>, json: bool) -> Result<(), String>
             .map_err(|e| format!("cannot read {}: {e}", file.display()))
             .and_then(|text| TraceArtifact::parse(&text).map_err(|e| e.to_string()))
             .and_then(|artifact| match &target_program {
-                Some(program) => Ok(replay_against(&artifact, program)),
-                None => replay_embedded(&artifact).map_err(|e| e.to_string()),
+                Some(program) => Ok(replay_against_with(&artifact, program, &handle)),
+                None => replay_embedded_with(&artifact, &handle).map_err(|e| e.to_string()),
             });
         if !matches!(&report, Ok(r) if r.reproduced()) {
             failures += 1;
@@ -508,6 +670,15 @@ fn replay(path: &str, target: Option<&Target>, json: bool) -> Result<(), String>
             reports.len(),
             reports.len() - failures
         );
+    }
+    if let Some(snapshot) = handle.snapshot() {
+        if metrics {
+            eprint!("{}", snapshot.render_table());
+        }
+        if let Some(path) = metrics_json {
+            std::fs::write(path, snapshot.to_json_string())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
     }
     if failures > 0 {
         return Err(format!(
@@ -696,9 +867,19 @@ fn fuzz(
     size: usize,
     save: Option<&str>,
     json: bool,
+    metrics: bool,
+    metrics_json: Option<&str>,
 ) -> Result<(), String> {
     use lazylocks::CancelToken;
-    use lazylocks_fuzz::{default_oracle_specs, run_fuzz, CaseStatus, FuzzConfig, ShapeProfile};
+    use lazylocks_fuzz::{
+        default_oracle_specs, run_fuzz_with, CaseStatus, FuzzConfig, ShapeProfile,
+    };
+
+    let handle = if metrics || metrics_json.is_some() {
+        MetricsHandle::enabled()
+    } else {
+        MetricsHandle::disabled()
+    };
 
     let profiles = match profile {
         None => ShapeProfile::ALL.to_vec(),
@@ -717,12 +898,13 @@ fn fuzz(
     };
     let registry = StrategyRegistry::default();
     let oracle = default_oracle_specs();
-    let report = run_fuzz(
+    let report = run_fuzz_with(
         &config,
         &registry,
         &oracle,
         store.as_ref(),
         &CancelToken::new(),
+        &handle,
         |case| {
             for repro in &case.repros {
                 if let Some(e) = &repro.save_error {
@@ -882,12 +1064,78 @@ fn fuzz(
         let line: Vec<String> = summary.iter().map(|(k, v)| format!("{v} {k}")).collect();
         println!("\n{} case(s): {}", report.cases.len(), line.join(", "));
     }
+    if let Some(snapshot) = handle.snapshot() {
+        if metrics {
+            eprint!("{}", snapshot.render_table());
+        }
+        if let Some(path) = metrics_json {
+            std::fs::write(path, snapshot.to_json_string())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+    }
     let disagreements = report.total_disagreements();
     if disagreements > 0 {
         return Err(format!(
             "{disagreements} disagreement(s) across {} case(s)",
             report.count(CaseStatus::Disagreed)
         ));
+    }
+    Ok(())
+}
+
+/// `lazylocks profile`: render a saved profile document, or explore a
+/// target under the profiler and report per-site attribution.
+///
+/// With a target and no `--strategy`, both paper protagonists run —
+/// `dpor(sleep=true)` and `lazy-dpor` — so the report directly compares
+/// where each spends its redundant schedules.
+fn profile_cmd(
+    doc: Option<&str>,
+    target: Option<&Target>,
+    strategy: Option<&str>,
+    limit: usize,
+    json: bool,
+) -> Result<(), String> {
+    if let Some(path) = doc {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let doc = ProfileDoc::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        if json {
+            println!("{}", doc.to_json().pretty());
+        } else {
+            print!("{}", doc.render()?);
+        }
+        return Ok(());
+    }
+    let target = target.ok_or("profile needs a DOC.json, or --bench, --id or --file")?;
+    let program = resolve(target)?;
+    let specs: Vec<&str> = match strategy {
+        Some(spec) => vec![spec],
+        None => vec!["dpor(sleep=true)", "lazy-dpor"],
+    };
+    let mut docs = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let profiler = ProfileHandle::enabled();
+        let config = ExploreConfig::with_limit(limit).with_profile(profiler.clone());
+        let session = ExploreSession::new(&program).with_config(config);
+        session.run_spec(spec).map_err(|e| e.to_string())?;
+        let snapshot = profiler
+            .snapshot()
+            .ok_or("profiler produced no snapshot")?
+            .scrubbed();
+        if json {
+            docs.push(ProfileDoc::new(&program, spec, &snapshot).to_json());
+        } else {
+            if i > 0 {
+                println!();
+            }
+            print!(
+                "{}",
+                lazylocks_trace::render_profile(&program, spec, &snapshot)
+            );
+        }
+    }
+    if json {
+        println!("{}", Json::Arr(docs).pretty());
     }
     Ok(())
 }
@@ -1010,6 +1258,7 @@ mod tests {
             json: false,
             metrics: false,
             metrics_json: None,
+            profile: None,
             log_level: None,
             checkpoint_dir: None,
             checkpoint_every: 1000,
@@ -1065,6 +1314,7 @@ mod tests {
             json: false,
             metrics: false,
             metrics_json: None,
+            profile: None,
             log_level: None,
             checkpoint_dir: None,
             checkpoint_every: 1000,
@@ -1097,6 +1347,7 @@ mod tests {
             json: false,
             metrics: false,
             metrics_json: None,
+            profile: None,
             log_level: None,
             checkpoint_dir: None,
             checkpoint_every: 1000,
@@ -1115,6 +1366,8 @@ mod tests {
             path: dir.to_string_lossy().into_owned(),
             target: None,
             json: false,
+            metrics: false,
+            metrics_json: None,
         })
         .unwrap();
         // ...both embedded and against the (unchanged) benchmark...
@@ -1122,6 +1375,8 @@ mod tests {
             path: entries[0].path.to_string_lossy().into_owned(),
             target: Some(Target::Bench("philosophers-naive-2".into())),
             json: true,
+            metrics: false,
+            metrics_json: None,
         })
         .unwrap();
         // ...but not against a different program.
@@ -1129,6 +1384,8 @@ mod tests {
             path: entries[0].path.to_string_lossy().into_owned(),
             target: Some(Target::Bench("paper-figure1".into())),
             json: false,
+            metrics: false,
+            metrics_json: None,
         })
         .unwrap_err();
         assert!(err.contains("did not reproduce"));
@@ -1152,6 +1409,7 @@ mod tests {
             json: false,
             metrics: false,
             metrics_json: None,
+            profile: None,
             log_level: None,
             checkpoint_dir: Some(dir.to_string_lossy().into_owned()),
             checkpoint_every: 1,
@@ -1164,6 +1422,53 @@ mod tests {
         // ...but a different seed is refused before any exploration.
         let err = run(cmd(2, true)).unwrap_err();
         assert!(err.contains("cannot resume"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_command_runs_targets_and_renders_saved_docs() {
+        // Target mode runs both paper protagonists by default.
+        run(Command::Profile {
+            doc: None,
+            target: Some(Target::Bench("paper-figure1".into())),
+            strategy: None,
+            limit: 10_000,
+            json: false,
+        })
+        .unwrap();
+        // `run --profile` writes a document the subcommand re-renders,
+        // in both text and JSON form.
+        let dir = temp_dir("profile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prof.json");
+        let mut cmd = plain_run(Target::Bench("paper-figure1".into()), "dpor(sleep=true)");
+        if let Command::Run { profile, .. } = &mut cmd {
+            *profile = Some(path.to_string_lossy().into_owned());
+        }
+        run(cmd).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = ProfileDoc::parse(&text).unwrap();
+        assert_eq!(doc.program_name, "paper-figure1");
+        assert!(doc.render().unwrap().contains("hot sites"));
+        for json in [false, true] {
+            run(Command::Profile {
+                doc: Some(path.to_string_lossy().into_owned()),
+                target: None,
+                strategy: None,
+                limit: 10_000,
+                json,
+            })
+            .unwrap();
+        }
+        // A single --strategy restricts the target run.
+        run(Command::Profile {
+            doc: None,
+            target: Some(Target::Bench("paper-figure1".into())),
+            strategy: Some("dpor".into()),
+            limit: 10_000,
+            json: true,
+        })
+        .unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1185,6 +1490,7 @@ mod tests {
             json: true,
             metrics: false,
             metrics_json: None,
+            profile: None,
             log_level: None,
             checkpoint_dir: None,
             checkpoint_every: 1000,
@@ -1216,6 +1522,8 @@ mod tests {
             path: "/no/such/artifact.json".into(),
             target: None,
             json: false,
+            metrics: false,
+            metrics_json: None,
         })
         .is_err());
         let dir = temp_dir("empty");
@@ -1224,6 +1532,8 @@ mod tests {
             path: dir.to_string_lossy().into_owned(),
             target: None,
             json: false,
+            metrics: false,
+            metrics_json: None,
         })
         .unwrap_err();
         assert!(err.contains("no artifacts"));

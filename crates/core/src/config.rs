@@ -2,7 +2,7 @@
 
 use crate::checkpoint::CheckpointState;
 use crate::session::ExploreControl;
-use lazylocks_obs::MetricsHandle;
+use lazylocks_obs::{MetricsHandle, ProfileHandle};
 use std::sync::Arc;
 
 /// Budget and feature knobs shared by every exploration strategy.
@@ -43,6 +43,11 @@ pub struct ExploreConfig {
     /// every strategy through per-worker shards. Disabled by default —
     /// each instrumentation point then costs a single branch.
     pub metrics: MetricsHandle,
+    /// Exploration profiler: per-program-point attribution of races,
+    /// backtracks, sleep-set blocks and cache prunes, plus per-HBR-class
+    /// redundancy and subtree span accounting. Disabled by default —
+    /// each instrumentation point then costs a single branch.
+    pub profile: ProfileHandle,
     /// Snapshot the exploration frontier every this many complete
     /// schedules, delivered to observers through
     /// [`Observer::on_checkpoint`](crate::Observer::on_checkpoint).
@@ -70,6 +75,7 @@ impl Default for ExploreConfig {
             collect_state_witnesses: false,
             control: ExploreControl::default(),
             metrics: MetricsHandle::disabled(),
+            profile: ProfileHandle::disabled(),
             checkpoint_every: 0,
             resume_from: None,
         }
@@ -113,6 +119,12 @@ impl ExploreConfig {
     /// Installs a metrics sink, returning `self` for chaining.
     pub fn with_metrics(mut self, metrics: MetricsHandle) -> Self {
         self.metrics = metrics;
+        self
+    }
+
+    /// Installs an exploration profiler, returning `self` for chaining.
+    pub fn with_profile(mut self, profile: ProfileHandle) -> Self {
+        self.profile = profile;
         self
     }
 

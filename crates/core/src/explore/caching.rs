@@ -15,10 +15,10 @@
 
 use crate::config::ExploreConfig;
 use crate::explore::Explorer;
-use crate::stats::{Collector, Continue, ExploreStats};
+use crate::stats::{profile_dims, Collector, Continue, ExploreStats};
 use lazylocks_hbr::{event_record_hash, ClockEngine, HbMode, PrefixAccumulator};
-use lazylocks_model::{Program, ThreadId};
-use lazylocks_obs::ids;
+use lazylocks_model::{Program, ThreadId, VisibleKind};
+use lazylocks_obs::{ids, site, ProfileObj, ProfileSites};
 use lazylocks_runtime::{Event, ExecPhase, Executor};
 use std::collections::HashSet;
 use std::time::Instant;
@@ -64,6 +64,7 @@ impl Explorer for HbrCaching {
             cache: HashSet::new(),
             trace: Vec::new(),
             schedule: Vec::new(),
+            sites: config.profile.sites(&profile_dims(program)),
         };
         let root = Executor::new(program);
         let clocks = ClockEngine::for_program(self.mode, program);
@@ -81,6 +82,9 @@ struct CachingCtx<'p> {
     cache: HashSet<u128>,
     trace: Vec<Event>,
     schedule: Vec<ThreadId>,
+    /// Per-program-point prune attribution (inert when the profiler is
+    /// off).
+    sites: ProfileSites,
 }
 
 impl<'p> CachingCtx<'p> {
@@ -134,6 +138,23 @@ impl<'p> CachingCtx<'p> {
                 // (Theorems 2.1/2.2) and was already fully explored.
                 if !self.cache.insert(child_acc.fingerprint()) {
                     self.collector.stats.cache_prunes += 1;
+                    // Attribute the prune to the event whose execution
+                    // completed the already-seen prefix.
+                    let obj = match event.kind {
+                        VisibleKind::Read(x) | VisibleKind::Write(x) => {
+                            Some(ProfileObj::Var(x.index() as u32))
+                        }
+                        VisibleKind::Lock(m) | VisibleKind::Unlock(m) => {
+                            Some(ProfileObj::Mutex(m.index() as u32))
+                        }
+                    };
+                    self.sites.add(
+                        event.thread().index() as u32,
+                        event.pc,
+                        obj,
+                        site::CACHE_PRUNES,
+                        1,
+                    );
                     continue;
                 }
             }

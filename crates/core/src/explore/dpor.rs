@@ -44,11 +44,11 @@ use crate::checkpoint::{CheckpointState, FrameSets};
 use crate::config::ExploreConfig;
 use crate::explore::frame_pool::{FrameBody, FramePool};
 use crate::explore::Explorer;
-use crate::stats::{Collector, Continue, ExploreStats};
+use crate::stats::{profile_dims, Collector, Continue, ExploreStats};
 use lazylocks_clock::VectorClock;
 use lazylocks_hbr::{ClockEngine, HbMode};
 use lazylocks_model::{Program, ThreadId, ThreadSet, VisibleKind};
-use lazylocks_obs::{ids, MetricsShard};
+use lazylocks_obs::{ids, site, MetricsShard, ProfileObj, ProfileSites};
 use lazylocks_runtime::{Event, ExecPhase, Executor};
 use std::time::Instant;
 
@@ -158,8 +158,14 @@ impl Explorer for Dpor {
             self.sleep_sets,
             self.dependence,
             collector.shard().clone(),
+            config.profile.sites(&profile_dims(program)),
         );
+        // The sequential driver is the only one that can attribute
+        // re-executed schedules to the backtrack point that caused them
+        // (the parallel driver's claim order is timing-dependent).
+        core.track_resched = core.sites.is_enabled();
         run_sequential(&mut core, &mut collector);
+        core.profile_flush(collector.stats.schedules as u64);
         core.flush_counters(&mut collector);
         let mut stats = collector.into_stats();
         stats.wall_time = start.elapsed();
@@ -198,8 +204,10 @@ pub(crate) trait FrameStack<'p> {
     /// child computation, *after* the current pick was marked done.
     fn top_done_sleep(&self) -> (ThreadSet, ThreadSet);
 
-    /// Extends the backtrack set of the frame at depth `d`.
-    fn insert_backtrack(&mut self, d: usize, ins: BacktrackInsert);
+    /// Extends the backtrack set of the frame at depth `d`, returning
+    /// how many threads were *newly* added (the profiler's backtrack
+    /// attribution; re-insertions of already-pending threads count 0).
+    fn insert_backtrack(&mut self, d: usize, ins: BacktrackInsert) -> u64;
 
     /// Pushes a child frame. `entry` is the `(thread, event)` of the step
     /// that created it; `trace_mark`/`sched_mark` are the trace/schedule
@@ -278,6 +286,50 @@ pub(crate) struct DporCore<'p> {
     /// Phase-timer sink for the hot loop (inert when metrics are off:
     /// each timed phase then costs one branch per step).
     pub shard: MetricsShard,
+    /// Per-program-point attribution slab (inert when the profiler is
+    /// off: each attribution point then costs one branch).
+    pub sites: ProfileSites,
+    /// Attribute re-executed schedules to the backtrack points that
+    /// caused them. Sequential driver only — the bookkeeping assumes
+    /// the depth-first claim discipline of [`run_sequential`].
+    pub track_resched: bool,
+    /// Backtrack insertions awaiting their first claim, indexed by the
+    /// frame depth they were inserted at. Entries are dropped wholesale
+    /// when the frame unwinds.
+    resched_pending: Vec<Vec<PendingResched>>,
+    /// Claimed backtrack choices whose subtrees are still being
+    /// explored, innermost last (their depths are strictly increasing).
+    open_spans: Vec<OpenSpan>,
+}
+
+/// A backtrack thread inserted by a race, waiting to be claimed by the
+/// sequential pick loop — carries the site that caused the insertion.
+#[derive(Debug, Clone, Copy)]
+struct PendingResched {
+    choice: ThreadId,
+    thread: u32,
+    pc: u32,
+    obj: Option<ProfileObj>,
+}
+
+/// A claimed backtrack choice whose subtree is in progress; closed (and
+/// its schedule delta charged to the causing site) when the driver
+/// returns to its depth.
+#[derive(Debug, Clone, Copy)]
+struct OpenSpan {
+    depth: usize,
+    thread: u32,
+    pc: u32,
+    obj: Option<ProfileObj>,
+    schedules_at_open: u64,
+}
+
+/// The profiler object an event touches.
+fn profile_obj(kind: VisibleKind) -> Option<ProfileObj> {
+    match kind {
+        VisibleKind::Read(x) | VisibleKind::Write(x) => Some(ProfileObj::Var(x.index() as u32)),
+        VisibleKind::Lock(m) | VisibleKind::Unlock(m) => Some(ProfileObj::Mutex(m.index() as u32)),
+    }
 }
 
 /// `clock` summarises (at least) event `f`'s causal past.
@@ -291,6 +343,7 @@ impl<'p> DporCore<'p> {
         sleep_sets: bool,
         dependence: DependenceMode,
         shard: MetricsShard,
+        sites: ProfileSites,
     ) -> Self {
         DporCore {
             program,
@@ -307,6 +360,10 @@ impl<'p> DporCore<'p> {
             events_compared: 0,
             sleep_prunes: 0,
             shard,
+            sites,
+            track_resched: false,
+            resched_pending: Vec::new(),
+            open_spans: Vec::new(),
         }
     }
 
@@ -375,6 +432,17 @@ impl<'p> DporCore<'p> {
             }
             None => {
                 self.sleep_prunes += 1;
+                // The subtree below the event just executed is entirely
+                // asleep: charge the prune to that event's site.
+                if let Some(e) = self.trace.last() {
+                    self.sites.add(
+                        e.thread().index() as u32,
+                        e.pc,
+                        profile_obj(e.kind),
+                        site::SLEEP_BLOCKS,
+                        1,
+                    );
+                }
             }
         }
         backtrack
@@ -694,8 +762,16 @@ impl<'p> DporCore<'p> {
     /// adding every runnable thread. The lazy modes additionally
     /// *redirect* a `p` blocked on a mutex to the acquisition of the
     /// blocking mutex, where reversing the race is actually possible.
-    fn handle_race<S: FrameStack<'p>>(&self, frames: &mut S, i: usize, p: ThreadId) {
+    fn handle_race<S: FrameStack<'p>>(&mut self, frames: &mut S, i: usize, p: ThreadId) {
         let mut target = self.trace_depths[i];
+        // Attribute the race to its earlier partner — the program point
+        // whose reversal the backtracking will attempt.
+        let (site_thread, site_pc, site_obj) = {
+            let f = &self.trace[i];
+            (f.thread().index() as u32, f.pc, profile_obj(f.kind))
+        };
+        self.sites
+            .add(site_thread, site_pc, site_obj, site::RACES, 1);
         if self.dependence != DependenceMode::Regular && !frames.exec_at(target).is_enabled(p) {
             if let Some(VisibleKind::Lock(mb)) = frames.exec_at(target).next_visible(p) {
                 if let Some(owner) = frames.exec_at(target).mutex_owner(mb) {
@@ -715,14 +791,92 @@ impl<'p> DporCore<'p> {
                 }
             }
         }
-        if frames.exec_at(target).is_enabled(p) {
+        let inserted = if frames.exec_at(target).is_enabled(p) {
             // A sleeping p is inserted too: the pick loop skips it, which
             // is exactly the sleep-set guarantee — p's continuations from
             // this state were already explored in an equivalent context.
-            frames.insert_backtrack(target, BacktrackInsert::Thread(p));
+            let inserted = frames.insert_backtrack(target, BacktrackInsert::Thread(p));
+            if inserted > 0 && self.track_resched {
+                // Remember who caused this insertion: when the pick loop
+                // claims `p` at `target`, the whole re-explored subtree
+                // is charged back to this site as RESCHEDULES.
+                if self.resched_pending.len() <= target {
+                    self.resched_pending.resize_with(target + 1, Vec::new);
+                }
+                self.resched_pending[target].push(PendingResched {
+                    choice: p,
+                    thread: site_thread,
+                    pc: site_pc,
+                    obj: site_obj,
+                });
+            }
+            inserted
         } else {
-            frames.insert_backtrack(target, BacktrackInsert::WakeAll);
+            frames.insert_backtrack(target, BacktrackInsert::WakeAll)
+        };
+        if inserted > 0 {
+            self.sites
+                .add(site_thread, site_pc, site_obj, site::BACKTRACKS, inserted);
         }
+    }
+
+    /// Closes every open re-exploration span rooted at `depth` or deeper,
+    /// charging the schedules completed since it opened to the causing
+    /// site.
+    fn close_spans_at(&mut self, depth: usize, schedules: u64) {
+        while let Some(span) = self.open_spans.last() {
+            if span.depth < depth {
+                break;
+            }
+            let span = self.open_spans.pop().unwrap();
+            let delta = schedules - span.schedules_at_open;
+            if delta > 0 {
+                self.sites
+                    .add(span.thread, span.pc, span.obj, site::RESCHEDULES, delta);
+            }
+        }
+    }
+
+    /// Sequential-driver hook: the pick loop is about to run `p` from the
+    /// frame at depth `top` (with `schedules` complete schedules so far).
+    /// Closes spans of sibling subtrees and, when `p` was inserted by a
+    /// race, opens a span charging the coming subtree to that race's site.
+    pub fn profile_claim(&mut self, top: usize, p: ThreadId, schedules: u64) {
+        if !self.track_resched {
+            return;
+        }
+        self.close_spans_at(top, schedules);
+        let Some(pending) = self.resched_pending.get_mut(top) else {
+            return;
+        };
+        let Some(pos) = pending.iter().position(|e| e.choice == p) else {
+            return;
+        };
+        let entry = pending.swap_remove(pos);
+        self.open_spans.push(OpenSpan {
+            depth: top,
+            thread: entry.thread,
+            pc: entry.pc,
+            obj: entry.obj,
+            schedules_at_open: schedules,
+        });
+    }
+
+    /// Sequential-driver hook: the frame at depth `depth` is being
+    /// popped. Closes its spans and drops its unclaimed insertions.
+    pub fn profile_unwind(&mut self, depth: usize, schedules: u64) {
+        if !self.track_resched {
+            return;
+        }
+        self.close_spans_at(depth, schedules);
+        if let Some(pending) = self.resched_pending.get_mut(depth) {
+            pending.clear();
+        }
+    }
+
+    /// Closes every span still open at the end of a run.
+    pub fn profile_flush(&mut self, schedules: u64) {
+        self.close_spans_at(0, schedules);
     }
 }
 
@@ -764,14 +918,14 @@ impl<'p> FrameStack<'p> for SeqFrames<'p> {
         (f.done, f.sleep)
     }
 
-    fn insert_backtrack(&mut self, d: usize, ins: BacktrackInsert) {
+    fn insert_backtrack(&mut self, d: usize, ins: BacktrackInsert) -> u64 {
         let f = &mut self.stack[d];
         match ins {
-            BacktrackInsert::Thread(t) => {
-                f.backtrack.insert(t);
-            }
+            BacktrackInsert::Thread(t) => f.backtrack.insert(t) as u64,
             BacktrackInsert::WakeAll => {
-                f.backtrack |= f.body.exec.enabled_set();
+                let added = f.body.exec.enabled_set() - f.backtrack;
+                f.backtrack |= added;
+                added.len() as u64
             }
         }
     }
@@ -905,11 +1059,13 @@ fn run_sequential<'p>(core: &mut DporCore<'p>, collector: &mut Collector) {
         };
         let Some(p) = pick else {
             // Frame exhausted: unwind, recycling the body.
+            core.profile_unwind(top, collector.stats.schedules as u64);
             let frame = frames.stack.pop().unwrap();
             core.truncate_to(frame.trace_mark, frame.sched_mark);
             core.pool.retire(frame.body);
             continue;
         };
+        core.profile_claim(top, p, collector.stats.schedules as u64);
         frames.stack[top].done.insert(p);
         match core.take_step(&mut frames, p, run_cap) {
             Stepped::Pushed => {}

@@ -296,17 +296,20 @@ impl<'p> FrameStack<'p> for ParFrames<'p, '_> {
         (done, node.sleep)
     }
 
-    fn insert_backtrack(&mut self, d: usize, ins: BacktrackInsert) {
+    fn insert_backtrack(&mut self, d: usize, ins: BacktrackInsert) -> u64 {
         let node = &self.stack[d].node;
         let mut publish = false;
+        let inserted;
         {
             let mut s = node.sets.lock().expect("frame poisoned");
             match ins {
                 BacktrackInsert::Thread(t) => {
-                    s.backtrack.insert(t);
+                    inserted = s.backtrack.insert(t) as u64;
                 }
                 BacktrackInsert::WakeAll => {
-                    s.backtrack |= node.body.exec.enabled_set();
+                    let added = node.body.exec.enabled_set() - s.backtrack;
+                    s.backtrack |= added;
+                    inserted = added.len() as u64;
                 }
             }
             // A choice landing in a frame another worker may already have
@@ -321,6 +324,7 @@ impl<'p> FrameStack<'p> for ParFrames<'p, '_> {
             self.shard.inc(ids::BACKTRACK_MAILBOX);
             self.shared.enqueue(node.clone());
         }
+        inserted
     }
 
     fn push_frame(
@@ -361,7 +365,17 @@ fn worker_loop<'p>(
 ) -> Collector {
     let mut collector = Collector::new_for_worker(config, worker);
     let shard = collector.shard().clone();
-    let mut core = DporCore::new(program, sleep_sets, dependence, shard.clone());
+    // Per-worker site slab, merged into the registry snapshot like the
+    // metrics shards. Reschedule attribution stays off: the parallel
+    // claim order is timing-dependent, so only the order-independent
+    // counters (races, backtracks, sleep blocks) are recorded here.
+    let mut core = DporCore::new(
+        program,
+        sleep_sets,
+        dependence,
+        shard.clone(),
+        config.profile.sites(&crate::stats::profile_dims(program)),
+    );
     let mut frames = ParFrames {
         stack: Vec::new(),
         shared,

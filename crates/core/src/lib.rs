@@ -128,4 +128,4 @@ pub use lazylocks_runtime as runtime;
 
 // The metrics switch appears directly on [`ExploreConfig`], so surface
 // its types at the crate root too.
-pub use lazylocks_obs::{MetricsHandle, MetricsSnapshot};
+pub use lazylocks_obs::{MetricsHandle, MetricsSnapshot, ProfileHandle, ProfileSnapshot};

@@ -5,7 +5,7 @@ use crate::checkpoint::CheckpointState;
 use crate::config::ExploreConfig;
 use lazylocks_hbr::{ClockEngine, HbMode};
 use lazylocks_model::{Program, ThreadId};
-use lazylocks_obs::{ids, MetricsShard};
+use lazylocks_obs::{ids, pack_prefix, MetricsShard, ProfileDims, ProfileLeaf};
 use lazylocks_runtime::{Event, ExecPhase, Executor};
 use std::collections::HashSet;
 use std::time::Duration;
@@ -156,9 +156,27 @@ pub(crate) struct Collector {
     /// straight into [`Collector::stats`] mirror as deltas in
     /// [`Collector::sync_metrics`].
     shard: MetricsShard,
+    /// This collector's profiler leaf shard (inert when the config's
+    /// profile handle is disabled): per-HBR-class redundancy, subtree
+    /// spans and depth buckets, recorded once per terminal execution.
+    profile: ProfileLeaf,
     /// Stats values already mirrored to the shard, so repeated syncs (and
     /// merged-in collectors that synced themselves) are not re-counted.
     mirrored: MirroredCounters,
+}
+
+/// The dense slab shape the profiler needs for `program` — per-thread
+/// instruction counts plus variable and mutex counts.
+pub(crate) fn profile_dims(program: &Program) -> ProfileDims {
+    ProfileDims {
+        thread_ins: program
+            .threads()
+            .iter()
+            .map(|t| t.code.len() as u32)
+            .collect(),
+        vars: program.vars().len() as u32,
+        mutexes: program.mutexes().len() as u32,
+    }
 }
 
 /// The stats fields mirrored to metrics lazily rather than at the point
@@ -203,6 +221,7 @@ impl Collector {
             lazy_engine: None,
             stats: ExploreStats::default(),
             shard,
+            profile: config.profile.leaf_shard(),
             mirrored: MirroredCounters::default(),
         }
     }
@@ -259,23 +278,40 @@ impl Collector {
             }
             self.stats.unique_states = self.states.len();
         }
-        if self.config.collect_hbrs {
+        // The profiler's redundancy accounting reuses the terminal
+        // fingerprints, so compute each relation once whether the stats
+        // columns, the profiler, or both want it.
+        let profiling = self.profile.is_enabled();
+        let mut fp_regular = None;
+        if self.config.collect_hbrs || profiling {
             let fp = self
                 .hbr_engine
                 .get_or_insert_with(|| ClockEngine::for_program(HbMode::Regular, program))
                 .trace_fingerprint(trace);
-            if self.hbrs.insert(fp) && self.config.collect_state_witnesses {
-                self.stats.hbr_witnesses.push((fp, schedule.to_vec()));
+            fp_regular = Some(fp);
+            if self.config.collect_hbrs {
+                if self.hbrs.insert(fp) && self.config.collect_state_witnesses {
+                    self.stats.hbr_witnesses.push((fp, schedule.to_vec()));
+                }
+                self.stats.unique_hbrs = self.hbrs.len();
             }
-            self.stats.unique_hbrs = self.hbrs.len();
         }
-        if self.config.collect_lazy_hbrs {
+        let mut fp_lazy = None;
+        if self.config.collect_lazy_hbrs || profiling {
             let fp = self
                 .lazy_engine
                 .get_or_insert_with(|| ClockEngine::for_program(HbMode::Lazy, program))
                 .trace_fingerprint(trace);
-            self.lazy_hbrs.insert(fp);
-            self.stats.unique_lazy_hbrs = self.lazy_hbrs.len();
+            fp_lazy = Some(fp);
+            if self.config.collect_lazy_hbrs {
+                self.lazy_hbrs.insert(fp);
+                self.stats.unique_lazy_hbrs = self.lazy_hbrs.len();
+            }
+        }
+        if profiling {
+            let key = pack_prefix(schedule.iter().map(|t| t.index() as u32));
+            self.profile
+                .record_leaf(trace.len() as u64, key, fp_regular, fp_lazy);
         }
 
         let mut bug: Option<BugKind> = None;

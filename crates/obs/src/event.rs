@@ -166,12 +166,21 @@ impl EventLog {
     }
 
     /// Writes the event as one stderr line if its level passes the filter.
+    ///
+    /// The line and its terminating newline go out in a single
+    /// `write_all` of one buffer: `writeln!` would issue separate writes
+    /// for the payload and the `\n`, and although the stderr lock orders
+    /// them against other in-process writers, a child process (or C
+    /// code) sharing the fd could interleave between the two syscalls
+    /// and tear the line mid-record.
     pub fn emit(&self, event: &TraceEvent) {
         if !self.enabled(event.level) {
             return;
         }
+        let mut line = event.to_json_string();
+        line.push('\n');
         let mut err = std::io::stderr().lock();
-        let _ = writeln!(err, "{}", event.to_json_string());
+        let _ = err.write_all(line.as_bytes());
     }
 }
 

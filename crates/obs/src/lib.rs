@@ -41,9 +41,15 @@
 
 mod event;
 mod metrics;
+mod profile;
 
 pub use event::{EventLog, FieldValue, LogLevel, TraceEvent};
 pub use metrics::{
     builtin_defs, ids, json_escape, MetricDef, MetricId, MetricKind, MetricSnap, MetricValue,
     MetricsHandle, MetricsRegistry, MetricsShard, MetricsSnapshot,
+};
+pub use profile::{
+    pack_prefix, site, ClassSnap, DepthSnap, ObjSnap, ProfileDims, ProfileHandle, ProfileLeaf,
+    ProfileObj, ProfileRegistry, ProfileSites, ProfileSnapshot, SiteSnap, SpanSnap,
+    PROFILE_DEPTH_BUCKETS, SPAN_PREFIX_LEN, TOP_CLASSES, TOP_SPANS,
 };

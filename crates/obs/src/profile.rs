@@ -1,0 +1,843 @@
+//! The exploration profiler: per-program-point attribution slabs,
+//! happens-before-class redundancy accounting, and subtree span profiling.
+//!
+//! Where the metrics registry answers "how much work happened", the
+//! profiler answers "*which program point* caused it": every reversible
+//! race, backtrack insertion, sleep-set prune and prefix-cache prune is
+//! attributed to the instruction (and the variable or mutex it touches)
+//! that caused it, and every complete schedule is attributed to its
+//! happens-before equivalence class and its schedule-prefix subtree.
+//!
+//! The design mirrors [`MetricsShard`](crate::MetricsShard): the handle
+//! threaded through `ExploreConfig` is an `Option<Arc<..>>`, so the
+//! disabled cost at every instrumentation site is one branch. Enabled
+//! recording on the step path is relaxed atomic adds on dense per-site
+//! slabs (no locks, no allocation); the leaf path — executed once per
+//! complete schedule, where a fingerprint walk of the whole trace already
+//! happened — takes a per-worker mutex once and updates hash maps whose
+//! growth is amortised.
+//!
+//! This crate cannot see the program model, so sites are raw
+//! `(thread, pc)` pairs and objects are raw variable/mutex indices; the
+//! trace crate resolves them to source names when rendering reports.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::metrics::json_escape;
+
+/// Per-site counter kinds, in slab and serialisation order.
+pub mod site {
+    /// Reversible races in which the site's event was the earlier partner.
+    pub const RACES: usize = 0;
+    /// Backtrack threads newly inserted because of a race at the site.
+    pub const BACKTRACKS: usize = 1;
+    /// Sleep-set subtree prunes immediately after executing the site.
+    pub const SLEEP_BLOCKS: usize = 2;
+    /// Prefix-cache prunes of the site's event (caching strategies).
+    pub const CACHE_PRUNES: usize = 3;
+    /// Complete schedules re-executed from backtrack points the site
+    /// caused (sequential DPOR drivers only).
+    pub const RESCHEDULES: usize = 4;
+    /// Number of counter kinds (the slab stride).
+    pub const KINDS: usize = 5;
+    /// Serialised field names, in counter order.
+    pub const NAMES: [&str; KINDS] = [
+        "races",
+        "backtracks",
+        "sleep_blocks",
+        "cache_prunes",
+        "reschedules",
+    ];
+}
+
+/// Leaf-depth bucket upper bounds (events per complete schedule); the
+/// final implicit bucket is `+Inf`. Matches the metric family
+/// `lazylocks_schedule_depth`.
+pub const PROFILE_DEPTH_BUCKETS: [u64; 8] = [4, 8, 16, 32, 64, 128, 256, 512];
+
+/// Schedule-prefix choices packed into a span key (6 bits each).
+pub const SPAN_PREFIX_LEN: usize = 8;
+
+/// Hot-subtree rows kept in a snapshot.
+pub const TOP_SPANS: usize = 10;
+
+/// Most-re-explored equivalence classes kept per relation.
+pub const TOP_CLASSES: usize = 5;
+
+/// Program shape the dense site slabs are sized from: per-thread
+/// instruction counts plus the variable and mutex counts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProfileDims {
+    /// Instruction count of each thread's code body, in thread order.
+    pub thread_ins: Vec<u32>,
+    /// Number of shared variables.
+    pub vars: u32,
+    /// Number of mutexes.
+    pub mutexes: u32,
+}
+
+impl ProfileDims {
+    fn site_count(&self) -> usize {
+        self.thread_ins.iter().map(|&n| n as usize).sum()
+    }
+
+    fn obj_count(&self) -> usize {
+        (self.vars + self.mutexes) as usize
+    }
+}
+
+/// The object an instrumented event touches, as raw model indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileObj {
+    /// A shared variable, by `VarId` index.
+    Var(u32),
+    /// A mutex, by `MutexId` index.
+    Mutex(u32),
+}
+
+/// One worker's dense attribution slab: `site_count × KINDS` counters for
+/// instructions plus `obj_count × KINDS` for variables/mutexes. Written
+/// by its owning worker with relaxed adds, read concurrently by
+/// snapshots.
+#[derive(Debug)]
+struct SiteSlabInner {
+    dims: ProfileDims,
+    /// First site index of each thread (prefix sums of `dims.thread_ins`).
+    offsets: Vec<u32>,
+    sites: Box<[AtomicU64]>,
+    objs: Box<[AtomicU64]>,
+}
+
+fn atomic_slab(len: usize) -> Box<[AtomicU64]> {
+    (0..len).map(|_| AtomicU64::new(0)).collect()
+}
+
+impl SiteSlabInner {
+    fn new(dims: ProfileDims) -> SiteSlabInner {
+        let mut offsets = Vec::with_capacity(dims.thread_ins.len());
+        let mut total = 0u32;
+        for &n in &dims.thread_ins {
+            offsets.push(total);
+            total += n;
+        }
+        let sites = atomic_slab(dims.site_count() * site::KINDS);
+        let objs = atomic_slab(dims.obj_count() * site::KINDS);
+        SiteSlabInner {
+            dims,
+            offsets,
+            sites,
+            objs,
+        }
+    }
+
+    #[inline]
+    fn site_slot(&self, thread: u32, pc: u32, counter: usize) -> usize {
+        debug_assert!(pc < self.dims.thread_ins[thread as usize]);
+        (self.offsets[thread as usize] + pc) as usize * site::KINDS + counter
+    }
+
+    #[inline]
+    fn obj_slot(&self, obj: ProfileObj, counter: usize) -> usize {
+        let index = match obj {
+            ProfileObj::Var(v) => v as usize,
+            ProfileObj::Mutex(m) => (self.dims.vars + m) as usize,
+        };
+        index * site::KINDS + counter
+    }
+}
+
+/// A worker's per-program-point recording handle. All operations are
+/// relaxed atomic adds on fixed slabs; no-ops when acquired from a
+/// disabled [`ProfileHandle`].
+#[derive(Debug, Clone, Default)]
+pub struct ProfileSites(Option<Arc<SiteSlabInner>>);
+
+impl ProfileSites {
+    /// An inert handle (what a disabled [`ProfileHandle`] returns).
+    pub fn disabled() -> ProfileSites {
+        ProfileSites(None)
+    }
+
+    /// `true` when recording is live.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds `n` to one counter of the site `(thread, pc)` and, when the
+    /// event touches an object, to the same counter of that object.
+    #[inline]
+    pub fn add(&self, thread: u32, pc: u32, obj: Option<ProfileObj>, counter: usize, n: u64) {
+        let Some(inner) = &self.0 else { return };
+        inner.sites[inner.site_slot(thread, pc, counter)].fetch_add(n, Ordering::Relaxed);
+        if let Some(obj) = obj {
+            inner.objs[inner.obj_slot(obj, counter)].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Per-span accumulation: one schedule-prefix subtree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct SpanAgg {
+    schedules: u64,
+    events: u64,
+    wall_ns: u64,
+}
+
+/// One worker's leaf-level state, behind a mutex taken once per complete
+/// schedule (the leaf path already walks the whole trace to fingerprint
+/// it, so one uncontended lock is noise).
+#[derive(Debug, Default)]
+struct LeafState {
+    classes_regular: HashMap<u128, u64>,
+    classes_lazy: HashMap<u128, u64>,
+    spans: HashMap<u64, SpanAgg>,
+    /// One bucket per [`PROFILE_DEPTH_BUCKETS`] bound plus `+Inf`.
+    depth: [SpanAgg; PROFILE_DEPTH_BUCKETS.len() + 1],
+    /// Wall-clock instant of the previous leaf: each leaf is charged the
+    /// time since the last one on this worker (the first leaf charges 0).
+    last_leaf: Option<Instant>,
+    schedules: u64,
+    events: u64,
+}
+
+#[derive(Debug, Default)]
+struct LeafInner {
+    state: Mutex<LeafState>,
+}
+
+/// A worker's leaf-level recording handle (classes, spans, depth
+/// buckets). No-op when acquired from a disabled [`ProfileHandle`].
+#[derive(Debug, Clone, Default)]
+pub struct ProfileLeaf(Option<Arc<LeafInner>>);
+
+/// Packs a schedule prefix (thread indices) into a span key: up to
+/// [`SPAN_PREFIX_LEN`] choices of 6 bits each plus the packed length, so
+/// span keys are `Copy` and leaf recording allocates nothing per leaf.
+pub fn pack_prefix(choices: impl IntoIterator<Item = u32>) -> u64 {
+    let mut key = 0u64;
+    let mut len = 0u64;
+    for c in choices.into_iter().take(SPAN_PREFIX_LEN) {
+        debug_assert!(c < 64, "span prefix packing assumes <=64 threads");
+        key |= u64::from(c & 0x3f) << (len * 6);
+        len += 1;
+    }
+    key | (len << 48)
+}
+
+fn unpack_prefix(key: u64) -> Vec<u32> {
+    let len = (key >> 48) as usize;
+    (0..len).map(|i| ((key >> (i * 6)) & 0x3f) as u32).collect()
+}
+
+impl ProfileLeaf {
+    /// An inert handle (what a disabled [`ProfileHandle`] returns).
+    pub fn disabled() -> ProfileLeaf {
+        ProfileLeaf(None)
+    }
+
+    /// `true` when recording is live.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records one complete schedule: its event count, its packed
+    /// schedule-prefix span key (see [`pack_prefix`]) and its terminal
+    /// happens-before fingerprints under the regular and lazy relations
+    /// (when the caller computed them).
+    pub fn record_leaf(
+        &self,
+        events: u64,
+        span_key: u64,
+        fp_regular: Option<u128>,
+        fp_lazy: Option<u128>,
+    ) {
+        let Some(inner) = &self.0 else { return };
+        let now = Instant::now();
+        let mut st = inner.state.lock().unwrap();
+        let wall_ns = match st.last_leaf {
+            Some(prev) => now.duration_since(prev).as_nanos().min(u64::MAX as u128) as u64,
+            None => 0,
+        };
+        st.last_leaf = Some(now);
+        st.schedules += 1;
+        st.events += events;
+        if let Some(fp) = fp_regular {
+            *st.classes_regular.entry(fp).or_insert(0) += 1;
+        }
+        if let Some(fp) = fp_lazy {
+            *st.classes_lazy.entry(fp).or_insert(0) += 1;
+        }
+        let span = st.spans.entry(span_key).or_default();
+        span.schedules += 1;
+        span.events += events;
+        span.wall_ns += wall_ns;
+        let bucket = PROFILE_DEPTH_BUCKETS
+            .iter()
+            .position(|&le| events <= le)
+            .unwrap_or(PROFILE_DEPTH_BUCKETS.len());
+        let d = &mut st.depth[bucket];
+        d.schedules += 1;
+        d.events += events;
+        d.wall_ns += wall_ns;
+    }
+}
+
+/// Shared profile store for one exploration (or one server job): hands
+/// out per-worker site slabs and leaf shards, merged on
+/// [`ProfileRegistry::snapshot`].
+#[derive(Debug, Default)]
+pub struct ProfileRegistry {
+    sites: Mutex<Vec<Arc<SiteSlabInner>>>,
+    leaves: Mutex<Vec<Arc<LeafInner>>>,
+}
+
+impl ProfileRegistry {
+    fn acquire_sites(&self, dims: &ProfileDims) -> Arc<SiteSlabInner> {
+        let mut slabs = self.sites.lock().unwrap();
+        if let Some(first) = slabs.first() {
+            assert_eq!(
+                &first.dims, dims,
+                "one profile registry serves one program: dims diverged"
+            );
+        }
+        let inner = Arc::new(SiteSlabInner::new(dims.clone()));
+        slabs.push(inner.clone());
+        inner
+    }
+
+    fn acquire_leaf(&self) -> Arc<LeafInner> {
+        let inner = Arc::new(LeafInner::default());
+        self.leaves.lock().unwrap().push(inner.clone());
+        inner
+    }
+
+    /// Merges every shard into one deterministic snapshot (sorted sites,
+    /// objects, classes and spans). Safe to call while workers are still
+    /// recording (relaxed reads; the scrape path of a running job).
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        let slabs = self.sites.lock().unwrap();
+        let mut sites: Vec<SiteSnap> = Vec::new();
+        let mut objects: Vec<ObjSnap> = Vec::new();
+        if let Some(first) = slabs.first() {
+            let dims = &first.dims;
+            for (thread, &n) in dims.thread_ins.iter().enumerate() {
+                for pc in 0..n {
+                    let mut counts = [0u64; site::KINDS];
+                    for slab in slabs.iter() {
+                        let base = slab.site_slot(thread as u32, pc, 0);
+                        for (k, c) in counts.iter_mut().enumerate() {
+                            *c += slab.sites[base + k].load(Ordering::Relaxed);
+                        }
+                    }
+                    if counts.iter().any(|&c| c > 0) {
+                        sites.push(SiteSnap {
+                            thread: thread as u32,
+                            pc,
+                            counts,
+                        });
+                    }
+                }
+            }
+            for index in 0..dims.obj_count() as u32 {
+                let obj = if index < dims.vars {
+                    ProfileObj::Var(index)
+                } else {
+                    ProfileObj::Mutex(index - dims.vars)
+                };
+                let mut counts = [0u64; site::KINDS];
+                for slab in slabs.iter() {
+                    let base = slab.obj_slot(obj, 0);
+                    for (k, c) in counts.iter_mut().enumerate() {
+                        *c += slab.objs[base + k].load(Ordering::Relaxed);
+                    }
+                }
+                if counts.iter().any(|&c| c > 0) {
+                    objects.push(ObjSnap { obj, counts });
+                }
+            }
+        }
+        drop(slabs);
+
+        let leaves = self.leaves.lock().unwrap();
+        let mut schedules = 0u64;
+        let mut events = 0u64;
+        let mut classes_regular: HashMap<u128, u64> = HashMap::new();
+        let mut classes_lazy: HashMap<u128, u64> = HashMap::new();
+        let mut spans: HashMap<u64, SpanAgg> = HashMap::new();
+        let mut depth = [SpanAgg::default(); PROFILE_DEPTH_BUCKETS.len() + 1];
+        for leaf in leaves.iter() {
+            let st = leaf.state.lock().unwrap();
+            schedules += st.schedules;
+            events += st.events;
+            for (&fp, &n) in &st.classes_regular {
+                *classes_regular.entry(fp).or_insert(0) += n;
+            }
+            for (&fp, &n) in &st.classes_lazy {
+                *classes_lazy.entry(fp).or_insert(0) += n;
+            }
+            for (&key, agg) in &st.spans {
+                let s = spans.entry(key).or_default();
+                s.schedules += agg.schedules;
+                s.events += agg.events;
+                s.wall_ns += agg.wall_ns;
+            }
+            for (d, agg) in depth.iter_mut().zip(&st.depth) {
+                d.schedules += agg.schedules;
+                d.events += agg.events;
+                d.wall_ns += agg.wall_ns;
+            }
+        }
+        drop(leaves);
+
+        let classes = [
+            ClassSnap::from_map("regular", &classes_regular),
+            ClassSnap::from_map("lazy", &classes_lazy),
+        ];
+        let span_count = spans.len() as u64;
+        let mut top_spans: Vec<(u64, SpanAgg)> = spans.into_iter().collect();
+        // Deterministic hot-subtree order: most schedules first, packed
+        // prefix as the tie-break.
+        top_spans.sort_by(|a, b| b.1.schedules.cmp(&a.1.schedules).then(a.0.cmp(&b.0)));
+        top_spans.truncate(TOP_SPANS);
+        let spans = top_spans
+            .into_iter()
+            .map(|(key, agg)| SpanSnap {
+                prefix: unpack_prefix(key),
+                schedules: agg.schedules,
+                events: agg.events,
+                wall_ns: agg.wall_ns,
+            })
+            .collect();
+        let depth = depth
+            .iter()
+            .enumerate()
+            .map(|(i, agg)| DepthSnap {
+                le: PROFILE_DEPTH_BUCKETS.get(i).copied(),
+                schedules: agg.schedules,
+                events: agg.events,
+                wall_ns: agg.wall_ns,
+            })
+            .collect();
+
+        ProfileSnapshot {
+            schedules,
+            events,
+            sites,
+            objects,
+            classes,
+            span_count,
+            spans,
+            depth,
+        }
+    }
+}
+
+/// The cloneable on/off switch threaded through `ExploreConfig`: `None`
+/// (the default) costs one branch per instrumentation point; `Some`
+/// shares one [`ProfileRegistry`] between every shard of a run.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileHandle(Option<Arc<ProfileRegistry>>);
+
+impl ProfileHandle {
+    /// The inert default: every operation is a no-op.
+    pub fn disabled() -> ProfileHandle {
+        ProfileHandle(None)
+    }
+
+    /// A live handle over a fresh registry.
+    pub fn enabled() -> ProfileHandle {
+        ProfileHandle(Some(Arc::new(ProfileRegistry::default())))
+    }
+
+    /// `true` when recording is live.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Acquires a per-worker site slab sized for `dims`. Every slab of
+    /// one registry must be acquired with the same dims (one registry
+    /// serves one program).
+    pub fn sites(&self, dims: &ProfileDims) -> ProfileSites {
+        ProfileSites(self.0.as_ref().map(|r| r.acquire_sites(dims)))
+    }
+
+    /// Acquires a per-worker leaf shard.
+    pub fn leaf_shard(&self) -> ProfileLeaf {
+        ProfileLeaf(self.0.as_ref().map(|r| r.acquire_leaf()))
+    }
+
+    /// Snapshot of the whole registry; `None` when disabled.
+    pub fn snapshot(&self) -> Option<ProfileSnapshot> {
+        self.0.as_ref().map(|r| r.snapshot())
+    }
+}
+
+/// Attribution counters of one program point, `(thread, pc)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteSnap {
+    pub thread: u32,
+    pub pc: u32,
+    /// Counter values in [`site`] order.
+    pub counts: [u64; site::KINDS],
+}
+
+/// Attribution counters of one variable or mutex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjSnap {
+    pub obj: ProfileObj,
+    /// Counter values in [`site`] order.
+    pub counts: [u64; site::KINDS],
+}
+
+/// Schedules-per-equivalence-class accounting for one happens-before
+/// relation: the paper's §3 redundancy metric
+/// (`redundant = schedules − distinct classes`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassSnap {
+    /// `"regular"` or `"lazy"`.
+    pub relation: &'static str,
+    /// Distinct equivalence classes reached.
+    pub distinct: u64,
+    /// Schedules attributed to a class (leaves with a fingerprint).
+    pub schedules: u64,
+    /// The most re-explored classes: `(fingerprint, schedules)`, highest
+    /// first, at most [`TOP_CLASSES`] rows.
+    pub top: Vec<(u128, u64)>,
+}
+
+impl ClassSnap {
+    fn from_map(relation: &'static str, map: &HashMap<u128, u64>) -> ClassSnap {
+        let mut top: Vec<(u128, u64)> = map.iter().map(|(&fp, &n)| (fp, n)).collect();
+        top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        top.truncate(TOP_CLASSES);
+        ClassSnap {
+            relation,
+            distinct: map.len() as u64,
+            schedules: map.values().sum(),
+            top,
+        }
+    }
+
+    /// Schedules that re-explored an already-seen class.
+    pub fn redundant(&self) -> u64 {
+        self.schedules - self.distinct
+    }
+}
+
+/// One hot subtree: a schedule prefix with its accumulated work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSnap {
+    /// The first ≤ [`SPAN_PREFIX_LEN`] schedule choices (thread indices).
+    pub prefix: Vec<u32>,
+    pub schedules: u64,
+    pub events: u64,
+    /// Wall time attributed to leaves of this subtree (time-based:
+    /// zeroed by [`ProfileSnapshot::scrubbed`]).
+    pub wall_ns: u64,
+}
+
+/// One leaf-depth bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepthSnap {
+    /// Upper bound in events; `None` is the `+Inf` bucket.
+    pub le: Option<u64>,
+    pub schedules: u64,
+    pub events: u64,
+    /// Time-based: zeroed by [`ProfileSnapshot::scrubbed`].
+    pub wall_ns: u64,
+}
+
+/// A merged, ordered point-in-time view of a [`ProfileRegistry`] — the
+/// unit that serializes and scrubs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileSnapshot {
+    /// Complete schedules recorded at the leaf level.
+    pub schedules: u64,
+    /// Events across those schedules.
+    pub events: u64,
+    /// Non-zero program points, sorted by `(thread, pc)`.
+    pub sites: Vec<SiteSnap>,
+    /// Non-zero objects, variables first then mutexes.
+    pub objects: Vec<ObjSnap>,
+    /// Redundancy accounting under the regular and lazy relations.
+    pub classes: [ClassSnap; 2],
+    /// Distinct schedule-prefix subtrees seen.
+    pub span_count: u64,
+    /// The hottest subtrees (≤ [`TOP_SPANS`], most schedules first).
+    pub spans: Vec<SpanSnap>,
+    /// Per-depth-bucket accounting ([`PROFILE_DEPTH_BUCKETS`] + `+Inf`).
+    pub depth: Vec<DepthSnap>,
+}
+
+impl ProfileSnapshot {
+    /// A copy with every wall-time series zeroed — the determinism
+    /// contract: two identical explorations scrub to byte-identical JSON.
+    pub fn scrubbed(&self) -> ProfileSnapshot {
+        let mut s = self.clone();
+        for span in &mut s.spans {
+            span.wall_ns = 0;
+        }
+        for d in &mut s.depth {
+            d.wall_ns = 0;
+        }
+        s
+    }
+
+    /// Integer-only JSON, stable field order (the codec contract shared
+    /// with `lazylocks-trace`'s `Json`, which parses this verbatim).
+    /// Fingerprints are hex strings (they exceed the interoperable
+    /// integer range).
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::from("{\"format\":\"lazylocks-profile\",\"version\":1");
+        out.push_str(&format!(
+            ",\"schedules\":{},\"events\":{}",
+            self.schedules, self.events
+        ));
+        out.push_str(",\"sites\":[");
+        for (i, s) in self.sites.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"thread\":{},\"pc\":{}", s.thread, s.pc));
+            write_counts(&mut out, &s.counts);
+            out.push('}');
+        }
+        out.push_str("],\"objects\":[");
+        for (i, o) in self.objects.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let (kind, index) = match o.obj {
+                ProfileObj::Var(v) => ("var", v),
+                ProfileObj::Mutex(m) => ("mutex", m),
+            };
+            out.push_str(&format!("{{\"kind\":\"{kind}\",\"index\":{index}"));
+            write_counts(&mut out, &o.counts);
+            out.push('}');
+        }
+        out.push_str("],\"classes\":[");
+        for (i, c) in self.classes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"relation\":\"{}\",\"distinct\":{},\"schedules\":{},\"redundant\":{},\"top\":[",
+                json_escape(c.relation),
+                c.distinct,
+                c.schedules,
+                c.redundant()
+            ));
+            for (j, (fp, n)) in c.top.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"fingerprint\":\"{fp:032x}\",\"schedules\":{n}}}"
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str(&format!(
+            "],\"subtrees\":{{\"distinct\":{}",
+            self.span_count
+        ));
+        out.push_str(",\"top\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"prefix\":[");
+            for (j, c) in s.prefix.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push_str(&format!(
+                "],\"schedules\":{},\"events\":{},\"wall_ns\":{}}}",
+                s.schedules, s.events, s.wall_ns
+            ));
+        }
+        out.push_str("]},\"depth\":[");
+        for (i, d) in self.depth.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match d.le {
+                Some(le) => out.push_str(&format!("{{\"le\":{le}")),
+                None => out.push_str("{\"le\":\"inf\""),
+            }
+            out.push_str(&format!(
+                ",\"schedules\":{},\"events\":{},\"wall_ns\":{}}}",
+                d.schedules, d.events, d.wall_ns
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn write_counts(out: &mut String, counts: &[u64; site::KINDS]) {
+    for (name, value) in site::NAMES.iter().zip(counts) {
+        out.push_str(&format!(",\"{name}\":{value}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> ProfileDims {
+        ProfileDims {
+            thread_ins: vec![3, 2],
+            vars: 2,
+            mutexes: 1,
+        }
+    }
+
+    #[test]
+    fn disabled_handle_is_inert_everywhere() {
+        let handle = ProfileHandle::disabled();
+        assert!(!handle.is_enabled());
+        let sites = handle.sites(&dims());
+        assert!(!sites.is_enabled());
+        sites.add(0, 1, Some(ProfileObj::Var(0)), site::RACES, 1);
+        let leaf = handle.leaf_shard();
+        leaf.record_leaf(5, pack_prefix([0, 1]), Some(1), Some(2));
+        assert!(handle.snapshot().is_none());
+    }
+
+    #[test]
+    fn site_and_object_attribution_lands_on_the_right_slots() {
+        let handle = ProfileHandle::enabled();
+        let sites = handle.sites(&dims());
+        sites.add(0, 2, Some(ProfileObj::Mutex(0)), site::BACKTRACKS, 3);
+        sites.add(1, 0, Some(ProfileObj::Var(1)), site::RACES, 1);
+        sites.add(1, 0, None, site::RESCHEDULES, 7);
+        let snap = handle.snapshot().unwrap();
+        assert_eq!(snap.sites.len(), 2);
+        assert_eq!(snap.sites[0].thread, 0);
+        assert_eq!(snap.sites[0].pc, 2);
+        assert_eq!(snap.sites[0].counts[site::BACKTRACKS], 3);
+        assert_eq!(snap.sites[1].thread, 1);
+        assert_eq!(snap.sites[1].counts[site::RACES], 1);
+        assert_eq!(snap.sites[1].counts[site::RESCHEDULES], 7);
+        assert_eq!(snap.objects.len(), 2);
+        assert_eq!(snap.objects[0].obj, ProfileObj::Var(1));
+        assert_eq!(snap.objects[1].obj, ProfileObj::Mutex(0));
+        assert_eq!(snap.objects[1].counts[site::BACKTRACKS], 3);
+    }
+
+    #[test]
+    fn leaf_recording_accumulates_classes_spans_and_depth() {
+        let handle = ProfileHandle::enabled();
+        let leaf = handle.leaf_shard();
+        leaf.record_leaf(6, pack_prefix([0, 1, 0]), Some(10), Some(20));
+        leaf.record_leaf(6, pack_prefix([0, 1, 0]), Some(11), Some(20));
+        leaf.record_leaf(600, pack_prefix([1]), Some(11), None);
+        let snap = handle.snapshot().unwrap();
+        assert_eq!(snap.schedules, 3);
+        assert_eq!(snap.events, 612);
+        let regular = &snap.classes[0];
+        assert_eq!(regular.relation, "regular");
+        assert_eq!(regular.distinct, 2);
+        assert_eq!(regular.schedules, 3);
+        assert_eq!(regular.redundant(), 1);
+        let lazy = &snap.classes[1];
+        assert_eq!(lazy.distinct, 1);
+        assert_eq!(lazy.schedules, 2);
+        assert_eq!(snap.span_count, 2);
+        assert_eq!(snap.spans[0].prefix, vec![0, 1, 0]);
+        assert_eq!(snap.spans[0].schedules, 2);
+        // 6 ≤ 8 → second bucket; 600 overflows every bound → +Inf.
+        assert_eq!(snap.depth[1].schedules, 2);
+        assert_eq!(snap.depth.last().unwrap().schedules, 1);
+        assert_eq!(snap.depth.last().unwrap().le, None);
+    }
+
+    #[test]
+    fn worker_shards_merge_deterministically() {
+        let run = |split: bool| {
+            let handle = ProfileHandle::enabled();
+            let (a, b) = if split {
+                (handle.sites(&dims()), handle.sites(&dims()))
+            } else {
+                let s = handle.sites(&dims());
+                (s.clone(), s)
+            };
+            a.add(0, 0, Some(ProfileObj::Var(0)), site::RACES, 2);
+            b.add(0, 0, Some(ProfileObj::Var(0)), site::RACES, 5);
+            let (la, lb) = if split {
+                (handle.leaf_shard(), handle.leaf_shard())
+            } else {
+                let l = handle.leaf_shard();
+                (l.clone(), l)
+            };
+            la.record_leaf(4, pack_prefix([0]), Some(1), Some(1));
+            lb.record_leaf(4, pack_prefix([0]), Some(1), Some(1));
+            handle.snapshot().unwrap().scrubbed().to_json_string()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn scrub_zeroes_wall_time_only() {
+        let handle = ProfileHandle::enabled();
+        let leaf = handle.leaf_shard();
+        leaf.record_leaf(4, pack_prefix([0]), Some(1), Some(1));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        leaf.record_leaf(4, pack_prefix([0]), Some(1), Some(1));
+        let snap = handle.snapshot().unwrap();
+        assert!(snap.spans[0].wall_ns > 0, "second leaf must be charged");
+        let scrubbed = snap.scrubbed();
+        assert_eq!(scrubbed.spans[0].wall_ns, 0);
+        assert!(scrubbed.depth.iter().all(|d| d.wall_ns == 0));
+        assert_eq!(scrubbed.spans[0].schedules, snap.spans[0].schedules);
+    }
+
+    #[test]
+    fn identical_recordings_serialize_byte_identically() {
+        let run = || {
+            let handle = ProfileHandle::enabled();
+            let sites = handle.sites(&dims());
+            sites.add(0, 1, Some(ProfileObj::Mutex(0)), site::RACES, 4);
+            sites.add(1, 1, Some(ProfileObj::Var(0)), site::BACKTRACKS, 2);
+            let leaf = handle.leaf_shard();
+            for fp in [7u128, 9, 7, 7] {
+                leaf.record_leaf(10, pack_prefix([0, 1]), Some(fp), Some(fp / 2));
+            }
+            handle.snapshot().unwrap().scrubbed().to_json_string()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn prefix_packing_round_trips() {
+        assert_eq!(unpack_prefix(pack_prefix([])), Vec::<u32>::new());
+        assert_eq!(unpack_prefix(pack_prefix([3, 0, 63])), vec![3, 0, 63]);
+        // Longer schedules share the 8-choice subtree key.
+        let long = pack_prefix((0..20).map(|i| i % 4));
+        assert_eq!(unpack_prefix(long).len(), SPAN_PREFIX_LEN);
+        assert_eq!(
+            pack_prefix((0..9).map(|_| 1)),
+            pack_prefix((0..8).map(|_| 1))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dims diverged")]
+    fn mismatched_dims_panic() {
+        let handle = ProfileHandle::enabled();
+        let _ = handle.sites(&dims());
+        let _ = handle.sites(&ProfileDims {
+            thread_ins: vec![1],
+            vars: 0,
+            mutexes: 0,
+        });
+    }
+}

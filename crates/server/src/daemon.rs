@@ -7,12 +7,14 @@
 //! |-----------------------------|------------------------------------------|
 //! | `GET /healthz`              | liveness + queue/worker load             |
 //! | `GET /metrics`              | Prometheus text exposition               |
+//! | `GET /metrics?format=json`  | the same metrics as a JSON document      |
 //! | `GET /strategies`           | the strategy registry with help + aliases|
 //! | `POST /jobs`                | submit a job (JSON body) → 201 `{id}`    |
 //! | `GET /jobs`                 | summaries of every job                   |
 //! | `GET /jobs/<id>`            | one job, result document included        |
 //! | `DELETE /jobs/<id>`         | cooperative cancel                       |
 //! | `GET /jobs/<id>/events?since=N` | poll the seq-numbered event log      |
+//! | `GET /jobs/<id>/profile`    | the job's exploration-profile document   |
 //! | `POST /shutdown`            | stop accepting, drain, exit              |
 //!
 //! ## Threads
@@ -229,8 +231,17 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
     });
     let mut writer = stream;
     let (status, body) = match read_request(&mut reader, &ctx.config.limits) {
-        // `/metrics` is the one non-JSON route: Prometheus text.
-        Ok(request) if request.method == "GET" && request.path == "/metrics" => {
+        // `/metrics` is the one non-JSON route: Prometheus text. Its
+        // `?format=json` twin serves the same families as JSON for the
+        // JSON-only client (`lazylocks client metrics`).
+        Ok(request)
+            if request.method == "GET"
+                && request.path == "/metrics"
+                && !request
+                    .query
+                    .iter()
+                    .any(|(k, v)| k == "format" && v == "json") =>
+        {
             write_text_response(
                 &mut writer,
                 200,
@@ -298,6 +309,47 @@ fn metrics_text(ctx: &ServerCtx) -> String {
     }
     out.push_str(&merged.to_prometheus_text());
     out
+}
+
+/// `GET /metrics?format=json`: the merged exploration metrics in the
+/// `lazylocks-metrics` JSON schema, plus a `server` object carrying the
+/// daemon gauges the text exposition renders as its own families.
+fn metrics_json_body(ctx: &ServerCtx) -> Json {
+    let (queued, running) = ctx.table.load();
+    let jobs = Json::Obj(
+        ctx.table
+            .state_counts()
+            .iter()
+            .map(|(state, n)| (state.as_str().to_string(), Json::Int(*n as i128)))
+            .collect(),
+    );
+    let server = Json::obj([
+        ("lazylocks_server_queue_depth", Json::Int(queued as i128)),
+        ("lazylocks_server_running_jobs", Json::Int(running as i128)),
+        ("lazylocks_server_jobs", jobs),
+        (
+            "lazylocks_server_workers",
+            Json::Int(ctx.config.workers.max(1) as i128),
+        ),
+        (
+            "lazylocks_server_uptime_ticks",
+            Json::Int(ctx.started.elapsed().as_secs() as i128),
+        ),
+        (
+            "lazylocks_server_draining",
+            Json::Int(i128::from(u8::from(ctx.shutdown.load(Ordering::SeqCst)))),
+        ),
+    ]);
+    let mut merged = ctx.table.metrics_snapshot();
+    if let Some(daemon) = ctx.metrics.snapshot() {
+        merged.merge(&daemon);
+    }
+    let mut body = Json::parse(&merged.to_json_string())
+        .expect("metrics snapshot JSON is well-formed by construction");
+    if let Json::Obj(pairs) = &mut body {
+        pairs.push(("server".to_string(), server));
+    }
+    body
 }
 
 fn error_body(message: &str) -> Json {
@@ -376,6 +428,9 @@ fn route(request: &Request, ctx: &ServerCtx) -> (u16, Json) {
                 ),
             ]),
         ),
+        // Only the `format=json` variant reaches the router; plain text
+        // is served on the connection fast-path above.
+        ("GET", ["metrics"]) => (200, metrics_json_body(ctx)),
         ("POST", ["jobs"]) => submit_job(request, ctx),
         ("GET", ["jobs"]) => (200, ctx.table.list()),
         ("GET", ["jobs", id]) => match parse_id(id) {
@@ -394,6 +449,13 @@ fn route(request: &Request, ctx: &ServerCtx) -> (u16, Json) {
                         ("state", Json::Str(state.as_str().to_string())),
                     ]),
                 ),
+                None => (404, error_body(&format!("no job {id}"))),
+            },
+            None => (400, error_body(&format!("bad job id {id:?}"))),
+        },
+        ("GET", ["jobs", id, "profile"]) => match parse_id(id) {
+            Some(id) => match ctx.table.profile(id) {
+                Some(profile) => (200, profile),
                 None => (404, error_body(&format!("no job {id}"))),
             },
             None => (400, error_body(&format!("bad job id {id:?}"))),

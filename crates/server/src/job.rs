@@ -16,9 +16,13 @@
 //! barrier.
 
 use crate::journal::Journal;
-use lazylocks::{BugReport, CancelToken, ExploreConfig, MetricsHandle, Observer, Progress};
+use lazylocks::{
+    BugReport, CancelToken, ExploreConfig, MetricsHandle, Observer, ProfileHandle, Progress,
+};
 use lazylocks_model::Program;
-use lazylocks_trace::{bug_kind_to_json, drive, outcome_json, CorpusStore, DriveRequest, Json};
+use lazylocks_trace::{
+    bug_kind_to_json, drive, outcome_json, CorpusStore, DriveRequest, Json, ProfileDoc,
+};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
@@ -177,6 +181,10 @@ struct Job {
     /// `GET /metrics` can aggregate across queued, running and finished
     /// jobs alike.
     metrics: MetricsHandle,
+    /// The job's exploration profiler — also always on, so
+    /// `GET /jobs/<id>/profile` serves attribution for every finished
+    /// job without resubmission.
+    profile: ProfileHandle,
     /// Append-only, seq-stamped event log.
     events: Vec<Json>,
     /// The scrubbed outcome document, present once `Done` or `Cancelled`
@@ -297,6 +305,7 @@ impl JobTable {
                 cancel: CancelToken::new(),
                 cancel_requested: false,
                 metrics: MetricsHandle::enabled(),
+                profile: ProfileHandle::enabled(),
                 events: Vec::new(),
                 result: None,
                 error: None,
@@ -329,6 +338,7 @@ impl JobTable {
             cancel: CancelToken::new(),
             cancel_requested: false,
             metrics: MetricsHandle::enabled(),
+            profile: ProfileHandle::enabled(),
             events: Vec::new(),
             result: None,
             error: None,
@@ -342,7 +352,7 @@ impl JobTable {
 
     /// Worker side: blocks until a job is available (highest priority,
     /// then FIFO) or shutdown has drained the queue; `None` means exit.
-    pub fn next_job(&self) -> Option<(u64, JobRequest, CancelToken, MetricsHandle)> {
+    pub fn next_job(&self) -> Option<(u64, JobRequest, CancelToken, MetricsHandle, ProfileHandle)> {
         let mut t = self.inner.lock().unwrap();
         loop {
             if let Some(pos) = best_queued(&t) {
@@ -357,6 +367,7 @@ impl JobTable {
                     job.request.clone(),
                     job.cancel.clone(),
                     job.metrics.clone(),
+                    job.profile.clone(),
                 ));
             }
             if t.shutting_down {
@@ -446,6 +457,26 @@ impl JobTable {
             "jobs",
             Json::Arr(t.jobs.values().map(Job::summary_json).collect()),
         )])
+    }
+
+    /// `GET /jobs/<id>/profile`: the job's exploration-profile document,
+    /// extracted from the result. `None` for an unknown id; a known job
+    /// that has not finished (or failed before exploring) answers with a
+    /// `null` profile and its current state.
+    pub fn profile(&self, id: u64) -> Option<Json> {
+        let t = self.inner.lock().unwrap();
+        let job = t.jobs.get(&id)?;
+        let profile = job
+            .result
+            .as_ref()
+            .and_then(|r| r.get("profile"))
+            .cloned()
+            .unwrap_or(Json::Null);
+        Some(Json::obj([
+            ("id", Json::Int(id as i128)),
+            ("state", Json::Str(job.state.as_str().to_string())),
+            ("profile", profile),
+        ]))
     }
 
     /// `GET /jobs/<id>/events?since=N`: the events with `seq >= since`,
@@ -581,8 +612,16 @@ pub const DEFAULT_PROGRESS_INTERVAL: usize = 1024;
 /// One worker thread: claim, explore, record, repeat — until shutdown
 /// drains the queue.
 pub fn run_worker(table: Arc<JobTable>, corpus_dir: Option<PathBuf>) {
-    while let Some((id, request, cancel, metrics)) = table.next_job() {
-        let outcome = execute(&table, id, &request, cancel, metrics, corpus_dir.as_deref());
+    while let Some((id, request, cancel, metrics, profile)) = table.next_job() {
+        let outcome = execute(
+            &table,
+            id,
+            &request,
+            cancel,
+            metrics,
+            profile,
+            corpus_dir.as_deref(),
+        );
         table.finish(id, outcome);
     }
 }
@@ -594,6 +633,7 @@ fn execute(
     request: &JobRequest,
     cancel: CancelToken,
     metrics: MetricsHandle,
+    profile: ProfileHandle,
     corpus_dir: Option<&std::path::Path>,
 ) -> Result<Json, String> {
     // Submission already validated the source, so a failure here means
@@ -601,7 +641,8 @@ fn execute(
     let program = Program::parse(&request.program_source).map_err(|e| format!("program: {e}"))?;
     let mut config = ExploreConfig::with_limit(request.limit)
         .seeded(request.seed)
-        .with_metrics(metrics.clone());
+        .with_metrics(metrics.clone())
+        .with_profile(profile.clone());
     config.preemption_bound = request.preemptions;
     config.stop_on_bug = request.stop_on_bug;
 
@@ -651,6 +692,14 @@ fn execute(
             if let Ok(scrubbed) = Json::parse(&snapshot.scrubbed().to_json_string()) {
                 pairs.push(("metrics".to_string(), scrubbed));
             }
+        }
+    }
+    if let Some(snapshot) = profile.snapshot() {
+        // Scrubbed for the same reason as the metrics: identical
+        // submissions must produce byte-identical result documents.
+        let profile_doc = ProfileDoc::new(&program, &request.spec, &snapshot.scrubbed());
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.push(("profile".to_string(), profile_doc.to_json()));
         }
     }
     Ok(scrubbed_result(doc))
@@ -760,7 +809,7 @@ thread T2 {
         let a = table.submit(request(0), "p".into()).unwrap();
         let b = table.submit(request(0), "p".into()).unwrap();
         assert_eq!(table.cancel(b), Some(JobState::Cancelled));
-        let (claimed, _, token, _) = table.next_job().unwrap();
+        let (claimed, _, token, _, _) = table.next_job().unwrap();
         assert_eq!(claimed, a);
         assert_eq!(table.cancel(a), Some(JobState::Running));
         assert!(token.is_cancelled());
@@ -806,6 +855,18 @@ thread T2 {
             Some("lazylocks-metrics")
         );
         assert!(kinds.contains(&"metrics"), "{kinds:?}");
+        // ...and an exploration-profile document, served standalone by
+        // `GET /jobs/<id>/profile`.
+        let profile = result.get("profile").unwrap();
+        assert_eq!(
+            profile.get("format").unwrap().as_str(),
+            Some("lazylocks-profile-doc")
+        );
+        assert_eq!(profile.get("program").unwrap().as_str(), Some("deadlock"));
+        let route = table.profile(id).unwrap();
+        assert_eq!(route.get("state").unwrap().as_str(), Some("done"));
+        assert_eq!(route.get("profile").unwrap(), profile);
+        assert!(table.profile(99).is_none());
         // The cursor protocol: polling from `next` returns nothing new.
         let next = events.get("next").unwrap().as_u64().unwrap();
         let tail = table.events_since(id, next).unwrap();
@@ -829,7 +890,7 @@ thread T2 {
         let table = JobTable::with_journal(Arc::new(Journal::open(&path).unwrap()));
         let finished = table.submit(request(0), "deadlock".into()).unwrap();
         let pending = table.submit(request(0), "deadlock".into()).unwrap();
-        let (claimed, _, _, _) = table.next_job().unwrap();
+        let (claimed, _, _, _, _) = table.next_job().unwrap();
         assert_eq!(claimed, finished);
         table.finish(finished, Ok(Json::Null));
 
@@ -839,7 +900,7 @@ thread T2 {
         assert!(replay.skipped.is_empty(), "{:?}", replay.skipped);
         let table = JobTable::with_journal(Arc::new(Journal::open(&path).unwrap()));
         assert_eq!(table.restore(replay), 1);
-        let (recovered, req, _, _) = table.next_job().unwrap();
+        let (recovered, req, _, _, _) = table.next_job().unwrap();
         assert_eq!(recovered, pending, "original id survives the restart");
         assert_eq!(req.program_source, ABBA);
         // Fresh submissions continue above the recovered id space.
@@ -858,7 +919,7 @@ thread T2 {
         let queued = table.submit(request(0), "p".into()).unwrap();
         table.cancel(queued);
         let running = table.submit(request(0), "p".into()).unwrap();
-        let (claimed, _, _, _) = table.next_job().unwrap();
+        let (claimed, _, _, _, _) = table.next_job().unwrap();
         assert_eq!(claimed, running);
         table.cancel(running); // daemon dies before the worker notices
 

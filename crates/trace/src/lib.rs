@@ -62,6 +62,7 @@ pub mod checkpoint;
 pub mod drive;
 pub mod fault;
 pub mod json;
+pub mod profile;
 pub mod recorder;
 pub mod replay;
 pub mod store;
@@ -77,6 +78,10 @@ pub use checkpoint::{
 pub use drive::{drive, outcome_json, DriveRequest, DriveResult};
 pub use fault::{fsync_dir, read_with, write_atomic_durable, FaultPlan};
 pub use json::{Json, JsonError};
+pub use profile::{
+    render_profile, snapshot_from_json, ProfileDoc, ProfileDocError, PROFILE_FORMAT_NAME,
+    PROFILE_FORMAT_VERSION,
+};
 pub use recorder::{FinalizedTrace, TraceRecorder};
 pub use replay::{
     bug_matches, replay_against, replay_against_with, replay_embedded, replay_embedded_with,

@@ -12,7 +12,7 @@
 //! The whole check lives in one `#[test]` so no concurrently running test
 //! can pollute the counter (this is the only test in this binary).
 
-use lazylocks::{Dpor, ExploreConfig, Explorer, LazyDpor, MetricsHandle};
+use lazylocks::{Dpor, ExploreConfig, Explorer, LazyDpor, MetricsHandle, ProfileHandle};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -69,11 +69,19 @@ fn steady_state_steps_allocate_zero_frame_bodies() {
     // The contract must hold with the metrics registry live too: shard
     // operations are relaxed adds on pre-sized slabs, so instrumentation
     // adds setup allocations (the shard slab) but nothing per step.
+    // ...and with the exploration profiler live: site attribution is
+    // relaxed adds on dense slabs that grow to the program's dimensions
+    // once, and span tracking uses packed u64 keys, so profiling too
+    // must add setup allocations but nothing per step.
     let configs = [
         ("", ExploreConfig::with_limit(3_000)),
         (
             "+metrics",
             ExploreConfig::with_limit(3_000).with_metrics(MetricsHandle::enabled()),
+        ),
+        (
+            "+profile",
+            ExploreConfig::with_limit(3_000).with_profile(ProfileHandle::enabled()),
         ),
     ];
 

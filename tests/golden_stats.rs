@@ -16,11 +16,12 @@
 //! ```
 //!
 //! With `LAZYLOCKS_METRICS=1` every cell additionally runs with a live
-//! metrics registry; the snapshot must still match byte-for-byte (CI runs
-//! the suite once this way — instrumentation must never perturb what is
-//! explored).
+//! metrics registry; with `LAZYLOCKS_PROFILE=1`, with a live exploration
+//! profiler. Either way the snapshot must still match byte-for-byte (CI
+//! runs the suite once each way — instrumentation must never perturb
+//! what is explored).
 
-use lazylocks::{ExploreConfig, ExploreSession, MetricsHandle};
+use lazylocks::{ExploreConfig, ExploreSession, MetricsHandle, ProfileHandle};
 use std::fmt::Write as _;
 
 /// Schedule budget per (benchmark, strategy) cell. Small enough to keep
@@ -62,6 +63,7 @@ fn render() -> String {
          \tdeadlocks\tfaulted\tmax_depth\tlimit_hit\n",
     );
     let instrument = std::env::var_os("LAZYLOCKS_METRICS").is_some();
+    let profiled = std::env::var_os("LAZYLOCKS_PROFILE").is_some();
     for bench in selected_benchmarks() {
         for spec in STRATEGIES {
             let metrics = if instrument {
@@ -69,8 +71,17 @@ fn render() -> String {
             } else {
                 MetricsHandle::disabled()
             };
+            let profile = if profiled {
+                ProfileHandle::enabled()
+            } else {
+                ProfileHandle::disabled()
+            };
             let outcome = ExploreSession::new(&bench.program)
-                .with_config(ExploreConfig::with_limit(LIMIT).with_metrics(metrics))
+                .with_config(
+                    ExploreConfig::with_limit(LIMIT)
+                        .with_metrics(metrics)
+                        .with_profile(profile),
+                )
                 .run_spec(spec)
                 .unwrap_or_else(|e| panic!("{}/{spec}: {e}", bench.name));
             let s = outcome.stats;

@@ -1,0 +1,83 @@
+//! `EventLog` concurrency contract: many threads emitting through the
+//! same log must produce whole, non-interleaved JSON lines on stderr.
+//!
+//! libtest's output capture does not intercept direct `stderr()` writes,
+//! and a torn line inside this process would be invisible anyway, so the
+//! stream is checked from the outside: the test re-invokes its own
+//! binary as a writer child (selected via an env var), pipes the child's
+//! stderr, and verifies every line parses and every `(writer, seq)` pair
+//! arrived exactly once and in per-writer order.
+
+use lazylocks::obs::{EventLog, LogLevel, TraceEvent};
+use lazylocks_trace::Json;
+use std::process::{Command, Stdio};
+
+const CHILD_ENV: &str = "LAZYLOCKS_EVENT_LOG_CHILD";
+const WRITERS: usize = 8;
+const EVENTS_PER_WRITER: usize = 250;
+
+/// The writer half: a no-op under the normal harness run, the stress
+/// child when re-invoked with [`CHILD_ENV`] set.
+#[test]
+fn child_writer_emits_when_invoked_as_child() {
+    if std::env::var(CHILD_ENV).is_err() {
+        return;
+    }
+    let log = EventLog::new(LogLevel::Info);
+    let threads: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            std::thread::spawn(move || {
+                for i in 0..EVENTS_PER_WRITER {
+                    // A long payload widens the window a torn write
+                    // would need to hit.
+                    log.emit(
+                        &TraceEvent::new(LogLevel::Info, "stress")
+                            .field("writer", w)
+                            .field("seq", i)
+                            .field("payload", "x".repeat(64)),
+                    );
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+}
+
+#[test]
+fn concurrent_writers_produce_whole_non_interleaved_lines() {
+    let out = Command::new(std::env::current_exe().unwrap())
+        .args([
+            "--test-threads=1",
+            "--exact",
+            "child_writer_emits_when_invoked_as_child",
+        ])
+        .env(CHILD_ENV, "1")
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("spawn writer child");
+    assert!(out.status.success(), "writer child failed");
+    let text = String::from_utf8(out.stderr).expect("stderr is UTF-8");
+
+    let mut total = 0usize;
+    let mut next_seq = [0usize; WRITERS];
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "torn line: {line:?}"
+        );
+        let v = Json::parse(line).unwrap_or_else(|e| panic!("unparseable line {line:?}: {e}"));
+        assert_eq!(v.get("event").and_then(Json::as_str), Some("stress"));
+        let w = v.get("writer").and_then(Json::as_u64).unwrap() as usize;
+        let seq = v.get("seq").and_then(Json::as_u64).unwrap() as usize;
+        // The stderr lock serializes whole lines, so each writer's own
+        // events must arrive in emission order with none lost.
+        assert_eq!(seq, next_seq[w], "writer {w} out of order or torn");
+        next_seq[w] += 1;
+        total += 1;
+    }
+    assert_eq!(total, WRITERS * EVENTS_PER_WRITER);
+    assert!(next_seq.iter().all(|&n| n == EVENTS_PER_WRITER));
+}
