@@ -30,11 +30,15 @@ USAGE:
   lazylocks compare (--bench NAME | --id N | --file PATH) [--limit N]
   lazylocks races (--bench NAME | --id N | --file PATH) [--walks N] [--seed X]
   lazylocks serve [--addr HOST:PORT] [--workers N] [--corpus DIR]
-                  [--max-job-budget N] [--journal FILE]
+                  [--max-job-budget N] [--journal FILE] [--token SECRET]
+                  [--distributed [--lease-ttl-ms T] [--slice N]
+                   [--grace-ms T]]
+  lazylocks worker [--addr HOST:PORT] [--token SECRET] [--poll-ms T]
+                  [--retries N] [--retry-ms T] [--max-slices N]
   lazylocks client (submit | status [ID] | cancel ID | events ID |
                     metrics | shutdown)
                   [--addr HOST:PORT] [--retries N] [--retry-ms T]
-                  ... (see SERVER below)
+                  [--token SECRET] ... (see SERVER below)
   lazylocks help
 
 STRATEGY SPECS (see `lazylocks strategies` for the full registry):
@@ -103,6 +107,19 @@ SERVER:
     client shutdown          drain the queue and exit the daemon
   Both default to --addr 127.0.0.1:7077. `submit --wait` polls until the
   job finishes and exits non-zero unless it completed cleanly.
+
+DISTRIBUTED EXPLORATION:
+  `serve --distributed` turns each job into a chain of epoch-fenced
+  subtree leases; `lazylocks worker` processes claim a lease, resume the
+  sequential engine from its frontier checkpoint for one --slice budget,
+  and upload the result. A worker that crashes, hangs, or is SIGKILLed
+  misses its --lease-ttl-ms heartbeat deadline and the lease is
+  reassigned; late results from the zombie are rejected by epoch; with
+  no live workers the coordinator explores leases in-process after
+  --grace-ms, so jobs always terminate — with stats byte-identical to a
+  sequential run in every case. `serve --token SECRET` (or the
+  LAZYLOCKS_TOKEN env var on all three subcommands) requires
+  `Authorization: Bearer SECRET` on every mutating route.
 ";
 
 /// Which program to operate on.
@@ -238,14 +255,48 @@ pub enum Command {
         max_job_budget: usize,
         /// Durable job journal file (None keeps the queue in memory).
         journal: Option<String>,
+        /// Distributed mode: explore jobs through subtree leases claimed
+        /// by external `lazylocks worker` processes.
+        distributed: bool,
+        /// Shared secret required on mutating routes (None = open);
+        /// falls back to the LAZYLOCKS_TOKEN environment variable.
+        token: Option<String>,
+        /// Lease time-to-live in milliseconds (distributed mode).
+        lease_ttl_ms: u64,
+        /// Schedule budget per lease slice (distributed mode).
+        slice: usize,
+        /// Unclaimed-lease grace period in milliseconds before the
+        /// coordinator explores the slice in-process (distributed mode).
+        grace_ms: u64,
     },
     Client {
         addr: String,
         action: ClientAction,
-        /// Extra connection attempts on refused/timed-out connects.
+        /// Extra attempts for transient failures (idempotent requests
+        /// and all connect errors).
         retries: u32,
         /// First retry backoff in milliseconds (doubles per attempt).
         retry_ms: u64,
+        /// Shared secret for a `serve --token` daemon; falls back to
+        /// the LAZYLOCKS_TOKEN environment variable.
+        token: Option<String>,
+    },
+    Worker {
+        /// The coordinator's address.
+        addr: String,
+        /// Shared secret for a `serve --token` coordinator; falls back
+        /// to the LAZYLOCKS_TOKEN environment variable.
+        token: Option<String>,
+        /// Sleep between claim attempts when no lease is available.
+        poll_ms: u64,
+        /// Extra attempts for transient failures on the (idempotent)
+        /// lease protocol calls.
+        retries: u32,
+        /// First retry backoff in milliseconds (doubles per attempt).
+        retry_ms: u64,
+        /// Exit after this many slices (None = run until the
+        /// coordinator goes away). Mostly for tests.
+        max_slices: Option<u64>,
     },
     Help,
 }
@@ -725,6 +776,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut corpus = None;
             let mut max_job_budget = 1_000_000usize;
             let mut journal = None;
+            let mut distributed = false;
+            let mut token = None;
+            let mut lease_ttl_ms = 5_000u64;
+            let mut slice = 25_000usize;
+            let mut grace_ms = 1_000u64;
             parse_flags(&rest, |flag, value| match flag {
                 "--addr" => {
                     addr = value.ok_or("--addr needs HOST:PORT")?.to_string();
@@ -749,6 +805,32 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     journal = Some(value.ok_or("--journal needs a file path")?.to_string());
                     Ok(())
                 }
+                "--distributed" => {
+                    distributed = true;
+                    Ok(())
+                }
+                "--token" => {
+                    token = Some(value.ok_or("--token needs a secret")?.to_string());
+                    Ok(())
+                }
+                "--lease-ttl-ms" => {
+                    lease_ttl_ms = parse_num(value, "--lease-ttl-ms")? as u64;
+                    if lease_ttl_ms == 0 {
+                        return Err("--lease-ttl-ms must be at least 1".to_string());
+                    }
+                    Ok(())
+                }
+                "--slice" => {
+                    slice = parse_num(value, "--slice")?;
+                    if slice == 0 {
+                        return Err("--slice must be at least 1".to_string());
+                    }
+                    Ok(())
+                }
+                "--grace-ms" => {
+                    grace_ms = parse_num(value, "--grace-ms")? as u64;
+                    Ok(())
+                }
                 _ => Err(format!("unknown flag {flag} for serve")),
             })?;
             Ok(Command::Serve {
@@ -757,6 +839,54 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 corpus,
                 max_job_budget,
                 journal,
+                distributed,
+                token,
+                lease_ttl_ms,
+                slice,
+                grace_ms,
+            })
+        }
+        "worker" => {
+            let mut addr = "127.0.0.1:7077".to_string();
+            let mut token = None;
+            let mut poll_ms = 200u64;
+            let mut retries = 5u32;
+            let mut retry_ms = 100u64;
+            let mut max_slices = None;
+            parse_flags(&rest, |flag, value| match flag {
+                "--addr" => {
+                    addr = value.ok_or("--addr needs HOST:PORT")?.to_string();
+                    Ok(())
+                }
+                "--token" => {
+                    token = Some(value.ok_or("--token needs a secret")?.to_string());
+                    Ok(())
+                }
+                "--poll-ms" => {
+                    poll_ms = parse_num(value, "--poll-ms")? as u64;
+                    Ok(())
+                }
+                "--retries" => {
+                    retries = parse_num(value, "--retries")? as u32;
+                    Ok(())
+                }
+                "--retry-ms" => {
+                    retry_ms = parse_num(value, "--retry-ms")? as u64;
+                    Ok(())
+                }
+                "--max-slices" => {
+                    max_slices = Some(parse_num(value, "--max-slices")? as u64);
+                    Ok(())
+                }
+                _ => Err(format!("unknown flag {flag} for worker")),
+            })?;
+            Ok(Command::Worker {
+                addr,
+                token,
+                poll_ms,
+                retries,
+                retry_ms,
+                max_slices,
             })
         }
         "client" => {
@@ -782,13 +912,15 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let mut addr = "127.0.0.1:7077".to_string();
             let mut retries = 0u32;
             let mut retry_ms = 100u64;
-            // The flags every client verb shares: the daemon address and
-            // the connection-retry policy.
+            let mut token = None;
+            // The flags every client verb shares: the daemon address,
+            // the retry policy and the shared-secret token.
             let grab_common = |flag: &str,
                                value: Option<&str>,
                                addr: &mut String,
                                retries: &mut u32,
-                               retry_ms: &mut u64|
+                               retry_ms: &mut u64,
+                               token: &mut Option<String>|
              -> Option<Result<(), String>> {
                 match flag {
                     "--addr" => Some(match value {
@@ -802,6 +934,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     "--retry-ms" => {
                         Some(parse_num(value, "--retry-ms").map(|n| *retry_ms = n as u64))
                     }
+                    "--token" => Some(match value {
+                        Some(v) => {
+                            *token = Some(v.to_string());
+                            Ok(())
+                        }
+                        None => Err("--token needs a secret".to_string()),
+                    }),
                     _ => None,
                 }
             };
@@ -821,9 +960,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     let mut priority = 0i64;
                     let mut wait = false;
                     parse_flags(flags, |flag, value| {
-                        if let Some(done) =
-                            grab_common(flag, value, &mut addr, &mut retries, &mut retry_ms)
-                        {
+                        if let Some(done) = grab_common(
+                            flag,
+                            value,
+                            &mut addr,
+                            &mut retries,
+                            &mut retry_ms,
+                            &mut token,
+                        ) {
                             return done;
                         }
                         if parse_target_flag(flag, value, &mut target).is_some() {
@@ -891,19 +1035,29 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 }
                 "status" => {
                     parse_flags(flags, |flag, value| {
-                        grab_common(flag, value, &mut addr, &mut retries, &mut retry_ms)
-                            .unwrap_or_else(|| {
-                                Err(format!("unknown flag {flag} for client status"))
-                            })
+                        grab_common(
+                            flag,
+                            value,
+                            &mut addr,
+                            &mut retries,
+                            &mut retry_ms,
+                            &mut token,
+                        )
+                        .unwrap_or_else(|| Err(format!("unknown flag {flag} for client status")))
                     })?;
                     ClientAction::Status { id }
                 }
                 "cancel" => {
                     parse_flags(flags, |flag, value| {
-                        grab_common(flag, value, &mut addr, &mut retries, &mut retry_ms)
-                            .unwrap_or_else(|| {
-                                Err(format!("unknown flag {flag} for client cancel"))
-                            })
+                        grab_common(
+                            flag,
+                            value,
+                            &mut addr,
+                            &mut retries,
+                            &mut retry_ms,
+                            &mut token,
+                        )
+                        .unwrap_or_else(|| Err(format!("unknown flag {flag} for client cancel")))
                     })?;
                     ClientAction::Cancel {
                         id: id.ok_or("client cancel needs a job id")?,
@@ -912,9 +1066,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 "events" => {
                     let mut since = 0u64;
                     parse_flags(flags, |flag, value| {
-                        if let Some(done) =
-                            grab_common(flag, value, &mut addr, &mut retries, &mut retry_ms)
-                        {
+                        if let Some(done) = grab_common(
+                            flag,
+                            value,
+                            &mut addr,
+                            &mut retries,
+                            &mut retry_ms,
+                            &mut token,
+                        ) {
                             return done;
                         }
                         match flag {
@@ -935,10 +1094,15 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         return Err("client metrics takes no job id".to_string());
                     }
                     parse_flags(flags, |flag, value| {
-                        grab_common(flag, value, &mut addr, &mut retries, &mut retry_ms)
-                            .unwrap_or_else(|| {
-                                Err(format!("unknown flag {flag} for client metrics"))
-                            })
+                        grab_common(
+                            flag,
+                            value,
+                            &mut addr,
+                            &mut retries,
+                            &mut retry_ms,
+                            &mut token,
+                        )
+                        .unwrap_or_else(|| Err(format!("unknown flag {flag} for client metrics")))
                     })?;
                     ClientAction::Metrics
                 }
@@ -947,10 +1111,15 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         return Err("client shutdown takes no job id".to_string());
                     }
                     parse_flags(flags, |flag, value| {
-                        grab_common(flag, value, &mut addr, &mut retries, &mut retry_ms)
-                            .unwrap_or_else(|| {
-                                Err(format!("unknown flag {flag} for client shutdown"))
-                            })
+                        grab_common(
+                            flag,
+                            value,
+                            &mut addr,
+                            &mut retries,
+                            &mut retry_ms,
+                            &mut token,
+                        )
+                        .unwrap_or_else(|| Err(format!("unknown flag {flag} for client shutdown")))
                     })?;
                     ClientAction::Shutdown
                 }
@@ -961,6 +1130,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 action,
                 retries,
                 retry_ms,
+                token,
             })
         }
         other => Err(format!("unknown subcommand {other:?}")),
@@ -1018,6 +1188,7 @@ fn parse_flags(
                 | "--wait"
                 | "--metrics"
                 | "--resume"
+                | "--distributed"
         );
         let value = if boolean {
             None
@@ -1354,6 +1525,11 @@ mod tests {
                 corpus: None,
                 max_job_budget: 1_000_000,
                 journal: None,
+                distributed: false,
+                token: None,
+                lease_ttl_ms: 5_000,
+                slice: 25_000,
+                grace_ms: 1_000,
             }
         );
         assert_eq!(
@@ -1367,10 +1543,66 @@ mod tests {
                 corpus: Some("c".to_string()),
                 max_job_budget: 5000,
                 journal: Some("j.jsonl".to_string()),
+                distributed: false,
+                token: None,
+                lease_ttl_ms: 5_000,
+                slice: 25_000,
+                grace_ms: 1_000,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "serve --distributed --token hunter2 --lease-ttl-ms 800 --slice 64 --grace-ms 50"
+            ))
+            .unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7077".to_string(),
+                workers: 2,
+                corpus: None,
+                max_job_budget: 1_000_000,
+                journal: None,
+                distributed: true,
+                token: Some("hunter2".to_string()),
+                lease_ttl_ms: 800,
+                slice: 64,
+                grace_ms: 50,
             }
         );
         assert!(parse(&argv("serve --workers 0")).is_err());
+        assert!(parse(&argv("serve --lease-ttl-ms 0")).is_err());
+        assert!(parse(&argv("serve --slice 0")).is_err());
         assert!(parse(&argv("serve --bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_worker() {
+        assert_eq!(
+            parse(&argv("worker")).unwrap(),
+            Command::Worker {
+                addr: "127.0.0.1:7077".to_string(),
+                token: None,
+                poll_ms: 200,
+                retries: 5,
+                retry_ms: 100,
+                max_slices: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "worker --addr h:9 --token s --poll-ms 10 --retries 2 --retry-ms 20 --max-slices 3"
+            ))
+            .unwrap(),
+            Command::Worker {
+                addr: "h:9".to_string(),
+                token: Some("s".to_string()),
+                poll_ms: 10,
+                retries: 2,
+                retry_ms: 20,
+                max_slices: Some(3),
+            }
+        );
+        assert!(parse(&argv("worker --bogus")).is_err());
+        assert!(parse(&argv("worker --poll-ms fast")).is_err());
     }
 
     #[test]
@@ -1387,6 +1619,7 @@ mod tests {
                 action,
                 retries,
                 retry_ms,
+                ..
             } => {
                 assert_eq!(addr, "127.0.0.1:9");
                 assert_eq!(retries, 0, "retries default to fail-fast");
@@ -1426,6 +1659,7 @@ mod tests {
                 action: ClientAction::Status { id: None },
                 retries: 0,
                 retry_ms: 100,
+                token: None,
             }
         );
         assert_eq!(
@@ -1435,6 +1669,7 @@ mod tests {
                 action: ClientAction::Status { id: Some(7) },
                 retries: 0,
                 retry_ms: 100,
+                token: None,
             }
         );
         assert_eq!(
@@ -1444,6 +1679,7 @@ mod tests {
                 action: ClientAction::Cancel { id: 3 },
                 retries: 0,
                 retry_ms: 100,
+                token: None,
             }
         );
         assert_eq!(
@@ -1453,6 +1689,7 @@ mod tests {
                 action: ClientAction::Events { id: 3, since: 5 },
                 retries: 0,
                 retry_ms: 100,
+                token: None,
             }
         );
         assert_eq!(
@@ -1462,6 +1699,7 @@ mod tests {
                 action: ClientAction::Metrics,
                 retries: 0,
                 retry_ms: 100,
+                token: None,
             }
         );
         assert!(parse(&argv("client metrics 3")).is_err());
@@ -1472,6 +1710,7 @@ mod tests {
                 action: ClientAction::Shutdown,
                 retries: 0,
                 retry_ms: 100,
+                token: None,
             }
         );
         // The retry policy is shared by every client verb.
@@ -1482,6 +1721,18 @@ mod tests {
                 action: ClientAction::Status { id: None },
                 retries: 5,
                 retry_ms: 250,
+                token: None,
+            }
+        );
+        // The shared token flag reaches every verb too.
+        assert_eq!(
+            parse(&argv("client shutdown --token s3cret")).unwrap(),
+            Command::Client {
+                addr: "127.0.0.1:7077".to_string(),
+                action: ClientAction::Shutdown,
+                retries: 0,
+                retry_ms: 100,
+                token: Some("s3cret".to_string()),
             }
         );
         match parse(&argv("client submit --bench deadlock --retries 2")).unwrap() {

@@ -36,9 +36,11 @@ pub struct FrameSets {
 /// Produced by the engine when [`ExploreConfig::checkpoint_every`] is set
 /// (delivered through [`Observer::on_checkpoint`]) and consumed through
 /// [`ExploreConfig::resume_from`]. A resumed run reaches the same final
-/// schedules/events/states/HBRs/bugs as the uninterrupted run; only
-/// wall-clock time and frame-pool hit counts (the pool starts cold) may
-/// differ.
+/// statistics — including frame-pool hit counts, which [`pool_free`]
+/// makes resumable — as the uninterrupted run; only wall-clock time
+/// differs (it restarts on resume).
+///
+/// [`pool_free`]: CheckpointState::pool_free
 ///
 /// [`ExploreConfig::checkpoint_every`]: crate::ExploreConfig::checkpoint_every
 /// [`ExploreConfig::resume_from`]: crate::ExploreConfig::resume_from
@@ -61,6 +63,11 @@ pub struct CheckpointState {
     pub hbrs: Vec<u128>,
     /// Distinct terminal lazy-HBR fingerprints seen so far, ascending.
     pub lazy_hbrs: Vec<u128>,
+    /// Retired frame bodies sitting in the engine's free list at capture
+    /// time. A resume pre-warms its (cold) pool to this length so pool
+    /// *hits* — an [`ExploreStats`] field — stay byte-identical to the
+    /// uninterrupted run's.
+    pub pool_free: u64,
 }
 
 impl CheckpointState {

@@ -975,6 +975,7 @@ fn capture_checkpoint(
     cp.stats.events_compared += core.events_compared;
     cp.stats.sleep_prunes += core.sleep_prunes;
     cp.stats.frames_pooled += core.pool.hits();
+    cp.pool_free = core.pool.free_len() as u64;
     cp
 }
 
@@ -1013,6 +1014,15 @@ fn resume_frontier<'p>(
         .add(ids::RESUME_FRAMES_RESTORED, frames.stack.len() as u64);
     core.events_compared = 0;
     core.sleep_prunes = 0;
+    // Re-warm the frame pool to the captured free-list length: the
+    // replay above only pushes (no retires), so the pool is cold here,
+    // while the uninterrupted engine still held the bodies it retired
+    // unwinding to this frontier. Without this, every retired-at-capture
+    // body becomes a miss instead of a hit and `frames_pooled` drifts
+    // below the uninterrupted run's count.
+    let root = &frames.stack[0].body;
+    core.pool
+        .warm(&root.exec, &root.clocks, cp.pool_free as usize);
 }
 
 /// The sequential driver: a depth-first pick/step/unwind loop over
@@ -1082,6 +1092,14 @@ fn run_sequential<'p>(core: &mut DporCore<'p>, collector: &mut Collector) {
                 };
                 core.finish_leaf(body, pushed_event);
                 if cont == Continue::Stop {
+                    // A budget- or bug-stopped run still has a live
+                    // frontier; slice-chained explorations (the
+                    // distributed lease runner) need it captured so the
+                    // next slice resumes exactly where this one stopped.
+                    if collector.config().checkpoint_on_stop {
+                        let cp = capture_checkpoint(core, &frames, collector);
+                        collector.config().control.note_checkpoint(&cp);
+                    }
                     return;
                 }
                 // `finish_leaf` restored the trace/schedule to the frame
@@ -1528,6 +1546,9 @@ mod tests {
                 resumed.events_compared, full.events_compared,
                 "sleep={sleep}"
             );
+            // Exact, not approximate: the checkpoint's `pool_free`
+            // warm-up makes even the pool-hit count resumable.
+            assert_eq!(resumed.frames_pooled, full.frames_pooled, "sleep={sleep}");
             assert!(!resumed.limit_hit && !resumed.cancelled);
         }
     }

@@ -73,6 +73,28 @@ impl<'p> FramePool<'p> {
     pub fn hits(&self) -> u64 {
         self.hits
     }
+
+    /// Retired bodies currently on the free list — recorded in a
+    /// checkpoint so a resume can [`warm`](FramePool::warm) its cold
+    /// pool back to the same length.
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Pre-fills the free list with `count` bodies shaped like
+    /// `(exec, clocks)` without counting hits. A checkpoint resume uses
+    /// this to match the uninterrupted engine's free-list length, so
+    /// every later take hits or misses exactly as it would have — the
+    /// bodies' contents are irrelevant ([`take_from`](FramePool::take_from)
+    /// overwrites them).
+    pub fn warm(&mut self, exec: &Executor<'p>, clocks: &ClockEngine, count: usize) {
+        for _ in 0..count {
+            self.free.push(FrameBody {
+                exec: exec.clone(),
+                clocks: clocks.clone(),
+            });
+        }
+    }
 }
 
 #[cfg(test)]

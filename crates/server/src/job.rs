@@ -494,7 +494,9 @@ impl JobTable {
     }
 
     /// Observer side: appends a progress or bug event to a running job.
-    fn push_job_event(&self, id: u64, kind: &str, fields: Vec<(&'static str, Json)>) {
+    /// Also used by the distributed lease coordinator to stream slice
+    /// boundaries and remotely-found bugs into the same event log.
+    pub(crate) fn push_job_event(&self, id: u64, kind: &str, fields: Vec<(&'static str, Json)>) {
         let mut t = self.inner.lock().unwrap();
         if let Some(job) = t.jobs.get_mut(&id) {
             job.push_event(kind, fields);
@@ -611,17 +613,37 @@ pub const DEFAULT_PROGRESS_INTERVAL: usize = 1024;
 
 /// One worker thread: claim, explore, record, repeat — until shutdown
 /// drains the queue.
-pub fn run_worker(table: Arc<JobTable>, corpus_dir: Option<PathBuf>) {
+///
+/// With `leases` present (`serve --distributed`) the job is not explored
+/// here: it is coordinated through the lease chain instead, so external
+/// worker processes (or the in-process grace fallback) do the exploring.
+/// Distributed result documents omit the per-job metrics/profile embeds —
+/// those are process-local and cannot be reconstructed across a split.
+pub fn run_worker(
+    table: Arc<JobTable>,
+    corpus_dir: Option<PathBuf>,
+    leases: Option<Arc<crate::lease::LeaseTable>>,
+) {
     while let Some((id, request, cancel, metrics, profile)) = table.next_job() {
-        let outcome = execute(
-            &table,
-            id,
-            &request,
-            cancel,
-            metrics,
-            profile,
-            corpus_dir.as_deref(),
-        );
+        let outcome = match &leases {
+            Some(leases) => crate::lease::execute_distributed(
+                &table,
+                leases,
+                id,
+                &request,
+                cancel,
+                corpus_dir.as_deref(),
+            ),
+            None => execute(
+                &table,
+                id,
+                &request,
+                cancel,
+                metrics,
+                profile,
+                corpus_dir.as_deref(),
+            ),
+        };
         table.finish(id, outcome);
     }
 }
@@ -823,7 +845,7 @@ thread T2 {
         let table = Arc::new(JobTable::default());
         let id = table.submit(request(0), "deadlock".into()).unwrap();
         table.begin_shutdown();
-        run_worker(table.clone(), None);
+        run_worker(table.clone(), None, None);
         let detail = table.detail(id).unwrap();
         assert_eq!(detail.get("state").unwrap().as_str(), Some("done"));
         let result = detail.get("result").unwrap();

@@ -13,6 +13,17 @@
 //! * `{"op": "cancel", "id": N}` — `DELETE /jobs/<id>`;
 //! * `{"op": "done", "id": N, "state": "done" | "cancelled" | "failed"}`.
 //!
+//! Distributed mode (`serve --distributed`) additionally logs the lease
+//! protocol for post-mortem audit:
+//!
+//! * `{"op": "lease-grant", "id": N, "lease": L, "epoch": E, "worker": "..."}`;
+//! * `{"op": "lease-done", "id": N, "lease": L, "epoch": E}`.
+//!
+//! Lease records carry the owning job's id but do not affect recovery:
+//! leases are in-memory state, and a restarted coordinator re-runs the
+//! job's (deterministic) lease chain from scratch via its `submit`
+//! record.
+//!
 //! ## Replay
 //!
 //! [`replay_bytes`] is a pure function over the journal's bytes: a job is
@@ -134,6 +145,120 @@ impl Journal {
     }
 }
 
+/// An exclusive-ownership lock for a journal file, held for a daemon's
+/// whole lifetime.
+///
+/// Replay-then-append is only sound when exactly one process owns the
+/// journal; two daemons pointed at the same `--journal` path would
+/// interleave (and mutually corrupt) their appends. The lock is a
+/// sibling `<journal>.lock` file created with `O_EXCL` and holding the
+/// owner's PID. A second `serve` on the same journal fails loudly
+/// instead of starting. A lock left behind by a `kill -9`d daemon is
+/// detected as stale (its PID no longer exists) and stolen, so crash
+/// recovery never needs manual cleanup.
+#[derive(Debug)]
+pub struct JournalLock {
+    path: PathBuf,
+}
+
+impl JournalLock {
+    /// The lock file guarding `journal_path`.
+    pub fn lock_path(journal_path: &Path) -> PathBuf {
+        let mut name = journal_path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_else(|| "journal".into());
+        name.push(".lock");
+        journal_path.with_file_name(name)
+    }
+
+    /// Acquires the exclusive lock for `journal_path`, stealing a stale
+    /// lock whose owner is provably dead. Fails when another live
+    /// process holds it, or when the holder cannot be identified.
+    pub fn acquire(journal_path: &Path) -> io::Result<JournalLock> {
+        if let Some(parent) = journal_path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let path = JournalLock::lock_path(journal_path);
+        // Bounded retry: steal-then-recreate races with a concurrent
+        // acquirer at most once per stale lock.
+        for _ in 0..4 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    let _ = write!(file, "{}", std::process::id());
+                    let _ = file.sync_data();
+                    return Ok(JournalLock { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let holder = fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if !process_is_alive(pid) => {
+                            // kill -9 never runs Drop: reap the corpse.
+                            let _ = fs::remove_file(&path);
+                            continue;
+                        }
+                        Some(pid) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::AlreadyExists,
+                                format!(
+                                    "journal {} is owned by live process {pid} \
+                                     (lock {}); refusing to share it",
+                                    journal_path.display(),
+                                    path.display()
+                                ),
+                            ));
+                        }
+                        None => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::AlreadyExists,
+                                format!(
+                                    "journal {} is locked by {} but the holder \
+                                     is unreadable; remove the lock by hand if \
+                                     no daemon is running",
+                                    journal_path.display(),
+                                    path.display()
+                                ),
+                            ));
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::AlreadyExists,
+            format!("could not acquire journal lock {}", path.display()),
+        ))
+    }
+}
+
+impl Drop for JournalLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Whether `pid` names a live process.
+#[cfg(target_os = "linux")]
+fn process_is_alive(pid: u32) -> bool {
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+/// Without a portable liveness probe, assume the holder is alive and
+/// fail loudly — the conservative direction for a mutual-exclusion lock.
+#[cfg(not(target_os = "linux"))]
+fn process_is_alive(_pid: u32) -> bool {
+    true
+}
+
 /// The `submit` record for an accepted job.
 pub fn submit_record(id: u64, request: &JobRequest, program_name: &str) -> Json {
     Json::obj([
@@ -166,6 +291,28 @@ pub fn done_record(id: u64, state: JobState) -> Json {
         ("op", Json::Str("done".to_string())),
         ("id", Json::Int(id as i128)),
         ("state", Json::Str(state.as_str().to_string())),
+    ])
+}
+
+/// The `lease-grant` record: a distributed-mode lease was granted (or
+/// re-granted after expiry) to a worker at the given epoch.
+pub fn lease_grant_record(id: u64, lease: u64, epoch: u64, worker: &str) -> Json {
+    Json::obj([
+        ("op", Json::Str("lease-grant".to_string())),
+        ("id", Json::Int(id as i128)),
+        ("lease", Json::Int(lease as i128)),
+        ("epoch", Json::Int(epoch as i128)),
+        ("worker", Json::Str(worker.to_string())),
+    ])
+}
+
+/// The `lease-done` record: a slice result was accepted for the lease.
+pub fn lease_done_record(id: u64, lease: u64, epoch: u64) -> Json {
+    Json::obj([
+        ("op", Json::Str("lease-done".to_string())),
+        ("id", Json::Int(id as i128)),
+        ("lease", Json::Int(lease as i128)),
+        ("epoch", Json::Int(epoch as i128)),
     ])
 }
 
@@ -253,8 +400,10 @@ fn apply_line(
             );
             Ok(())
         }
-        // A started job still recovers: the run never finished.
-        "start" => Ok(()),
+        // A started job still recovers: the run never finished. Lease
+        // records are an audit trail only — the lease chain is rebuilt
+        // deterministically from the job's `submit` record on restart.
+        "start" | "lease-grant" | "lease-done" => Ok(()),
         "cancel" | "done" => {
             pending.remove(&id);
             Ok(())
@@ -423,6 +572,67 @@ mod tests {
         let replay = replay_bytes(&fs::read(&path).unwrap());
         let recovered: Vec<u64> = replay.jobs.iter().map(|j| j.id).collect();
         assert_eq!(recovered, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn lease_records_replay_clean_and_do_not_finish_the_job() {
+        let path = temp_journal("lease-ops");
+        let journal = Journal::open(&path).unwrap();
+        journal.append(&submit_record(5, &request(), "p")).unwrap();
+        journal.append(&lease_grant_record(5, 1, 1, "w1")).unwrap();
+        journal.append(&lease_done_record(5, 1, 1)).unwrap();
+        journal.append(&lease_grant_record(5, 2, 2, "w2")).unwrap();
+
+        let replay = replay_bytes(&fs::read(&path).unwrap());
+        assert_eq!(replay.records, 4);
+        assert!(replay.skipped.is_empty(), "{:?}", replay.skipped);
+        // Slice progress is not job completion: the job still recovers
+        // (its deterministic lease chain restarts from scratch).
+        let recovered: Vec<u64> = replay.jobs.iter().map(|j| j.id).collect();
+        assert_eq!(recovered, vec![5]);
+        assert_eq!(replay.next_id, 5);
+    }
+
+    #[test]
+    fn journal_lock_is_exclusive_while_held() {
+        let path = temp_journal("lock-excl");
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        let lock = JournalLock::acquire(&path).unwrap();
+        let err = JournalLock::acquire(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        assert!(
+            err.to_string().contains("live process"),
+            "the refusal names the live holder: {err}"
+        );
+        drop(lock);
+        // Released cleanly: a successor acquires without intervention.
+        let _again = JournalLock::acquire(&path).unwrap();
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")] // staleness probe reads /proc
+    fn journal_lock_steals_from_a_dead_holder_but_not_an_unreadable_one() {
+        let path = temp_journal("lock-stale");
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        let lock_path = JournalLock::lock_path(&path);
+
+        // A lock naming a PID that cannot exist (kill -9 leaves exactly
+        // this behind) is stolen.
+        fs::write(&lock_path, "4294967294").unwrap();
+        let lock = JournalLock::acquire(&path).unwrap();
+        assert_eq!(
+            fs::read_to_string(&lock_path).unwrap(),
+            std::process::id().to_string(),
+            "the stolen lock now names the new owner"
+        );
+        drop(lock);
+
+        // A lock whose holder cannot be identified is refused, not
+        // stolen: mutual exclusion errs on the side of not starting.
+        fs::write(&lock_path, "not a pid").unwrap();
+        let err = JournalLock::acquire(&path).unwrap_err();
+        assert!(err.to_string().contains("unreadable"), "{err}");
+        fs::remove_file(&lock_path).unwrap();
     }
 
     #[test]

@@ -1,0 +1,998 @@
+//! Subtree leases: fault-tolerant distributed exploration.
+//!
+//! In `serve --distributed` mode a job is not explored by the claiming
+//! job-worker thread directly. Instead the coordinator serialises the
+//! job into a chain of **subtree leases**: each lease carries the
+//! authoritative frontier (a [`CheckpointDoc`]) plus a bounded schedule
+//! *slice*, and is handed to exactly one worker process at a time. The
+//! worker resumes the sequential engine, explores until the slice budget
+//! (or the whole job) is exhausted, and returns the end-of-slice
+//! frontier, the slice's bugs and cumulative stats. The coordinator
+//! installs the returned frontier and offers the next lease.
+//!
+//! Because at most one lease per job is outstanding and every slice
+//! resumes the *sequential* engine from the previous slice's frontier,
+//! the final stats are byte-identical to an uninterrupted sequential run
+//! — at any worker count, and under any crash/reassignment interleaving.
+//! Parallelism comes from running *jobs* concurrently, not from
+//! splitting one job's frontier across racing workers (whose sleep-set
+//! explored sets would be run-to-run nondeterministic).
+//!
+//! ## Failure handling
+//!
+//! * **Worker crash / hang / `kill -9`** — the lease's deadline expires
+//!   (heartbeat renewals stop), the coordinator bumps the lease *epoch*
+//!   and makes it claimable again. The same frontier is re-explored, so
+//!   nothing is lost and nothing is double-counted.
+//! * **Zombie worker** — a late result carrying a superseded epoch is
+//!   rejected with 409 and counted in
+//!   `lazylocks_lease_zombie_results_total`; a duplicate resend of the
+//!   *current* epoch's result is acknowledged idempotently — even after
+//!   the coordinator has consumed the result and moved on (a bounded
+//!   tombstone of consumed `(lease, epoch)` pairs keeps the ack
+//!   available to a worker whose 200 was lost on the wire).
+//! * **Undeliverable result** — a worker whose slice result is refused
+//!   for any reason other than fencing (e.g. a frontier that outgrew
+//!   even the widened distributed wire cap) reports a small
+//!   `{"failed": reason}` document instead; the coordinator logs a
+//!   `slice-failed` job event and re-leases the whole job as one slice,
+//!   whose grant and completed result carry no checkpoint and therefore
+//!   always fit.
+//! * **No live workers** — after an unclaimed grace period the
+//!   coordinator takes the lease over (epoch bump) and explores the
+//!   slice in-process, so a job always terminates.
+//! * **Coordinator restart** — leases are in-memory; the journal's
+//!   `submit` records re-enqueue the job from scratch on restart, and
+//!   determinism makes the re-run's result identical.
+
+use crate::job::{scrubbed_result, JobRequest, JobTable};
+use crate::journal::{lease_done_record, lease_grant_record, Journal};
+use lazylocks::obs::ids;
+use lazylocks::runtime::program_fingerprint;
+use lazylocks::{
+    minimize_schedule, BugReport, CancelToken, CheckpointState, ExploreConfig, ExploreOutcome,
+    ExploreSession, ExploreStats, MetricsHandle, Observer, StrategyRegistry, Verdict,
+};
+use lazylocks_model::{Program, ThreadId};
+use lazylocks_trace::{
+    bug_kind_from_json, bug_kind_to_json, outcome_json, stats_from_json, stats_to_json,
+    CheckpointDoc, CorpusStore, Json,
+};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Lease-protocol knobs (the `serve --distributed` flags).
+#[derive(Debug, Clone)]
+pub struct LeaseConfig {
+    /// How long a granted lease stays valid without a renewal; a worker
+    /// heartbeats every `ttl / 3`, so a crashed or hung worker misses
+    /// its deadline and the lease is reassigned.
+    pub ttl: Duration,
+    /// Schedule budget per lease: each slice runs the engine for at most
+    /// this many additional complete schedules before checkpointing.
+    pub slice: usize,
+    /// How long an offered lease may sit unclaimed before the
+    /// coordinator explores it in-process (the zero-live-workers
+    /// fallback that keeps every job terminating).
+    pub grace: Duration,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> Self {
+        LeaseConfig {
+            ttl: Duration::from_millis(5_000),
+            slice: 25_000,
+            grace: Duration::from_millis(1_000),
+        }
+    }
+}
+
+/// One outstanding lease.
+struct LeaseEntry {
+    job: u64,
+    /// Fencing token: bumped on every reassignment or takeover, so a
+    /// zombie holding a superseded grant can never commit a result.
+    epoch: u64,
+    /// The wire body (program, spec, seed, limit, slice, checkpoint);
+    /// grant-specific fields (lease id, epoch, ttl) are injected per
+    /// grant.
+    body: Json,
+    claimed_by: Option<String>,
+    /// Expiry of the current grant; `None` for an in-process takeover
+    /// (the coordinator cannot crash out from under itself).
+    deadline: Option<Instant>,
+    /// When the lease (re-)became claimable — starts the grace clock.
+    offered_at: Instant,
+    result: Option<Json>,
+}
+
+struct LeaseInner {
+    next_id: u64,
+    leases: BTreeMap<u64, LeaseEntry>,
+    /// Tombstones of consumed leases, newest last, capped at
+    /// [`CONSUMED_TOMBSTONES`]: a worker resending a result whose 200
+    /// was lost still gets the idempotent duplicate ack after the
+    /// coordinator consumed the original and dropped the live entry.
+    consumed: VecDeque<(u64, u64)>,
+}
+
+/// How many consumed `(lease, epoch)` pairs are remembered for late
+/// duplicate acks. Old tombstones age out; a resend older than this
+/// window degrades to the 409 a withdrawn lease gets, which a worker
+/// already treats as "superseded".
+const CONSUMED_TOMBSTONES: usize = 1024;
+
+/// Wire body cap for distributed mode, applied by `serve --distributed`
+/// to incoming requests and by the worker's client to responses. Lease
+/// grants and slice results embed checkpoint frontiers whose size grows
+/// with the explored tree — far past the 1 MiB that bounds every other
+/// route — and an undeliverable result must never be the steady state
+/// (see the failure-handling notes above).
+pub const DISTRIBUTED_BODY_CAP: usize = 64 << 20;
+
+/// What [`LeaseTable::wait`] resolved to.
+pub enum LeaseWait {
+    /// A worker returned the slice result (already validated by epoch).
+    Result(Json),
+    /// Nobody claimed the lease within the grace period: the coordinator
+    /// has taken it over (epoch bumped) and should run the slice
+    /// in-process, then submit under the returned epoch.
+    TakeOver { body: Json, epoch: u64 },
+    /// The job was cancelled (token or deadline) while waiting.
+    Cancelled,
+}
+
+/// The coordinator's lease table: every outstanding lease, behind one
+/// mutex, with a condvar waking the per-job coordinator loop when a
+/// result lands.
+pub struct LeaseTable {
+    inner: Mutex<LeaseInner>,
+    changed: Condvar,
+    config: LeaseConfig,
+    metrics: MetricsHandle,
+    journal: Option<Arc<Journal>>,
+}
+
+impl LeaseTable {
+    /// A table using `config`, recording protocol counters on `metrics`
+    /// and journalling grants/completions when `journal` is present.
+    pub fn new(
+        config: LeaseConfig,
+        metrics: MetricsHandle,
+        journal: Option<Arc<Journal>>,
+    ) -> LeaseTable {
+        LeaseTable {
+            inner: Mutex::new(LeaseInner {
+                next_id: 0,
+                leases: BTreeMap::new(),
+                consumed: VecDeque::new(),
+            }),
+            changed: Condvar::new(),
+            config,
+            metrics,
+            journal,
+        }
+    }
+
+    /// The protocol knobs this table runs under.
+    pub fn config(&self) -> &LeaseConfig {
+        &self.config
+    }
+
+    fn journal_append(&self, record: &Json) {
+        if let Some(journal) = &self.journal {
+            if let Err(e) = journal.append(record) {
+                eprintln!(
+                    "warning: journal append to {} failed: {e}",
+                    journal.path().display()
+                );
+            }
+        }
+    }
+
+    /// Offers a new lease for `job` with wire body `body`; returns the
+    /// lease id. The lease starts unclaimed at epoch 1.
+    pub fn offer(&self, job: u64, body: Json) -> u64 {
+        let mut t = self.inner.lock().unwrap();
+        t.next_id += 1;
+        let id = t.next_id;
+        t.leases.insert(
+            id,
+            LeaseEntry {
+                job,
+                epoch: 1,
+                body,
+                claimed_by: None,
+                deadline: None,
+                offered_at: Instant::now(),
+                result: None,
+            },
+        );
+        id
+    }
+
+    /// Worker side (`POST /leases/claim`): grants the oldest claimable
+    /// lease to `worker`, or `None` when nothing is claimable. A lease
+    /// is claimable when unclaimed, when its current grant has expired
+    /// (the epoch is bumped — reassignment), or when `worker` already
+    /// holds it (idempotent re-grant of the same epoch, so a retried
+    /// claim after a torn response never wedges the worker).
+    pub fn claim(&self, worker: &str) -> Option<Json> {
+        let now = Instant::now();
+        let mut t = self.inner.lock().unwrap();
+        let ttl = self.config.ttl;
+        for (&id, entry) in t.leases.iter_mut() {
+            if entry.result.is_some() {
+                continue;
+            }
+            let held_by_caller = entry.claimed_by.as_deref() == Some(worker);
+            let expired = entry.deadline.is_some_and(|d| now >= d);
+            let claimable = entry.claimed_by.is_none() || expired || held_by_caller;
+            if !claimable {
+                continue;
+            }
+            if expired && !held_by_caller {
+                // The previous holder crashed or hung: fence it out.
+                entry.epoch += 1;
+                self.metrics.shard().inc(ids::LEASES_REASSIGNED);
+            }
+            entry.claimed_by = Some(worker.to_string());
+            entry.deadline = Some(now + ttl);
+            self.metrics.shard().inc(ids::LEASES_GRANTED);
+            self.journal_append(&lease_grant_record(entry.job, id, entry.epoch, worker));
+            let mut grant = entry.body.clone();
+            if let Json::Obj(pairs) = &mut grant {
+                pairs.push(("lease".to_string(), Json::Int(id as i128)));
+                pairs.push(("job".to_string(), Json::Int(entry.job as i128)));
+                pairs.push(("epoch".to_string(), Json::Int(entry.epoch as i128)));
+                pairs.push(("ttl_ms".to_string(), Json::Int(ttl.as_millis() as i128)));
+            }
+            return Some(grant);
+        }
+        None
+    }
+
+    /// Worker heartbeat (`POST /leases/<id>/renew`): extends the
+    /// deadline when `worker` still holds `lease` at `epoch`; a stale
+    /// epoch or unknown lease is refused so a fenced-out worker learns
+    /// it lost the lease.
+    pub fn renew(&self, lease: u64, worker: &str, epoch: u64) -> Result<u64, String> {
+        let mut t = self.inner.lock().unwrap();
+        let entry = t
+            .leases
+            .get_mut(&lease)
+            .ok_or_else(|| format!("no lease {lease}"))?;
+        if entry.epoch != epoch || entry.claimed_by.as_deref() != Some(worker) {
+            return Err(format!(
+                "lease {lease} is no longer held by {worker:?} at epoch {epoch}"
+            ));
+        }
+        entry.deadline = Some(Instant::now() + self.config.ttl);
+        Ok(epoch)
+    }
+
+    /// Accepts or rejects a slice result (`POST /leases/<id>/result`).
+    /// Returns `(status, body)`: 200 for the current epoch (idempotent —
+    /// a duplicate resend of an already-accepted result is acknowledged
+    /// again, not double-applied, including after the coordinator has
+    /// consumed it), 409 for an unknown lease or a stale epoch (the
+    /// zombie-worker path).
+    pub fn submit_result(&self, lease: u64, epoch: u64, result: Json) -> (u16, Json) {
+        let mut t = self.inner.lock().unwrap();
+        let Some(entry) = t.leases.get_mut(&lease) else {
+            if t.consumed.iter().any(|&(l, e)| l == lease && e == epoch) {
+                // The original landed but its 200 was lost: acknowledge
+                // the resend without re-applying anything.
+                return (
+                    200,
+                    Json::obj([
+                        ("accepted", Json::Bool(true)),
+                        ("duplicate", Json::Bool(true)),
+                    ]),
+                );
+            }
+            self.metrics.shard().inc(ids::LEASE_ZOMBIE_RESULTS);
+            return (
+                409,
+                Json::obj([(
+                    "error",
+                    Json::Str(format!("no lease {lease} (already consumed or withdrawn)")),
+                )]),
+            );
+        };
+        if entry.epoch != epoch {
+            self.metrics.shard().inc(ids::LEASE_ZOMBIE_RESULTS);
+            return (
+                409,
+                Json::obj([(
+                    "error",
+                    Json::Str(format!(
+                        "stale epoch {epoch} for lease {lease} (current {})",
+                        entry.epoch
+                    )),
+                )]),
+            );
+        }
+        if entry.result.is_some() {
+            return (
+                200,
+                Json::obj([
+                    ("accepted", Json::Bool(true)),
+                    ("duplicate", Json::Bool(true)),
+                ]),
+            );
+        }
+        entry.result = Some(result);
+        let (job, epoch) = (entry.job, entry.epoch);
+        self.metrics.shard().inc(ids::LEASE_SLICES_COMPLETED);
+        self.journal_append(&lease_done_record(job, lease, epoch));
+        self.changed.notify_all();
+        (
+            200,
+            Json::obj([
+                ("accepted", Json::Bool(true)),
+                ("duplicate", Json::Bool(false)),
+            ]),
+        )
+    }
+
+    /// Removes a lease (job cancelled or errored before the slice came
+    /// back). A zombie posting afterwards gets a 409.
+    pub fn withdraw(&self, lease: u64) {
+        let mut t = self.inner.lock().unwrap();
+        t.leases.remove(&lease);
+    }
+
+    /// Coordinator side: blocks until the lease resolves — a result
+    /// arrives, cancellation wins, or nobody claims within the grace
+    /// period and the coordinator takes over. Expired grants are
+    /// reassigned (epoch bump) from in here as well, so a crashed worker
+    /// is fenced out even if no other worker ever polls `claim`.
+    pub fn wait(&self, lease: u64, cancel: &CancelToken, deadline: Option<Instant>) -> LeaseWait {
+        let mut t = self.inner.lock().unwrap();
+        loop {
+            if cancel.is_cancelled() || deadline.is_some_and(|d| Instant::now() >= d) {
+                t.leases.remove(&lease);
+                return LeaseWait::Cancelled;
+            }
+            let Some(entry) = t.leases.get_mut(&lease) else {
+                return LeaseWait::Cancelled;
+            };
+            if entry.result.is_some() {
+                let entry = t.leases.remove(&lease).expect("checked above");
+                t.consumed.push_back((lease, entry.epoch));
+                while t.consumed.len() > CONSUMED_TOMBSTONES {
+                    t.consumed.pop_front();
+                }
+                return LeaseWait::Result(entry.result.expect("checked above"));
+            }
+            let now = Instant::now();
+            match entry.claimed_by {
+                Some(_) if entry.deadline.is_some_and(|d| now >= d) => {
+                    // Missed renewals: fence the holder out and restart
+                    // the grace clock for live workers (or the inline
+                    // fallback) to pick the subtree up again.
+                    entry.epoch += 1;
+                    entry.claimed_by = None;
+                    entry.deadline = None;
+                    entry.offered_at = now;
+                    self.metrics.shard().inc(ids::LEASES_REASSIGNED);
+                }
+                None if now.duration_since(entry.offered_at) >= self.config.grace => {
+                    entry.epoch += 1;
+                    entry.claimed_by = Some("coordinator".to_string());
+                    entry.deadline = None;
+                    self.metrics.shard().inc(ids::LEASE_INLINE_SLICES);
+                    return LeaseWait::TakeOver {
+                        body: entry.body.clone(),
+                        epoch: entry.epoch,
+                    };
+                }
+                _ => {}
+            }
+            let (guard, _) = self
+                .changed
+                .wait_timeout(t, Duration::from_millis(20))
+                .unwrap();
+            t = guard;
+        }
+    }
+}
+
+/// Builds the wire body for a job's next lease: everything a worker
+/// needs to run one slice, with the frontier checkpoint inlined.
+fn lease_body(request: &JobRequest, slice: usize, checkpoint: &Option<Json>) -> Json {
+    Json::obj([
+        ("program", Json::Str(request.program_source.clone())),
+        ("spec", Json::Str(request.spec.clone())),
+        ("seed", Json::Int(i128::from(request.seed))),
+        ("limit", Json::Int(request.limit as i128)),
+        (
+            "preemptions",
+            request
+                .preemptions
+                .map(|p| Json::Int(i128::from(p)))
+                .unwrap_or(Json::Null),
+        ),
+        ("stop_on_bug", Json::Bool(request.stop_on_bug)),
+        ("slice", Json::Int(slice as i128)),
+        ("checkpoint", checkpoint.clone().unwrap_or(Json::Null)),
+    ])
+}
+
+/// Captures the final frontier snapshot a slice-bounded run emits
+/// through `ExploreConfig::checkpoint_on_stop`.
+#[derive(Default)]
+struct CheckpointCapture(Mutex<Option<CheckpointState>>);
+
+impl Observer for CheckpointCapture {
+    fn on_checkpoint(&self, checkpoint: &CheckpointState) {
+        *self.0.lock().unwrap() = Some(checkpoint.clone());
+    }
+}
+
+/// Runs one lease slice — the worker half of the protocol, also used by
+/// the coordinator's in-process fallback. Resumes the sequential engine
+/// from the lease's checkpoint (if any), explores at most `slice` more
+/// complete schedules, and returns the slice result document:
+/// `{completed, strategy, stats, bugs, checkpoint}`.
+pub fn run_slice(body: &Json) -> Result<Json, String> {
+    let str_field = |key: &str| {
+        body.get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("lease body missing {key:?}"))
+    };
+    let u64_field = |key: &str| {
+        body.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("lease body missing {key:?}"))
+    };
+    let source = str_field("program")?;
+    let spec = str_field("spec")?.to_string();
+    let seed = u64_field("seed")?;
+    let limit = u64_field("limit")? as usize;
+    let slice = (u64_field("slice")? as usize).max(1);
+    let stop_on_bug = body
+        .get("stop_on_bug")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    let preemptions = match body.get("preemptions") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or("lease body: bad \"preemptions\"".to_string())? as u32,
+        ),
+    };
+    let program = Program::parse(source).map_err(|e| format!("program: {e}"))?;
+
+    let (resume, start) = match body.get("checkpoint") {
+        None | Some(Json::Null) => (None, 0),
+        Some(cp) => {
+            let doc = CheckpointDoc::from_json(cp).map_err(|e| format!("checkpoint: {e}"))?;
+            doc.check_matches(&program, &spec, seed)?;
+            let mut state = doc.state;
+            // The frontier was captured at a slice-budget stop, so its
+            // stats record that stop; the resumed run is not stopped.
+            state.stats.limit_hit = false;
+            state.stats.cancelled = false;
+            let start = state.stats.schedules;
+            (Some(Arc::new(state)), start)
+        }
+    };
+
+    let mut config = ExploreConfig::with_limit(limit.min(start.saturating_add(slice)))
+        .seeded(seed)
+        .checkpointing_on_stop();
+    config.preemption_bound = preemptions;
+    config.stop_on_bug = stop_on_bug;
+    config.resume_from = resume;
+
+    let capture = Arc::new(CheckpointCapture::default());
+    let outcome = ExploreSession::new(&program)
+        .with_config(config)
+        .progress_every(0)
+        .observe_arc(capture.clone())
+        .run_spec(&spec)
+        .map_err(|e| format!("spec: {e}"))?;
+
+    // Incomplete iff the slice budget (not the job budget) stopped it.
+    let completed = !(outcome.stats.limit_hit && outcome.stats.schedules < limit);
+    let checkpoint = if completed {
+        Json::Null
+    } else {
+        match capture.0.lock().unwrap().take() {
+            Some(state) => CheckpointDoc {
+                program_name: program.name().to_string(),
+                program_fingerprint: program_fingerprint(&program),
+                strategy_spec: spec.clone(),
+                seed,
+                state,
+            }
+            .to_json(),
+            // Strategy without checkpoint support (dfs, random, …): no
+            // frontier to chain. The coordinator falls back to a single
+            // whole-job lease.
+            None => Json::Null,
+        }
+    };
+    Ok(Json::obj([
+        ("completed", Json::Bool(completed)),
+        ("strategy", Json::Str(outcome.strategy_id.clone())),
+        ("stats", stats_to_json(&outcome.stats)),
+        (
+            "bugs",
+            Json::Arr(
+                outcome
+                    .bugs
+                    .iter()
+                    .map(|b| {
+                        Json::obj([
+                            ("kind", bug_kind_to_json(&b.kind)),
+                            (
+                                "schedule",
+                                Json::Arr(
+                                    b.schedule
+                                        .iter()
+                                        .map(|t| Json::Int(i128::from(t.0)))
+                                        .collect(),
+                                ),
+                            ),
+                            ("trace_len", Json::Int(b.trace_len as i128)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("checkpoint", checkpoint),
+    ]))
+}
+
+/// Decodes the bug reports a slice result carries.
+fn decode_bugs(result: &Json) -> Result<Vec<BugReport>, String> {
+    let Some(bugs) = result.get("bugs").and_then(Json::as_arr) else {
+        return Err("slice result missing \"bugs\"".to_string());
+    };
+    bugs.iter()
+        .map(|b| {
+            let kind = bug_kind_from_json(b.get("kind").ok_or("bug missing \"kind\"")?)
+                .map_err(|e| format!("bug kind: {e}"))?;
+            let schedule = b
+                .get("schedule")
+                .and_then(Json::as_arr)
+                .ok_or("bug missing \"schedule\"")?
+                .iter()
+                .map(|t| {
+                    t.as_u64()
+                        .and_then(|t| u16::try_from(t).ok())
+                        .map(ThreadId)
+                        .ok_or_else(|| "bad thread id in bug schedule".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let trace_len = b
+                .get("trace_len")
+                .and_then(Json::as_u64)
+                .ok_or("bug missing \"trace_len\"")? as usize;
+            Ok(BugReport {
+                kind,
+                schedule,
+                trace_len,
+            })
+        })
+        .collect()
+}
+
+/// Runs one job through the lease chain — the distributed counterpart
+/// of the in-process `execute`. Offers leases slice by slice, survives
+/// worker loss via epoch-fenced reassignment, falls back to in-process
+/// slices when nobody claims, and assembles the same scrubbed result
+/// document schema the sequential path produces (minus the per-job
+/// metrics/profile embeds, which cannot be reconstructed across a
+/// process split).
+pub fn execute_distributed(
+    table: &Arc<JobTable>,
+    leases: &Arc<LeaseTable>,
+    id: u64,
+    request: &JobRequest,
+    cancel: CancelToken,
+    corpus_dir: Option<&Path>,
+) -> Result<Json, String> {
+    let program = Program::parse(&request.program_source).map_err(|e| format!("program: {e}"))?;
+    let registry = StrategyRegistry::default();
+    let strategy_id = registry
+        .create(&request.spec)
+        .map_err(|e| format!("spec: {e}"))?
+        .name();
+    let deadline = request
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+
+    let mut checkpoint: Option<Json> = None;
+    let mut bugs: Vec<BugReport> = Vec::new();
+    let mut stats = ExploreStats::default();
+    let mut whole_job = false;
+    let mut cancelled = false;
+
+    loop {
+        let slice = if whole_job {
+            request.limit
+        } else {
+            leases.config().slice
+        };
+        let lease = leases.offer(id, lease_body(request, slice, &checkpoint));
+        table.push_job_event(
+            id,
+            "lease",
+            vec![
+                ("lease", Json::Int(lease as i128)),
+                ("start", Json::Int(stats.schedules as i128)),
+            ],
+        );
+        let result = loop {
+            match leases.wait(lease, &cancel, deadline) {
+                LeaseWait::Result(result) => break Some(result),
+                LeaseWait::Cancelled => break None,
+                LeaseWait::TakeOver { body, epoch } => match run_slice(&body) {
+                    Ok(result) => {
+                        leases.submit_result(lease, epoch, result);
+                    }
+                    Err(e) => {
+                        leases.withdraw(lease);
+                        return Err(e);
+                    }
+                },
+            }
+        };
+        let Some(result) = result else {
+            cancelled = true;
+            break;
+        };
+
+        if let Some(reason) = result.get("failed").and_then(Json::as_str) {
+            // The worker ran the slice but could not deliver its result
+            // (e.g. the frontier outgrew the wire cap) and reported this
+            // small failure document instead. Re-lease the whole job as
+            // one slice: its grant and its completed result carry no
+            // checkpoint, so they always fit. Bugs already consumed from
+            // earlier slices are kept — the whole-job re-run rediscovers
+            // them and the dedup-by-kind mirror absorbs the overlap.
+            if whole_job {
+                // A failed *whole-job* slice cannot fall back any
+                // further; fail the job loudly instead of looping.
+                return Err(format!("whole-job lease failed at the worker: {reason}"));
+            }
+            table.push_job_event(
+                id,
+                "slice-failed",
+                vec![
+                    ("lease", Json::Int(lease as i128)),
+                    ("reason", Json::Str(reason.to_string())),
+                ],
+            );
+            checkpoint = None;
+            stats = ExploreStats::default();
+            whole_job = true;
+            continue;
+        }
+
+        stats = stats_from_json(
+            result
+                .get("stats")
+                .ok_or("slice result missing \"stats\"")?,
+        )
+        .map_err(|e| format!("slice stats: {e}"))?;
+        for bug in decode_bugs(&result)? {
+            // Mirror the sequential BugSink: dedup by kind, cap 64,
+            // discovery order.
+            if bugs.len() < 64 && !bugs.iter().any(|b| b.kind == bug.kind) {
+                table.push_job_event(
+                    id,
+                    "bug",
+                    vec![
+                        ("kind", bug_kind_to_json(&bug.kind)),
+                        ("trace_len", Json::Int(bug.trace_len as i128)),
+                        ("schedule_len", Json::Int(bug.schedule.len() as i128)),
+                    ],
+                );
+                bugs.push(bug);
+            }
+        }
+        let completed = result
+            .get("completed")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        table.push_job_event(
+            id,
+            "slice",
+            vec![
+                ("lease", Json::Int(lease as i128)),
+                ("schedules", Json::Int(stats.schedules as i128)),
+                ("completed", Json::Bool(completed)),
+            ],
+        );
+        if completed {
+            break;
+        }
+        match result.get("checkpoint") {
+            Some(cp @ Json::Obj(_)) => checkpoint = Some(cp.clone()),
+            _ => {
+                // Non-checkpointable strategy: re-lease the whole job as
+                // one slice (the partial slice's work is discarded; the
+                // full run is deterministic, so nothing is lost).
+                checkpoint = None;
+                stats = ExploreStats::default();
+                whole_job = true;
+            }
+        }
+    }
+
+    if cancelled {
+        stats.cancelled = true;
+    }
+    let verdict = if stats.found_bug() || !bugs.is_empty() {
+        Verdict::BugFound
+    } else if stats.cancelled {
+        Verdict::Cancelled
+    } else if stats.limit_hit {
+        Verdict::LimitHit
+    } else {
+        Verdict::Clean
+    };
+
+    let reported: Vec<BugReport> = if request.minimize {
+        bugs.iter()
+            .map(|b| minimize_schedule(&program, b))
+            .collect()
+    } else {
+        bugs.clone()
+    };
+    let mut trace_paths = Vec::new();
+    let mut trace_errors = Vec::new();
+    if let Some(dir) = corpus_dir {
+        match CorpusStore::open(dir) {
+            Ok(store) => {
+                for bug in &reported {
+                    let mut artifact = lazylocks_trace::TraceArtifact::from_bug(
+                        &program,
+                        &request.spec,
+                        request.seed,
+                        bug,
+                    )
+                    .with_stats(&stats);
+                    artifact.minimized = request.minimize;
+                    match store.save(&artifact) {
+                        Ok(saved) => trace_paths.push(saved.path().to_path_buf()),
+                        Err(e) => trace_errors.push(format!("cannot persist trace: {e}")),
+                    }
+                }
+            }
+            Err(e) => trace_errors.push(format!("cannot open corpus {}: {e}", dir.display())),
+        }
+    }
+
+    let outcome = ExploreOutcome {
+        stats,
+        bugs: Vec::new(),
+        verdict,
+        strategy_id,
+    };
+    let mut doc = outcome_json(
+        program.name(),
+        &request.spec,
+        &outcome,
+        &reported,
+        request.minimize,
+        &trace_paths,
+    );
+    if !trace_errors.is_empty() {
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.push((
+                "trace_errors".to_string(),
+                Json::Arr(trace_errors.into_iter().map(Json::Str).collect()),
+            ));
+        }
+    }
+    Ok(scrubbed_result(doc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ABBA: &str = "\
+program deadlock
+mutex a
+mutex b
+thread T1 {
+  lock a
+  lock b
+  unlock b
+  unlock a
+}
+thread T2 {
+  lock b
+  lock a
+  unlock a
+  unlock b
+}
+";
+
+    fn request(limit: usize) -> JobRequest {
+        JobRequest {
+            program_source: ABBA.to_string(),
+            spec: "dpor(sleep=true)".to_string(),
+            limit,
+            seed: 7,
+            preemptions: None,
+            stop_on_bug: false,
+            deadline_ms: None,
+            minimize: false,
+            priority: 0,
+            progress_interval: crate::job::DEFAULT_PROGRESS_INTERVAL,
+        }
+    }
+
+    fn table(ttl_ms: u64, grace_ms: u64) -> LeaseTable {
+        LeaseTable::new(
+            LeaseConfig {
+                ttl: Duration::from_millis(ttl_ms),
+                slice: 4,
+                grace: Duration::from_millis(grace_ms),
+            },
+            MetricsHandle::enabled(),
+            None,
+        )
+    }
+
+    #[test]
+    fn claim_grants_oldest_and_regrants_idempotently() {
+        let t = table(60_000, 60_000);
+        let a = t.offer(1, lease_body(&request(100), 4, &None));
+        let b = t.offer(2, lease_body(&request(100), 4, &None));
+        let grant = t.claim("w1").unwrap();
+        assert_eq!(grant.get("lease").unwrap().as_u64(), Some(a));
+        assert_eq!(grant.get("epoch").unwrap().as_u64(), Some(1));
+        assert_eq!(grant.get("job").unwrap().as_u64(), Some(1));
+        // A retried claim by the same worker re-grants the same lease at
+        // the same epoch instead of handing it the second lease.
+        let again = t.claim("w1").unwrap();
+        assert_eq!(again.get("lease").unwrap().as_u64(), Some(a));
+        assert_eq!(again.get("epoch").unwrap().as_u64(), Some(1));
+        // Another worker gets the next lease.
+        let other = t.claim("w2").unwrap();
+        assert_eq!(other.get("lease").unwrap().as_u64(), Some(b));
+        assert!(t.claim("w3").is_none(), "both leases are held");
+    }
+
+    #[test]
+    fn expired_grants_are_reassigned_with_a_bumped_epoch() {
+        let t = table(1, 60_000);
+        let lease = t.offer(1, lease_body(&request(100), 4, &None));
+        let grant = t.claim("crashy").unwrap();
+        assert_eq!(grant.get("epoch").unwrap().as_u64(), Some(1));
+        std::thread::sleep(Duration::from_millis(20));
+        let regrant = t.claim("steady").unwrap();
+        assert_eq!(regrant.get("lease").unwrap().as_u64(), Some(lease));
+        assert_eq!(regrant.get("epoch").unwrap().as_u64(), Some(2));
+        // The zombie's renewal and result are both fenced out...
+        assert!(t.renew(lease, "crashy", 1).is_err());
+        let (status, _) = t.submit_result(lease, 1, Json::Null);
+        assert_eq!(status, 409);
+        // ...while the new holder renews and commits.
+        assert_eq!(t.renew(lease, "steady", 2), Ok(2));
+        let (status, body) = t.submit_result(lease, 2, Json::obj([("ok", Json::Bool(true))]));
+        assert_eq!(status, 200);
+        assert_eq!(body.get("duplicate").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn duplicate_results_ack_idempotently_and_unknown_leases_409() {
+        let t = table(60_000, 60_000);
+        let lease = t.offer(1, lease_body(&request(100), 4, &None));
+        t.claim("w").unwrap();
+        let (s1, b1) = t.submit_result(lease, 1, Json::obj([("n", Json::Int(1))]));
+        assert_eq!(s1, 200);
+        assert_eq!(b1.get("duplicate").unwrap().as_bool(), Some(false));
+        // A resend (torn response, client retry) is acknowledged, not
+        // double-applied.
+        let (s2, b2) = t.submit_result(lease, 1, Json::obj([("n", Json::Int(1))]));
+        assert_eq!(s2, 200);
+        assert_eq!(b2.get("duplicate").unwrap().as_bool(), Some(true));
+        let (s3, _) = t.submit_result(99, 1, Json::Null);
+        assert_eq!(s3, 409, "unknown lease is a zombie result");
+        // Even after the coordinator consumes the result (removing the
+        // live entry), a same-epoch resend is acknowledged from the
+        // tombstone; a wrong-epoch resend is not.
+        match t.wait(lease, &CancelToken::new(), None) {
+            LeaseWait::Result(_) => {}
+            _ => panic!("expected the submitted result"),
+        }
+        let (s4, b4) = t.submit_result(lease, 1, Json::obj([("n", Json::Int(1))]));
+        assert_eq!(s4, 200);
+        assert_eq!(b4.get("duplicate").unwrap().as_bool(), Some(true));
+        let (s5, _) = t.submit_result(lease, 2, Json::Null);
+        assert_eq!(s5, 409, "a consumed lease only acks its own epoch");
+    }
+
+    #[test]
+    fn wait_takes_over_an_unclaimed_lease_after_the_grace_period() {
+        let t = table(60_000, 1);
+        let lease = t.offer(1, lease_body(&request(100), 4, &None));
+        match t.wait(lease, &CancelToken::new(), None) {
+            LeaseWait::TakeOver { epoch, body } => {
+                assert_eq!(epoch, 2, "takeover fences out late claimants");
+                assert!(body.get("program").is_some());
+                // A worker arriving after the takeover gets nothing.
+                assert!(t.claim("late").is_none());
+            }
+            _ => panic!("expected a takeover"),
+        }
+    }
+
+    #[test]
+    fn slice_chain_matches_an_uninterrupted_run() {
+        // One-shot reference.
+        let whole = run_slice(&lease_body(&request(10_000), 10_000, &None)).unwrap();
+        assert_eq!(whole.get("completed").unwrap().as_bool(), Some(true));
+
+        // Chained 4-schedule slices over the same job.
+        let mut checkpoint: Option<Json> = None;
+        let mut last = None;
+        for _ in 0..1000 {
+            let result = run_slice(&lease_body(&request(10_000), 4, &checkpoint)).unwrap();
+            if result.get("completed").unwrap().as_bool() == Some(true) {
+                last = Some(result);
+                break;
+            }
+            checkpoint = Some(result.get("checkpoint").unwrap().clone());
+        }
+        let last = last.expect("the chain must terminate");
+        // Wall time is the one legitimately nondeterministic field;
+        // final job documents scrub it, so compare scrubbed stats.
+        assert_eq!(
+            scrubbed_result(last.get("stats").unwrap().clone()).encode(),
+            scrubbed_result(whole.get("stats").unwrap().clone()).encode(),
+            "chained slices must reproduce the uninterrupted stats byte-for-byte"
+        );
+    }
+
+    #[test]
+    fn execute_distributed_via_inline_fallback_produces_a_bug_found_doc() {
+        let jobs = Arc::new(JobTable::default());
+        let req = request(10_000);
+        let id = jobs.submit(req.clone(), "deadlock".to_string()).unwrap();
+        let leases = Arc::new(table(60_000, 1));
+        let doc = execute_distributed(&jobs, &leases, id, &req, CancelToken::new(), None).unwrap();
+        assert_eq!(doc.get("verdict").unwrap().as_str(), Some("bug-found"));
+        assert_eq!(doc.get("strategy").unwrap().as_str(), Some("dpor-sleep"));
+        assert_eq!(
+            doc.get("stats")
+                .unwrap()
+                .get("wall_time_us")
+                .unwrap()
+                .as_i64(),
+            Some(0),
+            "result documents are scrubbed"
+        );
+        assert_eq!(
+            doc.get("bugs").unwrap().as_arr().unwrap().len(),
+            1,
+            "the ABBA deadlock is reported once"
+        );
+    }
+
+    #[test]
+    fn non_checkpointable_strategies_fall_back_to_a_whole_job_lease() {
+        let jobs = Arc::new(JobTable::default());
+        let mut req = request(50);
+        req.spec = "dfs".to_string();
+        let id = jobs.submit(req.clone(), "deadlock".to_string()).unwrap();
+        let leases = Arc::new(table(60_000, 1));
+        let doc = execute_distributed(&jobs, &leases, id, &req, CancelToken::new(), None).unwrap();
+        // dfs emits no checkpoints; the fallback still terminates with
+        // the same verdict a sequential dfs run reaches.
+        assert_eq!(doc.get("strategy").unwrap().as_str(), Some("dfs"));
+        assert!(doc.get("verdict").unwrap().as_str().is_some());
+    }
+}

@@ -14,6 +14,15 @@
 //! file, fsync, rename, parent-directory fsync — so a crash at any point
 //! leaves either the previous checkpoint or the new one, never a torn
 //! file.
+//!
+//! The same document doubles as the **lease wire envelope** in
+//! distributed exploration: a `serve --distributed` coordinator inlines
+//! the current frontier as a checkpoint document inside each subtree
+//! lease, and a worker validates it with [`CheckpointDoc::check_matches`]
+//! before resuming — so a lease for the wrong program, strategy or seed
+//! is refused at the worker exactly as a mismatched `--resume` is
+//! refused at the CLI. Incomplete slices return the end-of-slice
+//! frontier in the same format.
 
 use crate::artifact::{
     bug_kind_from_json, bug_kind_to_json, stats_from_json, stats_to_json, ArtifactError,
@@ -126,6 +135,7 @@ impl CheckpointDoc {
             ("states", fps(&self.state.states)),
             ("hbrs", fps(&self.state.hbrs)),
             ("lazy_hbrs", fps(&self.state.lazy_hbrs)),
+            ("pool_free", Json::Int(i128::from(self.state.pool_free))),
         ])
     }
 
@@ -200,6 +210,10 @@ impl CheckpointDoc {
                 states: fps("states")?,
                 hbrs: fps("hbrs")?,
                 lazy_hbrs: fps("lazy_hbrs")?,
+                // Absent in documents written before pool warm-up
+                // existed; a cold resume is still correct, merely off
+                // by the pool-hit delta.
+                pool_free: v.get("pool_free").and_then(Json::as_u64).unwrap_or(0),
             },
         };
         doc.state
@@ -420,6 +434,7 @@ mod tests {
                 states: vec![1, 2, u128::MAX],
                 hbrs: vec![3, 4],
                 lazy_hbrs: vec![5],
+                pool_free: 11,
             },
         }
     }
@@ -437,6 +452,7 @@ mod tests {
         assert_eq!(back.state.states, doc.state.states);
         assert_eq!(back.state.hbrs, doc.state.hbrs);
         assert_eq!(back.state.lazy_hbrs, doc.state.lazy_hbrs);
+        assert_eq!(back.state.pool_free, 11);
         assert_eq!(back.state.stats.schedules, 40);
         assert_eq!(back.state.stats.events_compared, 88);
         let bug = back.state.stats.first_bug.unwrap();

@@ -8,6 +8,14 @@
 //! writes (the payload is cut short and the writer reports a crash),
 //! failing fsyncs, and short reads. Clones share the schedule, so the
 //! test keeps a handle to the same plan it injected into the writer.
+//!
+//! The same hooks cover the **socket path**: the server crate's HTTP
+//! client threads a plan through its wire layer, where a torn write
+//! models a request cut mid-flight (or, with `keep = 0`, a connection
+//! dropped before any byte left) and a short read models a truncated
+//! response — so the distributed lease protocol's retry and idempotency
+//! handling is exercised under the same injected faults as the
+//! persistence layer, without a misbehaving network.
 
 use std::fs;
 use std::io::{self, Read, Write};
